@@ -1,0 +1,100 @@
+"""Ablation (Sec. 4.1 / Sec. 9): separate analysis with interface files.
+
+"Once a module is added to a software system, it can be analysed and
+tailored for specialisation once and for all.  For the analysis we only
+require that all imported modules have been analysed."
+
+We build an import chain of 24 modules and compare the cost of
+refreshing the analysis after an edit:
+
+* **whole-program** — re-analyse everything (a specialiser without
+  interface files);
+* **leaf edit** — touch the last module; the interface manager
+  re-analyses exactly one module;
+* **root edit** — touch the first module; everything downstream must be
+  re-analysed (the honest worst case: interface files do not help when
+  a library at the bottom changes).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.bench.generators import layered_program
+from repro.bt.analysis import analyse_program
+from repro.bt.interface import InterfaceManager
+from repro.modsys.program import load_program_dir
+
+N_MODULES = 24
+DEFS = 4
+
+
+def _setup(tmp):
+    sources = layered_program(N_MODULES, DEFS, seed=2)
+    for name, text in sources.items():
+        with open(os.path.join(tmp, name + ".mod"), "w") as f:
+            f.write(text)
+    linked = load_program_dir(tmp)
+    manager = InterfaceManager(tmp)
+    manager.analyse(linked)  # prime all interfaces
+    return linked, manager
+
+
+def _touch(tmp, name):
+    path = os.path.join(tmp, name + ".mod")
+    future = time.time() + 10
+    os.utime(path, (future, future))
+
+
+def _timed(fn):
+    t0 = time.perf_counter()
+    out = fn()
+    return time.perf_counter() - t0, out
+
+
+def test_separate_analysis(benchmark, table, tmp_path):
+    tmp = str(tmp_path)
+    linked, manager = _setup(tmp)
+
+    def scenario():
+        rows = []
+        t_whole, _ = _timed(lambda: analyse_program(linked))
+
+        _touch(tmp, "M%d" % (N_MODULES - 1))
+        t_leaf, (_, analysed_leaf) = _timed(lambda: manager.analyse(linked))
+
+        _touch(tmp, "M0")
+        t_root, (_, analysed_root) = _timed(lambda: manager.analyse(linked))
+
+        rows.append(["whole-program re-analysis", N_MODULES, "%.2f ms" % (t_whole * 1e3)])
+        rows.append(["leaf edit (interface files)", len(analysed_leaf), "%.2f ms" % (t_leaf * 1e3)])
+        rows.append(["root edit (interface files)", len(analysed_root), "%.2f ms" % (t_root * 1e3)])
+        return rows, t_whole, t_leaf, len(analysed_leaf), len(analysed_root)
+
+    rows, t_whole, t_leaf, n_leaf, n_root = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
+    table(
+        "Ablation — separate analysis via interface files (%d-module chain)"
+        % N_MODULES,
+        ["scenario", "modules analysed", "time"],
+        rows,
+    )
+    assert n_leaf == 1
+    assert n_root == N_MODULES
+    assert t_leaf * 3 < t_whole, "a leaf edit must be far cheaper"
+
+
+def test_prime_interfaces_speed(benchmark, tmp_path):
+    tmp = str(tmp_path)
+    sources = layered_program(N_MODULES, DEFS, seed=2)
+    for name, text in sources.items():
+        with open(os.path.join(tmp, name + ".mod"), "w") as f:
+            f.write(text)
+    linked = load_program_dir(tmp)
+
+    def prime():
+        return InterfaceManager(tmp).analyse(linked, force=True)
+
+    benchmark(prime)

@@ -1,0 +1,98 @@
+"""E6 (Sec. 4): per-source-definition cost.
+
+"A specialiser must read, parse, and analyse every definition in a
+program before it can begin specialisation.  Even functions which are
+not used incur a cost [...] In contrast, when a generating extension is
+used instead, the cost-per-source-definition is very low [...] only
+those functions which are actually specialised incur any significant
+cost."
+
+We hold the client fixed (it uses k=3 library functions) and grow the
+library from 10 to 160 definitions.  The shape to reproduce: the mix
+front end grows linearly with the library size while the genext
+specialisation time stays flat.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.bench.generators import library_program
+from repro.bench.metrics import linear_fit
+from repro.genext.engine import specialise as engine_specialise
+from repro.specialiser import MixProgram
+
+LIBRARY_SIZES = [10, 20, 40, 80, 160]
+USED = 3
+
+
+def _best_of(fn, repeat=3):
+    best = float("inf")
+    for _ in range(repeat):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _sweep():
+    rows = []
+    genext_times = []
+    mix_times = []
+    for n in LIBRARY_SIZES:
+        source = library_program(n, USED, seed=n)
+        gp = repro.compile_genexts(source)
+        t_genext = _best_of(lambda: engine_specialise(gp, "client", {"m": 3}))
+        t_mix_full = _best_of(
+            lambda: engine_specialise(
+                MixProgram.from_source(source), "client", {"m": 3}
+            )
+        )
+        rows.append(
+            [
+                n,
+                USED,
+                "%.3f ms" % (t_genext * 1e3),
+                "%.2f ms" % (t_mix_full * 1e3),
+                "%.1fx" % (t_mix_full / t_genext),
+            ]
+        )
+        genext_times.append(t_genext)
+        mix_times.append(t_mix_full)
+    return rows, genext_times, mix_times
+
+
+def test_library_scaling(benchmark, table):
+    rows, genext_times, mix_times = benchmark.pedantic(
+        _sweep, rounds=1, iterations=1
+    )
+    table(
+        "E6 — cost of unused library definitions (client uses %d)" % USED,
+        ["library defs", "used", "genext", "mix (full)", "mix/genext"],
+        rows,
+    )
+    # mix's cost grows with the library; the genext's barely moves.
+    mix_growth = mix_times[-1] / mix_times[0]
+    genext_growth = genext_times[-1] / genext_times[0]
+    assert mix_growth > 4.0, "mix front end should track library size"
+    assert genext_growth < mix_growth / 2, (
+        "genext specialisation must be largely insensitive to unused "
+        "definitions (grew %.1fx vs mix %.1fx)" % (genext_growth, mix_growth)
+    )
+
+
+def test_genext_on_large_library(benchmark):
+    gp = repro.compile_genexts(library_program(160, USED, seed=160))
+    benchmark(engine_specialise, gp, "client", {"m": 3})
+
+
+def test_mix_on_large_library(benchmark):
+    source = library_program(160, USED, seed=160)
+
+    def full():
+        return engine_specialise(
+            MixProgram.from_source(source), "client", {"m": 3}
+        )
+
+    benchmark(full)

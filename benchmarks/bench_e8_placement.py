@@ -1,0 +1,65 @@
+"""E8 (Sec. 5): the residual module structure of the paper's example.
+
+Regenerates the Power/Twice/Main residual program, asserting the exact
+structure printed in the paper (modules Power, PowerTwice, Main; three
+polyvariant ``power`` versions; the ``twice`` specialisation in the
+combination module), and benchmarks the end-to-end specialisation.
+"""
+
+import pytest
+
+import repro
+from repro.bench.generators import power_twice_main_source
+
+
+def _gp():
+    return repro.compile_genexts(
+        power_twice_main_source(), force_residual={"power", "twice", "main"}
+    )
+
+
+def test_paper_example_end_to_end(benchmark, table):
+    gp = _gp()
+    result = benchmark(repro.specialise, gp, "main", {})
+    modules = {m.name: m for m in result.program.modules}
+    assert sorted(modules) == ["Main", "Power", "PowerTwice"]
+    assert len(modules["Power"].defs) == 3
+    assert modules["PowerTwice"].imports == ("Power",)
+    assert modules["Main"].imports == ("PowerTwice",)
+    assert result.run(2) == 512
+    table(
+        "E8 — residual module structure (paper Sec. 5)",
+        ["module", "imports", "definitions"],
+        [
+            [
+                m.name,
+                ", ".join(m.imports) or "-",
+                ", ".join(d.name for d in m.defs),
+            ]
+            for m in result.program.modules
+        ],
+    )
+
+
+def test_higher_order_placement(benchmark, table):
+    gp = repro.compile_genexts(
+        """
+module A where
+
+map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
+
+module B where
+import A
+
+g x = x + 1
+h zs = map (\\x -> g x) zs
+""",
+        force_residual={"g", "h"},
+    )
+    result = benchmark(repro.specialise, gp, "h", {})
+    assert [m.name for m in result.program.modules] == ["B"]
+    table(
+        "E8b — map specialised to a closure over g stays with g",
+        ["module", "definitions"],
+        [[m.name, ", ".join(d.name for d in m.defs)] for m in result.program.modules],
+    )

@@ -1,0 +1,87 @@
+"""E9b (Sec. 5): combination modules are exponentially many in theory,
+almost all empty in practice.
+
+"In theory we might need to generate exponentially more residual modules
+than there are modules in the source.  In practice we expect the vast
+majority to be empty.  This is the strongest reason why we must avoid
+generating empty modules, and why we detect emptiness dynamically."
+
+We count, per workload: source modules, the number of *possible*
+combinations (antichains aside, bounded by 2^n − 1), and the residual
+modules actually materialised.
+"""
+
+import pytest
+
+import repro
+from repro.bench.generators import power_twice_main_source
+
+AC_SHARING = """
+module A where
+
+map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
+
+module C where
+
+g x = x + 1
+gclo = \\x -> g x
+
+module B where
+import A
+import C
+
+hb zs = map gclo zs
+
+module Dm where
+import A
+import C
+
+hd zs = map gclo (tail zs)
+
+module Main where
+import B
+import Dm
+
+append xs ys = if null xs then ys else head xs : append (tail xs) ys
+main zs = append (hb zs) (hd zs)
+"""
+
+
+def _run(source, goal, force):
+    gp = repro.compile_genexts(source, force_residual=force)
+    result = repro.specialise(gp, goal, {})
+    n_source = len(repro.load_program(source).program.modules)
+    return n_source, len(result.program.modules)
+
+
+def test_combinations_mostly_empty(benchmark, table):
+    def measure():
+        rows = []
+        for label, source, goal, force in [
+            (
+                "Power/Twice/Main",
+                power_twice_main_source(),
+                "main",
+                {"power", "twice", "main"},
+            ),
+            (
+                "A/C/B/Dm/Main sharing",
+                AC_SHARING,
+                "main",
+                {"g", "hb", "hd", "main", "append"},
+            ),
+        ]:
+            n_source, n_residual = _run(source, goal, frozenset(force))
+            rows.append(
+                [label, n_source, 2 ** n_source - 1, n_residual]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table(
+        "E9b — possible vs materialised residual modules",
+        ["workload", "source modules", "possible combinations", "materialised"],
+        rows,
+    )
+    for row in rows:
+        assert row[3] <= row[1] + 1  # far below the exponential bound

@@ -1,0 +1,113 @@
+"""Extension bench: functors amortise analysis across instantiations.
+
+A parameterised module is analysed and cogen'd once against its
+parameter signature; each instantiation is an exec + subsumption check.
+We compare against the alternative a system without functors must use:
+textually duplicating the module per comparator and re-analysing every
+copy."""
+
+import time
+
+import pytest
+
+import repro
+from repro.bt.analysis import analyse_program
+from repro.functor import make_functor
+from repro.genext.cogen import cogen_program
+from repro.genext.link import GenextProgram, load_genext
+from repro.lang.parser import parse_program
+from repro.modsys.program import load_program
+
+N_INSTANCES = 12
+
+ORD = "module Ord where\n\n" + "\n".join(
+    "le%d a b = a * %d <= b * %d" % (i, i + 1, i + 2) for i in range(N_INSTANCES)
+)
+
+SORT = """\
+module Sort(le 2) where
+
+insert x xs = if null xs then x : nil else if le x (head xs) then x : xs else head xs : insert x (tail xs)
+isort xs = if null xs then nil else insert (head xs) (isort (tail xs))
+"""
+
+
+def _copies_program():
+    """The no-functor alternative: N textual copies of Sort."""
+    chunks = [ORD, ""]
+    for i in range(N_INSTANCES):
+        chunks.append("module Sort%d where" % i)
+        chunks.append("import Ord")
+        chunks.append("")
+        chunks.append(
+            "insert%d x xs = if null xs then x : nil else if le%d x (head xs) "
+            "then x : xs else head xs : insert%d x (tail xs)" % (i, i, i)
+        )
+        chunks.append(
+            "isort%d xs = if null xs then nil else insert%d (head xs) "
+            "(isort%d (tail xs))" % (i, i, i)
+        )
+        chunks.append("")
+    return "\n".join(chunks)
+
+
+def test_functor_amortisation(benchmark, table):
+    def measure():
+        ord_analysis = analyse_program(load_program(ORD))
+        base = [load_genext(m) for m in cogen_program(ord_analysis)]
+
+        t0 = time.perf_counter()
+        template = make_functor(parse_program(SORT).modules[0])
+        t_prepare = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        loaded = [
+            template.instantiate(
+                "I%d" % i, {"le": "le%d" % i}, ord_analysis.schemes
+            )[0]
+            for i in range(N_INSTANCES)
+        ]
+        t_instantiate = time.perf_counter() - t0
+        gp = GenextProgram(base + loaded)
+        result = repro.specialise(gp, "i3_isort", {})
+        assert result.run((9, 2, 5)) is not None
+
+        t0 = time.perf_counter()
+        repro.compile_genexts(_copies_program())
+        t_copies = time.perf_counter() - t0
+        return t_prepare, t_instantiate, t_copies
+
+    t_prepare, t_instantiate, t_copies = benchmark.pedantic(
+        measure, rounds=1, iterations=1
+    )
+    table(
+        "Functor amortisation (%d instantiations of Sort)" % N_INSTANCES,
+        ["approach", "time"],
+        [
+            ["functor: analyse+cogen once", "%.2f ms" % (t_prepare * 1e3)],
+            [
+                "functor: %d instantiations" % N_INSTANCES,
+                "%.2f ms (%.2f ms each)"
+                % (t_instantiate * 1e3, t_instantiate * 1e3 / N_INSTANCES),
+            ],
+            [
+                "no functors: %d textual copies, full pipeline" % N_INSTANCES,
+                "%.2f ms" % (t_copies * 1e3),
+            ],
+        ],
+    )
+    assert t_prepare + t_instantiate < t_copies
+
+
+def test_instantiation_speed(benchmark):
+    ord_analysis = analyse_program(load_program(ORD))
+    template = make_functor(parse_program(SORT).modules[0])
+    counter = [0]
+
+    def instantiate():
+        counter[0] += 1
+        return template.instantiate(
+            "B%d" % counter[0], {"le": "le0"}, ord_analysis.schemes
+        )
+
+    benchmark(instantiate)

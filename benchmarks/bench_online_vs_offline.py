@@ -1,0 +1,101 @@
+"""Sec. 2 contrast: offline (binding-time-directed) vs online
+(value-inspecting) specialisation.
+
+The paper chooses the offline/cogen route because binding-time
+annotations let generating extensions be compact and decisions be taken
+once.  A termination-safe online strategy must be conservative about
+unfolding (here: unfold only fully static calls), so it leaves residual
+functions where the offline specialiser, licensed by the analysis,
+unfolds completely.  This bench quantifies that on the paper's own
+example and on the RPN compiler.
+"""
+
+import pytest
+
+import repro
+from repro.bench.generators import power_source
+from repro.lang.ast import program_size
+from repro.specialiser.online import OnlineSpecialiser
+from repro.modsys.program import load_program
+
+RPN = """\
+module Lists where
+
+nth xs n = if n == 0 then head xs else nth (tail xs) (n - 1)
+
+module Rpn where
+import Lists
+
+exec prog env stack =
+  if null prog then head stack
+  else if fst (head prog) == 0 then exec (tail prog) env (snd (head prog) : stack)
+  else if fst (head prog) == 1 then exec (tail prog) env (nth env (snd (head prog)) : stack)
+  else if fst (head prog) == 2 then exec (tail prog) env ((head (tail stack) + head stack) : tail (tail stack))
+  else exec (tail prog) env ((head (tail stack) * head stack) : tail (tail stack))
+
+run prog env = exec prog env nil
+"""
+
+RPN_PROG = (
+    ("pair", 1, 0),
+    ("pair", 0, 1),
+    ("pair", 2, 0),
+    ("pair", 1, 1),
+    ("pair", 3, 0),
+)
+
+
+def _compare(source, goal, static):
+    linked = load_program(source)
+    offline = repro.specialise(repro.compile_genexts(linked), goal, static)
+    online = OnlineSpecialiser(linked).specialise(goal, static)
+    return offline, online
+
+
+def test_online_vs_offline(benchmark, table):
+    def measure():
+        rows = []
+        for label, source, goal, static, dyn in [
+            ("power n=3", power_source(), "power", {"n": 3}, (2,)),
+            ("power x=2", power_source(), "power", {"x": 2}, (10,)),
+            ("RPN compile", RPN, "run", {"prog": RPN_PROG}, ((3, 4),)),
+        ]:
+            offline, online = _compare(source, goal, static)
+            assert offline.run(*dyn) == online.run(*dyn)
+            rows.append(
+                [
+                    label,
+                    offline.stats["specialisations"],
+                    online.stats["specialisations"],
+                    program_size(offline.program),
+                    program_size(online.program),
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table(
+        "Online vs offline specialisation (same answers, different residuals)",
+        [
+            "goal",
+            "offline residual fns",
+            "online residual fns",
+            "offline size",
+            "online size",
+        ],
+        rows,
+    )
+    # The offline pipeline unfolds strictly more on the static-exponent
+    # and RPN goals.
+    assert rows[0][1] < rows[0][2]
+    assert rows[2][1] < rows[2][2]
+
+
+def test_offline_speed(benchmark):
+    gp = repro.compile_genexts(power_source())
+    benchmark(repro.specialise, gp, "power", {"n": 6})
+
+
+def test_online_speed(benchmark):
+    spec = OnlineSpecialiser(load_program(power_source()))
+    benchmark(spec.specialise, "power", {"n": 6})

@@ -1,0 +1,78 @@
+"""Extension bench: the residual-program optimiser.
+
+Unfolding duplicates dynamic code (no let-insertion in the source
+language — same as the paper's prototype).  The post-pass binds repeated
+subexpressions with ``let`` and folds constants; this bench measures the
+evaluation-step saving on the FIR workload, whose unrolled dot product
+recomputes its window.
+"""
+
+import pytest
+
+import repro
+from repro.interp import Interpreter
+from repro.modsys.program import link_program
+from repro.residual.optimise import optimise_program
+from repro.stdlib import stdlib_source
+
+SOURCE = stdlib_source(("Lists",)) + """
+module Fir where
+import Lists
+
+dot ks xs = if null ks then 0 else head ks * head xs + dot (tail ks) (tail xs)
+fir ks xs = if length xs < length ks then nil else dot ks (take (length ks) xs) : fir ks (tail xs)
+"""
+
+KERNEL = (1, 2, 3, 2, 1)
+SIGNAL = tuple(range(1, 30))
+
+
+@pytest.fixture(scope="module")
+def residuals():
+    gp = repro.compile_genexts(SOURCE)
+    result = repro.specialise(gp, "fir", {"ks": KERNEL})
+    optimised = link_program(optimise_program(result.program))
+    return result, optimised
+
+
+def _steps(linked, entry):
+    interp = Interpreter(linked, fuel=10_000_000)
+    out = interp.call(entry, [SIGNAL])
+    return interp.steps, out
+
+
+def test_optimiser_saves_evaluation_steps(benchmark, table, residuals):
+    result, optimised = residuals
+
+    def measure():
+        raw_steps, raw_out = _steps(result.linked, result.entry)
+        opt_steps, opt_out = _steps(optimised, result.entry)
+        assert raw_out == opt_out
+        return raw_steps, opt_steps
+
+    raw_steps, opt_steps = benchmark.pedantic(measure, rounds=1, iterations=1)
+    table(
+        "Optimiser — FIR kernel %s over a %d-sample signal" % (KERNEL, len(SIGNAL)),
+        ["residual", "evaluation steps"],
+        [
+            ["unoptimised", raw_steps],
+            ["CSE + folding", opt_steps],
+            ["saving", "%.1f%%" % (100 * (1 - opt_steps / raw_steps))],
+        ],
+    )
+    assert opt_steps < raw_steps
+
+
+def test_run_unoptimised(benchmark, residuals):
+    result, _ = residuals
+    benchmark(lambda: _steps(result.linked, result.entry))
+
+
+def test_run_optimised(benchmark, residuals):
+    result, optimised = residuals
+    benchmark(lambda: _steps(optimised, result.entry))
+
+
+def test_optimise_cost(benchmark, residuals):
+    result, _ = residuals
+    benchmark(optimise_program, result.program)

@@ -1,0 +1,84 @@
+"""Scale check: the paper's motivation is *large* programs.
+
+"The input to the specialiser, consisting of the source code of the
+program plus all libraries it uses, may be unreasonably large" (Sec. 1).
+We synthesise a 30-module / ~600-definition program, prepare it the
+module-sensitive way (per-module analysis + cogen), and specialise one
+goal.  The point being measured:
+
+* preparation cost is per-module and parallelisable-by-structure (each
+  module needs only its imports' interfaces);
+* a single specialisation touches a tiny fraction of the program and
+  its cost tracks the *used* definitions, not the program size.
+"""
+
+import time
+
+import pytest
+
+import repro
+from repro.bench.generators import layered_program
+from repro.bt.analysis import analyse_program
+from repro.genext.cogen import cogen_program
+from repro.genext.link import link_genexts
+from repro.lang.ast import program_size
+from repro.modsys.program import link_program
+from repro.lang.parser import parse_program
+
+N_MODULES = 30
+DEFS = 20
+
+
+@pytest.fixture(scope="module")
+def big_program():
+    sources = layered_program(N_MODULES, DEFS, seed=9)
+    return link_program(parse_program("\n".join(sources.values())))
+
+
+def test_prepare_and_specialise_at_scale(benchmark, table, big_program):
+    def scenario():
+        t0 = time.perf_counter()
+        analysis = analyse_program(big_program)
+        t_analyse = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        modules = cogen_program(analysis)
+        t_cogen = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        gp = link_genexts(modules)
+        t_link = time.perf_counter() - t0
+
+        goal = "m%d_f0" % (N_MODULES - 1)
+        t0 = time.perf_counter()
+        result = repro.specialise(gp, goal, {"n": 3})
+        t_spec = time.perf_counter() - t0
+        return analysis, t_analyse, t_cogen, t_link, t_spec, result
+
+    analysis, t_analyse, t_cogen, t_link, t_spec, result = benchmark.pedantic(
+        scenario, rounds=1, iterations=1
+    )
+    n_defs = len(analysis.schemes)
+    table(
+        "Scale — %d modules, %d definitions, %d AST nodes"
+        % (N_MODULES, n_defs, program_size(big_program.program)),
+        ["stage", "time", "note"],
+        [
+            ["binding-time analysis", "%.1f ms" % (t_analyse * 1e3),
+             "%.2f ms/def" % (t_analyse * 1e3 / n_defs)],
+            ["cogen", "%.1f ms" % (t_cogen * 1e3),
+             "%.2f ms/def" % (t_cogen * 1e3 / n_defs)],
+            ["compile+link genexts", "%.1f ms" % (t_link * 1e3), ""],
+            ["one specialisation", "%.2f ms" % (t_spec * 1e3),
+             "%d residual defs" % result.stats["specialisations"]],
+        ],
+    )
+    # A single specialisation must be orders cheaper than preparation.
+    assert t_spec < t_analyse
+    assert result.stats["specialisations"] <= N_MODULES + 2
+
+
+def test_specialisation_speed_at_scale(benchmark, big_program):
+    gp = link_genexts(cogen_program(analyse_program(big_program)))
+    goal = "m%d_f0" % (N_MODULES - 1)
+    benchmark(repro.specialise, gp, goal, {"n": 3})

@@ -1,0 +1,28 @@
+"""Shared benchmark helpers: table printing in the style of the
+EXPERIMENTS.md records."""
+
+import sys
+
+import pytest
+
+
+def print_table(title, headers, rows):
+    """Print one experiment table (visible with ``pytest -s`` and in the
+    captured section of the benchmark run)."""
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(str(h).ljust(w) for h, w in zip(headers, widths))
+    print()
+    print("== %s ==" % title)
+    print(line)
+    print("-" * len(line))
+    for row in rows:
+        print("  ".join(str(c).ljust(w) for c, w in zip(row, widths)))
+    sys.stdout.flush()
+
+
+@pytest.fixture(scope="session")
+def table():
+    return print_table

@@ -1,0 +1,48 @@
+"""Annotated programs (paper, Fig. 2).
+
+Annotated programs are the output of the binding-time analysis and the
+input of both the cogen and the baseline specialiser: every primitive,
+conditional, and application carries a (symbolic) binding time, named
+functions gain binding-time parameters, definitions carry an
+unfold/residualise annotation, and coercions ``[a -> b]e`` adjust
+binding times explicitly.
+"""
+
+from repro.anno.ast import (
+    AApp,
+    ACall,
+    ACoerce,
+    ADef,
+    AExpr,
+    AIf,
+    ALam,
+    ALit,
+    AModule,
+    APrim,
+    AProgram,
+    AVar,
+)
+from repro.anno.check import AnnotationError, check_module, check_program
+from repro.anno.pretty import pretty_adef, pretty_aexpr, pretty_amodule, pretty_aprogram
+
+__all__ = [
+    "AApp",
+    "ACall",
+    "ACoerce",
+    "ADef",
+    "AExpr",
+    "AIf",
+    "ALam",
+    "ALit",
+    "AModule",
+    "APrim",
+    "AProgram",
+    "AVar",
+    "AnnotationError",
+    "check_module",
+    "check_program",
+    "pretty_adef",
+    "pretty_aexpr",
+    "pretty_amodule",
+    "pretty_aprogram",
+]

@@ -1,0 +1,234 @@
+"""Abstract syntax of annotated programs (paper, Fig. 2).
+
+::
+
+    Def ::= Id {B*} Id* =B E
+    E   ::= Nat | Id | PrimB E* | Id {B*} E* | ifB E then E else E
+          | \\Id -> E | E @B E | [T -> T] E
+    B   ::= S | D | Id | B u B
+    T   ::= B | T ->B T | ...
+
+Binding-time slots (the ``bt`` fields and the slots inside embedded
+binding-time types) hold symbolic :class:`~repro.bt.bt.BT` values over
+the enclosing definition's binding-time parameters.  During inference the
+same node classes are used in *proto* form with raw constraint-graph
+variable ids in the slots; :func:`repro.bt.analysis` finalises them.
+
+Constants and lambdas are unannotated — they always denote static
+quantities, with coercions inserted where dynamic versions are required
+(Sec. 4.1).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.bt.bttypes import BTType
+
+
+class AExpr:
+    """Base class of annotated expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class ALit(AExpr):
+    """A literal — always static; lifted by an enclosing coercion."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class AVar(AExpr):
+    """A variable occurrence."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class APrim(AExpr):
+    """A primitive with the binding time at which it is performed."""
+
+    op: str
+    bt: object
+    args: Tuple[AExpr, ...]
+
+
+@dataclass(frozen=True)
+class AIf(AExpr):
+    """A conditional annotated with the binding time of its test."""
+
+    bt: object
+    cond: AExpr
+    then_branch: AExpr
+    else_branch: AExpr
+
+
+@dataclass(frozen=True)
+class ACall(AExpr):
+    """A named-function call passing binding-time arguments ``{B*}``."""
+
+    func: str
+    bt_args: Tuple[object, ...]
+    args: Tuple[AExpr, ...]
+
+
+@dataclass(frozen=True)
+class ALam(AExpr):
+    """An anonymous function.
+
+    ``label`` identifies the lambda within its defining function (used
+    for specialisation-memoisation keys and residual-module placement);
+    ``free`` are the variables captured from the enclosing scope, and
+    ``fvs`` the named functions called anywhere in the body — the
+    "function names which occur free in the bodies of static closures"
+    of Sec. 5.
+    """
+
+    var: str
+    body: AExpr
+    label: str = ""
+    free: Tuple[str, ...] = ()
+    fvs: Tuple[str, ...] = ()
+    type: object = None  # the lambda's BTTFun type (filled by the analysis)
+
+
+@dataclass(frozen=True)
+class AApp(AExpr):
+    """Application ``E @B E`` of an anonymous function."""
+
+    bt: object
+    fun: AExpr
+    arg: AExpr
+
+
+@dataclass(frozen=True)
+class ACoerce(AExpr):
+    """A binding-time coercion ``[src -> dst] expr``."""
+
+    src: BTType
+    dst: BTType
+    expr: AExpr
+
+
+@dataclass(frozen=True)
+class ADef:
+    """An annotated definition ``f {bt_params} params =unfold body``."""
+
+    name: str
+    bt_params: Tuple[str, ...]
+    params: Tuple[str, ...]
+    body: AExpr
+    unfold: object  # symbolic BT: S means unfold, D means residualise
+    param_types: Tuple[BTType, ...]
+    res_type: BTType
+
+
+@dataclass(frozen=True)
+class AModule:
+    """An annotated module."""
+
+    name: str
+    imports: Tuple[str, ...]
+    defs: Tuple[ADef, ...]
+
+    def find(self, name):
+        for d in self.defs:
+            if d.name == name:
+                return d
+        return None
+
+
+@dataclass(frozen=True)
+class AProgram:
+    """A fully annotated program."""
+
+    modules: Tuple[AModule, ...]
+
+    def module(self, name):
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def find_def(self, name):
+        for m in self.modules:
+            d = m.find(name)
+            if d is not None:
+                return m, d
+        raise KeyError(name)
+
+
+def aexpr_children(e):
+    if isinstance(e, (ALit, AVar)):
+        return ()
+    if isinstance(e, APrim):
+        return e.args
+    if isinstance(e, AIf):
+        return (e.cond, e.then_branch, e.else_branch)
+    if isinstance(e, ACall):
+        return e.args
+    if isinstance(e, ALam):
+        return (e.body,)
+    if isinstance(e, AApp):
+        return (e.fun, e.arg)
+    if isinstance(e, ACoerce):
+        return (e.expr,)
+    raise TypeError("not an annotated expression: %r" % (e,))
+
+
+def walk_aexpr(e):
+    """Yield ``e`` and all sub-expressions, pre-order."""
+    stack = [e]
+    while stack:
+        x = stack.pop()
+        yield x
+        stack.extend(reversed(aexpr_children(x)))
+
+
+def afree_vars(e, bound=frozenset()):
+    """Free variables of an annotated expression."""
+    if isinstance(e, AVar):
+        return frozenset() if e.name in bound else frozenset([e.name])
+    if isinstance(e, ALam):
+        return afree_vars(e.body, bound | {e.var})
+    out = frozenset()
+    for c in aexpr_children(e):
+        out |= afree_vars(c, bound)
+    return out
+
+
+def acalled_functions(e):
+    """Named functions called anywhere in ``e``."""
+    out = frozenset()
+    for x in walk_aexpr(e):
+        if isinstance(x, ACall):
+            out |= frozenset([x.func])
+    return out
+
+
+def strip(e):
+    """Erase annotations, recovering the object-language expression.
+
+    Coercions disappear; a stripped annotated program is the original
+    program (a property the tests check).
+    """
+    from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var
+
+    if isinstance(e, ALit):
+        return Lit(e.value)
+    if isinstance(e, AVar):
+        return Var(e.name)
+    if isinstance(e, APrim):
+        return Prim(e.op, tuple(strip(a) for a in e.args))
+    if isinstance(e, AIf):
+        return If(strip(e.cond), strip(e.then_branch), strip(e.else_branch))
+    if isinstance(e, ACall):
+        return Call(e.func, tuple(strip(a) for a in e.args))
+    if isinstance(e, ALam):
+        return Lam(e.var, strip(e.body))
+    if isinstance(e, AApp):
+        return App(strip(e.fun), strip(e.arg))
+    if isinstance(e, ACoerce):
+        return strip(e.expr)
+    raise TypeError("not an annotated expression: %r" % (e,))

@@ -1,0 +1,477 @@
+"""Well-annotatedness checking for annotated programs.
+
+The binding-time analysis *infers* annotations; this module *verifies*
+them, playing the role of the type system of Henglein & Mossin / Dussart
+et al. that "verifies that programs are well annotated".  The test suite
+uses it as an oracle: every program the analysis produces must check, and
+hand-broken annotations must not.
+
+Checked properties, per definition:
+
+* every expression's computed binding-time type matches its use;
+* coercions only raise binding times (pointwise ``S <= D`` on matching
+  shapes; function components invariant);
+* primitives and conditionals are performed at the lub of their operands
+  (operands are coerced *to* the operation's binding time);
+* well-formedness: nothing static lives inside a dynamic value;
+* the unfold/residualise annotation dominates the binding time of every
+  conditional in the body and flows into the result's top;
+* calls agree with the callee's declared binding-time signature under
+  the substitution of actual binding-time arguments.
+
+Symbolic binding times are compared syntactically: ``a <= b`` iff ``b``
+is ``D`` or ``a``'s parameter set is contained in ``b``'s.  This is exact
+for the least-solution annotations the analysis produces.
+"""
+
+from repro.anno.ast import (
+    AApp,
+    ACall,
+    ACoerce,
+    AIf,
+    ALam,
+    ALit,
+    APrim,
+    AVar,
+    walk_aexpr,
+)
+from repro.bt.bt import BT, S, substitute
+from repro.bt.bttypes import (
+    BTTBase,
+    BTTFun,
+    BTTList,
+    BTTPair,
+    BTTSkel,
+    map_bts,
+)
+from repro.bt.scheme import btt_to_str
+
+_ARITH = ("+", "-", "*", "div", "mod")
+_CMP = ("==", "<", "<=")
+
+
+class AnnotationError(Exception):
+    """An annotated program violates the well-annotatedness discipline."""
+
+
+class _Wild:
+    """Matches any binding-time type (the type of ``nil``'s elements)."""
+
+    def __repr__(self):
+        return "?"
+
+
+WILD = _Wild()
+
+
+def bt_leq(a, b):
+    """Syntactic ``a <= b`` on symbolic binding times."""
+    if b.dyn:
+        return True
+    if a.dyn:
+        return False
+    return a.params <= b.params
+
+
+def bt_eq(a, b):
+    return a == b
+
+
+def _rename_skels(t, rename, base):
+    """Shift skeleton-variable ids into a fresh (negative) range."""
+    if isinstance(t, BTTSkel):
+        if t.id not in rename:
+            rename[t.id] = base - len(rename)
+        return BTTSkel(rename[t.id], t.bt)
+    if isinstance(t, BTTBase):
+        return t
+    if isinstance(t, BTTList):
+        return BTTList(t.bt, _rename_skels(t.elem, rename, base))
+    if isinstance(t, BTTPair):
+        return BTTPair(
+            t.bt,
+            _rename_skels(t.fst, rename, base),
+            _rename_skels(t.snd, rename, base),
+        )
+    if isinstance(t, BTTFun):
+        return BTTFun(
+            t.bt,
+            _rename_skels(t.arg, rename, base),
+            _rename_skels(t.res, rename, base),
+        )
+    raise TypeError("not a binding-time type: %r" % (t,))
+
+
+def _apply_bindings(t, bij):
+    """Replace right-side skeletons pinned down during matching."""
+    if isinstance(t, BTTSkel):
+        bound = bij.get(("R", t.id))
+        return t if bound is None else bound
+    if isinstance(t, BTTBase):
+        return t
+    if isinstance(t, BTTList):
+        return BTTList(t.bt, _apply_bindings(t.elem, bij))
+    if isinstance(t, BTTPair):
+        return BTTPair(
+            t.bt, _apply_bindings(t.fst, bij), _apply_bindings(t.snd, bij)
+        )
+    if isinstance(t, BTTFun):
+        return BTTFun(
+            t.bt, _apply_bindings(t.arg, bij), _apply_bindings(t.res, bij)
+        )
+    raise TypeError("not a binding-time type: %r" % (t,))
+
+
+class _Checker:
+    def __init__(self, defs):
+        self.defs = defs  # function name -> ADef
+        self.where = ""
+        self._skel_rename_base = 0
+
+    def fail(self, message):
+        raise AnnotationError("%s: %s" % (self.where, message))
+
+    # -- matching ---------------------------------------------------------
+
+    def match(self, a, b, bij):
+        """Check ``a`` and ``b`` denote the same binding-time type;
+        returns the more informative of the two.  ``bij`` accumulates the
+        correspondence between skeleton variables (and their bindings to
+        concrete structure when one side is polymorphic)."""
+        if isinstance(a, _Wild):
+            return b
+        if isinstance(b, _Wild):
+            return a
+        if isinstance(a, BTTSkel) and isinstance(b, BTTSkel) and a.id == b.id:
+            if not bt_eq(a.bt, b.bt):
+                self.fail(
+                    "binding-time mismatch on skeleton: %s vs %s" % (a.bt, b.bt)
+                )
+            return a
+        if isinstance(b, BTTSkel):
+            # The right side is the declared/callee type: its skeleton
+            # variable instantiates consistently to whatever the left
+            # side provides (skeleton ids are pre-renamed apart).
+            if not bt_eq(a.bt, b.bt):
+                self.fail(
+                    "binding-time mismatch instantiating skeleton: %s vs %s"
+                    % (a.bt, b.bt)
+                )
+            key = ("R", b.id)
+            if key in bij:
+                return self.match(a, bij[key], bij)
+            bij[key] = a
+            return a
+        if isinstance(a, BTTSkel):
+            if not bt_eq(a.bt, b.bt):
+                self.fail(
+                    "binding-time mismatch instantiating skeleton: %s vs %s"
+                    % (a.bt, b.bt)
+                )
+            key = ("L", a.id)
+            if key in bij:
+                return self.match(bij[key], b, bij)
+            bij[key] = b
+            return b
+        if type(a) is not type(b):
+            self.fail(
+                "shape mismatch: %s vs %s" % (btt_to_str(a), btt_to_str(b))
+            )
+        if not bt_eq(a.bt, b.bt):
+            self.fail(
+                "binding-time mismatch: %s vs %s"
+                % (btt_to_str(a), btt_to_str(b))
+            )
+        if isinstance(a, BTTBase):
+            if a.name != b.name:
+                self.fail("base-type mismatch: %s vs %s" % (a.name, b.name))
+            return a
+        if isinstance(a, BTTList):
+            return BTTList(a.bt, self.match(a.elem, b.elem, bij))
+        if isinstance(a, BTTPair):
+            return BTTPair(
+                a.bt,
+                self.match(a.fst, b.fst, bij),
+                self.match(a.snd, b.snd, bij),
+            )
+        if isinstance(a, BTTFun):
+            return BTTFun(
+                a.bt,
+                self.match(a.arg, b.arg, bij),
+                self.match(a.res, b.res, bij),
+            )
+        self.fail("unhandled type %r" % (a,))
+
+    def coercible(self, a, b):
+        """Check the coercion ``a -> b`` only raises binding times."""
+        if isinstance(a, _Wild) or isinstance(b, _Wild):
+            return
+        if isinstance(a, BTTSkel) and isinstance(b, BTTSkel):
+            if not bt_eq(a.bt, b.bt):
+                self.fail("skeleton coercion changes binding time")
+            return
+        if isinstance(a, BTTSkel) or isinstance(b, BTTSkel):
+            # One side polymorphic: only the tops are comparable.
+            if not bt_leq(a.bt, b.bt):
+                self.fail("coercion lowers a binding time: %s -> %s" % (a.bt, b.bt))
+            return
+        if type(a) is not type(b):
+            self.fail(
+                "coercion changes shape: %s -> %s"
+                % (btt_to_str(a), btt_to_str(b))
+            )
+        if not bt_leq(a.bt, b.bt):
+            self.fail(
+                "coercion lowers a binding time: %s -> %s"
+                % (btt_to_str(a), btt_to_str(b))
+            )
+        if isinstance(a, BTTBase):
+            if a.name != b.name:
+                self.fail("coercion changes base type")
+            return
+        if isinstance(a, BTTList):
+            self.coercible(a.elem, b.elem)
+            return
+        if isinstance(a, BTTPair):
+            self.coercible(a.fst, b.fst)
+            self.coercible(a.snd, b.snd)
+            return
+        if isinstance(a, BTTFun):
+            # Function components are invariant under coercion.
+            self.match(a.arg, b.arg, {})
+            self.match(a.res, b.res, {})
+            return
+        self.fail("unhandled type %r" % (a,))
+
+    def well_formed(self, t):
+        """Nothing static inside a dynamic value."""
+        if isinstance(t, (_Wild, BTTBase, BTTSkel)):
+            return
+        children = []
+        if isinstance(t, BTTList):
+            children = [t.elem]
+        elif isinstance(t, BTTPair):
+            children = [t.fst, t.snd]
+        elif isinstance(t, BTTFun):
+            children = [t.arg, t.res]
+        for c in children:
+            if not isinstance(c, _Wild) and not bt_leq(t.bt, c.bt):
+                self.fail(
+                    "ill-formed binding-time type: %s" % btt_to_str(t)
+                )
+            self.well_formed(c)
+
+    def _top(self, t):
+        return None if isinstance(t, _Wild) else t.bt
+
+    # -- expression checking ------------------------------------------------
+
+    def check_expr(self, e, env):
+        if isinstance(e, ALit):
+            if isinstance(e.value, bool):
+                return BTTBase("Bool", S)
+            if e.value == ():
+                return BTTList(S, WILD)
+            return BTTBase("Nat", S)
+        if isinstance(e, AVar):
+            if e.name not in env:
+                self.fail("unbound variable %r" % e.name)
+            return env[e.name]
+        if isinstance(e, APrim):
+            return self._check_prim(e, env)
+        if isinstance(e, AIf):
+            tc = self.check_expr(e.cond, env)
+            self.match(tc, BTTBase("Bool", e.bt), {})
+            t1 = self.check_expr(e.then_branch, env)
+            t2 = self.check_expr(e.else_branch, env)
+            t = self.match(t1, t2, {})
+            top = self._top(t)
+            if top is not None and not bt_leq(e.bt, top):
+                self.fail("conditional result more static than its test")
+            return t
+        if isinstance(e, ACall):
+            return self._check_call(e, env)
+        if isinstance(e, ALam):
+            t = e.type
+            if not isinstance(t, BTTFun):
+                self.fail("lambda annotated with non-function type")
+            self.well_formed(t)
+            inner = dict(env)
+            inner[e.var] = t.arg
+            tb = self.check_expr(e.body, inner)
+            self.match(tb, t.res, {})
+            return t
+        if isinstance(e, AApp):
+            tf = self.check_expr(e.fun, env)
+            if isinstance(tf, _Wild):
+                return WILD
+            if isinstance(tf, BTTSkel):
+                if not bt_eq(e.bt, tf.bt):
+                    self.fail("'@' binding time differs from its function")
+                self.check_expr(e.arg, env)
+                return WILD
+            if not isinstance(tf, BTTFun):
+                self.fail("'@' applied to a non-function type")
+            if not bt_eq(e.bt, tf.bt):
+                self.fail(
+                    "'@' annotated %s but function has binding time %s"
+                    % (e.bt, tf.bt)
+                )
+            ta = self.check_expr(e.arg, env)
+            self.match(ta, tf.arg, {})
+            return tf.res
+        if isinstance(e, ACoerce):
+            t = self.check_expr(e.expr, env)
+            self.match(t, e.src, {})
+            self.coercible(e.src, e.dst)
+            self.well_formed(e.dst)
+            return e.dst
+        raise TypeError("not an annotated expression: %r" % (e,))
+
+    def _check_prim(self, e, env):
+        op = e.op
+        args = [self.check_expr(a, env) for a in e.args]
+        if op in _ARITH or op in _CMP:
+            for t in args:
+                self.match(t, BTTBase("Nat", e.bt), {})
+            return BTTBase("Bool" if op in _CMP else "Nat", e.bt)
+        if op in ("and", "or", "not"):
+            for t in args:
+                self.match(t, BTTBase("Bool", e.bt), {})
+            return BTTBase("Bool", e.bt)
+        if op == "cons":
+            t1, t2 = args
+            if isinstance(t2, _Wild):
+                return BTTList(e.bt, t1)
+            if isinstance(t2, BTTSkel):
+                # Opaque list (polymorphic callee result): only the top
+                # is visible, and it must agree with the spine.
+                if not bt_eq(t2.bt, e.bt):
+                    self.fail("'cons' binding time differs from its list")
+                return BTTList(e.bt, t1)
+            if not isinstance(t2, BTTList):
+                self.fail("'cons' onto a non-list")
+            if not bt_eq(t2.bt, e.bt):
+                self.fail("'cons' binding time differs from its list")
+            elem = self.match(t1, t2.elem, {})
+            return BTTList(e.bt, elem)
+        if op in ("head", "tail", "null"):
+            (t1,) = args
+            if isinstance(t1, _Wild):
+                return WILD if op == "head" else (
+                    t1 if op == "tail" else BTTBase("Bool", e.bt)
+                )
+            if isinstance(t1, BTTSkel):
+                if op == "null":
+                    if not bt_leq(t1.bt, e.bt):
+                        self.fail("'null' more static than its list")
+                    return BTTBase("Bool", e.bt)
+                if not bt_eq(t1.bt, e.bt):
+                    self.fail("%r binding time differs from its list" % op)
+                return WILD if op == "head" else t1
+            if not isinstance(t1, BTTList):
+                self.fail("%r of a non-list" % op)
+            if op == "null":
+                if not bt_leq(t1.bt, e.bt):
+                    self.fail("'null' more static than its list")
+                return BTTBase("Bool", e.bt)
+            if not bt_eq(t1.bt, e.bt):
+                self.fail("%r binding time differs from its list" % op)
+            return t1.elem if op == "head" else t1
+        if op == "pair":
+            t1, t2 = args
+            result = BTTPair(e.bt, t1, t2)
+            self.well_formed(result)
+            return result
+        if op in ("fst", "snd"):
+            (t1,) = args
+            if isinstance(t1, _Wild):
+                return WILD
+            if isinstance(t1, BTTSkel):
+                if not bt_eq(t1.bt, e.bt):
+                    self.fail("%r binding time differs from its pair" % op)
+                return WILD
+            if not isinstance(t1, BTTPair):
+                self.fail("%r of a non-pair" % op)
+            if not bt_eq(t1.bt, e.bt):
+                self.fail("%r binding time differs from its pair" % op)
+            return t1.fst if op == "fst" else t1.snd
+        self.fail("unknown primitive %r" % op)
+
+    def _check_call(self, e, env):
+        callee = self.defs.get(e.func)
+        if callee is None:
+            self.fail("call of unknown function %r" % e.func)
+        if len(e.bt_args) != len(callee.bt_params):
+            self.fail(
+                "%r takes %d binding-time arguments, got %d"
+                % (e.func, len(callee.bt_params), len(e.bt_args))
+            )
+        if len(e.args) != len(callee.params):
+            self.fail(
+                "%r takes %d arguments, got %d"
+                % (e.func, len(callee.params), len(e.args))
+            )
+        mapping = dict(zip(callee.bt_params, e.bt_args))
+        # Rename the callee's skeleton variables apart from the caller's
+        # so instantiation bindings cannot collide.
+        self._skel_rename_base -= 1_000_000
+        rename = {}
+
+        def inst(t):
+            t = map_bts(t, lambda b: substitute(b, mapping))
+            return _rename_skels(t, rename, self._skel_rename_base)
+
+        bij = {}
+        for i, a in enumerate(e.args):
+            t = self.check_expr(a, env)
+            self.match(t, inst(callee.param_types[i]), bij)
+        result = inst(callee.res_type)
+        # Resolve instantiated skeletons the arguments pinned down.
+        return _apply_bindings(result, bij)
+
+    # -- definitions --------------------------------------------------------
+
+    def check_def(self, d):
+        env = dict(zip(d.params, d.param_types))
+        for t in d.param_types:
+            self.well_formed(t)
+        t = self.check_expr(d.body, env)
+        self.match(t, d.res_type, {})
+        top = self._top(d.res_type)
+        if top is not None and not bt_leq(d.unfold, top):
+            self.fail("residualised definition with non-dynamic result")
+        for node in walk_aexpr(d.body):
+            if isinstance(node, AIf) and not bt_leq(node.bt, d.unfold):
+                self.fail(
+                    "conditional at %s not dominated by unfold "
+                    "annotation %s" % (node.bt, d.unfold)
+                )
+
+
+def check_module(amodule, defs_env=None):
+    """Check every definition of an annotated module.
+
+    ``defs_env`` maps function names to :class:`ADef` for everything in
+    scope (imported definitions included); defaults to the module's own
+    definitions."""
+    defs = dict(defs_env or {})
+    for d in amodule.defs:
+        defs[d.name] = d
+    checker = _Checker(defs)
+    for d in amodule.defs:
+        checker.where = "%s.%s" % (amodule.name, d.name)
+        checker.check_def(d)
+
+
+def check_program(aprogram):
+    """Check a whole annotated program."""
+    defs = {}
+    for m in aprogram.modules:
+        for d in m.defs:
+            defs[d.name] = d
+    checker = _Checker(defs)
+    for m in aprogram.modules:
+        for d in m.defs:
+            checker.where = "%s.%s" % (m.name, d.name)
+            checker.check_def(d)

@@ -1,0 +1,117 @@
+"""Pretty printer for annotated programs, in the notation of Fig. 2.
+
+Example (the paper's own annotation of ``power``)::
+
+    power {t u} n x =t
+      if{t} n =={t} [Nat^S -> Nat^t]1
+        then [Nat^u -> Nat^t u u]x
+        else [Nat^u -> Nat^t u u]x *{t u u} power {t u} (...) x
+
+Binding times render as ``S``, ``D``, single parameters, or
+``t u u``-style lubs; binding-time types render with ``^bt`` suffixes
+(see :func:`repro.bt.scheme.btt_to_str`).
+"""
+
+from repro.anno.ast import (
+    AApp,
+    ACall,
+    ACoerce,
+    AIf,
+    ALam,
+    ALit,
+    APrim,
+    AVar,
+)
+from repro.bt.scheme import btt_to_str
+from repro.lang.prims import PRIMS
+
+
+def _bt(b):
+    return str(b)
+
+
+def pretty_aexpr(e, parens=False):
+    """Render one annotated expression."""
+    if isinstance(e, ALit):
+        if e.value is True:
+            return "true"
+        if e.value is False:
+            return "false"
+        if e.value == ():
+            return "nil"
+        return str(e.value)
+    if isinstance(e, AVar):
+        return e.name
+    if isinstance(e, APrim):
+        info = PRIMS[e.op]
+        if info.infix and len(e.args) == 2:
+            text = "%s %s{%s} %s" % (
+                pretty_aexpr(e.args[0], True),
+                info.infix,
+                _bt(e.bt),
+                pretty_aexpr(e.args[1], True),
+            )
+        else:
+            text = "%s{%s} %s" % (
+                e.op,
+                _bt(e.bt),
+                " ".join(pretty_aexpr(a, True) for a in e.args),
+            )
+        return "(%s)" % text if parens else text
+    if isinstance(e, AIf):
+        text = "if{%s} %s then %s else %s" % (
+            _bt(e.bt),
+            pretty_aexpr(e.cond),
+            pretty_aexpr(e.then_branch),
+            pretty_aexpr(e.else_branch),
+        )
+        return "(%s)" % text if parens else text
+    if isinstance(e, ACall):
+        bts = " ".join(_bt(b) for b in e.bt_args)
+        args = " ".join(pretty_aexpr(a, True) for a in e.args)
+        text = "%s {%s}%s" % (e.func, bts, (" " + args) if args else "")
+        return "(%s)" % text if parens else text
+    if isinstance(e, ALam):
+        text = "\\%s -> %s" % (e.var, pretty_aexpr(e.body))
+        return "(%s)" % text
+    if isinstance(e, AApp):
+        text = "%s @{%s} %s" % (
+            pretty_aexpr(e.fun, True),
+            _bt(e.bt),
+            pretty_aexpr(e.arg, True),
+        )
+        return "(%s)" % text if parens else text
+    if isinstance(e, ACoerce):
+        return "[%s -> %s]%s" % (
+            btt_to_str(e.src),
+            btt_to_str(e.dst),
+            pretty_aexpr(e.expr, True),
+        )
+    raise TypeError("not an annotated expression: %r" % (e,))
+
+
+def pretty_adef(d):
+    """Render ``f {bt params} params =unfold body``."""
+    bts = " ".join(d.bt_params)
+    params = " ".join(d.params)
+    head = d.name
+    if bts:
+        head += " {%s}" % bts
+    if params:
+        head += " " + params
+    return "%s =%s %s" % (head, _bt(d.unfold), pretty_aexpr(d.body))
+
+
+def pretty_amodule(m):
+    lines = ["module %s where" % m.name]
+    for imp in m.imports:
+        lines.append("import %s" % imp)
+    if m.defs:
+        lines.append("")
+    for d in m.defs:
+        lines.append(pretty_adef(d))
+    return "\n".join(lines) + "\n"
+
+
+def pretty_aprogram(p):
+    return "\n".join(pretty_amodule(m) for m in p.modules)

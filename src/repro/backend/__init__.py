@@ -1,0 +1,20 @@
+"""Compiling residual programs to executable Python.
+
+The paper's Further Work (Sec. 8) proposes "constructing generating
+extensions that produce native code directly — partial evaluators which
+do so already exist.  This also paves the way for applying our ideas in
+run-time code generation."  This package is that extension, with Python
+as the "native" target:
+
+* :mod:`repro.backend.pyemit` — a code generator from object-language
+  programs (typically residual programs) to Python source;
+* :mod:`repro.backend.rtcg` — run-time code generation: specialise,
+  compile the residual program to Python, and hand back a callable, all
+  in one step; as the paper notes, in this mode the residual program
+  never needs to be divided into modules.
+"""
+
+from repro.backend.pyemit import CompiledProgram, compile_program, emit_python
+from repro.backend.rtcg import generate
+
+__all__ = ["CompiledProgram", "compile_program", "emit_python", "generate"]

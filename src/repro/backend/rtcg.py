@@ -1,0 +1,48 @@
+"""Run-time code generation (the paper's Sec. 8 outlook, via LL94).
+
+``generate(gp, goal, static_args)`` specialises ``goal`` with respect to
+the static arguments and immediately compiles the residual program to
+Python, returning a callable over the dynamic arguments.  This is the
+lightweight-RTCG workflow: the expensive preparation (analysis, cogen)
+happened once per module, long before; code generation at run time is
+just running the generating extensions plus one ``compile()``.
+"""
+
+from dataclasses import dataclass
+
+from repro.backend.pyemit import compile_program
+from repro.genext.engine import specialise
+
+
+@dataclass
+class GeneratedFunction:
+    """A residual program compiled to a Python callable."""
+
+    result: object  # the SpecialisationResult
+    compiled: object  # the CompiledProgram
+
+    @property
+    def python_source(self):
+        return self.compiled.source
+
+    def __call__(self, *dynamic_args):
+        return self.compiled.call(self.result.entry, *dynamic_args)
+
+
+def generate(gp, goal, static_args=None, strategy="bfs"):
+    """Specialise and compile in one step.
+
+    >>> import repro
+    >>> from repro.backend import generate
+    >>> gp = repro.compile_genexts('''
+    ... module Power where
+    ...
+    ... power n x = if n == 1 then x else x * power (n - 1) x
+    ... ''')
+    >>> cube = generate(gp, "power", {"n": 3})
+    >>> cube(5)
+    125
+    """
+    result = specialise(gp, goal, static_args, strategy=strategy)
+    compiled = compile_program(result.program, filename="<rtcg:%s>" % goal)
+    return GeneratedFunction(result, compiled)

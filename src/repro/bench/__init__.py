@@ -1,0 +1,39 @@
+"""Workload generators and measurement helpers for the benchmark suite.
+
+Every experiment in EXPERIMENTS.md pulls its programs and its metrics
+from here, so benchmarks and tests measure exactly the same artefacts.
+"""
+
+from repro.bench.generators import (
+    chain_program,
+    fanout_program,
+    library_program,
+    machine_interpreter_source,
+    power_source,
+    power_twice_main_source,
+    random_machine_program,
+    synthetic_module_source,
+)
+from repro.bench.metrics import (
+    code_lines,
+    genext_expansion,
+    module_ast_size,
+    program_ast_size,
+    time_call,
+)
+
+__all__ = [
+    "chain_program",
+    "code_lines",
+    "fanout_program",
+    "genext_expansion",
+    "library_program",
+    "machine_interpreter_source",
+    "module_ast_size",
+    "power_source",
+    "power_twice_main_source",
+    "program_ast_size",
+    "random_machine_program",
+    "synthetic_module_source",
+    "time_call",
+]

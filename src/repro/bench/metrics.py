@@ -1,0 +1,69 @@
+"""Measurement helpers shared by benchmarks and tests."""
+
+import time
+
+from repro.lang.ast import module_size, program_size
+
+
+def code_lines(text):
+    """Non-blank, non-comment lines — the "lines of code" metric used
+    for the Sec. 6 size comparisons (works for both the object language
+    and generated Python; both use whole-line comment markers)."""
+    count = 0
+    for line in text.splitlines():
+        stripped = line.strip()
+        if not stripped:
+            continue
+        if stripped.startswith("--") or stripped.startswith("#"):
+            continue
+        count += 1
+    return count
+
+
+def module_ast_size(module):
+    """AST-node size of an object-language module."""
+    return module_size(module)
+
+
+def program_ast_size(program):
+    """AST-node size of an object-language program."""
+    return program_size(program)
+
+
+def genext_expansion(source_text, genext_module):
+    """The code-size expansion factor of a generating extension over its
+    source module, in lines of code (Sec. 6 reports four to five)."""
+    src = code_lines(source_text)
+    gen = code_lines(genext_module.source)
+    return gen / max(1, src)
+
+
+def time_call(fn, *args, repeat=3, **kwargs):
+    """Best-of-``repeat`` wall-clock time of ``fn(*args, **kwargs)``;
+    returns ``(seconds, last_result)``."""
+    best = float("inf")
+    result = None
+    for _ in range(repeat):
+        started = time.perf_counter()
+        result = fn(*args, **kwargs)
+        best = min(best, time.perf_counter() - started)
+    return best, result
+
+
+def linear_fit(xs, ys):
+    """Least-squares slope/intercept/R² without numpy dependencies in the
+    hot path (numpy is available, but this keeps helpers self-contained
+    for tests)."""
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    sxx = sum((x - mean_x) ** 2 for x in xs)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = sxy / sxx if sxx else 0.0
+    intercept = mean_y - slope * mean_x
+    ss_res = sum(
+        (y - (slope * x + intercept)) ** 2 for x, y in zip(xs, ys)
+    )
+    ss_tot = sum((y - mean_y) ** 2 for y in ys)
+    r2 = 1.0 - (ss_res / ss_tot if ss_tot else 0.0)
+    return slope, intercept, r2

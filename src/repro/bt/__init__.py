@@ -1,0 +1,42 @@
+"""Polymorphic (symbolic) binding-time analysis.
+
+This package implements the paper's central enabling technology
+(Sec. 4.1): a binding-time analysis in the style of Henglein & Mossin
+[HM94] as extended by Dussart, Henglein & Mossin [DHM95], factored into a
+property-independent part run once per module and a property-dependent
+part deferred to specialisation time.
+
+* :mod:`repro.bt.bt` — the binding-time lattice ``S < D``, symbolic
+  binding times (lubs of variables), and evaluation.
+* :mod:`repro.bt.graph` — the inequality-constraint graph and its
+  least-solution / closure computations.
+* :mod:`repro.bt.bttypes` — binding-time types: type skeletons carrying a
+  binding time on every node, with skeleton variables for Hindley–Milner
+  type polymorphism, plus their unifier and coercion discipline.
+* :mod:`repro.bt.scheme` — principal binding-time schemes (qualified
+  types): canonical signatures written to interface files.
+* :mod:`repro.bt.analysis` — per-module inference with polymorphic
+  recursion by fixed-point iteration; emits annotated definitions.
+* :mod:`repro.bt.interface` — binding-time interface files.
+"""
+
+from repro.bt.bt import BT, D, S, BTAExprError, bt_lub, bt_of_bool, evaluate
+from repro.bt.graph import ConstraintGraph
+from repro.bt.scheme import BTScheme
+from repro.bt.analysis import BTAError, ModuleAnalysis, analyse_module, analyse_program
+
+__all__ = [
+    "BT",
+    "BTAError",
+    "BTAExprError",
+    "BTScheme",
+    "ConstraintGraph",
+    "D",
+    "ModuleAnalysis",
+    "S",
+    "analyse_module",
+    "analyse_program",
+    "bt_lub",
+    "bt_of_bool",
+    "evaluate",
+]

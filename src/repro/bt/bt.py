@@ -1,0 +1,114 @@
+"""The binding-time lattice and symbolic binding times.
+
+The lattice is two-point: ``S < D`` (Fig. 2).  A *symbolic* binding time
+— what annotations in an analysed module contain — is a least upper bound
+of named binding-time parameters and possibly the constant ``D``; the
+constant ``S`` is the empty lub.  At specialisation time the generating
+extension evaluates these lubs against the actual parameters (``S`` or
+``D``) supplied by the caller.
+
+:class:`BT` is the normal form: a frozenset of parameter names plus a
+dynamic flag.  ``D`` absorbs everything, so a dynamic :class:`BT` keeps
+no parameters.
+"""
+
+from dataclasses import dataclass
+from typing import FrozenSet
+
+
+class BTAExprError(Exception):
+    """A malformed symbolic binding time (unknown parameter, bad value)."""
+
+
+@dataclass(frozen=True)
+class BT:
+    """A symbolic binding time: ``lub(params) ⊔ (D if dyn)``."""
+
+    params: FrozenSet[str]
+    dyn: bool
+
+    def __post_init__(self):
+        if self.dyn and self.params:
+            object.__setattr__(self, "params", frozenset())
+
+    @property
+    def is_static(self):
+        """True when this is the constant ``S``."""
+        return not self.dyn and not self.params
+
+    @property
+    def is_dynamic(self):
+        """True when this is the constant ``D``."""
+        return self.dyn
+
+    def __str__(self):
+        if self.dyn:
+            return "D"
+        if not self.params:
+            return "S"
+        return "|".join(sorted(self.params))
+
+
+S = BT(frozenset(), False)
+D = BT(frozenset(), True)
+
+
+def var(name):
+    """The symbolic binding time consisting of one parameter."""
+    return BT(frozenset([name]), False)
+
+
+def bt_lub(*bts):
+    """Least upper bound of symbolic binding times."""
+    params = frozenset()
+    for b in bts:
+        if b.dyn:
+            return D
+        params |= b.params
+    return BT(params, False)
+
+
+def bt_of_bool(dynamic):
+    """``D`` if ``dynamic`` else ``S`` — handy for building goals."""
+    return D if dynamic else S
+
+
+def evaluate(bt, env):
+    """Evaluate a symbolic binding time to a concrete ``S``/``D``.
+
+    ``env`` maps parameter names to concrete :class:`BT` values (``S`` or
+    ``D``).  This is the property-dependent step of the factorised
+    analysis, performed on the fly by generating extensions.
+    """
+    if bt.dyn:
+        return D
+    for p in bt.params:
+        try:
+            value = env[p]
+        except KeyError:
+            raise BTAExprError("unbound binding-time parameter %r" % p)
+        if value.dyn:
+            return D
+        if not value.is_static:
+            raise BTAExprError(
+                "binding-time parameter %r bound to symbolic %s" % (p, value)
+            )
+    return S
+
+
+def substitute(bt, env):
+    """Substitute symbolic binding times for parameters in ``bt``.
+
+    Unlike :func:`evaluate`, the substituted values may themselves be
+    symbolic; used when one generating extension instantiates the
+    signature of another symbolically (tests, pretty-printing).
+    """
+    if bt.dyn:
+        return D
+    out = S
+    for p in bt.params:
+        try:
+            out = bt_lub(out, env[p])
+        except KeyError:
+            raise BTAExprError("unbound binding-time parameter %r" % p)
+    return out

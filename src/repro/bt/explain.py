@@ -1,0 +1,215 @@
+"""Binding-time explanation: *why* is an annotation what it is?
+
+A perennial usability problem of offline partial evaluation is
+understanding why something the programmer expected to be static came
+out dynamic.  Because our analysis keeps the whole constraint graph with
+per-edge provenance, we can answer mechanically: the explanation of
+"slot X absorbs parameter t" (or "is dynamic") is a constraint path from
+the source to X, each step labelled with the syntactic reason the edge
+was generated.
+
+Entry point: :func:`explain_function`.
+
+>>> from repro.modsys.program import load_program
+>>> from repro.bt.explain import explain_function
+>>> report = explain_function(load_program('''
+... module Power where
+...
+... power n x = if n == 1 then x else x * power (n - 1) x
+... '''), "power")
+>>> print(report.why_result())  # doctest: +SKIP
+the result of power absorbs t because:
+  t  (binding time of parameter 'n')
+  <= ...  (operand of '==')
+  <= ...  (the result of a conditional depends on its test)
+"""
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.bt.analysis import _DefInference, analyse_program
+from repro.bt.graph import D_NODE
+from repro.bt.scheme import input_name
+
+
+@dataclass
+class Step:
+    """One constraint edge in an explanation path."""
+
+    source: int
+    target: int
+    reason: str
+
+    def render(self):
+        return "<= v%d  (%s)" % (self.target, self.reason)
+
+
+@dataclass
+class Explanation:
+    """Why a binding-time variable absorbs a parameter (or ``D``)."""
+
+    subject: str  # what is being explained
+    origin: str  # the parameter name or "D"
+    steps: List[Step]
+
+    def render(self):
+        lines = ["%s absorbs %s because:" % (self.subject, self.origin)]
+        lines.append("  %s  (origin)" % self.origin)
+        for step in self.steps:
+            lines.append("  %s" % step.render())
+        return "\n".join(lines)
+
+
+@dataclass
+class FunctionReport:
+    """The full diagnostic state for one definition."""
+
+    name: str
+    inference: object
+    input_vars: Dict[str, int]  # parameter name -> graph variable
+    result_var: int
+    unfold_var: int
+    param_vars: Tuple[Tuple[str, int], ...]  # object param -> top variable
+
+    def _explain_var(self, subject, var):
+        graph = self.inference.graph
+        out = []
+        for origin_name, origin_var in self.input_vars.items():
+            path = graph.find_path(origin_var, var)
+            if path is None:
+                continue
+            out.append(
+                Explanation(subject, origin_name, [_step(graph, e) for e in path])
+            )
+        d_path = graph.find_path(D_NODE, var)
+        if d_path is not None:
+            out.append(Explanation(subject, "D", [_step(graph, e) for e in d_path]))
+        return out
+
+    def why_result(self):
+        """Explanations for every parameter the result's top absorbs."""
+        return _render_all(
+            self._explain_var("the result of %s" % self.name, self.result_var)
+        )
+
+    def why_unfold(self):
+        """Explanations for the unfold/residualise annotation."""
+        return _render_all(
+            self._explain_var(
+                "the unfold annotation of %s" % self.name, self.unfold_var
+            )
+        )
+
+    def why_param_absorbs(self, param, origin_param):
+        """Why does ``param``'s binding time absorb ``origin_param``?
+
+        Returns ``None`` if it does not."""
+        target = dict(self.param_vars)[param]
+        origin_var = self.input_vars[origin_param]
+        path = self.inference.graph.find_path(origin_var, target)
+        if path is None:
+            return None
+        return Explanation(
+            "parameter %r of %s" % (param, self.name),
+            origin_param,
+            [_step(self.inference.graph, e) for e in path],
+        ).render()
+
+
+def _step(graph, edge):
+    a, b = edge
+    reason = graph.reason(a, b) or "constraint"
+    return Step(a, b, reason)
+
+
+def _render_all(explanations):
+    if not explanations:
+        return "(static: nothing flows here)"
+    return "\n\n".join(e.render() for e in explanations)
+
+
+def to_dot(report, max_nodes=200):
+    """Render the definition's binding-time constraint graph as Graphviz
+    ``dot`` text: parameters as boxes, the result/unfold as doubled
+    ovals, edges labelled with their provenance.  Handy for teaching and
+    for debugging surprising binding times."""
+    graph = report.inference.graph
+    lines = ["digraph bt {", '  rankdir="LR";']
+    special = {v: name for name, v in report.input_vars.items()}
+    labels = dict(special)
+    labels[report.result_var] = "result"
+    labels[report.unfold_var] = "unfold"
+    labels[D_NODE] = "D"
+
+    def dot_id(node):
+        return "n%s" % str(node).replace("-", "m")
+
+    edges = [
+        (v, w)
+        for v in list(graph._succ)
+        for w in sorted(graph.successors(v))
+    ]
+    truncated = len(edges) > max_nodes
+    emitted = set()
+    for v, w in edges[:max_nodes]:
+        for node in (v, w):
+            if node in emitted:
+                continue
+            emitted.add(node)
+            if node in special or node == D_NODE:
+                shape = "box"
+            elif node in (report.result_var, report.unfold_var):
+                shape = "doublecircle"
+            else:
+                shape = "ellipse"
+            lines.append(
+                '  %s [label="%s", shape=%s];'
+                % (dot_id(node), labels.get(node, "v%d" % node), shape)
+            )
+        reason = graph.reason(v, w) or ""
+        lines.append(
+            '  %s -> %s [label="%s"];'
+            % (dot_id(v), dot_id(w), reason.replace('"', "'")[:40])
+        )
+    if truncated:
+        lines.append('  truncated [label="... (truncated)"];')
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def explain_function(linked, fname, force_residual=frozenset()):
+    """Build a :class:`FunctionReport` for ``fname``.
+
+    Re-infers the single definition against the program's final schemes
+    (sound at the fixed point), keeping the constraint graph and its
+    edge provenance alive for querying.
+    """
+    analysis = analyse_program(linked, force_residual=force_residual)
+    module, d = linked.find_def(fname)
+    inf = _DefInference(fname, analysis.schemes, fname in force_residual)
+    scheme, finaliser = inf.infer_def(d)
+    # Recover the graph variables of the interface.
+    slot_to_real = {}
+    for real, slot in finaliser.canon.slot_of.items():
+        slot_to_real.setdefault(slot, real)
+    inputs = scheme.inputs()
+    input_vars = {
+        input_name(i): slot_to_real[slot] for i, slot in enumerate(inputs)
+    }
+    result_var = slot_to_real[scheme.res.bt]
+    param_vars = tuple(
+        (pname, slot_to_real[arg.bt])
+        for pname, arg in zip(d.params, scheme.args)
+    )
+    return FunctionReport(
+        name=fname,
+        inference=inf,
+        input_vars=input_vars,
+        result_var=result_var,
+        unfold_var=inf_unfold_var(finaliser),
+        param_vars=param_vars,
+    )
+
+
+def inf_unfold_var(finaliser):
+    return finaliser.unfold_var

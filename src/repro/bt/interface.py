@@ -1,0 +1,178 @@
+"""Binding-time interface files (Sec. 4.1).
+
+"Once a module has been analysed, we write the binding-time types of the
+functions it exports to a binding-time interface file.  When analysing
+modules which import this one, we read their interface files and use the
+information to analyse calls of imported functions."
+
+Interface files are JSON (one per module, suffix ``.bti``), containing
+the canonical :class:`~repro.bt.scheme.BTScheme` of every exported
+function.  The :class:`InterfaceManager` implements the separate-analysis
+workflow: a module is (re)analysed only when its source or any interface
+it depends on is newer than its own interface file — the "once and for
+all" property that lets library modules be prepared in advance.
+"""
+
+import json
+import os
+
+from repro.bt.analysis import analyse_module
+from repro.bt.bttypes import BTTBase, BTTFun, BTTList, BTTPair, BTTSkel
+from repro.bt.scheme import BTScheme
+
+INTERFACE_SUFFIX = ".bti"
+FORMAT_VERSION = 1
+
+
+class InterfaceError(Exception):
+    """A malformed or unreadable interface file."""
+
+
+def _type_to_json(t):
+    if isinstance(t, BTTBase):
+        return ["base", t.name, t.bt]
+    if isinstance(t, BTTSkel):
+        return ["skel", t.id, t.bt]
+    if isinstance(t, BTTList):
+        return ["list", t.bt, _type_to_json(t.elem)]
+    if isinstance(t, BTTPair):
+        return ["pair", t.bt, _type_to_json(t.fst), _type_to_json(t.snd)]
+    if isinstance(t, BTTFun):
+        return ["fun", t.bt, _type_to_json(t.arg), _type_to_json(t.res)]
+    raise TypeError("not a binding-time type: %r" % (t,))
+
+
+def _type_from_json(j):
+    try:
+        tag = j[0]
+        if tag == "base":
+            return BTTBase(j[1], int(j[2]))
+        if tag == "skel":
+            return BTTSkel(int(j[1]), int(j[2]))
+        if tag == "list":
+            return BTTList(int(j[1]), _type_from_json(j[2]))
+        if tag == "pair":
+            return BTTPair(int(j[1]), _type_from_json(j[2]), _type_from_json(j[3]))
+        if tag == "fun":
+            return BTTFun(int(j[1]), _type_from_json(j[2]), _type_from_json(j[3]))
+    except (IndexError, TypeError, ValueError):
+        pass
+    raise InterfaceError("malformed binding-time type: %r" % (j,))
+
+
+def scheme_to_json(scheme):
+    """A JSON-serialisable form of a canonical scheme."""
+    return {
+        "args": [_type_to_json(a) for a in scheme.args],
+        "res": _type_to_json(scheme.res),
+        "nslots": scheme.nslots,
+        "unfold": scheme.unfold,
+        "edges": sorted([a, b] for (a, b) in scheme.edges),
+        "dyn": sorted(scheme.dyn),
+    }
+
+
+def scheme_from_json(j):
+    try:
+        return BTScheme(
+            args=tuple(_type_from_json(a) for a in j["args"]),
+            res=_type_from_json(j["res"]),
+            nslots=int(j["nslots"]),
+            unfold=int(j["unfold"]),
+            edges=frozenset((int(a), int(b)) for a, b in j["edges"]),
+            dyn=frozenset(int(s) for s in j["dyn"]),
+        )
+    except (KeyError, TypeError, ValueError) as e:
+        raise InterfaceError("malformed scheme: %s" % e)
+
+
+def write_interface(path, module_name, schemes):
+    """Write one module's binding-time interface file."""
+    payload = {
+        "format": FORMAT_VERSION,
+        "module": module_name,
+        "schemes": {name: scheme_to_json(s) for name, s in schemes.items()},
+    }
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+
+def read_interface(path):
+    """Read an interface file; returns ``(module_name, schemes)``."""
+    try:
+        with open(path) as f:
+            payload = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        raise InterfaceError("cannot read %s: %s" % (path, e))
+    if payload.get("format") != FORMAT_VERSION:
+        raise InterfaceError(
+            "%s: unsupported interface format %r" % (path, payload.get("format"))
+        )
+    schemes = {
+        name: scheme_from_json(j) for name, j in payload["schemes"].items()
+    }
+    return payload["module"], schemes
+
+
+class InterfaceManager:
+    """Separate analysis driven by interface-file timestamps.
+
+    Sources live as ``<Module>.mod`` in ``src_dir``; interfaces are kept
+    in ``iface_dir`` as ``<Module>.bti``.  ``analyse`` processes modules
+    in dependency order, skipping any module whose interface is up to
+    date — which is exactly how a library vendor prepares modules "once
+    and for all"."""
+
+    def __init__(self, src_dir, iface_dir=None):
+        self.src_dir = src_dir
+        self.iface_dir = iface_dir or src_dir
+
+    def source_path(self, module_name):
+        return os.path.join(self.src_dir, module_name + ".mod")
+
+    def interface_path(self, module_name):
+        return os.path.join(self.iface_dir, module_name + INTERFACE_SUFFIX)
+
+    def is_up_to_date(self, module_name, import_names):
+        """True when the module's interface is newer than its source and
+        than every imported interface."""
+        ipath = self.interface_path(module_name)
+        if not os.path.exists(ipath):
+            return False
+        itime = os.path.getmtime(ipath)
+        if os.path.getmtime(self.source_path(module_name)) > itime:
+            return False
+        for dep in import_names:
+            dep_path = self.interface_path(dep)
+            if not os.path.exists(dep_path) or os.path.getmtime(dep_path) > itime:
+                return False
+        return True
+
+    def analyse(self, linked, force_residual=frozenset(), force=False):
+        """Analyse every out-of-date module of ``linked``; returns
+        ``(schemes, analysed_module_names)``."""
+        os.makedirs(self.iface_dir, exist_ok=True)
+        schemes = {}
+        analysed = []
+        for module_name in linked.topo_order:
+            module = linked.module(module_name)
+            if not force and self.is_up_to_date(module_name, module.imports):
+                _, cached = read_interface(self.interface_path(module_name))
+                schemes.update(cached)
+                continue
+            visible = {}
+            for dep in module.imports:
+                dep_name, dep_schemes = read_interface(self.interface_path(dep))
+                if dep_name != dep:
+                    raise InterfaceError(
+                        "interface file for %s names module %s" % (dep, dep_name)
+                    )
+                visible.update(dep_schemes)
+            analysis = analyse_module(module, visible, force_residual)
+            write_interface(
+                self.interface_path(module_name), module_name, analysis.schemes
+            )
+            schemes.update(analysis.schemes)
+            analysed.append(module_name)
+        return schemes, analysed

@@ -1,0 +1,229 @@
+"""Command-line driver: ``mspec``.
+
+Subcommands mirror the paper's workflow:
+
+* ``mspec analyze DIR``          — separate binding-time analysis of a
+  directory of ``*.mod`` files, writing/refreshing ``*.bti`` interface
+  files (only out-of-date modules are re-analysed).
+* ``mspec cogen DIR [-o OUT]``   — run the cogen, writing one
+  ``*.genext.py`` per module.
+* ``mspec specialise DIR GOAL [name=value...]`` — link the generating
+  extensions and specialise ``GOAL`` with the given static arguments
+  (unlisted parameters stay dynamic); prints the residual program or
+  writes it as modules with ``-o``.
+* ``mspec run DIR GOAL [values...]`` — interpret a program directly.
+* ``mspec show DIR``             — print schemes and annotated modules.
+
+Static values are Python-literal syntax: naturals, ``true``/``false``,
+and lists like ``[1,2,3]``.
+"""
+
+import argparse
+import sys
+
+from repro.bt.analysis import analyse_program
+from repro.bt.interface import InterfaceManager
+from repro.genext.cogen import cogen_program
+from repro.genext.engine import specialise
+from repro.genext.link import link_genexts, write_genexts
+from repro.interp import run_program
+from repro.lang.pretty import pretty_program
+from repro.modsys.program import load_program_dir
+from repro.residual.emit import emit_program_dir
+
+
+def _parse_value(text):
+    text = text.strip()
+    if text == "true":
+        return True
+    if text == "false":
+        return False
+    if text.startswith("[") and text.endswith("]"):
+        inner = text[1:-1].strip()
+        if not inner:
+            return ()
+        return tuple(_parse_value(part) for part in inner.split(","))
+    return int(text)
+
+
+def _parse_bindings(pairs):
+    out = {}
+    for pair in pairs:
+        if "=" not in pair:
+            raise SystemExit("expected name=value, got %r" % pair)
+        name, _, value = pair.partition("=")
+        out[name] = _parse_value(value)
+    return out
+
+
+def cmd_analyze(args):
+    linked = load_program_dir(args.dir)
+    manager = InterfaceManager(args.dir, args.iface_dir)
+    force_residual = frozenset(args.residual or [])
+    schemes, analysed = manager.analyse(
+        linked, force_residual=force_residual, force=args.force
+    )
+    for name in linked.topo_order:
+        status = "analysed" if name in analysed else "up to date"
+        print("%-20s %s" % (name, status))
+    for fname in sorted(schemes):
+        print("  %s : %s" % (fname, schemes[fname]))
+    return 0
+
+
+def cmd_cogen(args):
+    linked = load_program_dir(args.dir)
+    analysis = analyse_program(
+        linked, force_residual=frozenset(args.residual or [])
+    )
+    modules = cogen_program(analysis)
+    out = args.out or args.dir
+    for path in write_genexts(modules, out):
+        print("wrote", path)
+    return 0
+
+
+def cmd_specialise(args):
+    linked = load_program_dir(args.dir)
+    analysis = analyse_program(
+        linked, force_residual=frozenset(args.residual or [])
+    )
+    gp = link_genexts(cogen_program(analysis))
+    static = _parse_bindings(args.bindings)
+    result = specialise(gp, args.goal, static, strategy=args.strategy)
+    if args.optimise:
+        from repro.modsys.program import link_program
+        from repro.residual.optimise import optimise_program
+
+        optimised = optimise_program(result.program)
+        result.program = optimised
+        result.linked = link_program(optimised)
+    if args.out:
+        for path in emit_program_dir(result.program, args.out):
+            print("wrote", path)
+    else:
+        print(pretty_program(result.program), end="")
+    print(
+        "-- entry %s(%s); %d specialisation(s), %d unfold(s)"
+        % (
+            result.entry,
+            ", ".join(result.dynamic_params),
+            result.stats["specialisations"],
+            result.stats["unfolds"],
+        ),
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_run(args):
+    linked = load_program_dir(args.dir)
+    values = [_parse_value(v) for v in args.values]
+    print(run_program(linked, args.goal, values))
+    return 0
+
+
+def cmd_explain(args):
+    from repro.bt.explain import explain_function, to_dot
+
+    linked = load_program_dir(args.dir)
+    report = explain_function(
+        linked, args.goal, force_residual=frozenset(args.residual or [])
+    )
+    if args.dot:
+        print(to_dot(report))
+        return 0
+    print("== result ==")
+    print(report.why_result())
+    print()
+    print("== unfold/residualise ==")
+    print(report.why_unfold())
+    return 0
+
+
+def cmd_show(args):
+    linked = load_program_dir(args.dir)
+    analysis = analyse_program(
+        linked, force_residual=frozenset(args.residual or [])
+    )
+    from repro.anno.pretty import pretty_aprogram
+
+    for fname in sorted(analysis.schemes):
+        print("%s : %s" % (fname, analysis.schemes[fname]))
+    print()
+    print(pretty_aprogram(analysis.annotated), end="")
+    return 0
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="mspec", description="Module-sensitive program specialisation"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def common(p):
+        p.add_argument("dir", help="directory of *.mod module files")
+        p.add_argument(
+            "--residual",
+            action="append",
+            metavar="FUNC",
+            help="force FUNC to be residualised (repeatable)",
+        )
+
+    p = sub.add_parser("analyze", help="separate binding-time analysis")
+    common(p)
+    p.add_argument("--iface-dir", help="where to keep *.bti files")
+    p.add_argument("--force", action="store_true", help="re-analyse everything")
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("cogen", help="generate generating extensions")
+    common(p)
+    p.add_argument("-o", "--out", help="output directory for *.genext.py")
+    p.set_defaults(fn=cmd_cogen)
+
+    p = sub.add_parser("specialise", help="specialise a goal function")
+    common(p)
+    p.add_argument("goal", help="function to specialise")
+    p.add_argument("bindings", nargs="*", help="static arguments: name=value")
+    p.add_argument("-o", "--out", help="write residual modules here")
+    p.add_argument(
+        "--strategy", choices=("bfs", "dfs"), default="bfs",
+        help="pending-list discipline (default bfs)",
+    )
+    p.add_argument(
+        "--optimise", action="store_true",
+        help="run the residual-program optimiser (CSE + folding)",
+    )
+    p.set_defaults(fn=cmd_specialise)
+
+    p = sub.add_parser("run", help="interpret a program")
+    common(p)
+    p.add_argument("goal", help="function to run")
+    p.add_argument("values", nargs="*", help="argument values")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("show", help="print schemes and annotated modules")
+    common(p)
+    p.set_defaults(fn=cmd_show)
+
+    p = sub.add_parser(
+        "explain", help="explain a function's binding-time annotations"
+    )
+    common(p)
+    p.add_argument("goal", help="function to explain")
+    p.add_argument(
+        "--dot", action="store_true",
+        help="emit the constraint graph as Graphviz dot",
+    )
+    p.set_defaults(fn=cmd_explain)
+
+    return parser
+
+
+def main(argv=None):
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,44 @@
+"""Parameterised modules (functors) — the paper's Further Work, built.
+
+"It would be interesting to see if our techniques can be extended to
+handle parameterised modules, such as those found in ML.  One problem
+here is that the user would probably need to supply a binding-time
+signature for the parameter modules, just as an ML programmer must
+supply a type signature — since our binding-time analysis is a form of
+type inference." (Sec. 8.)
+
+This package implements exactly that workflow:
+
+1. A functor is an ordinary module with function parameters:
+   ``module Sort(le 2) where ...`` — the body may call ``le`` as a named
+   function of arity 2.
+2. The functor is **analysed and cogen'd once**, against a user-supplied
+   binding-time signature for each parameter (a
+   :class:`~repro.bt.scheme.BTScheme`; :func:`default_param_scheme`
+   gives a sensible strict-function default).
+3. Each **instantiation** binds the parameters to actual functions.
+   Soundness is checked by *scheme subsumption*: the actual function's
+   principal binding-time scheme must be at least as general as the
+   signature the functor was analysed against.  No re-analysis, no
+   re-cogen — the functor's generated module is simply executed in a
+   fresh namespace with the parameter wired to the actual ``mk_``
+   function and every exported name qualified by the instantiation.
+
+See ``examples/functor_sort.py`` and ``tests/test_functor.py``.
+"""
+
+from repro.functor.core import (
+    FunctorError,
+    FunctorTemplate,
+    default_param_scheme,
+    make_functor,
+    scheme_subsumes,
+)
+
+__all__ = [
+    "FunctorError",
+    "FunctorTemplate",
+    "default_param_scheme",
+    "make_functor",
+    "scheme_subsumes",
+]

@@ -1,0 +1,155 @@
+"""Compiling and linking generating extensions.
+
+"Runnable generating extensions are produced by linking together the
+modules produced by cogen with libraries providing the basic mechanisms
+of specialisation" (Sec. 6).  Here each generated module is compiled
+with CPython and executed in its own namespace; ``_link`` hooks then wire
+cross-module ``mk_f`` references through a global registry.  Only the
+*generated* modules are needed — never the source of the modules they
+came from, which is the paper's black-box property for libraries.
+"""
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.genext.cogen import GenextModule
+from repro.genext.runtime import SpecState
+from repro.modsys.graph import ModuleGraph
+
+
+@dataclass
+class LoadedModule:
+    """A compiled, executed generating-extension module."""
+
+    name: str
+    imports: Tuple[str, ...]
+    namespace: dict
+
+    @property
+    def exports(self):
+        return self.namespace["_EXPORTS"]
+
+    @property
+    def signatures(self):
+        return self.namespace["_SIGNATURES"]
+
+    @property
+    def fn_info(self):
+        return self.namespace["_FN_INFO"]
+
+
+class GenextProgram:
+    """A linked set of generating-extension modules, ready to run."""
+
+    def __init__(self, modules):
+        self.modules = {m.name: m for m in modules}
+        self.graph = ModuleGraph({m.name: m.imports for m in modules})
+        self.graph.check_acyclic()
+        self.registry = {}
+        self.signatures = {}
+        self.fn_info = {}
+        for m in modules:
+            for fname, fn in m.exports.items():
+                if fname in self.registry:
+                    raise ValueError("duplicate function %r at link time" % fname)
+                self.registry[fname] = fn
+            self.signatures.update(m.signatures)
+            self.fn_info.update(m.fn_info)
+        missing = set()
+        for m in modules:
+            for needed in m.namespace.get("_IMPORTED", {}):
+                if needed not in self.registry:
+                    missing.add(needed)
+        if missing:
+            raise ValueError(
+                "unresolved functions at link time: %s" % ", ".join(sorted(missing))
+            )
+        for m in modules:
+            m.namespace["_link"](self.registry)
+
+    def new_state(self, strategy="bfs", sink=None, max_versions=10_000):
+        """A fresh :class:`SpecState` for one specialisation run."""
+        return SpecState(
+            self.fn_info,
+            self.graph,
+            strategy=strategy,
+            sink=sink,
+            max_versions=max_versions,
+        )
+
+    def mk(self, fname):
+        """The generating version of ``fname``."""
+        return self.registry[fname]
+
+    def signature(self, fname):
+        return self.signatures[fname]
+
+
+def load_genext(genext_module, filename=None):
+    """Compile and execute one generated module."""
+    code = compile(
+        genext_module.source,
+        filename or "<genext:%s>" % genext_module.name,
+        "exec",
+    )
+    namespace = {"__name__": "genext_%s" % genext_module.name}
+    exec(code, namespace)
+    return LoadedModule(genext_module.name, genext_module.imports, namespace)
+
+
+def link_genexts(genext_modules):
+    """Compile, execute, and link a collection of generated modules."""
+    return GenextProgram([load_genext(m) for m in genext_modules])
+
+
+def write_genexts(genext_modules, directory):
+    """Write generated modules to ``directory`` as ``*.genext.py`` files
+    (the on-disk form a library vendor would ship)."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for m in genext_modules:
+        path = os.path.join(directory, "%s.genext.py" % m.name)
+        with open(path, "w") as f:
+            f.write(m.source)
+        paths.append(path)
+    return paths
+
+
+def load_genext_dir(directory):
+    """Load and link every ``*.genext.py`` module in ``directory``.
+
+    The import list of each module is recovered from its ``_IMPORTED``
+    table (mapping to defining modules is only needed for placement, and
+    that arrives through ``_FN_INFO``), so the original sources are not
+    required."""
+    loaded = []
+    sources = {}
+    for entry in sorted(os.listdir(directory)):
+        if not entry.endswith(".genext.py"):
+            continue
+        name = entry[: -len(".genext.py")]
+        with open(os.path.join(directory, entry)) as f:
+            sources[name] = f.read()
+    # First pass: execute everything to get _FN_INFO for import recovery.
+    namespaces = {}
+    for name, source in sources.items():
+        code = compile(source, "%s.genext.py" % name, "exec")
+        ns = {"__name__": "genext_%s" % name}
+        exec(code, ns)
+        namespaces[name] = ns
+    module_of = {}
+    for name, ns in namespaces.items():
+        for fname in ns["_EXPORTS"]:
+            module_of[fname] = name
+    modules = []
+    for name, ns in namespaces.items():
+        imports = sorted(
+            {
+                module_of[f]
+                for f in ns.get("_IMPORTED", {})
+                if f in module_of and module_of[f] != name
+            }
+        )
+        modules.append(LoadedModule(name, tuple(imports), ns))
+    return GenextProgram(modules)

@@ -1,0 +1,718 @@
+"""The specialisation runtime linked with every generating extension.
+
+This corresponds to the paper's ~300 lines of "libraries providing the
+basic mechanisms of specialisation, and generating versions of the
+language primitives" (Sec. 6).  Generated modules import it as ``rt``.
+
+Partially static values
+-----------------------
+
+Specialisation-time values (:class:`PE`) mirror the binding-time types:
+
+* :class:`SBase` — a known base value;
+* :class:`SList` — a list with a known spine (elements are again
+  :class:`PE`, so lists may be partially static);
+* :class:`SPair` — a pair of :class:`PE`;
+* :class:`SClo` — a static closure; following the paper it carries the
+  bound variable, the environment, *and a function which generates
+  specialisations of the closure's body* (so generating extensions never
+  interpret source code), plus a label and the free function names of
+  its body (for residual-module placement, Sec. 5);
+* :class:`DCode` — a dynamic value: residual object-language code.
+
+``mk_resid``
+------------
+
+The exact shape of Fig. 3: it receives the (evaluated) unfold binding
+time, an identification triple ``(name, binding-times, arguments)``, a
+thunk giving the result of unfolding the call, and a function building
+the body of a new specialised version from fresh formal parameters.  The
+first time a triple is seen it allocates a residual name, *places* the
+specialisation in a residual module (before the body exists, from the
+free function names of the call), and schedules the body for
+construction — on the pending list (breadth-first, the paper's choice)
+or immediately (depth-first, kept for the space-consumption comparison).
+"""
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.bt.bt import BT, D, S, bt_lub
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var, count_nodes
+from repro.lang.names import NameSupply
+from repro.lang.prims import PrimError, apply_prim, is_pair
+
+# Re-exports so generated code only needs the ``rt`` namespace.
+lub = bt_lub
+
+__all__ = [
+    "BT",
+    "D",
+    "DCode",
+    "PE",
+    "S",
+    "SBase",
+    "SClo",
+    "SList",
+    "SPair",
+    "Signature",
+    "SpecError",
+    "SpecState",
+    "TBase",
+    "TFun",
+    "TList",
+    "TPair",
+    "TSkel",
+    "code_of",
+    "coerce",
+    "deep_recursion",
+    "dynamize",
+    "from_python",
+    "lit",
+    "lub",
+    "mk_app",
+    "mk_if",
+    "mk_lam",
+    "mk_prim",
+    "mk_resid",
+    "nil",
+    "to_python",
+]
+
+
+class SpecError(Exception):
+    """A specialisation-time error (the static part of the program went
+    wrong, or generated code violated an invariant)."""
+
+
+class deep_recursion:
+    """Context manager giving specialisation a deep Python stack and
+    turning stack exhaustion into a diagnostic :class:`SpecError`
+    (static unfolding mirrors the program's own recursion depth)."""
+
+    def __init__(self, limit=200_000):
+        self.limit = limit
+
+    def __enter__(self):
+        import sys
+
+        self._old = sys.getrecursionlimit()
+        sys.setrecursionlimit(max(self._old, self.limit))
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        import sys
+
+        sys.setrecursionlimit(self._old)
+        if exc_type is RecursionError:
+            raise SpecError(
+                "specialisation recursed too deeply: static unfolding "
+                "does not terminate for this division (or the program "
+                "recurses extremely deeply on its static data)"
+            ) from None
+        return False
+
+
+# ---------------------------------------------------------------------------
+# Runtime binding-time types (concrete S/D in every slot).
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class TBase:
+    name: str
+    bt: BT
+
+
+@dataclass(frozen=True)
+class TList:
+    bt: BT
+    elem: object
+
+
+@dataclass(frozen=True)
+class TPair:
+    bt: BT
+    fst: object
+    snd: object
+
+
+@dataclass(frozen=True)
+class TFun:
+    bt: BT
+    arg: object
+    res: object
+
+
+@dataclass(frozen=True)
+class TSkel:
+    """A still-polymorphic position; coercion through it is an identity
+    unless the target is dynamic."""
+
+    bt: BT
+
+
+# ---------------------------------------------------------------------------
+# Partially static values.
+# ---------------------------------------------------------------------------
+
+
+class PE:
+    """Base class of specialisation-time values."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class SBase(PE):
+    """A known base value (natural or boolean)."""
+
+    value: object
+
+
+@dataclass(frozen=True)
+class SList(PE):
+    """A list with known spine; elements are partially static values."""
+
+    items: Tuple[PE, ...]
+
+
+@dataclass(frozen=True)
+class SPair(PE):
+    """A known pair of partially static values."""
+
+    fst: PE
+    snd: PE
+
+
+@dataclass(frozen=True)
+class DCode(PE):
+    """A dynamic value: a fragment of residual code."""
+
+    code: object  # repro.lang.ast.Expr
+
+
+@dataclass(frozen=True)
+class SClo(PE):
+    """A static closure.
+
+    ``helper`` is the compiled body generator: called as
+    ``helper(st, *bts, arg, *env_values)`` it builds a specialisation of
+    the closure's body — the extra field the paper adds to Similix-style
+    closures so that generating extensions need never interpret a body.
+    ``env`` is an ordered tuple of ``(name, PE)``; ``fvs`` are the named
+    functions free in the body (with those of nested lambdas), used by
+    the placement algorithm.
+    """
+
+    var: str
+    helper: Callable
+    bts: Tuple[BT, ...]
+    env: Tuple[Tuple[str, PE], ...]
+    label: str
+    fvs: Tuple[str, ...]
+
+    def apply(self, st, arg):
+        """Unfold the closure on ``arg`` (a :class:`PE`)."""
+        return self.helper(st, *self.bts, arg, *(v for _, v in self.env))
+
+
+def lit(value):
+    """The partially static value of a literal."""
+    return SBase(value)
+
+
+def nil():
+    return SList(())
+
+
+def from_python(value):
+    """Convert a plain Python value into a fully static :class:`PE`."""
+    if isinstance(value, bool) or isinstance(value, int):
+        return SBase(value)
+    if is_pair(value):
+        return SPair(from_python(value[1]), from_python(value[2]))
+    if isinstance(value, (tuple, list)):
+        return SList(tuple(from_python(v) for v in value))
+    raise SpecError("cannot inject %r into the object language" % (value,))
+
+
+def to_python(pe):
+    """Convert a fully static :class:`PE` back to a Python value."""
+    if isinstance(pe, SBase):
+        return pe.value
+    if isinstance(pe, SList):
+        return tuple(to_python(v) for v in pe.items)
+    if isinstance(pe, SPair):
+        return ("pair", to_python(pe.fst), to_python(pe.snd))
+    raise SpecError("value is not fully static: %r" % (pe,))
+
+
+def code_of(pe):
+    """The residual code of a dynamic value (it must be one)."""
+    if isinstance(pe, DCode):
+        return pe.code
+    raise SpecError(
+        "expected a dynamic value, got %s (the binding-time analysis "
+        "should have inserted a coercion)" % type(pe).__name__
+    )
+
+
+# ---------------------------------------------------------------------------
+# Dynamisation and coercion.
+# ---------------------------------------------------------------------------
+
+
+def dynamize(st, pe):
+    """Coerce any partially static value all the way to residual code."""
+    if isinstance(pe, DCode):
+        return pe
+    if isinstance(pe, SBase):
+        return DCode(Lit(pe.value))
+    if isinstance(pe, SList):
+        code = Lit(())
+        for item in reversed(pe.items):
+            code = Prim("cons", (dynamize(st, item).code, code))
+        return DCode(code)
+    if isinstance(pe, SPair):
+        return DCode(
+            Prim("pair", (dynamize(st, pe.fst).code, dynamize(st, pe.snd).code))
+        )
+    if isinstance(pe, SClo):
+        # Residualise the lambda: apply the body generator to a fresh
+        # dynamic variable.  Well-annotatedness guarantees the body then
+        # produces dynamic code.
+        fresh = st.fresh_var(pe.var)
+        body = pe.apply(st, DCode(Var(fresh)))
+        return DCode(Lam(fresh, dynamize(st, body).code))
+    raise SpecError("cannot dynamize %r" % (pe,))
+
+
+def coerce(st, pe, dst):
+    """Coerce ``pe`` to the runtime binding-time type ``dst``.
+
+    Value-directed: only the *target* type matters.  Static targets are
+    identities; dynamic targets lift/residualise; partially static list
+    and pair targets recurse.
+    """
+    if isinstance(dst, TSkel):
+        return dynamize(st, pe) if dst.bt.dyn else pe
+    if isinstance(dst, TBase):
+        if dst.bt.dyn:
+            return dynamize(st, pe)
+        if not isinstance(pe, SBase):
+            raise SpecError(
+                "value %r does not fit binding-time type %s"
+                % (pe, dst.name)
+            )
+        return pe
+    if isinstance(dst, TList):
+        if dst.bt.dyn:
+            return dynamize(st, pe)
+        if not isinstance(pe, SList):
+            raise SpecError(
+                "value %r where a static-spine list is required" % (pe,)
+            )
+        return SList(tuple(coerce(st, item, dst.elem) for item in pe.items))
+    if isinstance(dst, TPair):
+        if dst.bt.dyn:
+            return dynamize(st, pe)
+        if not isinstance(pe, SPair):
+            raise SpecError("value %r where a static pair is required" % (pe,))
+        return SPair(coerce(st, pe.fst, dst.fst), coerce(st, pe.snd, dst.snd))
+    if isinstance(dst, TFun):
+        # Function components are invariant; only full dynamisation
+        # changes the representation.
+        if dst.bt.dyn:
+            return dynamize(st, pe)
+        if not isinstance(pe, SClo):
+            raise SpecError(
+                "value %r where a static closure is required" % (pe,)
+            )
+        return pe
+    raise SpecError("bad coercion target %r" % (dst,))
+
+
+# ---------------------------------------------------------------------------
+# Argument splitting for mk_resid.
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Split:
+    """One argument split into a memoisation key, dynamic code leaves,
+    fresh-name hints for those leaves, and a rebuild function taking
+    replacement leaves (as PEs)."""
+
+    key: object
+    dyn: list
+    hints: list
+    rebuild: Callable
+
+
+def _split(pe, hint):
+    if isinstance(pe, SBase):
+        return _Split(("b", pe.value), [], [], lambda leaves: pe)
+    if isinstance(pe, DCode):
+        return _Split(("d",), [pe.code], [hint], lambda leaves: leaves[0])
+    if isinstance(pe, SList):
+        parts = [_split(item, hint) for item in pe.items]
+        return _combine("l", parts, lambda rebuilt: SList(tuple(rebuilt)))
+    if isinstance(pe, SPair):
+        parts = [_split(pe.fst, hint), _split(pe.snd, hint)]
+        return _combine("p", parts, lambda rebuilt: SPair(rebuilt[0], rebuilt[1]))
+    if isinstance(pe, SClo):
+        parts = [_split(v, name) for name, v in pe.env]
+        names = tuple(name for name, _ in pe.env)
+
+        def rebuild_clo(rebuilt):
+            return SClo(
+                pe.var,
+                pe.helper,
+                pe.bts,
+                tuple(zip(names, rebuilt)),
+                pe.label,
+                pe.fvs,
+            )
+
+        split = _combine("c", parts, rebuild_clo)
+        split.key = ("c", pe.label, pe.bts) + (split.key,)
+        return split
+    raise SpecError("cannot split %r" % (pe,))
+
+
+def _combine(tag, parts, assemble):
+    key = (tag,) + tuple(p.key for p in parts)
+    dyn = [c for p in parts for c in p.dyn]
+    hints = [h for p in parts for h in p.hints]
+    sizes = [len(p.dyn) for p in parts]
+
+    def rebuild(leaves):
+        rebuilt = []
+        i = 0
+        for p, n in zip(parts, sizes):
+            rebuilt.append(p.rebuild(leaves[i : i + n]))
+            i += n
+        return assemble(rebuilt)
+
+    return _Split(key, dyn, hints, rebuild)
+
+
+def _closure_fvs(pe, out):
+    """Collect free function names of all closures inside ``pe``."""
+    if isinstance(pe, SClo):
+        out.update(pe.fvs)
+        for _, v in pe.env:
+            _closure_fvs(v, out)
+    elif isinstance(pe, SList):
+        for v in pe.items:
+            _closure_fvs(v, out)
+    elif isinstance(pe, SPair):
+        _closure_fvs(pe.fst, out)
+        _closure_fvs(pe.snd, out)
+
+
+# ---------------------------------------------------------------------------
+# Specialisation state.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Signature:
+    """Goal-setup information embedded in a generating extension for each
+    exported function (binding-time interface, in executable form)."""
+
+    bt_params: Tuple[str, ...]
+    params: Tuple[str, ...]
+    param_bts: Tuple[Tuple[str, ...], ...]  # bt params mentioned per param
+    param_types: Callable  # bt-env dict -> tuple of runtime types
+    quals: Tuple[Tuple[str, str], ...]  # (a <= b) over bt param names
+    dyn_inputs: Tuple[str, ...]  # bt params forced dynamic
+    result_inputs: Tuple[str, ...] = ()  # contravariant result params
+
+
+@dataclass(frozen=True)
+class FnInfo:
+    """Per-function metadata a generating extension registers with the
+    linker: defining module, parameter names (used as fresh-variable
+    hints), and per-definition free function names."""
+
+    name: str
+    module: str
+    params: Tuple[str, ...]
+    fvs: Tuple[str, ...]
+
+
+@dataclass
+class _ResidInfo:
+    name: str
+    placement: frozenset
+    params: Tuple[str, ...]
+
+
+@dataclass
+class Stats:
+    """Counters for the paper's performance/space claims."""
+
+    specialisations: int = 0
+    unfolds: int = 0
+    memo_hits: int = 0
+    pending_peak: int = 0
+    active_peak: int = 0
+    residual_nodes: int = 0
+    coercions: int = 0
+
+    def as_dict(self):
+        return dict(self.__dict__)
+
+
+class SpecState:
+    """All mutable state of one specialisation run.
+
+    The paper keeps this in a monad; we pass it explicitly (``st``) to
+    every generated function.
+    """
+
+    def __init__(
+        self,
+        fn_info,
+        module_graph,
+        strategy="bfs",
+        sink=None,
+        max_versions=10_000,
+    ):
+        """``fn_info`` maps function names to :class:`FnInfo`;
+        ``module_graph`` is the *source* import graph (placement needs
+        its transitive-import relation); ``strategy`` is ``'bfs'`` or
+        ``'dfs'``; ``sink``, if given, receives each finished residual
+        definition as ``sink(placement, definition)``.
+
+        ``max_versions`` bounds the polyvariance of any single function:
+        a division with unbounded static variation (the classic
+        static-under-dynamic-control pitfall, e.g. a program counter
+        that only stops on a dynamic test) would otherwise specialise
+        forever; exceeding the bound raises a diagnostic
+        :class:`SpecError` instead.  ``None`` disables the guard."""
+        if strategy not in ("bfs", "dfs"):
+            raise ValueError("strategy must be 'bfs' or 'dfs'")
+        self.fn_info = fn_info
+        self.module_graph = module_graph
+        self.strategy = strategy
+        self.sink = sink
+        self.max_versions = max_versions
+        self.pending = deque()
+        self.done = {}
+        self.defs = []  # list of (placement, Def)
+        self.stats = Stats()
+        self._names = NameSupply()
+        self._vars = NameSupply()
+        self._versions = {}
+        self._active = 0
+
+    def count_version(self, fname):
+        """Record one more specialised version of ``fname``; raise when
+        the polyvariance bound is exceeded."""
+        n = self._versions.get(fname, 0) + 1
+        self._versions[fname] = n
+        if self.max_versions is not None and n > self.max_versions:
+            raise SpecError(
+                "more than %d specialised versions of %r: the chosen "
+                "division has unbounded static variation (a static value "
+                "changes under dynamic control); make that argument "
+                "dynamic or raise max_versions" % (self.max_versions, fname)
+            )
+
+    # -- name supplies ------------------------------------------------------
+
+    def fresh_fun_name(self, base):
+        return self._names.fresh(base + "_")
+
+    def fresh_var(self, hint):
+        return self._vars.fresh(hint + "_")
+
+    # -- placement (Sec. 5) --------------------------------------------------
+
+    def place(self, fname, args):
+        """Choose the residual module for a specialisation of ``fname``
+        with static parts ``args`` — *before* its body is constructed.
+
+        Collects the function names free in the call (the callee plus
+        the free function names of every static closure reachable in the
+        static parts), maps them to their defining modules, removes
+        modules imported (transitively) into others, and returns the
+        remaining combination."""
+        names = {fname}
+        for a in args:
+            _closure_fvs(a, names)
+        modules = {self.fn_info[n].module for n in names if n in self.fn_info}
+        return self.module_graph.reduce_by_dominance(modules)
+
+    # -- the engine ----------------------------------------------------------
+
+    def _emit(self, info, body_pe):
+        body = code_of(body_pe)
+        d = _make_def(info.name, info.params, body)
+        self.stats.residual_nodes += count_nodes(body)
+        self.defs.append((info.placement, d))
+        if self.sink is not None:
+            self.sink(info.placement, d)
+
+    def _build_now(self, info, build):
+        self._active += 1
+        self.stats.active_peak = max(self.stats.active_peak, self._active)
+        try:
+            self._emit(info, build())
+        finally:
+            self._active -= 1
+
+    def schedule(self, info, build):
+        if self.strategy == "dfs":
+            self._build_now(info, build)
+            return
+        self.pending.append((info, build))
+        self.stats.pending_peak = max(self.stats.pending_peak, len(self.pending))
+
+    def run_pending(self):
+        """Process the pending list to exhaustion (breadth-first mode)."""
+        while self.pending:
+            info, build = self.pending.popleft()
+            self._build_now(info, build)
+
+
+def _make_def(name, params, body):
+    from repro.lang.ast import Def
+
+    return Def(name, tuple(params), body)
+
+
+# ---------------------------------------------------------------------------
+# Generating versions of the language constructs.
+# ---------------------------------------------------------------------------
+
+
+def mk_resid(st, unfold, fname, bts, args, unfolded, build):
+    """Create a specialised call of ``fname`` (Fig. 3's ``mk-resid``).
+
+    ``unfold`` is the callee's evaluated unfold binding time: static
+    means the call is unfolded (``unfolded`` is forced), dynamic means a
+    residual version is looked up or created and a residual call
+    returned.
+    """
+    if not unfold.dyn:
+        st.stats.unfolds += 1
+        return unfolded()
+    splits = [_split(a, hint) for a, hint in zip(args, _param_hints(st, fname))]
+    key = (fname, tuple(bts), tuple(s.key for s in splits))
+    info = st.done.get(key)
+    if info is None:
+        st.count_version(fname)
+        st.stats.specialisations += 1
+        fresh = [st.fresh_var(h) for s in splits for h in s.hints]
+        it = iter(fresh)
+        fresh_per_split = [[next(it) for _ in s.hints] for s in splits]
+        info = _ResidInfo(
+            name=st.fresh_fun_name(fname),
+            placement=st.place(fname, args),
+            params=tuple(fresh),
+        )
+        st.done[key] = info
+        rebuilt = [
+            s.rebuild([DCode(Var(v)) for v in names])
+            for s, names in zip(splits, fresh_per_split)
+        ]
+        st.schedule(info, lambda: build(rebuilt))
+    else:
+        st.stats.memo_hits += 1
+    dyn_args = tuple(c for s in splits for c in s.dyn)
+    return DCode(Call(info.name, dyn_args))
+
+
+def _param_hints(st, fname):
+    """Fresh-variable hints for the parameters of ``fname``."""
+    fn = st.fn_info.get(fname)
+    if fn is not None and fn.params:
+        return fn.params
+    return tuple("a%d" % i for i in range(64))
+
+
+def mk_if(st, bt, cond, then_thunk, else_thunk):
+    """Generating version of the conditional."""
+    if not bt.dyn:
+        test = cond
+        if not isinstance(test, SBase) or not isinstance(test.value, bool):
+            raise SpecError("static conditional on non-boolean %r" % (test,))
+        return then_thunk() if test.value else else_thunk()
+    return DCode(
+        If(code_of(cond), code_of(then_thunk()), code_of(else_thunk()))
+    )
+
+
+def mk_prim(st, op, bt, args):
+    """Generating version of a primitive operation."""
+    if bt.dyn:
+        return DCode(Prim(op, tuple(code_of(a) for a in args)))
+    return _static_prim(op, args)
+
+
+def _static_prim(op, args):
+    if op == "cons":
+        head, tail = args
+        if not isinstance(tail, SList):
+            raise SpecError("static 'cons' onto non-static list")
+        return SList((head,) + tail.items)
+    if op == "head":
+        (xs,) = args
+        if not isinstance(xs, SList):
+            raise SpecError("static 'head' of non-static list")
+        if not xs.items:
+            raise SpecError("head of empty list during specialisation")
+        return xs.items[0]
+    if op == "tail":
+        (xs,) = args
+        if not isinstance(xs, SList):
+            raise SpecError("static 'tail' of non-static list")
+        if not xs.items:
+            raise SpecError("tail of empty list during specialisation")
+        return SList(xs.items[1:])
+    if op == "null":
+        (xs,) = args
+        if not isinstance(xs, SList):
+            raise SpecError("static 'null' of non-static list")
+        return SBase(xs.items == ())
+    if op == "pair":
+        return SPair(args[0], args[1])
+    if op == "fst":
+        (p,) = args
+        if not isinstance(p, SPair):
+            raise SpecError("static 'fst' of non-static pair")
+        return p.fst
+    if op == "snd":
+        (p,) = args
+        if not isinstance(p, SPair):
+            raise SpecError("static 'snd' of non-static pair")
+        return p.snd
+    values = []
+    for a in args:
+        if not isinstance(a, SBase):
+            raise SpecError("static %r applied to non-static operand" % op)
+        values.append(a.value)
+    try:
+        return SBase(apply_prim(op, values))
+    except PrimError as e:
+        raise SpecError("primitive failed during specialisation: %s" % e)
+
+
+def mk_app(st, bt, fun, arg):
+    """Generating version of ``@``: unfold static closures, residualise
+    dynamic applications."""
+    if not bt.dyn:
+        if not isinstance(fun, SClo):
+            raise SpecError("static application of a non-closure")
+        return fun.apply(st, arg)
+    return DCode(App(code_of(fun), code_of(arg)))
+
+
+def mk_lam(st, var, helper, bts, env, label, fvs):
+    """Build a static closure for a lambda."""
+    return SClo(var, helper, tuple(bts), tuple(env), label, tuple(fvs))

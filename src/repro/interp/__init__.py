@@ -1,0 +1,11 @@
+"""A big-step interpreter for the object language.
+
+Runs both source programs and residual (specialised) programs, which lets
+the test suite check the fundamental correctness property of
+specialisation: running the residual program on the dynamic inputs gives
+the same answer as running the source program on all inputs.
+"""
+
+from repro.interp.eval import Closure, EvalError, Interpreter, run_main, run_program
+
+__all__ = ["Closure", "EvalError", "Interpreter", "run_main", "run_program"]

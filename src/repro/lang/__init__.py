@@ -1,0 +1,57 @@
+"""The object language of the paper (Fig. 1).
+
+A program is an acyclic collection of modules; each module defines named
+functions (applied fully saturated and specialised polyvariantly) and may
+use first-class anonymous functions (``\\x -> e``, applied with ``@`` and
+only ever unfolded).  The language is polymorphically typed.
+
+Public surface:
+
+* :mod:`repro.lang.ast` — abstract syntax.
+* :mod:`repro.lang.lexer` / :mod:`repro.lang.parser` — concrete syntax.
+* :mod:`repro.lang.pretty` — pretty printer (inverse of the parser).
+* :mod:`repro.lang.names` — free variables / called functions / renaming.
+* :mod:`repro.lang.validate` — well-formedness checks (saturated calls,
+  unique names, defined variables).
+"""
+
+from repro.lang.ast import (
+    App,
+    Call,
+    Def,
+    Expr,
+    If,
+    Lam,
+    Lit,
+    Module,
+    Prim,
+    Program,
+    Var,
+)
+from repro.lang.errors import LangError, LexError, ParseError, ValidationError
+from repro.lang.parser import parse_expr, parse_module, parse_program
+from repro.lang.pretty import pretty_expr, pretty_module, pretty_program
+
+__all__ = [
+    "App",
+    "Call",
+    "Def",
+    "Expr",
+    "If",
+    "Lam",
+    "LangError",
+    "LexError",
+    "Lit",
+    "Module",
+    "ParseError",
+    "Prim",
+    "Program",
+    "ValidationError",
+    "Var",
+    "parse_expr",
+    "parse_module",
+    "parse_program",
+    "pretty_expr",
+    "pretty_module",
+    "pretty_program",
+]

@@ -1,0 +1,226 @@
+"""Abstract syntax of the object language (paper, Fig. 1).
+
+::
+
+    Program ::= Module*
+    Module  ::= module Id where [import Id]* Def*
+    Def     ::= Id Id* = E
+    E       ::= Nat | Id | Prim E* | if E then E else E
+              | Id E*                      -- saturated named-function call
+              | \\Id -> E | E @ E          -- anonymous functions
+
+Extensions kept deliberately small (the paper's examples need them):
+
+* boolean literals ``true`` / ``false`` and the empty list ``nil`` are
+  literals;
+* lists are built with the primitives ``cons``/``head``/``tail``/``null``
+  (the paper's ``map`` examples use exactly these).
+
+All nodes are immutable (frozen dataclasses) and hashable, so they can be
+used as dictionary keys — the specialiser memoises on static argument
+skeletons that embed expression fragments.
+
+Named functions and primitive operations are *resolved* by the parser: a
+juxtaposition ``f e1 e2`` becomes a :class:`Call` when ``f`` is a defined
+or imported function, a :class:`Prim` when ``f`` is a primitive, and is a
+parse error otherwise (named functions may only appear fully applied —
+the paper's saturation restriction).
+"""
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple, Union
+
+LitValue = Union[int, bool, tuple]  # naturals, booleans, and () for nil
+
+
+class Expr:
+    """Base class of object-language expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Lit(Expr):
+    """A literal: a natural number, ``true``/``false``, or ``nil``.
+
+    ``nil`` is represented by the empty Python tuple so that literals stay
+    hashable and distinct from naturals and booleans.
+    """
+
+    value: LitValue
+
+    def __post_init__(self):
+        if isinstance(self.value, bool):
+            return
+        if isinstance(self.value, int):
+            if self.value < 0:
+                raise ValueError("naturals only: %r" % (self.value,))
+            return
+        if self.value == ():
+            return
+        raise ValueError("bad literal: %r" % (self.value,))
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """A variable occurrence (lambda- or parameter-bound)."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class Prim(Expr):
+    """A fully applied primitive operation, e.g. ``Prim('+', (e1, e2))``."""
+
+    op: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class If(Expr):
+    """A conditional ``if cond then then_branch else else_branch``."""
+
+    cond: Expr
+    then_branch: Expr
+    else_branch: Expr
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A saturated call of a named (top-level) function.
+
+    ``func`` is the *unqualified* source name; resolution to a defining
+    module happens in :mod:`repro.modsys.symbols`.
+    """
+
+    func: str
+    args: Tuple[Expr, ...]
+
+
+@dataclass(frozen=True)
+class Lam(Expr):
+    """An anonymous function ``\\var -> body`` (first-class, unfolded only)."""
+
+    var: str
+    body: Expr
+
+
+@dataclass(frozen=True)
+class App(Expr):
+    """Application of an anonymous function: ``fun @ arg``."""
+
+    fun: Expr
+    arg: Expr
+
+
+@dataclass(frozen=True)
+class Def:
+    """A top-level function definition ``name params... = body``."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Expr
+
+    @property
+    def arity(self):
+        return len(self.params)
+
+
+@dataclass(frozen=True)
+class Module:
+    """A module: a name, import list, and definitions (all exported).
+
+    ``params`` makes the module a *functor* (a parameterised module, the
+    paper's Further Work): pairs of (function name, arity) the module
+    abstracts over.  Functor modules are templates — they cannot be
+    linked into an ordinary program; see :mod:`repro.functor`.
+    """
+
+    name: str
+    imports: Tuple[str, ...]
+    defs: Tuple[Def, ...]
+    params: Tuple[Tuple[str, int], ...] = ()
+
+    @property
+    def is_functor(self):
+        return bool(self.params)
+
+    def def_names(self):
+        """Names defined in this module, in source order."""
+        return tuple(d.name for d in self.defs)
+
+    def find(self, name):
+        """Return the definition called ``name``, or ``None``."""
+        for d in self.defs:
+            if d.name == name:
+                return d
+        return None
+
+
+@dataclass(frozen=True)
+class Program:
+    """A complete program: a tuple of modules with acyclic imports."""
+
+    modules: Tuple[Module, ...]
+
+    def module(self, name):
+        """Return the module called ``name`` or raise ``KeyError``."""
+        for m in self.modules:
+            if m.name == name:
+                return m
+        raise KeyError(name)
+
+    def module_names(self):
+        return tuple(m.name for m in self.modules)
+
+    def all_defs(self):
+        """Iterate ``(module, def)`` pairs over the whole program."""
+        for m in self.modules:
+            for d in m.defs:
+                yield m, d
+
+
+def children(expr):
+    """Return the immediate sub-expressions of ``expr`` as a tuple."""
+    if isinstance(expr, (Lit, Var)):
+        return ()
+    if isinstance(expr, Prim):
+        return expr.args
+    if isinstance(expr, If):
+        return (expr.cond, expr.then_branch, expr.else_branch)
+    if isinstance(expr, Call):
+        return expr.args
+    if isinstance(expr, Lam):
+        return (expr.body,)
+    if isinstance(expr, App):
+        return (expr.fun, expr.arg)
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+def walk(expr):
+    """Yield ``expr`` and every sub-expression, pre-order."""
+    stack = [expr]
+    while stack:
+        e = stack.pop()
+        yield e
+        stack.extend(reversed(children(e)))
+
+
+def count_nodes(expr):
+    """Number of AST nodes in ``expr`` (a size metric used by benches)."""
+    return sum(1 for _ in walk(expr))
+
+
+def def_size(d):
+    """AST-node size of a definition (params count as one node each)."""
+    return 1 + len(d.params) + count_nodes(d.body)
+
+
+def module_size(m):
+    """AST-node size of a module (imports count as one node each)."""
+    return 1 + len(m.imports) + sum(def_size(d) for d in m.defs)
+
+
+def program_size(p):
+    """AST-node size of a whole program."""
+    return sum(module_size(m) for m in p.modules)

@@ -1,0 +1,35 @@
+"""Error hierarchy for the object-language front end."""
+
+
+class LangError(Exception):
+    """Base class for all front-end errors.
+
+    Carries an optional source location ``(line, column)`` so drivers can
+    report errors the way a compiler would.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.message = message
+        self.line = line
+        self.column = column
+        super().__init__(self._format())
+
+    def _format(self):
+        if self.line is None:
+            return self.message
+        return "%d:%d: %s" % (self.line, self.column, self.message)
+
+
+class LexError(LangError):
+    """Raised by the lexer on malformed input (bad character, bad number)."""
+
+
+class ParseError(LangError):
+    """Raised by the parser on a syntactically invalid program."""
+
+
+class ValidationError(LangError):
+    """Raised by :mod:`repro.lang.validate` on a structurally ill-formed
+    program: unsaturated named calls, duplicate definitions, unbound
+    variables, shadowed named functions, and similar.
+    """

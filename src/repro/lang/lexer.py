@@ -1,0 +1,128 @@
+"""Lexer for the object language.
+
+Produces a flat token stream with source positions.  Layout is minimal and
+Haskell-like: top-level items (``import`` clauses and definitions) start in
+column 1, continuation lines are indented.  The parser uses the column
+recorded on each token to delimit definitions, so the lexer does not need
+to synthesise layout tokens.
+
+Comments run from ``--`` to end of line.
+"""
+
+from dataclasses import dataclass
+
+from repro.lang.errors import LexError
+
+KEYWORDS = {
+    "module",
+    "where",
+    "import",
+    "if",
+    "then",
+    "else",
+    "let",
+    "in",
+    "true",
+    "false",
+    "nil",
+}
+
+# Multi-character operators must be listed before their prefixes.
+OPERATORS = [
+    "->",
+    "==",
+    "<=",
+    "||",
+    "&&",
+    "=",
+    "<",
+    "+",
+    "-",
+    "*",
+    ":",
+    "@",
+    "\\",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ",",
+]
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token.
+
+    ``kind`` is one of ``'ident'``, ``'conid'`` (capitalised identifier,
+    used for module names), ``'nat'``, ``'kw'``, ``'op'``, or ``'eof'``;
+    ``value`` is the lexeme (an ``int`` for naturals).
+    """
+
+    kind: str
+    value: object
+    line: int
+    column: int
+
+    def describe(self):
+        if self.kind == "eof":
+            return "end of input"
+        return repr(str(self.value))
+
+
+def tokenize(source):
+    """Tokenise ``source`` into a list of :class:`Token` ending with EOF."""
+    tokens = []
+    line = 1
+    col = 1
+    i = 0
+    n = len(source)
+    while i < n:
+        ch = source[i]
+        if ch == "\n":
+            line += 1
+            col = 1
+            i += 1
+            continue
+        if ch in " \t\r":
+            i += 1
+            col += 1
+            continue
+        if source.startswith("--", i):
+            while i < n and source[i] != "\n":
+                i += 1
+            continue
+        if ch.isdigit():
+            start = i
+            start_col = col
+            while i < n and source[i].isdigit():
+                i += 1
+                col += 1
+            tokens.append(Token("nat", int(source[start:i]), line, start_col))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = i
+            start_col = col
+            while i < n and (source[i].isalnum() or source[i] in "_'"):
+                i += 1
+                col += 1
+            word = source[start:i]
+            if word in KEYWORDS:
+                tokens.append(Token("kw", word, line, start_col))
+            elif word[0].isupper():
+                tokens.append(Token("conid", word, line, start_col))
+            else:
+                tokens.append(Token("ident", word, line, start_col))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, i):
+                tokens.append(Token("op", op, line, col))
+                i += len(op)
+                col += len(op)
+                break
+        else:
+            raise LexError("unexpected character %r" % ch, line, col)
+    tokens.append(Token("eof", None, line, col))
+    return tokens

@@ -1,0 +1,131 @@
+"""Name analyses over the object language.
+
+Free variables, called-function sets, and capture-avoiding renaming.
+These are used throughout: validation, binding-time analysis, the cogen
+(which embeds per-definition free-function sets for the residual-module
+placement algorithm of Sec. 5), and the interpreter.
+"""
+
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var
+
+
+def free_vars(expr, bound=frozenset()):
+    """The set of variable names free in ``expr``.
+
+    ``bound`` are names already in scope that should not be reported.
+    Named-function names never appear here — a :class:`Call` head is a
+    function reference, not a variable.
+    """
+    if isinstance(expr, Lit):
+        return frozenset()
+    if isinstance(expr, Var):
+        return frozenset() if expr.name in bound else frozenset([expr.name])
+    if isinstance(expr, Prim):
+        out = frozenset()
+        for a in expr.args:
+            out |= free_vars(a, bound)
+        return out
+    if isinstance(expr, If):
+        return (
+            free_vars(expr.cond, bound)
+            | free_vars(expr.then_branch, bound)
+            | free_vars(expr.else_branch, bound)
+        )
+    if isinstance(expr, Call):
+        out = frozenset()
+        for a in expr.args:
+            out |= free_vars(a, bound)
+        return out
+    if isinstance(expr, Lam):
+        return free_vars(expr.body, bound | {expr.var})
+    if isinstance(expr, App):
+        return free_vars(expr.fun, bound) | free_vars(expr.arg, bound)
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+def called_functions(expr):
+    """The set of named-function names called anywhere in ``expr``.
+
+    This is the "function names which occur free" notion Sec. 5 uses to
+    place specialisations: for a definition it bounds what the residual
+    code of any specialisation of it can refer to.
+    """
+    if isinstance(expr, (Lit, Var)):
+        return frozenset()
+    if isinstance(expr, Prim):
+        out = frozenset()
+        for a in expr.args:
+            out |= called_functions(a)
+        return out
+    if isinstance(expr, If):
+        return (
+            called_functions(expr.cond)
+            | called_functions(expr.then_branch)
+            | called_functions(expr.else_branch)
+        )
+    if isinstance(expr, Call):
+        out = frozenset([expr.func])
+        for a in expr.args:
+            out |= called_functions(a)
+        return out
+    if isinstance(expr, Lam):
+        return called_functions(expr.body)
+    if isinstance(expr, App):
+        return called_functions(expr.fun) | called_functions(expr.arg)
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+def def_called_functions(d):
+    """Named functions a definition's body can reach directly."""
+    return called_functions(d.body)
+
+
+def rename(expr, mapping):
+    """Capture-avoiding substitution of variables for variables.
+
+    ``mapping`` maps old variable names to new names.  Binders shadow:
+    a lambda over a mapped name removes it from the mapping underneath.
+    Used by the specialiser baseline when unfolding.
+    """
+    if not mapping:
+        return expr
+    if isinstance(expr, Lit):
+        return expr
+    if isinstance(expr, Var):
+        new = mapping.get(expr.name)
+        return Var(new) if new is not None else expr
+    if isinstance(expr, Prim):
+        return Prim(expr.op, tuple(rename(a, mapping) for a in expr.args))
+    if isinstance(expr, If):
+        return If(
+            rename(expr.cond, mapping),
+            rename(expr.then_branch, mapping),
+            rename(expr.else_branch, mapping),
+        )
+    if isinstance(expr, Call):
+        return Call(expr.func, tuple(rename(a, mapping) for a in expr.args))
+    if isinstance(expr, Lam):
+        inner = {k: v for k, v in mapping.items() if k != expr.var}
+        return Lam(expr.var, rename(expr.body, inner))
+    if isinstance(expr, App):
+        return App(rename(expr.fun, mapping), rename(expr.arg, mapping))
+    raise TypeError("not an expression: %r" % (expr,))
+
+
+class NameSupply:
+    """A deterministic supply of fresh names with a common prefix.
+
+    The specialiser uses one supply for residual function names and one
+    for residual variables; determinism keeps golden tests stable.
+    """
+
+    def __init__(self):
+        self._counters = {}
+
+    def fresh(self, prefix):
+        n = self._counters.get(prefix, 0) + 1
+        self._counters[prefix] = n
+        return "%s%d" % (prefix, n)
+
+    def reset(self):
+        self._counters.clear()

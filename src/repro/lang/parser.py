@@ -1,0 +1,304 @@
+"""Recursive-descent parser for the object language (paper, Fig. 1).
+
+Concrete syntax, close to the paper's:
+
+::
+
+    module Power where
+    import Lists
+
+    power n x = if n == 1 then x else x * power (n - 1) x
+    twice f x = f @ (f @ x)
+
+* Top-level items (``import``, definitions) start in column 1;
+  continuation lines are indented.
+* Named functions are applied by juxtaposition (``power (n - 1) x``) and
+  must be fully applied; anonymous functions are applied with ``@``.
+* ``\\x -> e`` is a lambda.  ``[e1, e2, ...]`` is sugar for ``cons``
+  chains ending in ``nil``; ``[]`` is ``nil``.
+* Infix operators (loosest to tightest): ``||``, ``&&``,
+  ``== < <=`` (non-associative), ``:`` (right), ``+ -``, ``*``, ``@``.
+
+Whether an identifier heads a :class:`~repro.lang.ast.Call` or a
+:class:`~repro.lang.ast.Prim` is decided here from the primitive table;
+arity and scope checking for calls happens in :mod:`repro.lang.validate`,
+which also resolves references to zero-argument functions.
+"""
+
+from repro.lang.ast import App, Call, Def, If, Lam, Lit, Module, Prim, Program, Var
+from repro.lang.errors import ParseError
+from repro.lang.lexer import tokenize
+from repro.lang.prims import INFIX_BY_SYMBOL, PRIMS
+
+# Binary operator symbol -> (precedence, associativity). '@' builds App
+# nodes; every other symbol maps through INFIX_BY_SYMBOL to a primitive.
+_BINOPS = {
+    "||": (1, "left"),
+    "&&": (2, "left"),
+    "==": (3, "none"),
+    "<": (3, "none"),
+    "<=": (3, "none"),
+    ":": (4, "right"),
+    "+": (5, "left"),
+    "-": (5, "left"),
+    "*": (6, "left"),
+    "@": (7, "left"),
+}
+
+
+class _Parser:
+    def __init__(self, tokens):
+        self.tokens = tokens
+        self.pos = 0
+
+    # -- token plumbing ---------------------------------------------------
+
+    def peek(self, ahead=0):
+        return self.tokens[min(self.pos + ahead, len(self.tokens) - 1)]
+
+    def next(self):
+        tok = self.tokens[self.pos]
+        if tok.kind != "eof":
+            self.pos += 1
+        return tok
+
+    def at(self, kind, value=None):
+        tok = self.peek()
+        return tok.kind == kind and (value is None or tok.value == value)
+
+    def expect(self, kind, value=None):
+        tok = self.peek()
+        if not self.at(kind, value):
+            want = value if value is not None else kind
+            raise ParseError(
+                "expected %r, found %s" % (want, tok.describe()), tok.line, tok.column
+            )
+        return self.next()
+
+    def error(self, message):
+        tok = self.peek()
+        raise ParseError(message, tok.line, tok.column)
+
+    # -- modules ----------------------------------------------------------
+
+    def program(self):
+        modules = []
+        while self.at("kw", "module"):
+            modules.append(self.module())
+        self.expect("eof")
+        if not modules:
+            raise ParseError("empty program: expected at least one module", 1, 1)
+        return Program(tuple(modules))
+
+    def module(self):
+        self.expect("kw", "module")
+        name = self.expect("conid").value
+        params = []
+        if self.at("op", "("):
+            # A functor: `module Sort(le 2) where ...` — parameters are
+            # function names with their arities.
+            self.next()
+            while True:
+                pname = self.expect("ident").value
+                arity = self.expect("nat").value
+                params.append((pname, arity))
+                if not self.at("op", ","):
+                    break
+                self.next()
+            self.expect("op", ")")
+        self.expect("kw", "where")
+        imports = []
+        while self.at("kw", "import"):
+            self.next()
+            imports.append(self.expect("conid").value)
+        defs = []
+        while self.at("ident"):
+            defs.append(self.definition())
+        return Module(name, tuple(imports), tuple(defs), tuple(params))
+
+    def definition(self):
+        head = self.expect("ident")
+        if head.column != 1:
+            raise ParseError(
+                "definitions must start in column 1", head.line, head.column
+            )
+        params = []
+        while self.at("ident"):
+            params.append(self.next().value)
+        self.expect("op", "=")
+        body = self.expr()
+        if len(set(params)) != len(params):
+            raise ParseError(
+                "duplicate parameter in definition of %r" % head.value,
+                head.line,
+                head.column,
+            )
+        return Def(head.value, tuple(params), body)
+
+    # -- expressions --------------------------------------------------------
+
+    def expr(self):
+        if self.at("op", "\\"):
+            self.next()
+            var = self.expect("ident").value
+            self.expect("op", "->")
+            return Lam(var, self.expr())
+        if self.at("kw", "if"):
+            self.next()
+            cond = self.expr()
+            self.expect("kw", "then")
+            then_branch = self.expr()
+            self.expect("kw", "else")
+            else_branch = self.expr()
+            return If(cond, then_branch, else_branch)
+        if self.at("kw", "let"):
+            # `let x = e1 in e2` is sugar for `(\x -> e2) @ e1`: a static
+            # beta-redex the specialiser always unfolds.
+            self.next()
+            name = self.expect("ident").value
+            self.expect("op", "=")
+            bound = self.expr()
+            self.expect("kw", "in")
+            body = self.expr()
+            return App(Lam(name, body), bound)
+        return self.binary(1)
+
+    def binary(self, min_prec):
+        """Precedence-climbing parser for the infix operator layers."""
+        left = self.juxtaposition()
+        while True:
+            tok = self.peek()
+            if tok.kind != "op" or tok.value not in _BINOPS:
+                return left
+            if tok.column == 1 and tok.line > 1:
+                # Layout: a new top-level item starts here.
+                return left
+            prec, assoc = _BINOPS[tok.value]
+            if prec < min_prec:
+                return left
+            self.next()
+            next_min = prec if assoc == "right" else prec + 1
+            right = self.binary(next_min)
+            left = self._combine(tok.value, left, right, tok)
+            follower = self.peek()
+            if (
+                assoc == "none"
+                and follower.kind == "op"
+                and _BINOPS.get(follower.value, (None,))[0] == prec
+            ):
+                self.error("operator %r is non-associative" % tok.value)
+
+    def _combine(self, symbol, left, right, tok):
+        if symbol == "@":
+            return App(left, right)
+        return Prim(INFIX_BY_SYMBOL[symbol], (left, right))
+
+    def juxtaposition(self):
+        """Parse ``atom atom*``: prim/named application or a lone atom.
+
+        Lambdas and conditionals are also allowed *saturating* positions
+        (e.g. ``map (\\x -> x + 1) xs`` needs parens, but a trailing
+        operand may be a parenthesised expression only) — operands are
+        atoms, per the grammar.
+        """
+        tok = self.peek()
+        if tok.kind == "ident" and self._starts_atom(self.peek(1)):
+            name = self.next().value
+            args = []
+            while self._starts_atom(self.peek()):
+                args.append(self.atom())
+            if name in PRIMS:
+                info = PRIMS[name]
+                if len(args) != info.arity:
+                    raise ParseError(
+                        "primitive %r expects %d arguments, got %d"
+                        % (name, info.arity, len(args)),
+                        tok.line,
+                        tok.column,
+                    )
+                return Prim(name, tuple(args))
+            return Call(name, tuple(args))
+        atom = self.atom()
+        if self._starts_atom(self.peek()):
+            self.error(
+                "only named functions may be applied by juxtaposition; "
+                "use '@' to apply an anonymous function"
+            )
+        return atom
+
+    def _starts_atom(self, tok):
+        if tok.column == 1 and tok.line > 1:
+            # Layout: column-1 tokens begin a new top-level item and can
+            # never continue an expression.
+            return False
+        if tok.kind in ("ident", "nat"):
+            return True
+        if tok.kind == "kw" and tok.value in ("true", "false", "nil"):
+            return True
+        if tok.kind == "op" and tok.value in ("(", "["):
+            return True
+        return False
+
+    def atom(self):
+        tok = self.peek()
+        if tok.kind == "nat":
+            self.next()
+            return Lit(tok.value)
+        if tok.kind == "kw" and tok.value in ("true", "false"):
+            self.next()
+            return Lit(tok.value == "true")
+        if tok.kind == "kw" and tok.value == "nil":
+            self.next()
+            return Lit(())
+        if tok.kind == "ident":
+            self.next()
+            if tok.value in PRIMS:
+                raise ParseError(
+                    "primitive %r must be fully applied" % tok.value,
+                    tok.line,
+                    tok.column,
+                )
+            return Var(tok.value)
+        if self.at("op", "("):
+            self.next()
+            inner = self.expr()
+            self.expect("op", ")")
+            return inner
+        if self.at("op", "["):
+            return self.list_literal()
+        self.error("expected an expression")
+
+    def list_literal(self):
+        self.expect("op", "[")
+        elements = []
+        if not self.at("op", "]"):
+            elements.append(self.expr())
+            while self.at("op", ","):
+                self.next()
+                elements.append(self.expr())
+        self.expect("op", "]")
+        result = Lit(())
+        for element in reversed(elements):
+            result = Prim("cons", (element, result))
+        return result
+
+
+def parse_program(source):
+    """Parse a complete multi-module program from ``source`` text."""
+    return _Parser(tokenize(source)).program()
+
+
+def parse_module(source):
+    """Parse exactly one module from ``source`` text."""
+    parser = _Parser(tokenize(source))
+    module = parser.module()
+    parser.expect("eof")
+    return module
+
+
+def parse_expr(source):
+    """Parse a single expression (handy in tests and the REPL)."""
+    parser = _Parser(tokenize(source))
+    expr = parser.expr()
+    parser.expect("eof")
+    return expr

@@ -1,0 +1,163 @@
+"""Primitive operations of the object language.
+
+Primitives are what the paper calls ``Prim E*``: fully applied, first-order
+operations on base values and lists.  This module is the single table of
+record — the parser, the type checker, the binding-time analysis, the
+interpreter, and the specialisation runtime all consult it.
+
+The value domain is:
+
+* naturals (Python ``int`` >= 0) — subtraction is *monus* (cut off at 0),
+  as usual for a naturals-only language;
+* booleans;
+* lists (Python tuples);
+* pairs (2-tuples tagged by the type checker — at run time a pair is a
+  Python tuple ``('pair', a, b)`` to keep it distinct from lists).
+"""
+
+from dataclasses import dataclass
+from typing import Optional
+
+PAIR_TAG = "pair"
+
+
+def make_pair(a, b):
+    """Construct a runtime pair value."""
+    return (PAIR_TAG, a, b)
+
+
+def is_pair(v):
+    return isinstance(v, tuple) and len(v) == 3 and v[0] == PAIR_TAG
+
+
+@dataclass(frozen=True)
+class PrimInfo:
+    """Static description of one primitive.
+
+    ``infix`` is the operator spelling when the primitive can be written
+    infix (``None`` for prefix-only primitives); ``precedence`` and
+    ``assoc`` drive the parser and pretty printer.
+    """
+
+    name: str
+    arity: int
+    infix: Optional[str] = None
+    precedence: int = 0
+    assoc: str = "left"  # 'left' | 'right' | 'none'
+
+
+PRIMS = {
+    p.name: p
+    for p in [
+        PrimInfo("or", 2, infix="||", precedence=1),
+        PrimInfo("and", 2, infix="&&", precedence=2),
+        PrimInfo("==", 2, infix="==", precedence=3, assoc="none"),
+        PrimInfo("<", 2, infix="<", precedence=3, assoc="none"),
+        PrimInfo("<=", 2, infix="<=", precedence=3, assoc="none"),
+        PrimInfo("cons", 2, infix=":", precedence=4, assoc="right"),
+        PrimInfo("+", 2, infix="+", precedence=5),
+        PrimInfo("-", 2, infix="-", precedence=5),
+        PrimInfo("*", 2, infix="*", precedence=6),
+        PrimInfo("div", 2, infix=None),
+        PrimInfo("mod", 2, infix=None),
+        PrimInfo("not", 1),
+        PrimInfo("head", 1),
+        PrimInfo("tail", 1),
+        PrimInfo("null", 1),
+        PrimInfo("pair", 2),
+        PrimInfo("fst", 1),
+        PrimInfo("snd", 1),
+    ]
+}
+
+# Operator spelling -> primitive name, for the parser.
+INFIX_BY_SYMBOL = {p.infix: p.name for p in PRIMS.values() if p.infix}
+
+
+class PrimError(Exception):
+    """A primitive was applied to a value outside its domain.
+
+    Corresponds to a runtime error of the object language (``head nil``,
+    and so on); the interpreter and the specialiser both surface it.
+    """
+
+
+def _nat(v):
+    if isinstance(v, bool) or not isinstance(v, int):
+        raise PrimError("expected a natural, got %r" % (v,))
+    return v
+
+
+def _bool(v):
+    if not isinstance(v, bool):
+        raise PrimError("expected a boolean, got %r" % (v,))
+    return v
+
+
+def _list(v):
+    if not isinstance(v, tuple) or is_pair(v):
+        raise PrimError("expected a list, got %r" % (v,))
+    return v
+
+
+def apply_prim(op, args):
+    """Evaluate primitive ``op`` on fully evaluated ``args``.
+
+    Used both by the object-language interpreter and by the specialiser
+    when an operation is static.  Raises :class:`PrimError` on a domain
+    error and ``KeyError`` on an unknown primitive.
+    """
+    info = PRIMS[op]
+    if len(args) != info.arity:
+        raise PrimError("%s expects %d args, got %d" % (op, info.arity, len(args)))
+    if op == "+":
+        return _nat(args[0]) + _nat(args[1])
+    if op == "-":
+        return max(0, _nat(args[0]) - _nat(args[1]))
+    if op == "*":
+        return _nat(args[0]) * _nat(args[1])
+    if op == "div":
+        if _nat(args[1]) == 0:
+            raise PrimError("division by zero")
+        return _nat(args[0]) // args[1]
+    if op == "mod":
+        if _nat(args[1]) == 0:
+            raise PrimError("modulo by zero")
+        return _nat(args[0]) % args[1]
+    if op == "==":
+        return _nat(args[0]) == _nat(args[1])
+    if op == "<":
+        return _nat(args[0]) < _nat(args[1])
+    if op == "<=":
+        return _nat(args[0]) <= _nat(args[1])
+    if op == "and":
+        return _bool(args[0]) and _bool(args[1])
+    if op == "or":
+        return _bool(args[0]) or _bool(args[1])
+    if op == "not":
+        return not _bool(args[0])
+    if op == "cons":
+        return (args[0],) + _list(args[1])
+    if op == "head":
+        xs = _list(args[0])
+        if not xs:
+            raise PrimError("head of empty list")
+        return xs[0]
+    if op == "tail":
+        xs = _list(args[0])
+        if not xs:
+            raise PrimError("tail of empty list")
+        return xs[1:]
+    if op == "null":
+        return _list(args[0]) == ()
+    if op == "pair":
+        return make_pair(args[0], args[1])
+    if op == "fst":
+        if not is_pair(args[0]):
+            raise PrimError("fst of non-pair %r" % (args[0],))
+        return args[0][1]
+    if op == "snd":
+        if not is_pair(args[0]):
+            raise PrimError("snd of non-pair %r" % (args[0],))
+        return args[0][2]
+    raise KeyError(op)

@@ -1,0 +1,100 @@
+"""Module-level validation and name resolution.
+
+Given the arities of the functions a module imports, this pass checks the
+paper's structural restrictions and *resolves* the module:
+
+* named functions appear only fully applied (saturation);
+* locally bound variables are never applied by juxtaposition (anonymous
+  values must be applied with ``@``);
+* every variable is bound; every called function is in scope;
+* references to zero-argument functions, which the parser necessarily
+  reads as variables, are rewritten into :class:`~repro.lang.ast.Call`
+  nodes with no arguments.
+
+Program-level concerns (module-name uniqueness, import acyclicity, the
+global-uniqueness rule for function names) live in
+:mod:`repro.modsys.program`, which drives this pass module by module.
+"""
+
+from repro.lang.ast import App, Call, Def, If, Lam, Lit, Module, Prim, Var
+from repro.lang.errors import ValidationError
+
+
+def resolve_module(module, imported_arities):
+    """Validate and resolve ``module``.
+
+    ``imported_arities`` maps each function name imported into this module
+    to its arity.  Returns a new, resolved :class:`Module`.  Raises
+    :class:`ValidationError` on any violation.
+    """
+    arities = dict(imported_arities)
+    seen = set()
+    for d in module.defs:
+        if d.name in seen:
+            raise ValidationError(
+                "module %s: duplicate definition of %r" % (module.name, d.name)
+            )
+        seen.add(d.name)
+        if d.name in imported_arities:
+            raise ValidationError(
+                "module %s: %r is already defined in an imported module"
+                % (module.name, d.name)
+            )
+        arities[d.name] = d.arity
+    resolved = []
+    for d in module.defs:
+        body = _resolve(d.body, frozenset(d.params), arities, module.name, d.name)
+        resolved.append(Def(d.name, d.params, body))
+    return Module(module.name, module.imports, tuple(resolved))
+
+
+def _resolve(expr, scope, arities, module_name, def_name):
+    def err(message):
+        return ValidationError(
+            "module %s, in %r: %s" % (module_name, def_name, message)
+        )
+
+    def go(e, scope):
+        if isinstance(e, Lit):
+            return e
+        if isinstance(e, Var):
+            if e.name in scope:
+                return e
+            if e.name in arities:
+                if arities[e.name] == 0:
+                    return Call(e.name, ())
+                raise err(
+                    "named function %r must be fully applied "
+                    "(expects %d arguments)" % (e.name, arities[e.name])
+                )
+            raise err("unbound variable %r" % e.name)
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(go(a, scope) for a in e.args))
+        if isinstance(e, If):
+            return If(
+                go(e.cond, scope),
+                go(e.then_branch, scope),
+                go(e.else_branch, scope),
+            )
+        if isinstance(e, Call):
+            if e.func in scope:
+                raise err(
+                    "%r is a local variable; apply it with '@', "
+                    "not by juxtaposition" % e.func
+                )
+            if e.func not in arities:
+                raise err("call of unknown function %r" % e.func)
+            expected = arities[e.func]
+            if len(e.args) != expected:
+                raise err(
+                    "%r expects %d arguments, got %d"
+                    % (e.func, expected, len(e.args))
+                )
+            return Call(e.func, tuple(go(a, scope) for a in e.args))
+        if isinstance(e, Lam):
+            return Lam(e.var, go(e.body, scope | {e.var}))
+        if isinstance(e, App):
+            return App(go(e.fun, scope), go(e.arg, scope))
+        raise TypeError("not an expression: %r" % (e,))
+
+    return go(expr, scope)

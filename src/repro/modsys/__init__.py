@@ -1,0 +1,22 @@
+"""The module system.
+
+The paper assumes modules export all their definitions and that the import
+graph is acyclic (interface files must be writable before they are read).
+This package provides the dependency graph, topological ordering, the
+global symbol table, and the program loader that validates and resolves a
+whole multi-module program.
+"""
+
+from repro.modsys.graph import CyclicImportError, ModuleGraph
+from repro.modsys.program import LinkedProgram, load_program, load_program_dir
+from repro.modsys.symbols import Symbol, SymbolTable
+
+__all__ = [
+    "CyclicImportError",
+    "LinkedProgram",
+    "ModuleGraph",
+    "Symbol",
+    "SymbolTable",
+    "load_program",
+    "load_program_dir",
+]

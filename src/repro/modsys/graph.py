@@ -1,0 +1,122 @@
+"""Module dependency graphs.
+
+Used three ways:
+
+* to order source modules for analysis (interface files must be written
+  before they are read — Sec. 4.1);
+* to drive the residual-module placement algorithm (Sec. 5), which must
+  know whether one module is imported, directly or indirectly, into
+  another;
+* to check that the residual import graph stays acyclic.
+"""
+
+from repro.lang.errors import LangError
+
+
+class CyclicImportError(LangError):
+    """The import graph has a cycle (the paper forbids this)."""
+
+    def __init__(self, cycle):
+        self.cycle = tuple(cycle)
+        super().__init__("cyclic module imports: %s" % " -> ".join(self.cycle))
+
+
+class ModuleGraph:
+    """A directed graph of module imports.
+
+    Edges point from importer to imported module.  The graph is built
+    once per program and queried many times, so reachability is cached.
+    """
+
+    def __init__(self, imports):
+        """``imports`` maps each module name to an iterable of names it
+        imports.  Every mentioned module must appear as a key."""
+        self._imports = {name: tuple(deps) for name, deps in imports.items()}
+        for name, deps in self._imports.items():
+            for dep in deps:
+                if dep not in self._imports:
+                    raise LangError(
+                        "module %s imports unknown module %s" % (name, dep)
+                    )
+        self._reach_cache = {}
+
+    @classmethod
+    def of_program(cls, program):
+        return cls({m.name: m.imports for m in program.modules})
+
+    def modules(self):
+        return tuple(self._imports)
+
+    def imports_of(self, name):
+        """Direct imports of ``name``."""
+        return self._imports[name]
+
+    def topo_order(self):
+        """Modules ordered so imports come before importers.
+
+        Deterministic (stable in the insertion order of the input).
+        Raises :class:`CyclicImportError` if the graph has a cycle.
+        """
+        state = {}  # name -> 'visiting' | 'done'
+        order = []
+        path = []
+
+        def visit(name):
+            mark = state.get(name)
+            if mark == "done":
+                return
+            if mark == "visiting":
+                start = path.index(name)
+                raise CyclicImportError(path[start:] + [name])
+            state[name] = "visiting"
+            path.append(name)
+            for dep in self._imports[name]:
+                visit(dep)
+            path.pop()
+            state[name] = "done"
+            order.append(name)
+
+        for name in self._imports:
+            visit(name)
+        return tuple(order)
+
+    def check_acyclic(self):
+        """Raise :class:`CyclicImportError` if the graph has a cycle."""
+        self.topo_order()
+
+    def reachable_from(self, name):
+        """All modules imported, directly or transitively, by ``name``
+        (excluding ``name`` itself unless it lies on a cycle)."""
+        cached = self._reach_cache.get(name)
+        if cached is not None:
+            return cached
+        seen = set()
+        stack = list(self._imports[name])
+        while stack:
+            m = stack.pop()
+            if m in seen:
+                continue
+            seen.add(m)
+            stack.extend(self._imports[m])
+        result = frozenset(seen)
+        self._reach_cache[name] = result
+        return result
+
+    def imports_transitively(self, importer, imported):
+        """True if ``imported`` is reachable from ``importer``."""
+        return imported in self.reachable_from(importer)
+
+    def reduce_by_dominance(self, names):
+        """Drop every module that is transitively imported by another
+        member of ``names`` (Sec. 5: "remove any which are imported into
+        others").  Returns a frozenset."""
+        names = set(names)
+        kept = set()
+        for name in names:
+            if any(
+                other != name and self.imports_transitively(other, name)
+                for other in names
+            ):
+                continue
+            kept.add(name)
+        return frozenset(kept)

@@ -1,0 +1,71 @@
+"""The global symbol table.
+
+Top-level function names are required to be unique program-wide (the
+paper's modules export everything and its examples never shadow across
+modules).  The symbol table maps each name to its defining module and
+arity; the specialisation runtime consults it when placing residual
+functions in combination modules.
+"""
+
+from dataclasses import dataclass
+
+from repro.lang.errors import ValidationError
+
+
+@dataclass(frozen=True)
+class Symbol:
+    """One top-level function: its name, defining module, and arity."""
+
+    name: str
+    module: str
+    arity: int
+
+    @property
+    def qualified(self):
+        return "%s.%s" % (self.module, self.name)
+
+
+class SymbolTable:
+    """Immutable-after-build map from function name to :class:`Symbol`."""
+
+    def __init__(self):
+        self._by_name = {}
+
+    @classmethod
+    def of_program(cls, program):
+        table = cls()
+        for module, d in program.all_defs():
+            table.add(Symbol(d.name, module.name, d.arity))
+        return table
+
+    def add(self, symbol):
+        existing = self._by_name.get(symbol.name)
+        if existing is not None:
+            raise ValidationError(
+                "function %r defined in both module %s and module %s "
+                "(top-level names must be unique program-wide)"
+                % (symbol.name, existing.module, symbol.module)
+            )
+        self._by_name[symbol.name] = symbol
+
+    def lookup(self, name):
+        """Return the :class:`Symbol` for ``name`` or raise ``KeyError``."""
+        return self._by_name[name]
+
+    def get(self, name):
+        return self._by_name.get(name)
+
+    def module_of(self, name):
+        return self._by_name[name].module
+
+    def arity_of(self, name):
+        return self._by_name[name].arity
+
+    def names(self):
+        return tuple(self._by_name)
+
+    def __contains__(self, name):
+        return name in self._by_name
+
+    def __len__(self):
+        return len(self._by_name)

@@ -1,0 +1,23 @@
+"""Residual programs and their module structure (Sec. 5).
+
+Specialised functions are placed, at first request, into residual modules
+derived from the source module structure — possibly *combinations* of
+source modules (the paper's ``A ∩ C`` / ``PowerTwice``).  This package
+assembles the placed definitions into a well-formed residual program:
+module naming, import computation (after code generation — the paper's
+two-pass emission), empty-module elimination, and acyclicity checking.
+"""
+
+from repro.residual.emit import TwoPassEmitter, emit_program_dir
+from repro.residual.module import assemble_program, combination_name
+from repro.residual.normalise import normalise_program
+from repro.residual.optimise import optimise_program
+
+__all__ = [
+    "TwoPassEmitter",
+    "assemble_program",
+    "combination_name",
+    "emit_program_dir",
+    "normalise_program",
+    "optimise_program",
+]

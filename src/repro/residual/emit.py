@@ -1,0 +1,101 @@
+"""Two-pass emission of residual programs to disk.
+
+"Since import statements appear at the beginning of a module this compels
+us to use two passes: the first pass generates module bodies in temporary
+files, and the second pass generates module headers and imports, and then
+copies the module bodies after them." (Sec. 5.)
+
+:class:`TwoPassEmitter` is a sink for
+:class:`~repro.genext.runtime.SpecState`: every residual definition is
+appended to its combination's temporary body file *as soon as it is
+constructed* (the paper's memory-consumption measure — no finished
+specialisation is retained in memory).  ``finish`` runs the second pass.
+"""
+
+import os
+import tempfile
+
+from repro.lang.names import called_functions
+from repro.lang.pretty import pretty_def, pretty_module
+from repro.residual.module import combination_name
+
+
+class TwoPassEmitter:
+    """Streams residual definitions to per-module temporary body files,
+    then assembles final module files with computed import headers."""
+
+    def __init__(self, out_dir):
+        self.out_dir = out_dir
+        self.tmp_dir = tempfile.mkdtemp(prefix="residual-bodies-")
+        self._files = {}  # placement -> (path, file object)
+        self._refs = {}  # placement -> set of referenced functions
+        self._fn_home = {}  # function name -> placement
+        self._counter = 0
+        self.defs_written = 0
+
+    # -- pass 1: bodies, streamed -----------------------------------------
+
+    def __call__(self, placement, d):
+        """Sink interface: record one finished residual definition."""
+        placement = frozenset(placement)
+        entry = self._files.get(placement)
+        if entry is None:
+            self._counter += 1
+            path = os.path.join(self.tmp_dir, "body%d.tmp" % self._counter)
+            entry = (path, open(path, "w"))
+            self._files[placement] = entry
+            self._refs[placement] = set()
+        _, f = entry
+        f.write(pretty_def(d) + "\n")
+        self._refs[placement] |= called_functions(d.body)
+        self._fn_home[d.name] = placement
+        self.defs_written += 1
+
+    # -- pass 2: headers + copy --------------------------------------------
+
+    def finish(self):
+        """Write final module files; returns {placement: module name}."""
+        os.makedirs(self.out_dir, exist_ok=True)
+        names = {}
+        taken = set()
+        for placement in self._files:
+            name = combination_name(placement, taken)
+            names[placement] = name
+            taken.add(name)
+        module_of_fn = {
+            fn: names[pl] for fn, pl in self._fn_home.items()
+        }
+        for placement, (path, f) in self._files.items():
+            f.close()
+            mod_name = names[placement]
+            imports = sorted(
+                {
+                    module_of_fn[fn]
+                    for fn in self._refs[placement]
+                    if fn in module_of_fn and module_of_fn[fn] != mod_name
+                }
+            )
+            out_path = os.path.join(self.out_dir, mod_name + ".mod")
+            with open(out_path, "w") as out:
+                out.write("module %s where\n" % mod_name)
+                for imp in imports:
+                    out.write("import %s\n" % imp)
+                out.write("\n")
+                with open(path) as body:
+                    out.write(body.read())
+            os.unlink(path)
+        os.rmdir(self.tmp_dir)
+        return names
+
+
+def emit_program_dir(program, out_dir):
+    """Write an assembled residual program as one ``.mod`` file per
+    module (the non-streaming path)."""
+    os.makedirs(out_dir, exist_ok=True)
+    paths = []
+    for m in program.modules:
+        path = os.path.join(out_dir, m.name + ".mod")
+        with open(path, "w") as f:
+            f.write(pretty_module(m))
+        paths.append(path)
+    return paths

@@ -1,0 +1,106 @@
+"""Assembling placed residual definitions into a module structure.
+
+The placement algorithm (in :meth:`repro.genext.runtime.SpecState.place`)
+assigns every specialisation a *combination* of source modules before its
+body exists.  Once all bodies are built, this module:
+
+* names each non-empty combination (``frozenset({'Power','Twice'})``
+  becomes ``PowerTwice``), uniquifying on clashes;
+* computes each residual module's imports by examining its code, so that
+  every referenced module is imported (the paper's fix for ``h``'s
+  residual version calling ``f`` from a module ``C`` never imported);
+* never generates empty modules (only combinations that received code
+  exist at all);
+* checks the resulting import graph is acyclic — the property the
+  paper's placement rule guarantees.
+"""
+
+from collections import OrderedDict
+
+from repro.lang.ast import Module, Program
+from repro.lang.names import called_functions
+from repro.modsys.graph import ModuleGraph
+
+
+class ResidualStructureError(Exception):
+    """The residual program violates a structural guarantee (cyclic
+    imports, dangling reference) — indicates a placement bug."""
+
+
+def combination_name(parts, taken=()):
+    """A printable module name for a combination of source modules.
+
+    Single-module combinations keep the module's name; larger ones
+    concatenate the sorted part names (``PowerTwice``).  ``taken`` names
+    are avoided by appending a prime count."""
+    parts = sorted(parts)
+    name = "".join(parts) if parts else "Anon"
+    candidate = name
+    n = 1
+    while candidate in taken:
+        n += 1
+        candidate = "%s_%d" % (name, n)
+    return candidate
+
+
+def assemble_program(placed_defs):
+    """Build a residual :class:`~repro.lang.ast.Program`.
+
+    ``placed_defs`` is a sequence of ``(placement frozenset, Def)``.
+    Returns ``(program, names)`` where ``names`` maps each placement to
+    its residual module name.  Modules appear in a deterministic
+    dependency-respecting order."""
+    groups = OrderedDict()
+    for placement, d in placed_defs:
+        groups.setdefault(frozenset(placement), []).append(d)
+
+    names = {}
+    taken = set()
+    for placement in groups:
+        name = combination_name(placement, taken)
+        names[placement] = name
+        taken.add(name)
+
+    module_of_fn = {}
+    for placement, defs in groups.items():
+        for d in defs:
+            module_of_fn[d.name] = names[placement]
+
+    modules = []
+    imports_map = {}
+    for placement, defs in groups.items():
+        mod_name = names[placement]
+        refs = set()
+        for d in defs:
+            refs |= called_functions(d.body)
+        dangling = refs - set(module_of_fn)
+        if dangling:
+            raise ResidualStructureError(
+                "residual code in %s references unknown function(s): %s"
+                % (mod_name, ", ".join(sorted(dangling)))
+            )
+        imports = sorted(
+            {module_of_fn[f] for f in refs if module_of_fn[f] != mod_name}
+        )
+        imports_map[mod_name] = imports
+        modules.append(Module(mod_name, tuple(imports), tuple(defs)))
+
+    graph = ModuleGraph({m.name: m.imports for m in modules})
+    try:
+        order = graph.topo_order()
+    except Exception as e:
+        raise ResidualStructureError(
+            "residual module imports are cyclic: %s" % e
+        )
+    by_name = {m.name: m for m in modules}
+    program = Program(tuple(by_name[n] for n in order))
+    return program, names
+
+
+def assemble_monolithic(placed_defs, name="Residual"):
+    """The non-module-sensitive alternative: one big residual module.
+
+    Used by the comparison benches — this is what an ordinary
+    specialiser produces."""
+    defs = tuple(d for _, d in placed_defs)
+    return Program((Module(name, (), defs),))

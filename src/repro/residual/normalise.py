@@ -1,0 +1,146 @@
+"""Canonical renaming of residual programs.
+
+Breadth-first and depth-first specialisation "lead to equivalent residual
+programs" (Sec. 2) — equivalent up to the order in which residual names
+were allocated.  This pass renames residual functions and bound variables
+canonically (by traversal order from the entry function) so equivalent
+programs become syntactically equal; the test suite uses it to verify the
+BFS/DFS equivalence claim.
+"""
+
+from repro.lang.ast import App, Call, Def, If, Lam, Lit, Module, Prim, Program, Var
+
+
+def normalise_program(program, entry):
+    """Rename functions and variables canonically, starting at ``entry``.
+
+    Function names become ``fn0, fn1, ...`` in discovery order (entry
+    first, then callees depth-first in body order); bound variables in
+    each definition become ``v0, v1, ...`` in binding order.  Unreachable
+    definitions are dropped (there should be none).  Module names are
+    preserved; modules are re-ordered deterministically by name.
+    """
+    defs = {}
+    home = {}
+    for m in program.modules:
+        for d in m.defs:
+            defs[d.name] = d
+            home[d.name] = m.name
+
+    fn_names = {}
+
+    def fn_name(old):
+        if old not in fn_names:
+            fn_names[old] = "fn%d" % len(fn_names)
+        return fn_names[old]
+
+    ordered = []
+    seen = set()
+
+    def visit(fname):
+        if fname in seen:
+            return
+        seen.add(fname)
+        fn_name(fname)
+        ordered.append(fname)
+        for callee in _calls_in_order(defs[fname].body):
+            if callee in defs:
+                visit(callee)
+
+    visit(entry)
+
+    new_defs = {}
+    for fname in ordered:
+        d = defs[fname]
+        var_names = {}
+
+        def bind(v):
+            if v not in var_names:
+                var_names[v] = "v%d" % len(var_names)
+            return var_names[v]
+
+        params = tuple(bind(p) for p in d.params)
+        body = _rename(d.body, var_names, fn_names, bind)
+        new_defs[fname] = Def(fn_name(fname), params, body)
+
+    grouped = {}
+    module_of_new = {}
+    for fname in ordered:
+        grouped.setdefault(home[fname], []).append(new_defs[fname])
+        module_of_new[fn_names[fname]] = home[fname]
+    modules = []
+    for m in sorted(grouped):
+        refs = set()
+        for d in grouped[m]:
+            refs.update(_calls_in_order(d.body))
+        imports = tuple(
+            sorted(
+                {
+                    module_of_new[f]
+                    for f in refs
+                    if f in module_of_new and module_of_new[f] != m
+                }
+            )
+        )
+        modules.append(Module(m, imports, tuple(grouped[m])))
+    return Program(tuple(modules))
+
+
+def _calls_in_order(expr):
+    """Called function names in left-to-right body order (with repeats
+    removed, first occurrence wins)."""
+    out = []
+    seen = set()
+
+    def go(e):
+        if isinstance(e, (Lit, Var)):
+            return
+        if isinstance(e, Prim):
+            for a in e.args:
+                go(a)
+            return
+        if isinstance(e, If):
+            go(e.cond)
+            go(e.then_branch)
+            go(e.else_branch)
+            return
+        if isinstance(e, Call):
+            if e.func not in seen:
+                seen.add(e.func)
+                out.append(e.func)
+            for a in e.args:
+                go(a)
+            return
+        if isinstance(e, Lam):
+            go(e.body)
+            return
+        if isinstance(e, App):
+            go(e.fun)
+            go(e.arg)
+            return
+        raise TypeError(e)
+
+    go(expr)
+    return out
+
+
+def _rename(expr, var_names, fn_names, bind):
+    def go(e):
+        if isinstance(e, Lit):
+            return e
+        if isinstance(e, Var):
+            return Var(var_names.get(e.name, e.name))
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(go(a) for a in e.args))
+        if isinstance(e, If):
+            return If(go(e.cond), go(e.then_branch), go(e.else_branch))
+        if isinstance(e, Call):
+            return Call(fn_names.get(e.func, e.func), tuple(go(a) for a in e.args))
+        if isinstance(e, Lam):
+            new = bind(e.var)
+            return Lam(new, go(e.body))
+        if isinstance(e, App):
+            return App(go(e.fun), go(e.arg))
+        raise TypeError(e)
+
+    return go(expr)

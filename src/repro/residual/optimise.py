@@ -1,0 +1,303 @@
+"""Post-processing of residual programs.
+
+Specialisation by unfolding can *duplicate dynamic code*: unfolding
+``dot ks (window 3 xs)`` copies the ``window`` expression into every
+kernel tap.  The paper's little language (like ours) has no let-binding
+in the source, so its specialiser exhibits the same duplication.  This
+optional post-pass repairs it on the residual program:
+
+* **common-subexpression elimination** — repeated non-trivial pure
+  subexpressions of a body are bound once with the ``let`` sugar
+  (a static beta-redex, ``(\\v -> ...) @ e``) and reused;
+* **constant folding** — primitive applications over literals are
+  evaluated (sound: primitives are pure; faulting expressions such as
+  ``head nil`` are left in place to preserve semantics);
+* **algebraic simplification** — unit/absorber laws for the naturals
+  and booleans (``x * 1``, ``x + 0``, ``true && e`` ...), and
+  ``if true/false`` reduction.
+
+All rewrites preserve call-by-value semantics *including* faults: an
+expression is only deduplicated or deleted when it is syntactically pure
+and total (literals/variables are; anything that can fault is shared,
+never dropped).
+"""
+
+from collections import Counter
+
+from repro.lang.ast import App, Call, Def, If, Lam, Lit, Module, Prim, Program, Var
+from repro.lang.names import NameSupply, free_vars
+from repro.lang.prims import PrimError, apply_prim
+
+
+# ---------------------------------------------------------------------------
+# Constant folding and algebraic simplification.
+# ---------------------------------------------------------------------------
+
+
+def _lit_value(e):
+    return e.value if isinstance(e, Lit) else None
+
+
+def simplify(e):
+    """Bottom-up constant folding + algebraic laws.  Never changes
+    semantics: partial primitives are folded only when they succeed, and
+    no possibly-faulting subexpression is discarded."""
+    if isinstance(e, (Lit, Var)):
+        return e
+    if isinstance(e, Prim):
+        args = tuple(simplify(a) for a in e.args)
+        values = [_lit_value(a) for a in args]
+        if all(v is not None for v in values):
+            try:
+                return Lit(apply_prim(e.op, values))
+            except (PrimError, ValueError):
+                return Prim(e.op, args)
+        return _algebraic(Prim(e.op, args))
+    if isinstance(e, If):
+        cond = simplify(e.cond)
+        if isinstance(cond, Lit) and isinstance(cond.value, bool):
+            return simplify(e.then_branch if cond.value else e.else_branch)
+        return If(cond, simplify(e.then_branch), simplify(e.else_branch))
+    if isinstance(e, Call):
+        return Call(e.func, tuple(simplify(a) for a in e.args))
+    if isinstance(e, Lam):
+        return Lam(e.var, simplify(e.body))
+    if isinstance(e, App):
+        return App(simplify(e.fun), simplify(e.arg))
+    raise TypeError("not an expression: %r" % (e,))
+
+
+def _total(e):
+    """Syntactically pure *and total*: safe to discard or reorder."""
+    if isinstance(e, (Lit, Var)):
+        return True
+    if isinstance(e, Prim) and e.op in ("cons", "pair"):
+        return all(_total(a) for a in e.args)
+    return False
+
+
+def _algebraic(e):
+    a, b = (e.args + (None, None))[:2]
+    va, vb = _lit_value(a), _lit_value(b)
+    # Structural projections over visible constructors.
+    if e.op == "head" and isinstance(a, Prim) and a.op == "cons":
+        if _total(a.args[1]):
+            return a.args[0]
+    if e.op == "tail" and isinstance(a, Prim) and a.op == "cons":
+        if _total(a.args[0]):
+            return a.args[1]
+    if e.op == "null" and isinstance(a, Prim) and a.op == "cons":
+        if all(_total(x) for x in a.args):
+            return Lit(False)
+    if e.op == "fst" and isinstance(a, Prim) and a.op == "pair":
+        if _total(a.args[1]):
+            return a.args[0]
+    if e.op == "snd" and isinstance(a, Prim) and a.op == "pair":
+        if _total(a.args[0]):
+            return a.args[1]
+    if e.op == "+":
+        if va == 0:
+            return b
+        if vb == 0:
+            return a
+    elif e.op == "*":
+        if va == 1:
+            return b
+        if vb == 1:
+            return a
+        # x * 0 / 0 * x cannot drop x (x is pure? only if total); fold
+        # only when the other side is a variable or literal.
+        if va == 0 and isinstance(b, (Var, Lit)):
+            return Lit(0)
+        if vb == 0 and isinstance(a, (Var, Lit)):
+            return Lit(0)
+    elif e.op == "-":
+        if vb == 0:
+            return a
+    elif e.op == "and":
+        if va is True:
+            return b
+        if vb is True:
+            return a
+        if va is False:
+            return Lit(False)
+    elif e.op == "or":
+        if va is False:
+            return b
+        if vb is False:
+            return a
+        if va is True:
+            return Lit(True)
+    return e
+
+
+# ---------------------------------------------------------------------------
+# Common-subexpression elimination.
+# ---------------------------------------------------------------------------
+
+
+def _count_occurrences(e, counter):
+    counter[e] += 1
+    # Do not descend under binders: sharing across a lambda boundary
+    # would change evaluation time under call-by-value.
+    if isinstance(e, Lam):
+        return
+    from repro.lang.ast import children
+
+    for c in children(e):
+        _count_occurrences(c, counter)
+
+
+def _sharable(e):
+    """Worth binding: a non-trivial, binder-free, pure expression."""
+    if isinstance(e, (Lit, Var)):
+        return False
+    if isinstance(e, (Lam,)):
+        return False
+    from repro.lang.ast import walk
+
+    return all(not isinstance(x, Lam) for x in walk(e))
+
+
+def eliminate_common_subexpressions(body, supply=None, min_size=2):
+    """Bind repeated subexpressions of ``body`` with ``let``.
+
+    Only expressions that occur at least twice *unconditionally* — i.e.
+    counted along every path — would be safe to hoist in general; to stay
+    conservative we hoist only subexpressions repeated within the same
+    conditional branch or outside conditionals entirely.  Concretely:
+    CSE is applied independently to each ``if`` branch and to the
+    maximal branch-free regions, so no expression is ever computed on a
+    path where the original program did not compute it.
+    """
+    supply = supply or NameSupply()
+
+    def region(e):
+        """Rewrite one branch-free region rooted at ``e``."""
+        counter = Counter()
+        _collect_region(e, counter)
+        repeated = [
+            expr
+            for expr, n in counter.items()
+            if n >= 2 and _sharable(expr) and _node_count(expr) >= min_size
+        ]
+        # Largest first so nested repeats collapse into one binding.
+        repeated.sort(key=_node_count, reverse=True)
+        out = descend(e)
+        for expr in repeated:
+            rewritten = descend_expr(expr)
+            if _occurrences(out, rewritten) < 2:
+                continue
+            name = supply.fresh("s")
+            out = App(Lam(name, _replace(out, rewritten, Var(name))), rewritten)
+        return out
+
+    def descend(e):
+        """Copy ``e``, recursing into conditional branches as separate
+        regions (their subexpressions are not counted here)."""
+        if isinstance(e, If):
+            return If(descend(e.cond), region(e.then_branch), region(e.else_branch))
+        if isinstance(e, (Lit, Var)):
+            return e
+        if isinstance(e, Prim):
+            return Prim(e.op, tuple(descend(a) for a in e.args))
+        if isinstance(e, Call):
+            return Call(e.func, tuple(descend(a) for a in e.args))
+        if isinstance(e, Lam):
+            return Lam(e.var, region(e.body))
+        if isinstance(e, App):
+            return App(descend(e.fun), descend(e.arg))
+        raise TypeError("not an expression: %r" % (e,))
+
+    descend_expr = descend
+
+    def _collect_region(e, counter):
+        """Count subexpressions within the branch-free region."""
+        if isinstance(e, If):
+            _collect_region(e.cond, counter)
+            return  # branches are separate regions
+        if isinstance(e, Lam):
+            return
+        counter[e] += 1
+        from repro.lang.ast import children
+
+        for c in children(e):
+            _collect_region(c, counter)
+
+    return region(body)
+
+
+def _node_count(e):
+    from repro.lang.ast import count_nodes
+
+    return count_nodes(e)
+
+
+def _occurrences(e, target):
+    from repro.lang.ast import walk
+
+    return sum(1 for x in walk(e) if x == target)
+
+
+def _replace(e, target, replacement):
+    if e == target:
+        return replacement
+    if isinstance(e, (Lit, Var)):
+        return e
+    if isinstance(e, Prim):
+        return Prim(e.op, tuple(_replace(a, target, replacement) for a in e.args))
+    if isinstance(e, If):
+        return If(
+            _replace(e.cond, target, replacement),
+            _replace(e.then_branch, target, replacement),
+            _replace(e.else_branch, target, replacement),
+        )
+    if isinstance(e, Call):
+        return Call(
+            e.func, tuple(_replace(a, target, replacement) for a in e.args)
+        )
+    if isinstance(e, Lam):
+        # The shared value is computed once outside; occurrences under a
+        # lambda may reuse it — unless the lambda's binder captures a
+        # variable of the target, in which case inner occurrences denote
+        # different values and must stay.
+        if e.var in free_vars(target):
+            return e
+        return Lam(e.var, _replace(e.body, target, replacement))
+    if isinstance(e, App):
+        return App(
+            _replace(e.fun, target, replacement),
+            _replace(e.arg, target, replacement),
+        )
+    raise TypeError("not an expression: %r" % (e,))
+
+
+# ---------------------------------------------------------------------------
+# Whole-program driver.
+# ---------------------------------------------------------------------------
+
+
+def optimise_def(d, supply=None, cse=True, fold=True):
+    body = d.body
+    if fold:
+        body = simplify(body)
+    if cse:
+        body = eliminate_common_subexpressions(body, supply)
+    if fold:
+        body = simplify(body)
+    return Def(d.name, d.params, body)
+
+
+def optimise_program(program, cse=True, fold=True):
+    """Optimise every definition of a residual program."""
+    supply = NameSupply()
+    modules = []
+    for m in program.modules:
+        modules.append(
+            Module(
+                m.name,
+                m.imports,
+                tuple(optimise_def(d, supply, cse=cse, fold=fold) for d in m.defs),
+            )
+        )
+    return Program(tuple(modules))

@@ -1,0 +1,19 @@
+"""The baseline specialiser ``mix``.
+
+An interpretive offline specialiser over annotated programs.  It produces
+the same residual programs as running the generating extensions (the test
+suite checks this), but it must *read, parse, and analyse every
+definition in a program before it can begin specialisation* and it
+interprets annotated syntax trees throughout — the two costs the paper's
+generating-extension approach eliminates (Sec. 4).
+"""
+
+from repro.specialiser.mix import MixProgram, mix_specialise
+from repro.specialiser.online import OnlineSpecialiser, online_specialise
+
+__all__ = [
+    "MixProgram",
+    "OnlineSpecialiser",
+    "mix_specialise",
+    "online_specialise",
+]

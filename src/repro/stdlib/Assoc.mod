@@ -1,0 +1,10 @@
+-- Association lists over natural-number keys.
+module Assoc where
+import Lists
+
+akeys ps = map (\p -> fst p) ps
+avalues ps = map (\p -> snd p) ps
+alookup ps k d = if null ps then d else if fst (head ps) == k then snd (head ps) else alookup (tail ps) k d
+amember ps k = if null ps then false else (fst (head ps) == k) || amember (tail ps) k
+ainsert ps k v = pair k v : ps
+aremove ps k = if null ps then nil else if fst (head ps) == k then aremove (tail ps) k else head ps : aremove (tail ps) k

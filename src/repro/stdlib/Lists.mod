@@ -1,0 +1,25 @@
+-- Standard list-processing library.
+-- The paper's motivating scenario: a general-purpose library, prepared
+-- for specialisation once and for all with `mspec analyze && mspec cogen`.
+module Lists where
+
+map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
+filter p xs = if null xs then nil else if p @ head xs then head xs : filter p (tail xs) else filter p (tail xs)
+foldr f z xs = if null xs then z else f @ head xs @ foldr f z (tail xs)
+foldl f z xs = if null xs then z else foldl f (f @ z @ head xs) (tail xs)
+append xs ys = if null xs then ys else head xs : append (tail xs) ys
+reverse xs = revonto xs nil
+revonto xs acc = if null xs then acc else revonto (tail xs) (head xs : acc)
+length xs = if null xs then 0 else 1 + length (tail xs)
+take n xs = if n == 0 then nil else if null xs then nil else head xs : take (n - 1) (tail xs)
+drop n xs = if n == 0 then xs else if null xs then nil else drop (n - 1) (tail xs)
+nth xs n = if n == 0 then head xs else nth (tail xs) (n - 1)
+replicate n x = if n == 0 then nil else x : replicate (n - 1) x
+iota n = iotafrom 1 n
+iotafrom i n = if n == 0 then nil else i : iotafrom (i + 1) (n - 1)
+sum xs = if null xs then 0 else head xs + sum (tail xs)
+product xs = if null xs then 1 else head xs * product (tail xs)
+any p xs = if null xs then false else (p @ head xs) || any p (tail xs)
+all p xs = if null xs then true else (p @ head xs) && all p (tail xs)
+zipWith f xs ys = if null xs then nil else if null ys then nil else (f @ head xs @ head ys) : zipWith f (tail xs) (tail ys)
+concat xss = if null xss then nil else append (head xss) (concat (tail xss))

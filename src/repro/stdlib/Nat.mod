@@ -1,0 +1,12 @@
+-- Natural-number helpers.
+module Nat where
+
+max2 a b = if a < b then b else a
+min2 a b = if a < b then a else b
+even n = mod n 2 == 0
+odd n = not (mod n 2 == 0)
+pow n x = if n == 0 then 1 else x * pow (n - 1) x
+gcd2 a b = if b == 0 then a else gcd2 b (mod a b)
+fib n = fibaux n 0 1
+fibaux n a b = if n == 0 then a else fibaux (n - 1) b (a + b)
+triangle n = if n == 0 then 0 else n + triangle (n - 1)

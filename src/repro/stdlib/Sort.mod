@@ -1,0 +1,13 @@
+-- Sorting, written against the ordering of the naturals.
+-- (For sorting under a custom ordering, use the Sort functor pattern of
+-- examples/functor_sort.py.)
+module Sort where
+import Lists
+
+insertAsc x xs = if null xs then [x] else if x <= head xs then x : xs else head xs : insertAsc x (tail xs)
+isort xs = if null xs then nil else insertAsc (head xs) (isort (tail xs))
+merge xs ys = if null xs then ys else if null ys then xs else if head xs <= head ys then head xs : merge (tail xs) ys else head ys : merge xs (tail ys)
+msort xs = if length xs <= 1 then xs else merge (msort (take (div (length xs) 2) xs)) (msort (drop (div (length xs) 2) xs))
+minimum xs = foldl (\a -> \b -> if a <= b then a else b) (head xs) (tail xs)
+maximum xs = foldl (\a -> \b -> if a <= b then b else a) (head xs) (tail xs)
+issorted xs = if null xs then true else if null (tail xs) then true else (head xs <= head (tail xs)) && issorted (tail xs)

@@ -1,0 +1,53 @@
+"""The standard library: object-language modules shipped with the repo.
+
+These are ordinary ``.mod`` files; :func:`stdlib_source` returns their
+concatenated text for inclusion in a program, and :func:`stdlib_dir`
+points tools (``mspec analyze`` / ``cogen``) at the files themselves —
+exactly the library-vendor workflow of the paper.
+
+Available modules: ``Lists``, ``Nat``, ``Assoc`` (which imports Lists).
+"""
+
+import os
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+# In dependency order.
+MODULES = ("Lists", "Nat", "Assoc", "Sort")
+
+
+def stdlib_dir():
+    """Directory containing the standard library's ``.mod`` files."""
+    return _HERE
+
+
+def module_source(name):
+    """The source text of one standard-library module."""
+    if name not in MODULES:
+        raise KeyError("no standard module %r (have: %s)" % (name, MODULES))
+    with open(os.path.join(_HERE, name + ".mod")) as f:
+        return f.read()
+
+
+def stdlib_source(names=MODULES):
+    """Concatenated source of the requested modules (dependency order).
+
+    Prepend to a client program's text before ``load_program``:
+
+    >>> from repro.stdlib import stdlib_source
+    >>> import repro
+    >>> gp = repro.compile_genexts(stdlib_source(("Lists",)) + '''
+    ... module Main where
+    ... import Lists
+    ...
+    ... main k xs = map (\\\\x -> k * x) xs
+    ... ''')
+    """
+    ordered = [m for m in MODULES if m in names]
+    missing = set(names) - set(ordered)
+    if missing:
+        raise KeyError("no standard module(s): %s" % ", ".join(sorted(missing)))
+    # Assoc and Sort import Lists; pull dependencies in automatically.
+    if ("Assoc" in ordered or "Sort" in ordered) and "Lists" not in ordered:
+        ordered.insert(0, "Lists")
+    return "\n".join(module_source(m) for m in ordered)

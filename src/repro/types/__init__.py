@@ -1,0 +1,51 @@
+"""Hindley–Milner types and inference for the object language.
+
+The paper's language "is polymorphically typed, using the standard
+Hindley–Milner type system"; its binding-time analysis is likewise
+extended from simple types to HM types.  This package provides:
+
+* the type language (:mod:`repro.types.types`),
+* unification (:mod:`repro.types.unify`),
+* Algorithm-W style inference over whole programs, module by module,
+  with let-polymorphism at top-level definitions
+  (:mod:`repro.types.infer`).
+
+Residual programs are type checked with the same inference — the
+"compile" step of the modular-residual-programs experiment.
+"""
+
+from repro.types.infer import TypeEnv, TypeError_, infer_program, prim_scheme
+from repro.types.types import (
+    BOOL,
+    NAT,
+    Scheme,
+    TCon,
+    TFun,
+    TList,
+    TPair,
+    TVar,
+    Type,
+    free_type_vars,
+    type_to_str,
+)
+from repro.types.unify import UnifyError, Unifier
+
+__all__ = [
+    "BOOL",
+    "NAT",
+    "Scheme",
+    "TCon",
+    "TFun",
+    "TList",
+    "TPair",
+    "TVar",
+    "Type",
+    "TypeEnv",
+    "TypeError_",
+    "UnifyError",
+    "Unifier",
+    "free_type_vars",
+    "infer_program",
+    "prim_scheme",
+    "type_to_str",
+]

@@ -1,0 +1,275 @@
+"""Type inference for whole programs (Algorithm W, module by module).
+
+Named functions are uncurried — a definition of arity *n* gets a
+:class:`FunScheme` over *n* argument types and a result type; saturation
+is already enforced syntactically, so no first-class uncurried function
+type is needed.  Anonymous functions have ordinary ``TFun`` types.
+
+Inference runs over modules in topological order.  Within a module,
+definitions are grouped into strongly connected components of the
+intra-module call graph: recursion inside a group is monomorphic,
+earlier groups and imported functions are used polymorphically
+(let-polymorphism at module top level, exactly what the paper's ``map``
+library example needs).
+"""
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var
+from repro.lang.names import def_called_functions
+from repro.types.types import (
+    BOOL,
+    NAT,
+    TFun,
+    TList,
+    TPair,
+    TVar,
+    Type,
+    free_type_vars,
+    substitute,
+    type_to_str,
+)
+from repro.types.unify import Unifier, UnifyError
+
+
+class TypeError_(Exception):
+    """A type error in an object-language program."""
+
+
+@dataclass(frozen=True)
+class FunType:
+    """The uncurried type of a named function."""
+
+    args: Tuple[Type, ...]
+    res: Type
+
+
+@dataclass(frozen=True)
+class FunScheme:
+    """A generalised :class:`FunType`: ``forall vars. args -> res``."""
+
+    vars: Tuple[int, ...]
+    fun: FunType
+
+    def __str__(self):
+        curried = self.fun.res
+        for a in reversed(self.fun.args):
+            curried = TFun(a, curried)
+        return type_to_str(curried)
+
+
+# Primitive signatures.  Scheme-bound variables use small ids local to the
+# scheme; instantiation replaces them with fresh unifier variables.
+_A, _B = TVar(-1), TVar(-2)
+_PRIM_SCHEMES = {
+    "+": FunScheme((), FunType((NAT, NAT), NAT)),
+    "-": FunScheme((), FunType((NAT, NAT), NAT)),
+    "*": FunScheme((), FunType((NAT, NAT), NAT)),
+    "div": FunScheme((), FunType((NAT, NAT), NAT)),
+    "mod": FunScheme((), FunType((NAT, NAT), NAT)),
+    "==": FunScheme((), FunType((NAT, NAT), BOOL)),
+    "<": FunScheme((), FunType((NAT, NAT), BOOL)),
+    "<=": FunScheme((), FunType((NAT, NAT), BOOL)),
+    "and": FunScheme((), FunType((BOOL, BOOL), BOOL)),
+    "or": FunScheme((), FunType((BOOL, BOOL), BOOL)),
+    "not": FunScheme((), FunType((BOOL,), BOOL)),
+    "cons": FunScheme((-1,), FunType((_A, TList(_A)), TList(_A))),
+    "head": FunScheme((-1,), FunType((TList(_A),), _A)),
+    "tail": FunScheme((-1,), FunType((TList(_A),), TList(_A))),
+    "null": FunScheme((-1,), FunType((TList(_A),), BOOL)),
+    "pair": FunScheme((-1, -2), FunType((_A, _B), TPair(_A, _B))),
+    "fst": FunScheme((-1, -2), FunType((TPair(_A, _B),), _A)),
+    "snd": FunScheme((-1, -2), FunType((TPair(_A, _B),), _B)),
+}
+
+
+def prim_scheme(op):
+    """The :class:`FunScheme` of primitive ``op``."""
+    return _PRIM_SCHEMES[op]
+
+
+class TypeEnv:
+    """Function name -> :class:`FunScheme` for a whole program."""
+
+    def __init__(self):
+        self._schemes = {}
+
+    def add(self, name, scheme):
+        self._schemes[name] = scheme
+
+    def lookup(self, name):
+        return self._schemes[name]
+
+    def __contains__(self, name):
+        return name in self._schemes
+
+    def names(self):
+        return tuple(self._schemes)
+
+
+def _sccs(nodes, edges):
+    """Tarjan's algorithm; returns SCCs in reverse topological order
+    (callees before callers)."""
+    index = {}
+    low = {}
+    on_stack = set()
+    stack = []
+    counter = [0]
+    out = []
+
+    def strongconnect(v):
+        index[v] = low[v] = counter[0]
+        counter[0] += 1
+        stack.append(v)
+        on_stack.add(v)
+        for w in edges(v):
+            if w not in index:
+                strongconnect(w)
+                low[v] = min(low[v], low[w])
+            elif w in on_stack:
+                low[v] = min(low[v], index[w])
+        if low[v] == index[v]:
+            comp = []
+            while True:
+                w = stack.pop()
+                on_stack.discard(w)
+                comp.append(w)
+                if w == v:
+                    break
+            out.append(tuple(comp))
+
+    for v in nodes:
+        if v not in index:
+            strongconnect(v)
+    return out
+
+
+def module_def_sccs(module):
+    """SCCs of the intra-module call graph, callees first."""
+    own = set(module.def_names())
+    calls = {
+        d.name: sorted(def_called_functions(d) & own) for d in module.defs
+    }
+    return _sccs(list(module.def_names()), lambda v: calls[v])
+
+
+class _Inferencer:
+    def __init__(self, env):
+        self.env = env
+        self.unifier = Unifier()
+
+    def instantiate(self, scheme):
+        mapping = {vid: self.unifier.fresh() for vid in scheme.vars}
+        return FunType(
+            tuple(substitute(a, mapping) for a in scheme.fun.args),
+            substitute(scheme.fun.res, mapping),
+        )
+
+    def infer_expr(self, expr, locals_):
+        u = self.unifier
+        if isinstance(expr, Lit):
+            if isinstance(expr.value, bool):
+                return BOOL
+            if expr.value == ():
+                return TList(u.fresh())
+            return NAT
+        if isinstance(expr, Var):
+            try:
+                return locals_[expr.name]
+            except KeyError:
+                raise TypeError_("unbound variable %r" % expr.name)
+        if isinstance(expr, Prim):
+            fun = self.instantiate(prim_scheme(expr.op))
+            return self._apply(expr.op, fun, expr.args, locals_)
+        if isinstance(expr, If):
+            cond = self.infer_expr(expr.cond, locals_)
+            self._unify(cond, BOOL, "condition of 'if'")
+            t1 = self.infer_expr(expr.then_branch, locals_)
+            t2 = self.infer_expr(expr.else_branch, locals_)
+            self._unify(t1, t2, "branches of 'if'")
+            return t1
+        if isinstance(expr, Call):
+            if expr.func not in self.env:
+                raise TypeError_("call of unknown function %r" % expr.func)
+            fun = self.instantiate(self.env.lookup(expr.func))
+            return self._apply(expr.func, fun, expr.args, locals_)
+        if isinstance(expr, Lam):
+            arg = u.fresh()
+            inner = dict(locals_)
+            inner[expr.var] = arg
+            res = self.infer_expr(expr.body, inner)
+            return TFun(arg, res)
+        if isinstance(expr, App):
+            fun = self.infer_expr(expr.fun, locals_)
+            arg = self.infer_expr(expr.arg, locals_)
+            res = u.fresh()
+            self._unify(fun, TFun(arg, res), "'@' application")
+            return res
+        raise TypeError("not an expression: %r" % (expr,))
+
+    def _apply(self, name, fun, args, locals_):
+        if len(fun.args) != len(args):
+            raise TypeError_(
+                "%r expects %d arguments, got %d" % (name, len(fun.args), len(args))
+            )
+        for i, (formal, actual) in enumerate(zip(fun.args, args)):
+            t = self.infer_expr(actual, locals_)
+            self._unify(t, formal, "argument %d of %r" % (i + 1, name))
+        return fun.res
+
+    def _unify(self, a, b, where):
+        try:
+            self.unifier.unify(a, b)
+        except UnifyError as e:
+            raise TypeError_(
+                "%s: %s (while checking %s vs %s)"
+                % (where, e, type_to_str(self.unifier.deep(a)),
+                   type_to_str(self.unifier.deep(b)))
+            )
+
+
+def infer_program(linked):
+    """Infer a :class:`TypeEnv` for every function in ``linked``.
+
+    Raises :class:`TypeError_` on ill-typed programs.
+    """
+    env = TypeEnv()
+    for module_name in linked.topo_order:
+        module = linked.module(module_name)
+        by_name = {d.name: d for d in module.defs}
+        for group in module_def_sccs(module):
+            inf = _Inferencer(env)
+            # Assign fresh monotypes to the whole recursive group first.
+            montypes = {}
+            for fname in group:
+                d = by_name[fname]
+                montypes[fname] = FunType(
+                    tuple(inf.unifier.fresh() for _ in d.params),
+                    inf.unifier.fresh(),
+                )
+                env.add(fname, FunScheme((), montypes[fname]))
+            for fname in group:
+                d = by_name[fname]
+                fun = montypes[fname]
+                locals_ = dict(zip(d.params, fun.args))
+                try:
+                    res = inf.infer_expr(d.body, locals_)
+                except TypeError_ as e:
+                    raise TypeError_(
+                        "in %s.%s: %s" % (module_name, fname, e)
+                    ) from None
+                inf._unify(res, fun.res, "result of %r" % fname)
+            # Generalise the group.
+            for fname in group:
+                fun = montypes[fname]
+                deep = FunType(
+                    tuple(inf.unifier.deep(a) for a in fun.args),
+                    inf.unifier.deep(fun.res),
+                )
+                vars_ = set()
+                for a in deep.args:
+                    vars_ |= free_type_vars(a)
+                vars_ |= free_type_vars(deep.res)
+                env.add(fname, FunScheme(tuple(sorted(vars_)), deep))
+    return env

@@ -1,0 +1,168 @@
+"""Well-annotatedness checker tests: the analysis output always checks,
+and hand-broken annotations are rejected."""
+
+import pytest
+
+from repro.anno import AnnotationError, check_program
+from repro.anno.ast import (
+    ACoerce,
+    ADef,
+    AIf,
+    ALam,
+    AModule,
+    APrim,
+    AProgram,
+    AVar,
+)
+from repro.bt.analysis import analyse_program
+from repro.bt.bt import BT, D, S, bt_lub, var
+from repro.bt.bttypes import BTTBase, BTTFun
+from repro.modsys.program import load_program
+
+
+def analysed(source, force_residual=frozenset()):
+    return analyse_program(load_program(source), force_residual=force_residual)
+
+
+def replace_def(aprogram, module_name, new_def):
+    modules = []
+    for m in aprogram.modules:
+        if m.name == module_name:
+            defs = tuple(
+                new_def if d.name == new_def.name else d for d in m.defs
+            )
+            modules.append(AModule(m.name, m.imports, defs))
+        else:
+            modules.append(m)
+    return AProgram(tuple(modules))
+
+
+POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
+
+
+def test_analysis_output_checks():
+    check_program(analysed(POWER).annotated)
+
+
+def test_forced_residual_output_checks():
+    check_program(analysed(POWER, force_residual={"power"}).annotated)
+
+
+def test_broken_unfold_rejected():
+    pa = analysed(POWER)
+    d = pa.annotated.module("Power").find("power")
+    broken = ADef(
+        d.name, d.bt_params, d.params, d.body,
+        S if d.unfold != S else D,  # flip the unfold annotation
+        d.param_types, d.res_type,
+    )
+    with pytest.raises(AnnotationError):
+        check_program(replace_def(pa.annotated, "Power", broken))
+
+
+def test_lowering_coercion_rejected():
+    # A coercion D -> S must be rejected.
+    pa = analysed(POWER)
+    d = pa.annotated.module("Power").find("power")
+    bad_body = ACoerce(
+        BTTBase("Nat", d.res_type.bt),
+        BTTBase("Nat", S),
+        d.body,
+    )
+    broken = ADef(
+        d.name, d.bt_params, d.params, bad_body, d.unfold,
+        d.param_types, BTTBase("Nat", S),
+    )
+    with pytest.raises(AnnotationError):
+        check_program(replace_def(pa.annotated, "Power", broken))
+
+
+def test_wrong_prim_binding_time_rejected():
+    pa = analysed(POWER)
+    d = pa.annotated.module("Power").find("power")
+
+    def clobber(e):
+        if isinstance(e, APrim) and e.op == "*":
+            return APrim(e.op, S, e.args)  # operands are t|u, op claims S
+        if isinstance(e, AIf):
+            return AIf(
+                e.bt,
+                clobber(e.cond),
+                clobber(e.then_branch),
+                clobber(e.else_branch),
+            )
+        return e
+
+    broken = ADef(
+        d.name, d.bt_params, d.params, clobber(d.body), d.unfold,
+        d.param_types, d.res_type,
+    )
+    with pytest.raises(AnnotationError):
+        check_program(replace_def(pa.annotated, "Power", broken))
+
+
+def test_wrong_result_type_rejected():
+    pa = analysed(POWER)
+    d = pa.annotated.module("Power").find("power")
+    broken = ADef(
+        d.name, d.bt_params, d.params, d.body, d.unfold,
+        d.param_types, BTTBase("Nat", var("t")),  # result is t|u, not t
+    )
+    with pytest.raises(AnnotationError):
+        check_program(replace_def(pa.annotated, "Power", broken))
+
+
+def test_ill_formed_lambda_type_rejected():
+    src = "module M where\n\napply f x = f @ x\n"
+    pa = analysed(src)
+    d = pa.annotated.module("M").find("apply")
+    # Claim a dynamic lambda with a static argument: violates wf.
+    bad = ALam(
+        "y",
+        AVar("y"),
+        "apply.lam1",
+        type=BTTFun(D, BTTBase("Nat", S), BTTBase("Nat", D)),
+    )
+    broken = ADef(
+        "bad", ("t",), ("z",), bad, S,
+        (BTTBase("Nat", var("t")),),
+        BTTFun(D, BTTBase("Nat", S), BTTBase("Nat", D)),
+    )
+    module = pa.annotated.module("M")
+    extended = AModule(module.name, module.imports, module.defs + (broken,))
+    with pytest.raises(AnnotationError):
+        check_program(AProgram((extended,)))
+
+
+def test_conditional_not_dominated_by_unfold_rejected():
+    src = "module M where\n\nf c x = if c then x else x + 1\n"
+    pa = analysed(src)
+    d = pa.annotated.module("M").find("f")
+    broken = ADef(
+        d.name, d.bt_params, d.params, d.body, S,  # unfold must be >= t
+        d.param_types, d.res_type,
+    )
+    # f's conditional is annotated t, so unfold S violates domination
+    # (unless t happens to be S, which it is not symbolically).
+    with pytest.raises(AnnotationError):
+        check_program(replace_def(pa.annotated, "M", broken))
+
+
+def test_corpus_wide_acceptance():
+    from tests.conftest import CORPUS
+
+    for case in CORPUS:
+        pa = analysed(
+            case["source"],
+            force_residual=frozenset(case.get("force_residual", ())),
+        )
+        check_program(pa.annotated)
+
+
+def test_unknown_function_in_call_rejected():
+    src = "module M where\n\nf x = x + 1\ng y = f y\n"
+    pa = analysed(src)
+    module = pa.annotated.module("M")
+    only_g = AModule(module.name, module.imports, (module.find("g"),))
+    with pytest.raises(AnnotationError):
+        check_program(AProgram((only_g,)))

@@ -1,0 +1,114 @@
+"""Annotated-program pretty-printer tests (Fig. 2 notation)."""
+
+import pytest
+
+from repro.anno.ast import (
+    AApp,
+    ACall,
+    ACoerce,
+    AIf,
+    ALam,
+    ALit,
+    APrim,
+    AVar,
+    ADef,
+    AModule,
+    AProgram,
+)
+from repro.anno.pretty import (
+    pretty_adef,
+    pretty_aexpr,
+    pretty_amodule,
+    pretty_aprogram,
+)
+from repro.bt.bt import D, S, bt_lub, var
+from repro.bt.bttypes import BTTBase
+
+
+def t():
+    return var("t")
+
+
+def test_literals():
+    assert pretty_aexpr(ALit(5)) == "5"
+    assert pretty_aexpr(ALit(True)) == "true"
+    assert pretty_aexpr(ALit(False)) == "false"
+    assert pretty_aexpr(ALit(())) == "nil"
+
+
+def test_variable():
+    assert pretty_aexpr(AVar("x")) == "x"
+
+
+def test_infix_prim_with_binding_time():
+    e = APrim("+", t(), (AVar("x"), AVar("y")))
+    assert pretty_aexpr(e) == "x +{t} y"
+
+
+def test_prefix_prim_with_binding_time():
+    e = APrim("head", D, (AVar("xs"),))
+    assert pretty_aexpr(e) == "head{D} xs"
+
+
+def test_lub_binding_time_renders_with_bar():
+    e = APrim("*", bt_lub(var("t"), var("u")), (AVar("x"), AVar("x")))
+    assert pretty_aexpr(e) == "x *{t|u} x"
+
+
+def test_conditional():
+    e = AIf(t(), AVar("c"), ALit(1), ALit(2))
+    assert pretty_aexpr(e) == "if{t} c then 1 else 2"
+
+
+def test_call_with_binding_time_arguments():
+    e = ACall("power", (t(), var("u")), (AVar("n"), AVar("x")))
+    assert pretty_aexpr(e) == "power {t u} n x"
+
+
+def test_zero_arg_call():
+    e = ACall("c", (), ())
+    assert pretty_aexpr(e) == "c {}"
+
+
+def test_lambda_and_application():
+    lam = ALam("x", AVar("x"), "f.lam1")
+    e = AApp(S, lam, ALit(1))
+    assert pretty_aexpr(e) == "(\\x -> x) @{S} 1"
+
+
+def test_coercion_brackets():
+    e = ACoerce(BTTBase("Nat", S), BTTBase("Nat", t()), ALit(1))
+    assert pretty_aexpr(e) == "[Nat^S -> Nat^t]1"
+
+
+def test_nested_coercion_parenthesises_operand():
+    inner = APrim("+", t(), (AVar("x"), AVar("y")))
+    e = ACoerce(BTTBase("Nat", t()), BTTBase("Nat", D), inner)
+    assert pretty_aexpr(e) == "[Nat^t -> Nat^D](x +{t} y)"
+
+
+def test_def_header_with_bt_params_and_unfold():
+    d = ADef(
+        "f",
+        ("t",),
+        ("x",),
+        AVar("x"),
+        t(),
+        (BTTBase("Nat", t()),),
+        BTTBase("Nat", t()),
+    )
+    assert pretty_adef(d) == "f {t} x =t x"
+
+
+def test_def_without_params():
+    d = ADef("c", (), (), ALit(1), S, (), BTTBase("Nat", S))
+    assert pretty_adef(d) == "c =S 1"
+
+
+def test_module_and_program():
+    d = ADef("c", (), (), ALit(1), S, (), BTTBase("Nat", S))
+    m = AModule("M", ("A",), (d,))
+    text = pretty_amodule(m)
+    assert text.startswith("module M where\nimport A\n")
+    assert "c =S 1" in text
+    assert pretty_aprogram(AProgram((m,))) == text

@@ -1,0 +1,57 @@
+"""Backend edge cases: deep expressions, collision-safe naming, errors."""
+
+import pytest
+
+import repro
+from repro.backend import compile_program
+from repro.modsys.program import load_program
+
+
+def test_moderately_deep_residual_expression_compiles():
+    # A few hundred nested operations must survive CPython's parser.
+    gp = repro.compile_genexts(
+        "module M where\n\n"
+        "count n x = if n == 0 then x else count (n - 1) (x + 1)\n"
+    )
+    result = repro.specialise(gp, "count", {"n": 300})
+    compiled = compile_program(result.program)
+    assert compiled.call(result.entry, 5) == 305
+
+
+def test_name_collision_with_helpers():
+    # Object-language names that match backend helpers must not clash
+    # (helpers are underscore-prefixed, user names never are).
+    c = compile_program(
+        load_program("module M where\n\nhead2 xs = head xs\ncons2 x = x : nil\n")
+    )
+    assert c.call("head2", (9,)) == 9
+    assert c.call("cons2", 1) == (1,)
+
+
+def test_mangled_names_do_not_collide():
+    c = compile_program(
+        load_program("module M where\n\nf x' = x' + 1\nf2 in' = in' * 2\n")
+    )
+    assert c.call("f", 1) == 2
+    assert c.call("f2", 3) == 6
+
+
+def test_compiled_program_exposes_source():
+    c = compile_program(load_program("module M where\n\nf x = x\n"))
+    assert "def f(x):" in c.source
+
+
+def test_unknown_function_raises_keyerror():
+    c = compile_program(load_program("module M where\n\nf x = x\n"))
+    with pytest.raises(KeyError):
+        c.function("ghost")
+
+
+def test_strict_booleans_evaluate_both_sides():
+    # `false && head nil` faults under strict object semantics; the
+    # compiled code must preserve that (no Python short-circuit).
+    c = compile_program(
+        load_program("module M where\n\nf xs = false && (head xs == 1)\n")
+    )
+    with pytest.raises(Exception):
+        c.call("f", ())

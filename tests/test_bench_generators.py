@@ -1,0 +1,109 @@
+"""Workload generators: everything they emit must be valid and runnable."""
+
+import pytest
+
+import repro
+from repro.bench.generators import (
+    chain_program,
+    fanout_program,
+    library_program,
+    random_machine_program,
+    synthetic_module_source,
+)
+from repro.bench.metrics import code_lines, genext_expansion, linear_fit
+from repro.interp import run_program
+from repro.modsys.program import load_program
+from repro.types import infer_program
+
+
+@pytest.mark.parametrize("n", [1, 5, 20])
+def test_synthetic_modules_are_well_typed(n):
+    lp = load_program(synthetic_module_source("M", n))
+    infer_program(lp)
+    assert len(lp.module("M").defs) == n
+
+
+def test_synthetic_modules_run():
+    lp = load_program(synthetic_module_source("M", 8, seed=3))
+    value = run_program(lp, "f0", [2, 3])
+    assert isinstance(value, int)
+
+
+def test_synthetic_modules_specialise():
+    gp = repro.compile_genexts(synthetic_module_source("M", 8, seed=3))
+    result = repro.specialise(gp, "f0", {"n": 2})
+    lp = load_program(synthetic_module_source("M", 8, seed=3))
+    for y in (0, 1, 9):
+        assert result.run(y) == run_program(lp, "f0", [2, y])
+
+
+def test_synthetic_generator_is_deterministic():
+    assert synthetic_module_source("M", 10, seed=1) == synthetic_module_source(
+        "M", 10, seed=1
+    )
+    assert synthetic_module_source("M", 10, seed=1) != synthetic_module_source(
+        "M", 10, seed=2
+    )
+
+
+@pytest.mark.parametrize("n,k", [(5, 1), (20, 3), (40, 5)])
+def test_library_programs_are_valid(n, k):
+    lp = load_program(library_program(n, k))
+    infer_program(lp)
+    assert len(lp.module("Lib").defs) == n
+
+
+def test_library_client_specialises_only_used_functions():
+    gp = repro.compile_genexts(library_program(25, 2, seed=1))
+    result = repro.specialise(gp, "client", {"m": 3})
+    # Only lib0, lib1 (plus possibly the entry) can be specialised.
+    assert result.stats["specialisations"] <= 3
+    lp = load_program(library_program(25, 2, seed=1))
+    assert result.run(2) == run_program(lp, "client", [3, 2])
+
+
+def test_chain_program_structure():
+    lp = load_program(chain_program(10))
+    assert len(lp.module("Chain").defs) == 10
+    assert run_program(lp, "c0", [3]) == 3 + 9  # counts up the chain
+
+
+def test_fanout_program_structure():
+    src, root = fanout_program(3, 2)
+    lp = load_program(src)
+    infer_program(lp)
+    value = run_program(lp, root, [1])
+    assert isinstance(value, int)
+
+
+def test_random_machine_programs_terminate():
+    lp = load_program(
+        "module Machine where\n\n"
+        "index xs n = if n == 0 then head xs else index (tail xs) (n - 1)\n"
+    )
+    for seed in range(4):
+        prog = random_machine_program(15, seed=seed)
+        assert len(prog) == 15
+        for instr in prog:
+            assert instr[0] == "pair"
+
+
+def test_code_lines_ignores_blanks_and_comments():
+    text = "-- header\n\nf x = x\n# pycomment\n  g y = y\n"
+    assert code_lines(text) == 2
+
+
+def test_genext_expansion_metric():
+    from repro.bt.analysis import analyse_program
+    from repro.genext.cogen import cogen_module
+
+    src = synthetic_module_source("M", 10)
+    analysis = analyse_program(load_program(src))
+    factor = genext_expansion(src, cogen_module(analysis.modules[0]))
+    assert factor > 1.0
+
+
+def test_linear_fit():
+    slope, intercept, r2 = linear_fit([1, 2, 3, 4], [2.1, 4.0, 6.1, 8.0])
+    assert 1.9 < slope < 2.1
+    assert r2 > 0.99

@@ -1,0 +1,115 @@
+"""Constraint-graph tests: least solutions and interface projection."""
+
+from repro.bt.graph import ConstraintGraph, D_NODE
+
+
+def test_fresh_variables_are_distinct():
+    g = ConstraintGraph()
+    assert g.fresh() != g.fresh()
+
+
+def test_solve_unconstrained_variable_is_static():
+    g = ConstraintGraph()
+    v = g.fresh()
+    sol = g.solve([])
+    assert sol[v] == (frozenset(), False)
+
+
+def test_parameter_reaches_itself():
+    g = ConstraintGraph()
+    p = g.fresh()
+    sol = g.solve([p])
+    assert sol[p] == (frozenset({p}), False)
+
+
+def test_edge_propagates_parameter():
+    g = ConstraintGraph()
+    p, v = g.fresh(), g.fresh()
+    g.edge(p, v)
+    sol = g.solve([p])
+    assert sol[v] == (frozenset({p}), False)
+
+
+def test_lub_is_two_edges():
+    g = ConstraintGraph()
+    p, q, r = g.fresh(), g.fresh(), g.fresh()
+    g.edge(p, r)
+    g.edge(q, r)
+    sol = g.solve([p, q])
+    assert sol[r] == (frozenset({p, q}), False)
+
+
+def test_dynamic_absorbs():
+    g = ConstraintGraph()
+    p, v = g.fresh(), g.fresh()
+    g.edge(p, v)
+    g.force_dynamic(v)
+    sol = g.solve([p])
+    assert sol[v] == (frozenset(), True)
+    assert sol[p] == (frozenset({p}), False)
+
+
+def test_dynamic_propagates_forward():
+    g = ConstraintGraph()
+    a, b, c = g.fresh(), g.fresh(), g.fresh()
+    g.force_dynamic(a)
+    g.edge(a, b)
+    g.edge(b, c)
+    sol = g.solve([])
+    assert sol[b][1] and sol[c][1]
+
+
+def test_equate_makes_values_identical():
+    g = ConstraintGraph()
+    p, a, b = g.fresh(), g.fresh(), g.fresh()
+    g.equate(a, b)
+    g.edge(p, a)
+    sol = g.solve([p])
+    assert sol[a] == sol[b]
+
+
+def test_cycles_are_handled():
+    g = ConstraintGraph()
+    p, a, b, c = g.fresh(), g.fresh(), g.fresh(), g.fresh()
+    g.edge(a, b)
+    g.edge(b, c)
+    g.edge(c, a)
+    g.edge(p, b)
+    sol = g.solve([p])
+    assert sol[a] == sol[b] == sol[c] == (frozenset({p}), False)
+
+
+def test_closure_projects_onto_interface():
+    g = ConstraintGraph()
+    a, x, y, b = g.fresh(), g.fresh(), g.fresh(), g.fresh()
+    # a -> x -> y -> b with x, y internal.
+    g.edge(a, x)
+    g.edge(x, y)
+    g.edge(y, b)
+    edges, dyn = g.closure([a, b])
+    assert edges == frozenset({(a, b)})
+    assert dyn == frozenset()
+
+
+def test_closure_excludes_self_edges():
+    g = ConstraintGraph()
+    a, b = g.fresh(), g.fresh()
+    g.equate(a, b)
+    edges, dyn = g.closure([a])
+    assert edges == frozenset()
+
+
+def test_closure_reports_forced_dynamic_interface_vars():
+    g = ConstraintGraph()
+    a, x = g.fresh(), g.fresh()
+    g.force_dynamic(x)
+    g.edge(x, a)
+    edges, dyn = g.closure([a])
+    assert dyn == frozenset({a})
+
+
+def test_reachable_from_d_node():
+    g = ConstraintGraph()
+    v = g.fresh()
+    g.force_dynamic(v)
+    assert v in g.reachable_from(D_NODE)

@@ -1,0 +1,93 @@
+"""Binding-time lattice tests, including algebraic properties."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given
+
+from repro.bt.bt import BT, BTAExprError, D, S, bt_lub, evaluate, substitute, var
+
+
+def test_constants():
+    assert S.is_static and not S.is_dynamic
+    assert D.is_dynamic and not D.is_static
+    assert str(S) == "S" and str(D) == "D"
+
+
+def test_variable_display():
+    assert str(var("t")) == "t"
+    assert str(bt_lub(var("u"), var("t"))) == "t|u"
+
+
+def test_d_absorbs():
+    assert bt_lub(var("t"), D) == D
+    assert bt_lub(D, S) == D
+    assert BT(frozenset({"t"}), True).params == frozenset()
+
+
+def test_s_is_identity():
+    assert bt_lub(S, var("t")) == var("t")
+    assert bt_lub(S, S) == S
+
+
+def test_evaluate():
+    env = {"t": S, "u": D}
+    assert evaluate(var("t"), env) == S
+    assert evaluate(var("u"), env) == D
+    assert evaluate(bt_lub(var("t"), var("u")), env) == D
+    assert evaluate(S, {}) == S
+    assert evaluate(D, {}) == D
+
+
+def test_evaluate_unbound_parameter():
+    with pytest.raises(BTAExprError):
+        evaluate(var("t"), {})
+
+
+def test_evaluate_rejects_symbolic_bindings():
+    with pytest.raises(BTAExprError):
+        evaluate(var("t"), {"t": var("u")})
+
+
+def test_substitute_symbolic():
+    out = substitute(bt_lub(var("t"), var("u")), {"t": var("a"), "u": S})
+    assert out == var("a")
+    out = substitute(var("t"), {"t": bt_lub(var("a"), var("b"))})
+    assert out == bt_lub(var("a"), var("b"))
+
+
+_bts = st.one_of(
+    st.just(S),
+    st.just(D),
+    st.sets(st.sampled_from("tuvw"), min_size=1, max_size=3).map(
+        lambda names: BT(frozenset(names), False)
+    ),
+)
+
+
+@given(_bts, _bts)
+def test_lub_commutative(a, b):
+    assert bt_lub(a, b) == bt_lub(b, a)
+
+
+@given(_bts, _bts, _bts)
+def test_lub_associative(a, b, c):
+    assert bt_lub(bt_lub(a, b), c) == bt_lub(a, bt_lub(b, c))
+
+
+@given(_bts)
+def test_lub_idempotent(a):
+    assert bt_lub(a, a) == a
+
+
+@given(_bts)
+def test_lub_units(a):
+    assert bt_lub(a, S) == a
+    assert bt_lub(a, D) == D
+
+
+@given(_bts, st.dictionaries(st.sampled_from("tuvw"), st.sampled_from([S, D])))
+def test_evaluate_is_lub_homomorphism(a, env):
+    full_env = {n: env.get(n, S) for n in "tuvw"}
+    evaluated = evaluate(a, full_env)
+    # Evaluating is the same as substituting concrete values.
+    assert evaluated == substitute(a, full_env)

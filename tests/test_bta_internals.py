@@ -1,0 +1,131 @@
+"""Analysis internals: fixpoint machinery, error paths, edge cases."""
+
+import pytest
+
+from repro.bt.analysis import (
+    BTAError,
+    analyse_module,
+    analyse_program,
+    most_general_scheme,
+)
+from repro.bt.bt import D, S, var
+from repro.bt.scheme import instantiate
+from repro.bt.graph import ConstraintGraph
+from repro.bt.bttypes import BTUnifier
+from repro.modsys.program import load_program
+
+
+def test_most_general_scheme_shape():
+    s = most_general_scheme(2)
+    assert len(s.args) == 2
+    assert s.edges == frozenset()
+    assert s.dyn == frozenset()
+    assert s.unfold == 3
+    assert s.nslots == 4
+
+
+def test_most_general_scheme_zero_arity():
+    s = most_general_scheme(0)
+    assert s.args == ()
+    assert s.nslots == 2
+
+
+def test_most_general_scheme_instantiates():
+    g = ConstraintGraph()
+    u = BTUnifier(g)
+    args, res, slot_map = instantiate(most_general_scheme(2), g, u)
+    assert len(args) == 2
+    # The two argument skeletons are distinct fresh variables.
+    assert args[0].id != args[1].id
+
+
+def test_fixpoint_converges_on_deep_mutual_recursion():
+    # Three mutually recursive functions, several iterations needed.
+    src = (
+        "module M where\n\n"
+        "a n x = if n == 0 then x else b (n - 1) (x + 1)\n"
+        "b n x = if n == 0 then x * 2 else c (n - 1) x\n"
+        "c n x = if n == 0 then x + 3 else a (n - 1) (x * x)\n"
+    )
+    schemes = analyse_program(load_program(src)).schemes
+    for name in "abc":
+        sol = schemes[name].solve_symbolic()
+        assert str(sol[schemes[name].unfold]) == "t"
+        # result absorbs both inputs through the cycle
+        assert sol[schemes[name].res.bt].params == frozenset({"t", "u"})
+
+
+def test_zero_arity_recursive_definition():
+    # An infinitely-static CAF is accepted by the analysis (running it
+    # would diverge, as would the program itself).
+    schemes = analyse_program(
+        load_program("module M where\n\nc = 1 + c\n")
+    ).schemes
+    assert schemes["c"].args == ()
+
+
+def test_shape_error_reported_with_definition_name():
+    src = "module M where\n\nbad x = if null x then 0 else x + 1\n"
+    with pytest.raises(BTAError) as exc:
+        analyse_program(load_program(src))
+    assert "bad" in str(exc.value)
+
+
+def test_higher_order_shape_error():
+    src = "module M where\n\nbad f = f @ f\n"
+    with pytest.raises(BTAError):
+        analyse_program(load_program(src))
+
+
+def test_analysis_results_hashable_and_stable():
+    src = "module M where\n\nf x y = x + y\n"
+    s1 = analyse_program(load_program(src)).schemes["f"]
+    s2 = analyse_program(load_program(src)).schemes["f"]
+    assert s1 == s2
+    assert hash(s1) == hash(s2)
+
+
+def test_force_residual_only_affects_named_functions():
+    src = "module M where\n\nf x = x + 1\ng x = f x\n"
+    pa = analyse_program(load_program(src), force_residual={"f"})
+    f_sol = pa.schemes["f"].solve_symbolic()
+    g_sol = pa.schemes["g"].solve_symbolic()
+    assert f_sol[pa.schemes["f"].unfold] == D
+    # g is not forced: its unfold stays static...
+    assert g_sol[pa.schemes["g"].unfold] == S
+    # ...but its result is dynamic because f's is.
+    assert g_sol[pa.schemes["g"].res.bt] == D
+
+
+def test_lambda_annotations_carry_types():
+    from repro.anno.ast import ALam, walk_aexpr
+    from repro.bt.bttypes import BTTFun
+
+    src = "module M where\n\ngo k xs = (\\x -> x + k) @ (1 + 2)\n"
+    pa = analyse_program(load_program(src))
+    body = pa.annotated.module("M").find("go").body
+    lams = [e for e in walk_aexpr(body) if isinstance(e, ALam)]
+    assert len(lams) == 1
+    assert isinstance(lams[0].type, BTTFun)
+    assert lams[0].free == ("k",)
+    assert lams[0].label == "go.lam1"
+
+
+def test_annotated_call_bt_args_match_callee_params():
+    from repro.anno.ast import ACall, walk_aexpr
+
+    src = (
+        "module M where\n\n"
+        "power n x = if n == 1 then x else x * power (n - 1) x\n"
+        "cube y = power 3 y\n"
+    )
+    pa = analyse_program(load_program(src))
+    cube = pa.annotated.module("M").find("cube")
+    calls = [e for e in walk_aexpr(cube.body) if isinstance(e, ACall)]
+    assert len(calls) == 1
+    assert len(calls[0].bt_args) == len(
+        pa.annotated.module("M").find("power").bt_params
+    )
+    # n = 3 is static; x = y has cube's own parameter binding time.
+    assert calls[0].bt_args[0] == S
+    assert calls[0].bt_args[1] == var("t")

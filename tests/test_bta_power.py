@@ -1,0 +1,128 @@
+"""E2: the paper's Fig. 2 — the analysis of ``power``, golden-tested.
+
+The paper annotates ``power`` as::
+
+    power {t u} n x =t if n = [S -> t]1 then [u -> t u u]x
+                       else [u -> t u u]x  x_{t u u}  power {t u} (n - [S -> t]1) x
+
+and assigns the principal binding-time type ``forall t,u. t -> u -> t u u``.
+"""
+
+import pytest
+
+from repro.anno.ast import ACall, ACoerce, AIf, ALit, APrim, AVar
+from repro.anno.pretty import pretty_adef
+from repro.bt.analysis import analyse_program
+from repro.bt.bt import BT, D, S, bt_lub, var
+from repro.bench.generators import power_source
+from repro.modsys.program import load_program
+
+
+@pytest.fixture(scope="module")
+def power_analysis():
+    return analyse_program(load_program(power_source()))
+
+
+@pytest.fixture(scope="module")
+def power_def(power_analysis):
+    return power_analysis.annotated.module("Power").find("power")
+
+
+def test_principal_scheme_is_the_papers(power_analysis):
+    scheme = power_analysis.schemes["power"]
+    sol = scheme.solve_symbolic()
+    assert scheme.input_names() == ("t", "u")
+    assert sol[scheme.args[0].bt] == var("t")
+    assert sol[scheme.args[1].bt] == var("u")
+    assert sol[scheme.res.bt] == bt_lub(var("t"), var("u"))
+    assert sol[scheme.unfold] == var("t")
+    assert scheme.qualifications() == frozenset()
+
+
+def test_binding_time_parameters(power_def):
+    assert power_def.bt_params == ("t", "u")
+    assert power_def.params == ("n", "x")
+
+
+def test_unfold_annotation_is_t(power_def):
+    # The equality sign is annotated t: unfold only when n is static.
+    assert power_def.unfold == var("t")
+
+
+def test_conditional_annotated_t(power_def):
+    body = power_def.body
+    assert isinstance(body, AIf)
+    assert body.bt == var("t")
+
+
+def test_comparison_annotated_t(power_def):
+    cond = power_def.body.cond
+    # The condition may sit under an identity-pruned coercion.
+    while isinstance(cond, ACoerce):
+        cond = cond.expr
+    assert isinstance(cond, APrim) and cond.op == "=="
+    assert cond.bt == var("t")
+
+
+def test_literal_one_lifted_from_s_to_t(power_def):
+    cond = power_def.body.cond
+    while isinstance(cond, ACoerce):
+        cond = cond.expr
+    lifted = cond.args[1]
+    assert isinstance(lifted, ACoerce)
+    assert lifted.src.bt == S
+    assert lifted.dst.bt == var("t")
+    assert isinstance(lifted.expr, ALit) and lifted.expr.value == 1
+
+
+def test_then_branch_coerces_x_up_to_t_lub_u(power_def):
+    then = power_def.body.then_branch
+    assert isinstance(then, ACoerce)
+    assert then.src.bt == var("u")
+    assert then.dst.bt == bt_lub(var("t"), var("u"))
+    assert isinstance(then.expr, AVar) and then.expr.name == "x"
+
+
+def test_multiplication_at_t_lub_u(power_def):
+    else_ = power_def.body.else_branch
+    assert isinstance(else_, APrim) and else_.op == "*"
+    assert else_.bt == bt_lub(var("t"), var("u"))
+
+
+def test_recursive_call_passes_t_u(power_def):
+    else_ = power_def.body.else_branch
+    call = else_.args[1]
+    while isinstance(call, ACoerce):
+        call = call.expr
+    assert isinstance(call, ACall)
+    assert call.func == "power"
+    assert call.bt_args == (var("t"), var("u"))
+
+
+def test_pretty_matches_paper_shape(power_def):
+    text = pretty_adef(power_def)
+    assert text.startswith("power {t u} n x =t")
+    assert "[Nat^S -> Nat^t]1" in text
+    assert "[Nat^u -> Nat^t|u]x" in text
+    assert "*{t|u}" in text
+    assert "power {t u}" in text
+
+
+def test_param_and_result_types(power_def):
+    from repro.bt.scheme import btt_to_str
+
+    assert btt_to_str(power_def.param_types[0]) == "Nat^t"
+    assert btt_to_str(power_def.param_types[1]) == "Nat^u"
+    assert btt_to_str(power_def.res_type) == "Nat^t|u"
+
+
+def test_fixpoint_reaches_same_scheme_under_forcing():
+    # With power forced residual, unfold becomes D and the result is
+    # dragged fully dynamic.
+    analysis = analyse_program(
+        load_program(power_source()), force_residual={"power"}
+    )
+    scheme = analysis.schemes["power"]
+    sol = scheme.solve_symbolic()
+    assert sol[scheme.unfold] == D
+    assert sol[scheme.res.bt] == D

@@ -1,0 +1,185 @@
+"""Binding-time schemes across a range of definitions: principality,
+polymorphic recursion, qualifications, and module-by-module analysis."""
+
+import pytest
+
+from repro.bt.analysis import BTAError, analyse_module, analyse_program
+from repro.bt.bt import BT, D, S, bt_lub, var
+from repro.modsys.program import load_program
+
+
+def schemes(source, force_residual=frozenset()):
+    return analyse_program(
+        load_program(source), force_residual=force_residual
+    ).schemes
+
+
+def sol_of(scheme):
+    return scheme.solve_symbolic()
+
+
+def test_identity_is_fully_polymorphic():
+    s = schemes("module M where\n\nident x = x\n")["ident"]
+    sol = sol_of(s)
+    assert sol[s.res.bt] == var("t")
+    assert sol[s.unfold] == S
+
+
+def test_constant_function_result_is_static():
+    s = schemes("module M where\n\nconst2 x = 2\n")["const2"]
+    assert sol_of(s)[s.res.bt] == S
+
+
+def test_addition_lubs_its_operands():
+    s = schemes("module M where\n\nplus x y = x + y\n")["plus"]
+    sol = sol_of(s)
+    assert sol[s.res.bt] == bt_lub(var("t"), var("u"))
+    assert sol[s.unfold] == S
+
+
+def test_conditional_forces_result_at_least_test():
+    s = schemes("module M where\n\nf c x = if c then x else x + 1\n")["f"]
+    sol = sol_of(s)
+    assert sol[s.res.bt] == bt_lub(var("t"), var("u"))
+    assert sol[s.unfold] == var("t")
+
+
+def test_length_ignores_element_binding_times():
+    s = schemes(
+        "module M where\n\nlen xs = if null xs then 0 else 1 + len (tail xs)\n"
+    )["len"]
+    sol = sol_of(s)
+    # Result depends only on the spine.
+    assert sol[s.res.bt] == var("t")
+    assert sol[s.unfold] == var("t")
+
+
+def test_map_scheme_matches_dhm_shape():
+    s = schemes(
+        "module M where\n\n"
+        "map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)\n"
+    )["map"]
+    names = s.input_names()
+    assert len(names) == 4  # closure bt, arg elem, result elem, spine
+    quals = s.qualifications()
+    assert quals, "map needs qualifications relating closure and spine"
+
+
+def test_polymorphic_recursion_converges_for_mutual_recursion():
+    src = (
+        "module M where\n\n"
+        "even n = if n == 0 then true else odd (n - 1)\n"
+        "odd n = if n == 0 then false else even (n - 1)\n"
+    )
+    out = schemes(src)
+    for name in ("even", "odd"):
+        s = out[name]
+        sol = sol_of(s)
+        assert sol[s.res.bt] == var("t")
+        assert sol[s.unfold] == var("t")
+
+
+def test_zero_arity_definition():
+    s = schemes("module M where\n\nc = 41\n")["c"]
+    assert s.args == ()
+    assert sol_of(s)[s.res.bt] == S
+
+
+def test_force_residual_makes_unfold_dynamic():
+    out = schemes("module M where\n\nid2 x = x\n", force_residual={"id2"})
+    s = out["id2"]
+    sol = sol_of(s)
+    assert sol[s.unfold] == D
+    assert sol[s.res.bt] == D
+
+
+def test_imported_scheme_is_instantiated_per_call():
+    src = (
+        "module A where\n\nident x = x\n"
+        "module B where\nimport A\n\n"
+        "two a b = ident a + ident (a + b)\n"
+    )
+    s = schemes(src)["two"]
+    sol = sol_of(s)
+    assert sol[s.res.bt] == bt_lub(var("t"), var("u"))
+
+
+def test_module_analysis_requires_import_interfaces():
+    lp = load_program(
+        "module A where\n\nf x = x\n"
+        "module B where\nimport A\n\ng y = f y\n"
+    )
+    with pytest.raises(BTAError):
+        analyse_module(lp.module("B"), {})  # missing f's scheme
+
+
+def test_analysis_is_per_module_composable():
+    lp = load_program(
+        "module A where\n\nf x = x + 1\n"
+        "module B where\nimport A\n\ng y = f (f y)\n"
+    )
+    a = analyse_module(lp.module("A"), {})
+    b = analyse_module(lp.module("B"), a.schemes)
+    whole = analyse_program(lp)
+    assert b.schemes["g"] == whole.schemes["g"]
+    assert a.schemes["f"] == whole.schemes["f"]
+
+
+def test_unfold_includes_conditionals_under_lambdas():
+    src = (
+        "module M where\n\n"
+        "apply f x = f @ x\n"
+        "g c x = apply (\\y -> if c then y else y + 1) x\n"
+    )
+    s = schemes(src)["g"]
+    sol = sol_of(s)
+    # The conditional sits textually in g's body, so g's unfold
+    # annotation must dominate c's binding time.
+    assert var("t").params <= sol[s.unfold].params or sol[s.unfold].dyn
+
+
+def test_static_pair_projections():
+    s = schemes("module M where\n\nf a b = fst (pair a b)\n")["f"]
+    sol = sol_of(s)
+    assert sol[s.res.bt] == var("t")
+
+
+def test_well_formedness_dynamic_spine_forces_elements():
+    src = "module M where\n\nf c xs ys = if c then xs else tail ys\n"
+    s = schemes(src)["f"]
+    sol = sol_of(s)
+    from repro.bt.bttypes import BTTList
+
+    res = s.res
+    assert isinstance(res, BTTList)
+    # spine of the result absorbs the condition's binding time, and the
+    # element top dominates the spine.
+    spine = sol[res.bt]
+    elem_top = sol[res.elem.bt]
+    assert spine.params <= elem_top.params or elem_top.dyn
+
+
+def test_returned_closure_argument_is_an_input():
+    from repro.bt.scheme import result_input_names
+
+    src = (
+        "module M where\n\n"
+        "pick c = if c then (\\x -> x + 1) else (\\x -> x * 2)\n"
+    )
+    s = schemes(src)["pick"]
+    extra = result_input_names(s)
+    # The returned closure's argument binding time is context-chosen.
+    assert len(extra) >= 1
+    assert set(extra) <= set(s.input_names())
+
+
+def test_first_order_results_add_no_inputs():
+    from repro.bt.scheme import result_input_names
+
+    src = "module M where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
+    assert result_input_names(schemes(src)["power"]) == ()
+
+
+def test_schemes_stable_under_reanalysis():
+    src = power = "module M where\n\nf n x = if n == 0 then x else f (n - 1) (x * x)\n"
+    assert schemes(src)["f"] == schemes(src)["f"]

@@ -1,0 +1,259 @@
+"""Binding-time type machinery: unification, coercion, well-formedness,
+schemes, and instantiation."""
+
+import pytest
+
+from repro.bt.bttypes import (
+    BTTBase,
+    BTTFun,
+    BTTList,
+    BTTPair,
+    BTTSkel,
+    BTUnifier,
+    BTUnifyError,
+    bt_slots,
+    map_bts,
+    top,
+)
+from repro.bt.graph import ConstraintGraph
+from repro.bt.scheme import BTScheme, Canonicaliser, input_name, instantiate
+
+
+def setup():
+    g = ConstraintGraph()
+    return g, BTUnifier(g)
+
+
+def solved(g, params, v):
+    return g.solve(params)[v]
+
+
+# -- unification -----------------------------------------------------------
+
+
+def test_unify_bases_equates_binding_times():
+    g, u = setup()
+    p = g.fresh()
+    a = BTTBase("Nat", p)
+    b = BTTBase("Nat", g.fresh())
+    u.unify(a, b)
+    assert solved(g, [p], b.bt) == (frozenset({p}), False)
+
+
+def test_unify_base_name_mismatch():
+    g, u = setup()
+    with pytest.raises(BTUnifyError):
+        u.unify(BTTBase("Nat", g.fresh()), BTTBase("Bool", g.fresh()))
+
+
+def test_unify_shape_mismatch():
+    g, u = setup()
+    with pytest.raises(BTUnifyError):
+        u.unify(
+            BTTList(g.fresh(), u.fresh_skel()), BTTBase("Nat", g.fresh())
+        )
+
+
+def test_unify_skeleton_binds():
+    g, u = setup()
+    s = u.fresh_skel()
+    t = BTTList(g.fresh(), BTTBase("Nat", g.fresh()))
+    u.unify(s, t)
+    assert u.resolve(s) == t
+
+
+def test_unify_skeleton_occurs_check():
+    g, u = setup()
+    s = u.fresh_skel()
+    with pytest.raises(BTUnifyError):
+        u.unify(s, BTTList(g.fresh(), s))
+
+
+def test_unify_deep_resolution():
+    g, u = setup()
+    s1, s2 = u.fresh_skel(), u.fresh_skel()
+    u.unify(s1, s2)
+    t = BTTBase("Nat", g.fresh())
+    u.unify(s2, t)
+    assert u.deep(s1) == t
+
+
+# -- coercion ----------------------------------------------------------------
+
+
+def test_coerce_base_is_one_way():
+    g, u = setup()
+    p, q = g.fresh(), g.fresh()
+    u.coerce(BTTBase("Nat", p), BTTBase("Nat", q))
+    assert solved(g, [p], q) == (frozenset({p}), False)
+    assert solved(g, [p, q], p) == (frozenset({p}), False)  # no back edge
+
+
+def test_coerce_list_covariant():
+    g, u = setup()
+    p, e1 = g.fresh(), g.fresh()
+    q, e2 = g.fresh(), g.fresh()
+    u.coerce(
+        BTTList(p, BTTBase("Nat", e1)), BTTList(q, BTTBase("Nat", e2))
+    )
+    sol = g.solve([p, e1])
+    assert sol[q] == (frozenset({p}), False)
+    assert sol[e2] == (frozenset({e1}), False)
+
+
+def test_coerce_function_children_invariant():
+    g, u = setup()
+    a1, r1, f1 = g.fresh(), g.fresh(), g.fresh()
+    a2, r2, f2 = g.fresh(), g.fresh(), g.fresh()
+    u.coerce(
+        BTTFun(f1, BTTBase("Nat", a1), BTTBase("Nat", r1)),
+        BTTFun(f2, BTTBase("Nat", a2), BTTBase("Nat", r2)),
+    )
+    sol = g.solve([a2, r1])
+    # argument and result equated (both directions).
+    assert sol[a1] == (frozenset({a2}), False)
+    assert sol[r2] == (frozenset({r1}), False)
+
+
+def test_coerce_unbound_skeleton_source_instantiates_one_way():
+    # The principality fix: coercing an unbound parameter skeleton into
+    # Nat^o must NOT alias the parameter with o.
+    g, u = setup()
+    s = u.fresh_skel()
+    o = g.fresh()
+    other = g.fresh()
+    g.edge(other, o)  # o also absorbs another parameter
+    u.coerce(s, BTTBase("Nat", o))
+    bound = u.resolve(s)
+    assert isinstance(bound, BTTBase)
+    sol = g.solve([bound.bt, other])
+    # o sees the parameter; the parameter does not see `other` back.
+    assert sol[o][0] == frozenset({bound.bt, other})
+    assert sol[bound.bt] == (frozenset({bound.bt}), False)
+
+
+def test_coerce_unbound_skeleton_target():
+    g, u = setup()
+    s = u.fresh_skel()
+    p = g.fresh()
+    u.coerce(BTTBase("Nat", p), s)
+    bound = u.resolve(s)
+    assert isinstance(bound, BTTBase)
+    assert solved(g, [p], bound.bt) == (frozenset({p}), False)
+
+
+def test_coerce_shape_mismatch():
+    g, u = setup()
+    with pytest.raises(BTUnifyError):
+        u.coerce(
+            BTTBase("Nat", g.fresh()),
+            BTTList(g.fresh(), BTTBase("Nat", g.fresh())),
+        )
+
+
+# -- well-formedness ------------------------------------------------------------
+
+
+def test_well_formed_pushes_parent_to_children():
+    g, u = setup()
+    spine, elem = g.fresh(), g.fresh()
+    t = BTTList(spine, BTTBase("Nat", elem))
+    u.well_formed(t)
+    assert solved(g, [spine], elem) == (frozenset({spine}), False)
+
+
+def test_well_formed_recursive():
+    g, u = setup()
+    a, b, c = g.fresh(), g.fresh(), g.fresh()
+    t = BTTList(a, BTTPair(b, BTTBase("Nat", c), BTTBase("Nat", g.fresh())))
+    u.well_formed(t)
+    sol = g.solve([a])
+    assert sol[b][0] == frozenset({a})
+    assert sol[c][0] == frozenset({a})
+
+
+def test_instantiate_like_preserves_shape():
+    g, u = setup()
+    t = BTTFun(
+        g.fresh(),
+        BTTList(g.fresh(), BTTBase("Nat", g.fresh())),
+        u.fresh_skel(),
+    )
+    copy = u.instantiate_like(t)
+    assert isinstance(copy, BTTFun)
+    assert isinstance(copy.arg, BTTList)
+    assert isinstance(copy.res, BTTSkel)
+    assert copy.bt != t.bt
+
+
+# -- canonical schemes -------------------------------------------------------------
+
+
+def _power_like_scheme():
+    """Build a scheme resembling power's: t -> u -> t|u, unfold t."""
+    g, u = setup()
+    t, uu, r, c = g.fresh(), g.fresh(), g.fresh(), g.fresh()
+    g.edge(t, r)
+    g.edge(uu, r)
+    g.edge(t, c)
+    g.edge(c, r)
+    canon = Canonicaliser(u)
+    return canon.build(
+        g, [BTTBase("Nat", t), BTTBase("Nat", uu)], BTTBase("Nat", r), c
+    )
+
+
+def test_canonical_scheme_shape():
+    s = _power_like_scheme()
+    assert s.inputs() == (0, 1)
+    assert s.input_names() == ("t", "u")
+    sol = s.solve_symbolic()
+    assert str(sol[s.args[0].bt]) == "t"
+    assert str(sol[s.res.bt]) == "t|u"
+    assert str(sol[s.unfold]) == "t"
+
+
+def test_scheme_equality_is_structural():
+    assert _power_like_scheme() == _power_like_scheme()
+
+
+def test_scheme_str_mentions_unfold():
+    assert "[unfold: t]" in str(_power_like_scheme())
+
+
+def test_instantiate_replays_edges():
+    s = _power_like_scheme()
+    g, u = setup()
+    args, res, slot_map = instantiate(s, g, u)
+    t_var = args[0].bt
+    sol = g.solve([t_var])
+    assert sol[res.bt][0] == frozenset({t_var})
+
+
+def test_instantiate_shares_skeletons():
+    g0, u0 = setup()
+    elem = u0.fresh_skel()
+    spine = g0.fresh()
+    canon = Canonicaliser(u0)
+    scheme = canon.build(
+        g0, [BTTList(spine, elem)], elem, g0.fresh()
+    )
+    g, u = setup()
+    args, res, _ = instantiate(scheme, g, u)
+    assert isinstance(res, BTTSkel)
+    assert args[0].elem.id == res.id  # same fresh skeleton on both sides
+
+
+def test_input_name_sequence():
+    names = [input_name(i) for i in range(14)]
+    assert names[:4] == ["t", "u", "v", "w"]
+    assert names[12] == "t12"
+
+
+def test_bt_slots_and_map_bts():
+    g, u = setup()
+    t = BTTPair(1, BTTBase("Nat", 2), BTTList(3, BTTBase("Bool", 4)))
+    assert bt_slots(t) == [1, 2, 3, 4]
+    doubled = map_bts(t, lambda b: b * 10)
+    assert bt_slots(doubled) == [10, 20, 30, 40]
+    assert top(doubled) == 10

@@ -1,0 +1,171 @@
+"""Engine tests: goal setup, binding-time saturation, entry attachment,
+error handling."""
+
+import pytest
+
+import repro
+from repro.genext.engine import goal_binding_times
+from repro.genext.runtime import D, S, SpecError
+
+POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
+
+
+@pytest.fixture(scope="module")
+def power_gp():
+    return repro.compile_genexts(POWER)
+
+
+def test_goal_binding_times_static_and_dynamic(power_gp):
+    sig = power_gp.signature("power")
+    env = goal_binding_times(sig, {"n"})
+    assert env == {"t": S, "u": D}
+    env = goal_binding_times(sig, {"n", "x"})
+    assert env == {"t": S, "u": S}
+    env = goal_binding_times(sig, set())
+    assert env == {"t": D, "u": D}
+
+
+def test_all_static_goal_computes_value(power_gp):
+    result = repro.specialise(power_gp, "power", {"n": 4, "x": 3})
+    assert result.dynamic_params == ()
+    assert result.run() == 81
+    body = result.program.modules[0].defs[-1].body
+    from repro.lang.ast import Lit
+
+    assert body == Lit(81)
+
+
+def test_unknown_static_parameter_rejected(power_gp):
+    with pytest.raises(SpecError) as exc:
+        repro.specialise(power_gp, "power", {"zz": 1})
+    assert "zz" in str(exc.value)
+
+
+def test_unknown_goal_rejected(power_gp):
+    with pytest.raises(KeyError):
+        repro.specialise(power_gp, "nosuch", {})
+
+
+def test_shared_binding_time_forces_coercion():
+    # Both parameters share a binding time through the result; making
+    # one dynamic must not break injection of the other.
+    src = "module M where\n\nf a b = a + b\n"
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "f", {"a": 2})
+    assert result.run(3) == 5
+
+
+def test_function_typed_parameter_can_be_dynamic():
+    # A dynamic function parameter is sound: the application becomes a
+    # residual '@'.  (Only fully dynamic parameter types are accepted as
+    # dynamic goals; the analysis makes higher-order parameters fully
+    # dynamic when their closure binding time is.)
+    src = (
+        "module M where\n\n"
+        "apply f x = f @ x\n"
+    )
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "apply", {})
+    from repro.lang.ast import App, Var
+
+    entry = result.program.modules[0].defs[-1]
+    assert entry.body == App(Var("f"), Var("x"))
+
+
+def test_entry_keeps_goal_name(power_gp):
+    result = repro.specialise(power_gp, "power", {"n": 3})
+    assert result.entry == "power"
+    assert any(
+        d.name == "power" for m in result.program.modules for d in m.defs
+    )
+
+
+def test_trivial_wrapper_is_folded():
+    gp = repro.compile_genexts(POWER, force_residual={"power"})
+    result = repro.specialise(gp, "power", {"n": 3})
+    names = [d.name for m in result.program.modules for d in m.defs]
+    # The residualised goal takes over the entry name; no power_1 wrapper
+    # plus separate entry.
+    assert "power" in names
+
+
+def test_static_list_argument_computed_away():
+    src = (
+        "module M where\n\n"
+        "sum xs = if null xs then 0 else head xs + sum (tail xs)\n"
+    )
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "sum", {"xs": (1, 2, 3, 4)})
+    from repro.lang.ast import Lit
+
+    assert result.program.modules[0].defs[-1].body == Lit(10)
+
+
+def test_stats_are_reported(power_gp):
+    result = repro.specialise(power_gp, "power", {"x": 2})
+    assert result.stats["specialisations"] == 1
+    assert result.stats["memo_hits"] >= 1
+    result = repro.specialise(power_gp, "power", {"n": 3})
+    assert result.stats["unfolds"] == 3
+
+
+def test_sink_receives_streamed_definitions(power_gp):
+    seen = []
+    repro.specialise(
+        power_gp, "power", {"x": 2}, sink=lambda pl, d: seen.append(d.name)
+    )
+    assert seen == ["power_1"]
+
+
+def test_bool_static_argument():
+    src = "module M where\n\npick c x y = if c then x else y\n"
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "pick", {"c": True})
+    assert result.run(1, 2) == 1
+    # The conditional is gone from the residual program.
+    from repro.lang.ast import If, Var
+    entry = result.program.modules[0].defs[-1]
+    assert entry.body == Var("x")
+
+
+def test_pair_static_argument():
+    src = "module M where\n\naddp p = fst p + snd p\n"
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "addp", {"p": ("pair", 20, 22)})
+    assert result.run() == 42
+
+
+def test_wrong_shape_static_argument_rejected(power_gp):
+    with pytest.raises(SpecError) as exc:
+        repro.specialise(power_gp, "power", {"n": (1, 2, 3)})
+    assert "does not fit" in str(exc.value)
+
+
+def test_unbounded_static_variation_is_diagnosed():
+    # pc counts up under a dynamic halt test: the classic divergence.
+    src = (
+        "module M where\n\n"
+        "loop pc limit = if pc == limit then pc else loop (pc + 1) limit\n"
+    )
+    gp = repro.compile_genexts(src)
+    with pytest.raises(SpecError) as exc:
+        repro.specialise(gp, "loop", {"pc": 0}, max_versions=50)
+    assert "unbounded static variation" in str(exc.value)
+
+
+def test_deep_static_unfolding_is_supported():
+    # Legitimate deep static recursion (depth 5000) must work.
+    src = (
+        "module M where\n\n"
+        "count n x = if n == 0 then x else count (n - 1) (x + 1)\n"
+    )
+    gp = repro.compile_genexts(src)
+    result = repro.specialise(gp, "count", {"n": 5000})
+    assert result.run(1) == 5001
+
+
+def test_wrong_shape_list_argument_rejected():
+    src = "module M where\n\nsum xs = if null xs then 0 else head xs + sum (tail xs)\n"
+    gp = repro.compile_genexts(src)
+    with pytest.raises(SpecError):
+        repro.specialise(gp, "sum", {"xs": 7})

@@ -1,0 +1,127 @@
+"""E12: the fundamental correctness property of specialisation.
+
+For every corpus program: running the residual program on the dynamic
+inputs equals running the source program on all inputs — and the
+interpretive baseline ``mix`` produces the *identical* residual program.
+Also checks structural health of every residual program: it links, type
+checks, has no empty modules, and has an acyclic import graph.
+"""
+
+import pytest
+
+import repro
+from repro.interp import run_program
+from repro.specialiser import mix_specialise
+from repro.types import infer_program
+
+
+def _static_values(case):
+    return {k: _to_value(v) for k, v in case["static"].items()}
+
+
+def _to_value(v):
+    # Corpus literals use ("pair", a, b) for pairs and tuples for lists.
+    return v
+
+
+def _specialise(gp, case, **kwargs):
+    return repro.specialise(gp, case["goal"], _static_values(case), **kwargs)
+
+
+def test_residual_equals_source(corpus_case, corpus_genexts):
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    result = _specialise(gp, case)
+    linked = repro.load_program(case["source"])
+    sig = gp.signature(case["goal"])
+    for dyn in case["dyn_inputs"]:
+        full_args = []
+        dyn_iter = iter(dyn)
+        for p in sig.params:
+            if p in case["static"]:
+                full_args.append(case["static"][p])
+            else:
+                full_args.append(next(dyn_iter))
+        expected = run_program(linked, case["goal"], full_args)
+        assert result.run(*dyn) == expected
+
+
+def test_mix_produces_identical_residual(corpus_case, corpus_genexts):
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    genext_result = _specialise(gp, case)
+    mix_result = mix_specialise(
+        case["source"],
+        case["goal"],
+        _static_values(case),
+        force_residual=frozenset(case.get("force_residual", ())),
+    )
+    assert mix_result.program == genext_result.program
+    assert mix_result.entry == genext_result.entry
+
+
+def test_residual_program_is_well_formed(corpus_case, corpus_genexts):
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    result = _specialise(gp, case)
+    # Linking already checked imports/acyclicity/scoping; re-check the
+    # key properties explicitly.
+    program = result.program
+    for m in program.modules:
+        assert m.defs, "empty residual module %s was emitted" % m.name
+    result.linked.graph.check_acyclic()
+    # Residual programs must type check (the modular "compile" step).
+    infer_program(result.linked)
+
+
+def test_dfs_equivalent_to_bfs(corpus_case, corpus_genexts):
+    from repro.residual.normalise import normalise_program
+
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    bfs = _specialise(gp, case, strategy="bfs")
+    dfs = _specialise(gp, case, strategy="dfs")
+    assert normalise_program(bfs.program, bfs.entry) == normalise_program(
+        dfs.program, dfs.entry
+    )
+    for dyn in case["dyn_inputs"]:
+        assert bfs.run(*dyn) == dfs.run(*dyn)
+
+
+def test_monolithic_emission_equivalent(corpus_case, corpus_genexts):
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    modular = _specialise(gp, case)
+    mono = _specialise(gp, case, monolithic=True)
+    assert len(mono.program.modules) == 1
+    for dyn in case["dyn_inputs"]:
+        assert mono.run(*dyn) == modular.run(*dyn)
+
+
+def test_annotations_check(corpus_case):
+    from repro.anno import check_program
+    from repro.bt.analysis import analyse_program
+
+    case = corpus_case
+    linked = repro.load_program(case["source"])
+    analysis = analyse_program(
+        linked, force_residual=frozenset(case.get("force_residual", ()))
+    )
+    check_program(analysis.annotated)
+
+
+def test_annotations_strip_to_source(corpus_case):
+    from repro.anno.ast import strip
+    from repro.bt.analysis import analyse_program
+
+    case = corpus_case
+    linked = repro.load_program(case["source"])
+    analysis = analyse_program(
+        linked, force_residual=frozenset(case.get("force_residual", ()))
+    )
+    for amodule in analysis.annotated.modules:
+        module = linked.module(amodule.name)
+        for adef in amodule.defs:
+            d = module.find(adef.name)
+            assert strip(adef.body) == d.body
+            assert adef.params == d.params

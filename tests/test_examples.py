@@ -1,0 +1,97 @@
+"""Every example script must run to completion and print sane output."""
+
+import importlib.util
+import io
+import os
+import sys
+from contextlib import redirect_stdout
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "examples"
+)
+
+
+def run_example(name):
+    path = os.path.join(EXAMPLES_DIR, name)
+    spec = importlib.util.spec_from_file_location("example_" + name[:-3], path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    out = io.StringIO()
+    with redirect_stdout(out):
+        module.main()
+    return out.getvalue()
+
+
+def test_examples_directory_has_at_least_three_scripts():
+    scripts = [f for f in os.listdir(EXAMPLES_DIR) if f.endswith(".py")]
+    assert len(scripts) >= 3
+    assert "quickstart.py" in scripts
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "power : forall t,u. Nat^t -> Nat^u -> Nat^t|u" in out
+    assert "power x = x * (x * x)" in out
+    assert "residual power(2) = 8" in out
+    assert "residual power(10) = 1024" in out
+
+
+def test_library_specialisation():
+    out = run_example("library_specialisation.py")
+    assert "Shipped artefacts:" in out
+    assert "Lists.genext.py" in out
+    assert "scale([1,2,3]) = (10, 20, 30)" in out
+    assert "firstk([7,8,9]) = (7, 8)" in out
+    assert "sumsq = 30" in out
+
+
+def test_futamura_compiler():
+    out = run_example("futamura_compiler.py")
+    assert out.count("OK") >= 4
+    assert "BUG" not in out
+    assert "outputs agree: True" in out
+
+
+def test_modular_residual():
+    out = run_example("modular_residual.py")
+    assert "module PowerTwice where" in out
+    assert "main(2) = 2^9 = 512" in out
+    assert "holds 1 shared specialisation(s)" in out
+
+
+def test_expr_compiler():
+    out = run_example("expr_compiler.py")
+    assert "run env = (head env + 1) * (head (tail env) + 2)" in out
+    assert "run = 42" in out
+    assert "fn([6]) = 37" in out
+
+
+def test_fir_filter():
+    out = run_example("fir_filter.py")
+    assert "fir (1, 2, 1) (1, 2, 3, 4, 5, 6) = (8, 12, 16, 20)" in out
+    assert "fn((10, 20, 30)) = (50, 90)" in out
+
+
+def test_modular_interpreter():
+    out = run_example("modular_interpreter.py")
+    assert "residual modules: Alu, Machine" in out
+    assert "run(200) = 255" in out
+    assert "run(99) = 7" in out
+
+
+def test_functor_sort():
+    out = run_example("functor_sort.py")
+    assert "asc_isort([3,1,2])  = (1, 2, 3)" in out
+    assert "desc_isort([3,1,2]) = (3, 2, 1)" in out
+    assert "rejected, as it must be" in out
+    assert "keyed_isort(...) = (('pair', 1, 10)" in out
+
+
+def test_pattern_matcher():
+    out = run_example("pattern_matcher.py")
+    assert "BUG" not in out
+    assert out.count("OK") == 5
+    assert "one per pattern suffix" in out
+    assert "starts with '#': True" in out

@@ -1,0 +1,96 @@
+"""Binding-time explanation tests."""
+
+import pytest
+
+from repro.bt.explain import explain_function
+from repro.modsys.program import load_program
+
+POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
+
+
+@pytest.fixture(scope="module")
+def power_report():
+    return explain_function(load_program(POWER), "power")
+
+
+def test_result_absorbs_both_parameters(power_report):
+    text = power_report.why_result()
+    assert "absorbs t because" in text
+    assert "absorbs u because" in text
+
+
+def test_result_path_goes_through_the_conditional(power_report):
+    text = power_report.why_result()
+    assert "operand of '=='" in text
+    assert "result of a conditional depends on its test" in text
+
+
+def test_unfold_explained_by_similix_rule(power_report):
+    text = power_report.why_unfold()
+    assert "Similix rule" in text
+    assert "absorbs t because" in text
+    assert "absorbs u because" not in text  # unfold is t, not t|u
+
+
+def test_param_independence(power_report):
+    # x's binding time does not absorb t: parameters stay principal.
+    assert power_report.why_param_absorbs("x", "t") is None
+    assert power_report.why_param_absorbs("n", "u") is None
+
+
+def test_static_result_reports_nothing():
+    report = explain_function(
+        load_program("module M where\n\nconst2 x = 2\n"), "const2"
+    )
+    assert report.why_result() == "(static: nothing flows here)"
+
+
+def test_forced_residual_explained_by_d():
+    report = explain_function(
+        load_program(POWER), "power", force_residual={"power"}
+    )
+    text = report.why_unfold()
+    assert "absorbs D because" in text
+
+
+def test_well_formedness_reason_appears():
+    src = (
+        "module M where\n\n"
+        "f c xs ys = if c then xs else tail ys\n"
+    )
+    report = explain_function(load_program(src), "f")
+    text = report.why_result()
+    assert "conditional" in text
+
+
+def test_dot_export(power_report):
+    from repro.bt.explain import to_dot
+
+    dot = to_dot(power_report)
+    assert dot.startswith("digraph bt {")
+    assert dot.rstrip().endswith("}")
+    assert '[label="t", shape=box]' in dot
+    assert '[label="result", shape=doublecircle]' in dot
+    assert "operand of '=='" in dot
+    # Valid-ish dot: no raw negative ids.
+    assert "n-1" not in dot
+
+
+def test_dot_export_truncates():
+    from repro.bt.explain import to_dot
+
+    dot = to_dot(
+        explain_function(load_program(POWER), "power"), max_nodes=3
+    )
+    assert "truncated" in dot
+
+
+def test_call_argument_reason_appears():
+    src = (
+        "module M where\n\n"
+        "len xs = if null xs then 0 else 1 + len (tail xs)\n"
+        "use ys = len ys\n"
+    )
+    report = explain_function(load_program(src), "use")
+    text = report.why_result()
+    assert "argument 1 of 'len'" in text

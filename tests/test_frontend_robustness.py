@@ -1,0 +1,69 @@
+"""Front-end robustness: arbitrary input must fail *cleanly*.
+
+Whatever bytes arrive, the lexer/parser/loader may reject them only with
+the documented error types — never with an internal exception."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.errors import LangError
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse_expr, parse_program
+from repro.modsys.program import load_program
+from repro.types.infer import TypeError_, infer_program
+from repro.bt.analysis import BTAError, analyse_program
+
+_fragments = st.one_of(
+    st.sampled_from(list("abcxyz ()[]{}<>=+-*/\\@:,.|&!'\"\n\t0123456789")),
+    st.sampled_from(
+        ["module ", "where ", "if ", "then ", "else ", "let ", "in ", "import "]
+    ),
+)
+_textish = st.lists(_fragments, max_size=40).map("".join)
+
+
+@given(_textish)
+@settings(max_examples=300, deadline=None)
+def test_lexer_total(text):
+    try:
+        tokenize(text)
+    except LangError:
+        pass
+
+
+@given(_textish)
+@settings(max_examples=300, deadline=None)
+def test_parse_expr_total(text):
+    try:
+        parse_expr(text)
+    except LangError:
+        pass
+
+
+@given(_textish)
+@settings(max_examples=200, deadline=None)
+def test_load_program_total(text):
+    try:
+        load_program("module M where\n\nf x = " + text.replace("\n", " ") + "\n")
+    except LangError:
+        pass
+
+
+@given(_textish)
+@settings(max_examples=100, deadline=None)
+def test_full_front_end_total(text):
+    """Anything that parses and links must either type check + analyse
+    or fail with the documented error types."""
+    source = "module M where\n\nf x y = " + text.replace("\n", " ") + "\n"
+    try:
+        linked = load_program(source)
+    except LangError:
+        return
+    try:
+        infer_program(linked)
+    except TypeError_:
+        return
+    try:
+        analyse_program(linked)
+    except BTAError:
+        pass

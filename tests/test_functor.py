@@ -1,0 +1,230 @@
+"""Parameterised modules (functors): analysis-once, instantiate-many,
+scheme subsumption."""
+
+import pytest
+
+import repro
+from repro.bt.analysis import analyse_program
+from repro.bt.scheme import BTScheme
+from repro.functor import (
+    FunctorError,
+    default_param_scheme,
+    make_functor,
+    scheme_subsumes,
+)
+from repro.genext.cogen import cogen_program
+from repro.genext.link import GenextProgram, load_genext
+from repro.lang.errors import ValidationError
+from repro.lang.parser import parse_module, parse_program
+from repro.lang.pretty import pretty_module
+from repro.modsys.program import load_program
+
+ORD = """\
+module Ord where
+
+leqAsc a b = a <= b
+leqDesc a b = b <= a
+keyLeq p q = fst p <= fst q
+always a b = true
+"""
+
+SORT = """\
+module Sort(le 2) where
+
+insert x xs = if null xs then x : nil else if le x (head xs) then x : xs else head xs : insert x (tail xs)
+isort xs = if null xs then nil else insert (head xs) (isort (tail xs))
+"""
+
+
+@pytest.fixture(scope="module")
+def ord_analysis():
+    return analyse_program(load_program(ORD))
+
+
+@pytest.fixture(scope="module")
+def sort_template():
+    return make_functor(parse_program(SORT).modules[0])
+
+
+def _link(template, ord_analysis, *instantiations):
+    base = [load_genext(m) for m in cogen_program(ord_analysis)]
+    loaded = [
+        template.instantiate(name, bindings, ord_analysis.schemes)[0]
+        for name, bindings in instantiations
+    ]
+    return GenextProgram(base + loaded)
+
+
+# -- syntax ---------------------------------------------------------------------
+
+
+def test_functor_header_parses():
+    m = parse_program(SORT).modules[0]
+    assert m.is_functor
+    assert m.params == (("le", 2),)
+
+
+def test_functor_header_pretty_roundtrips():
+    m = parse_program(SORT).modules[0]
+    assert parse_module(pretty_module(m)) == m
+
+
+def test_multi_parameter_functor_parses():
+    m = parse_module("module F(f 1, g 2) where\n\nuse x = g (f x) x\n")
+    assert m.params == (("f", 1), ("g", 2))
+
+
+def test_functors_cannot_be_linked_directly():
+    with pytest.raises(ValidationError) as exc:
+        load_program(SORT)
+    assert "instantiate" in str(exc.value)
+
+
+# -- analysis -------------------------------------------------------------------
+
+
+def test_functor_analysed_against_default_signature(sort_template):
+    assert set(sort_template.schemes) == {"insert", "isort"}
+    assert "le" in sort_template.param_schemes
+
+
+def test_non_functor_rejected():
+    with pytest.raises(FunctorError):
+        make_functor(parse_module("module M where\n\nf x = x\n"))
+
+
+def test_param_arity_mismatch_in_signature():
+    with pytest.raises(FunctorError):
+        make_functor(
+            parse_program(SORT).modules[0],
+            param_schemes={"le": default_param_scheme(3)},
+        )
+
+
+# -- subsumption -----------------------------------------------------------------
+
+
+def test_scheme_subsumes_reflexive(ord_analysis):
+    s = ord_analysis.schemes["leqAsc"]
+    assert scheme_subsumes(s, s)
+
+
+def test_simple_comparator_subsumes_default(ord_analysis):
+    assert scheme_subsumes(
+        ord_analysis.schemes["leqAsc"], default_param_scheme(2)
+    )
+    assert scheme_subsumes(
+        ord_analysis.schemes["always"], default_param_scheme(2)
+    )
+
+
+def test_interior_dependent_comparator_rejected(ord_analysis):
+    # keyLeq's result depends on its pairs' components, which the default
+    # signature's opaque skeletons cannot express.
+    assert not scheme_subsumes(
+        ord_analysis.schemes["keyLeq"], default_param_scheme(2)
+    )
+
+
+def test_forced_residual_actual_rejected():
+    analysis = analyse_program(
+        load_program("module B where\n\nbadle a b = a <= b\n"),
+        force_residual={"badle"},
+    )
+    assert not scheme_subsumes(
+        analysis.schemes["badle"], default_param_scheme(2)
+    )
+
+
+def test_arity_mismatch_not_subsumed(ord_analysis):
+    assert not scheme_subsumes(
+        ord_analysis.schemes["leqAsc"], default_param_scheme(3)
+    )
+
+
+# -- instantiation ----------------------------------------------------------------
+
+
+def test_two_instantiations_coexist(sort_template, ord_analysis):
+    gp = _link(
+        sort_template,
+        ord_analysis,
+        ("Asc", {"le": "leqAsc"}),
+        ("Desc", {"le": "leqDesc"}),
+    )
+    asc = repro.specialise(gp, "asc_isort", {})
+    desc = repro.specialise(gp, "desc_isort", {})
+    assert asc.run((3, 1, 2)) == (1, 2, 3)
+    assert desc.run((3, 1, 2)) == (3, 2, 1)
+
+
+def test_comparator_is_inlined_per_instantiation(sort_template, ord_analysis):
+    gp = _link(sort_template, ord_analysis, ("Asc", {"le": "leqAsc"}))
+    result = repro.specialise(gp, "asc_isort", {})
+    text = repro.pretty_program(result.program)
+    assert "<=" in text  # the comparator unfolded into the residual
+    assert "leqAsc" not in text
+
+
+def test_residuals_are_placed_in_the_instantiation_module(
+    sort_template, ord_analysis
+):
+    gp = _link(sort_template, ord_analysis, ("Asc", {"le": "leqAsc"}))
+    result = repro.specialise(gp, "asc_isort", {})
+    assert [m.name for m in result.program.modules] == ["Asc"]
+
+
+def test_unbound_parameter_rejected(sort_template, ord_analysis):
+    with pytest.raises(FunctorError) as exc:
+        sort_template.instantiate("Asc", {}, ord_analysis.schemes)
+    assert "unbound" in str(exc.value)
+
+
+def test_unsound_actual_rejected_at_instantiation(sort_template, ord_analysis):
+    with pytest.raises(FunctorError) as exc:
+        sort_template.instantiate("Keyed", {"le": "keyLeq"}, ord_analysis.schemes)
+    assert "binding-time signature" in str(exc.value)
+
+
+def test_wrong_arity_actual_rejected(sort_template):
+    analysis = analyse_program(load_program("module B where\n\none a = a\n"))
+    with pytest.raises(FunctorError):
+        sort_template.instantiate("Bad", {"le": "one"}, analysis.schemes)
+
+
+def test_custom_signature_admits_structured_comparator(ord_analysis):
+    # The paper's vision: the user supplies the binding-time signature.
+    # Using keyLeq's own principal scheme as the parameter signature
+    # admits keyLeq and specialises sorting over pairs.
+    template = make_functor(
+        parse_program(SORT).modules[0],
+        param_schemes={"le": ord_analysis.schemes["keyLeq"]},
+    )
+    gp = _link(template, ord_analysis, ("Keyed", {"le": "keyLeq"}))
+    result = repro.specialise(gp, "keyed_isort", {})
+    out = result.run(
+        (("pair", 3, 30), ("pair", 1, 10), ("pair", 2, 20))
+    )
+    assert out == (("pair", 1, 10), ("pair", 2, 20), ("pair", 3, 30))
+
+
+def test_template_is_reusable_without_reanalysis(sort_template, ord_analysis):
+    # Instantiation does not re-run analysis or cogen: the template's
+    # source is fixed; two instantiations give independent namespaces.
+    a1, _ = sort_template.instantiate("A1", {"le": "leqAsc"}, ord_analysis.schemes)
+    a2, _ = sort_template.instantiate("A2", {"le": "leqAsc"}, ord_analysis.schemes)
+    assert a1.namespace is not a2.namespace
+    assert set(a1.exports) == {"a1_insert", "a1_isort"}
+    assert set(a2.exports) == {"a2_insert", "a2_isort"}
+
+
+def test_static_input_sorting_computes_away(sort_template, ord_analysis):
+    gp = _link(sort_template, ord_analysis, ("Asc", {"le": "leqAsc"}))
+    result = repro.specialise(gp, "asc_isort", {"xs": (3, 1, 2)})
+    from repro.lang.ast import Prim
+
+    entry = result.program.modules[0].defs[-1]
+    # Fully static input: the sorted list is computed at specialisation
+    # time (a cons chain of literals).
+    assert result.run() == (1, 2, 3)
+    assert result.stats["specialisations"] == 0

@@ -1,0 +1,67 @@
+"""Functor boundary adapters: actual results are re-coerced to the
+assumed binding-time type."""
+
+import pytest
+
+import repro
+from repro.bt.analysis import analyse_program
+from repro.functor import make_functor
+from repro.genext.cogen import cogen_program
+from repro.genext.link import GenextProgram, load_genext
+from repro.lang.parser import parse_program
+from repro.modsys.program import load_program
+
+POOL = """\
+module Pool where
+
+constf a b = 42
+first a b = a
+plus a b = a + b
+"""
+
+APPLYTWICE = """\
+module App(op 2) where
+
+use x y = op x y + op y x
+"""
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return analyse_program(load_program(POOL))
+
+
+def _gp(pool, actual):
+    template = make_functor(parse_program(APPLYTWICE).modules[0])
+    loaded, prefix = template.instantiate("I", {"op": actual}, pool.schemes)
+    base = [load_genext(m) for m in cogen_program(pool)]
+    return GenextProgram(base + [loaded]), prefix
+
+
+def test_constant_result_is_lifted(pool):
+    # constf returns a static 42 even on dynamic inputs; the functor
+    # assumed the result is dynamic there, so the adapter must lift it.
+    gp, prefix = _gp(pool, "constf")
+    result = repro.specialise(gp, prefix + "use", {})
+    assert result.run(1, 2) == 84
+    text = repro.pretty_program(result.program)
+    assert "42 + 42" in text  # computed statically, lifted into the code
+
+
+def test_projection_result_is_lifted(pool):
+    gp, prefix = _gp(pool, "first")
+    result = repro.specialise(gp, prefix + "use", {"x": 10})
+    # op x y = x (static 10); op y x = y (dynamic).
+    assert result.run(5) == 15
+
+
+def test_plain_function_unaffected(pool):
+    gp, prefix = _gp(pool, "plus")
+    result = repro.specialise(gp, prefix + "use", {})
+    assert result.run(3, 4) == 14
+
+
+def test_mixed_static_dynamic_through_adapter(pool):
+    gp, prefix = _gp(pool, "plus")
+    result = repro.specialise(gp, prefix + "use", {"x": 100})
+    assert result.run(1) == 202

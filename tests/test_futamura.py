@@ -1,0 +1,97 @@
+"""The first Futamura projection on the machine interpreter: compiled
+residual programs, one function per reachable program point."""
+
+import pytest
+
+import repro
+from repro.bench.generators import machine_interpreter_source, random_machine_program
+from repro.interp import Interpreter, run_program
+from repro.lang.prims import make_pair
+from repro.modsys.program import load_program
+
+
+@pytest.fixture(scope="module")
+def machine():
+    source = machine_interpreter_source()
+    return repro.compile_genexts(source), load_program(source)
+
+
+def compile_prog(machine, prog):
+    gp, _ = machine
+    return repro.specialise(gp, "run", {"prog": prog})
+
+
+STRAIGHT = (make_pair(1, 2), make_pair(0, 10), make_pair(1, 3))
+
+
+def test_straight_line_code_compiles_to_chain(machine):
+    result = compile_prog(machine, STRAIGHT)
+    # Program points 0..3 (3 instructions + halt) reachable linearly,
+    # minus unfolded halting state: one residual function per point.
+    assert result.stats["specialisations"] == len(STRAIGHT) + 1
+    assert result.run(5) == (5 * 2 + 10) * 3
+
+
+def test_no_interpreter_machinery_survives(machine):
+    result = compile_prog(machine, STRAIGHT)
+    text = repro.pretty_program(result.program)
+    # Instruction dispatch, program indexing, and pairs are all gone.
+    for leftover in ("fst", "snd", "head", "tail", "index", "size", "prog"):
+        assert leftover not in text
+
+
+def test_compiled_agrees_with_interpreted(machine):
+    gp, linked = machine
+    for seed in range(5):
+        prog = random_machine_program(12, seed=seed)
+        result = compile_prog(machine, prog)
+        for acc in (0, 1, 2, 9):
+            expected = run_program(linked, "run", [prog, acc], fuel=10_000_000)
+            assert result.run(acc) == expected
+
+
+def test_jump_targets_resolved_statically(machine):
+    # 0: if acc == 0 jump 3;  1: acc += 1;  2: halt-at-3... plus 3: *2.
+    prog = (
+        make_pair(2, 2),
+        make_pair(0, 1),
+        make_pair(1, 2),
+    )
+    result = compile_prog(machine, prog)
+    assert result.run(0) == 0 * 2  # jumps over the add
+    assert result.run(3) == (3 + 1) * 2
+
+
+def test_only_reachable_program_points_compiled(machine):
+    # Instruction 1 is jumped over for acc == 0 but reachable otherwise;
+    # compare with a program whose tail is unreachable.
+    dead_tail = (
+        make_pair(2, 3),  # if acc == 0 jump to halt... but acc dynamic
+        make_pair(0, 1),
+        make_pair(1, 2),
+    )
+    r = compile_prog(machine, dead_tail)
+    reachable = r.stats["specialisations"]
+    # All 4 program points reachable here (dynamic test keeps both arms).
+    assert reachable == 4
+
+
+def test_compiled_code_runs_in_fewer_steps(machine):
+    gp, linked = machine
+    result = compile_prog(machine, STRAIGHT)
+    interp = Interpreter(linked)
+    interp.call("run", [STRAIGHT, 5])
+    compiled = Interpreter(result.linked)
+    compiled.call(result.entry, [5])
+    assert compiled.steps * 5 < interp.steps  # at least 5x fewer steps
+
+
+def test_residual_is_in_machine_module(machine):
+    result = compile_prog(machine, STRAIGHT)
+    assert [m.name for m in result.program.modules] == ["Machine"]
+
+
+def test_second_compilation_reuses_nothing_but_works(machine):
+    r1 = compile_prog(machine, STRAIGHT)
+    r2 = compile_prog(machine, STRAIGHT)
+    assert r1.program == r2.program

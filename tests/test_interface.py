@@ -1,0 +1,137 @@
+"""Binding-time interface files: serialisation round-trips and the
+separate-analysis manager."""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.bt.analysis import analyse_program
+from repro.bt.interface import (
+    InterfaceError,
+    InterfaceManager,
+    read_interface,
+    scheme_from_json,
+    scheme_to_json,
+    write_interface,
+)
+from repro.modsys.program import load_program, load_program_dir
+
+LIB = "module Lib where\n\npower n x = if n == 1 then x else x * power (n - 1) x\nident x = x\n"
+APP = "module App where\nimport Lib\n\ncube y = power 3 y\n"
+
+
+def all_schemes(source):
+    return analyse_program(load_program(source)).schemes
+
+
+def test_scheme_json_roundtrip():
+    for name, scheme in all_schemes(LIB).items():
+        assert scheme_from_json(scheme_to_json(scheme)) == scheme
+
+
+def test_scheme_json_roundtrip_higher_order():
+    src = (
+        "module M where\n\n"
+        "map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)\n"
+        "swap p = pair (snd p) (fst p)\n"
+    )
+    for scheme in all_schemes(src).values():
+        assert scheme_from_json(scheme_to_json(scheme)) == scheme
+
+
+def test_json_is_actually_json():
+    scheme = all_schemes(LIB)["power"]
+    text = json.dumps(scheme_to_json(scheme))
+    assert scheme_from_json(json.loads(text)) == scheme
+
+
+def test_interface_file_roundtrip(tmp_path):
+    schemes = all_schemes(LIB)
+    path = str(tmp_path / "Lib.bti")
+    write_interface(path, "Lib", schemes)
+    name, loaded = read_interface(path)
+    assert name == "Lib"
+    assert loaded == schemes
+
+
+def test_malformed_interface_rejected(tmp_path):
+    path = str(tmp_path / "Bad.bti")
+    (tmp_path / "Bad.bti").write_text("{not json")
+    with pytest.raises(InterfaceError):
+        read_interface(path)
+
+
+def test_wrong_format_version_rejected(tmp_path):
+    path = str(tmp_path / "Bad.bti")
+    (tmp_path / "Bad.bti").write_text('{"format": 999, "module": "X", "schemes": {}}')
+    with pytest.raises(InterfaceError):
+        read_interface(path)
+
+
+def _write_sources(tmp_path):
+    (tmp_path / "Lib.mod").write_text(LIB)
+    (tmp_path / "App.mod").write_text(APP)
+
+
+def test_manager_analyses_in_dependency_order(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    schemes, analysed = manager.analyse(linked)
+    assert analysed == ["Lib", "App"]
+    assert set(schemes) == {"power", "ident", "cube"}
+    assert os.path.exists(str(tmp_path / "Lib.bti"))
+    assert os.path.exists(str(tmp_path / "App.bti"))
+
+
+def test_manager_skips_up_to_date_modules(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    _, analysed = manager.analyse(linked)
+    assert analysed == []
+
+
+def test_manager_reanalyses_on_source_change(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    time.sleep(0.01)
+    (tmp_path / "App.mod").write_text(APP + "quad y = power 4 y\n")
+    os.utime(str(tmp_path / "App.mod"))
+    linked = load_program_dir(str(tmp_path))
+    _, analysed = manager.analyse(linked)
+    assert analysed == ["App"]
+
+
+def test_manager_reanalyses_importers_when_library_changes(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    time.sleep(0.01)
+    os.utime(str(tmp_path / "Lib.mod"))
+    _, analysed = manager.analyse(linked)
+    assert analysed == ["Lib", "App"]
+
+
+def test_manager_matches_whole_program_analysis(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    schemes, _ = manager.analyse(linked)
+    whole = analyse_program(linked).schemes
+    assert schemes == whole
+
+
+def test_manager_force_reanalyses_everything(tmp_path):
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    _, analysed = manager.analyse(linked, force=True)
+    assert analysed == ["Lib", "App"]

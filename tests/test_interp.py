@@ -1,0 +1,111 @@
+"""Object-language interpreter tests."""
+
+import pytest
+
+from repro.interp import EvalError, Interpreter, run_main, run_program
+from repro.lang.prims import make_pair
+from repro.modsys.program import load_program
+
+
+def run(source, func, *args, **kwargs):
+    return run_program(load_program(source), func, list(args), **kwargs)
+
+
+def test_arithmetic_program():
+    assert run("module M where\n\nf x = x * 2 + 1\n", "f", 5) == 11
+
+
+def test_recursion():
+    src = "module M where\n\nfact n = if n == 0 then 1 else n * fact (n - 1)\n"
+    assert run(src, "fact", 6) == 720
+
+
+def test_mutual_recursion():
+    src = (
+        "module M where\n\n"
+        "even n = if n == 0 then true else odd (n - 1)\n"
+        "odd n = if n == 0 then false else even (n - 1)\n"
+    )
+    assert run(src, "even", 10) is True
+    assert run(src, "odd", 10) is False
+
+
+def test_lists():
+    src = (
+        "module M where\n\n"
+        "rev xs = revacc xs nil\n"
+        "revacc xs acc = if null xs then acc else revacc (tail xs) (head xs : acc)\n"
+    )
+    assert run(src, "rev", (1, 2, 3)) == (3, 2, 1)
+
+
+def test_higher_order_and_closures():
+    src = (
+        "module M where\n\n"
+        "map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)\n"
+        "addall k xs = map (\\x -> x + k) xs\n"
+    )
+    assert run(src, "addall", 10, (1, 2)) == (11, 12)
+
+
+def test_closure_captures_environment():
+    src = (
+        "module M where\n\n"
+        "const k = \\x -> k\n"
+        "go a b = const a @ b\n"
+    )
+    assert run(src, "go", 7, 99) == 7
+
+
+def test_pairs():
+    src = "module M where\n\nswap p = pair (snd p) (fst p)\n"
+    assert run(src, "swap", make_pair(1, 2)) == make_pair(2, 1)
+
+
+def test_cross_module_calls():
+    src = (
+        "module A where\n\ninc x = x + 1\n"
+        "module B where\nimport A\n\nmain x = inc (inc x)\n"
+    )
+    assert run_main(load_program(src), [5]) == 7
+
+
+def test_zero_arity_definitions():
+    src = "module M where\n\nc = 41\nf x = c + x\n"
+    assert run(src, "f", 1) == 42
+
+
+def test_condition_must_be_boolean_at_runtime():
+    src = "module M where\n\nf x = if x == 0 then 1 else 2\n"
+    lp = load_program(src)
+    interp = Interpreter(lp)
+    from repro.lang.ast import If, Lit
+
+    with pytest.raises(EvalError):
+        interp.eval(If(Lit(3), Lit(1), Lit(2)), {})
+
+
+def test_runtime_prim_error_surfaces():
+    src = "module M where\n\nf xs = head xs\n"
+    with pytest.raises(EvalError):
+        run(src, "f", ())
+
+
+def test_fuel_bounds_divergence():
+    src = "module M where\n\nloop x = loop x\n"
+    with pytest.raises(EvalError) as exc:
+        run(src, "loop", 0, fuel=1000)
+    assert "fuel" in str(exc.value)
+
+
+def test_wrong_arity_call_raises():
+    lp = load_program("module M where\n\nf x = x\n")
+    with pytest.raises(EvalError):
+        Interpreter(lp).call("f", [1, 2])
+
+
+def test_step_counter_increments():
+    lp = load_program("module M where\n\nf x = x + 1\n")
+    interp = Interpreter(lp)
+    interp.call("f", [1])
+    assert interp.steps > 0

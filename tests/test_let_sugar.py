@@ -1,0 +1,57 @@
+"""`let` sugar: parses to a beta-redex, specialises by unfolding."""
+
+import pytest
+
+import repro
+from repro.lang.ast import App, Lam, Lit, Prim, Var
+from repro.lang.parser import parse_expr
+from repro.interp import run_program
+from repro.modsys.program import load_program
+
+
+def test_let_desugars_to_application():
+    e = parse_expr("let x = 1 in x + 2")
+    assert e == App(Lam("x", Prim("+", (Var("x"), Lit(2)))), Lit(1))
+
+
+def test_let_nests():
+    e = parse_expr("let x = 1 in let y = 2 in x + y")
+    assert isinstance(e, App) and isinstance(e.fun.body, App)
+
+
+def test_let_binding_shadows():
+    src = "module M where\n\nf x = let x = x + 1 in x * 2\n"
+    assert run_program(load_program(src), "f", [5]) == 12
+
+
+def test_let_runs():
+    src = "module M where\n\nf a = let b = a * a in b + b\n"
+    assert run_program(load_program(src), "f", [3]) == 18
+
+
+def test_let_specialises_away_when_static():
+    gp = repro.compile_genexts(
+        "module M where\n\nf k x = let kk = k * k in kk * x\n"
+    )
+    result = repro.specialise(gp, "f", {"k": 4})
+    text = repro.pretty_program(result.program)
+    assert "16 * x" in text
+    assert result.run(2) == 32
+
+
+def test_let_over_dynamic_value_duplicates_not_computes():
+    # A dynamic let unfolds the lambda, substituting the residual code.
+    gp = repro.compile_genexts(
+        "module M where\n\nf x = let y = x + 1 in y * y\n"
+    )
+    result = repro.specialise(gp, "f", {})
+    assert result.run(3) == 16
+
+
+def test_let_type_checked():
+    from repro.types import TypeError_, infer_program
+
+    with pytest.raises(TypeError_):
+        infer_program(
+            load_program("module M where\n\nf a = let b = a in b && true\nmain x = f (x + 1)\n")
+        )

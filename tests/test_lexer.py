@@ -1,0 +1,135 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.errors import LexError
+from repro.lang.lexer import Token, tokenize
+
+
+def kinds(source):
+    return [(t.kind, t.value) for t in tokenize(source)[:-1]]
+
+
+def test_empty_input_gives_only_eof():
+    tokens = tokenize("")
+    assert len(tokens) == 1
+    assert tokens[0].kind == "eof"
+
+
+def test_keywords_are_distinguished_from_identifiers():
+    assert kinds("module where import if then else true false nil") == [
+        ("kw", "module"),
+        ("kw", "where"),
+        ("kw", "import"),
+        ("kw", "if"),
+        ("kw", "then"),
+        ("kw", "else"),
+        ("kw", "true"),
+        ("kw", "false"),
+        ("kw", "nil"),
+    ]
+
+
+def test_identifier_flavours():
+    assert kinds("power Power x1 x' foo_bar") == [
+        ("ident", "power"),
+        ("conid", "Power"),
+        ("ident", "x1"),
+        ("ident", "x'"),
+        ("ident", "foo_bar"),
+    ]
+
+
+def test_naturals():
+    assert kinds("0 7 42 100") == [
+        ("nat", 0),
+        ("nat", 7),
+        ("nat", 42),
+        ("nat", 100),
+    ]
+
+
+def test_multi_character_operators_win_over_prefixes():
+    assert kinds("== = <= < -> - || &&") == [
+        ("op", "=="),
+        ("op", "="),
+        ("op", "<="),
+        ("op", "<"),
+        ("op", "->"),
+        ("op", "-"),
+        ("op", "||"),
+        ("op", "&&"),
+    ]
+
+
+def test_all_delimiters():
+    assert kinds("( ) { } [ ] , : @ \\ * +") == [
+        ("op", "("),
+        ("op", ")"),
+        ("op", "{"),
+        ("op", "}"),
+        ("op", "["),
+        ("op", "]"),
+        ("op", ","),
+        ("op", ":"),
+        ("op", "@"),
+        ("op", "\\"),
+        ("op", "*"),
+        ("op", "+"),
+    ]
+
+
+def test_comments_run_to_end_of_line():
+    assert kinds("x -- comment with * and ==\ny") == [
+        ("ident", "x"),
+        ("ident", "y"),
+    ]
+
+
+def test_comment_at_end_of_input():
+    assert kinds("x -- trailing") == [("ident", "x")]
+
+
+def test_positions_track_lines_and_columns():
+    tokens = tokenize("ab cd\n  ef")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (1, 4)
+    assert (tokens[2].line, tokens[2].column) == (2, 3)
+
+
+def test_column_one_detection_is_exact():
+    tokens = tokenize("x\ny\n  z")
+    columns = [(t.value, t.column) for t in tokens[:-1]]
+    assert columns == [("x", 1), ("y", 1), ("z", 3)]
+
+
+def test_bad_character_raises_with_position():
+    with pytest.raises(LexError) as exc:
+        tokenize("x ?\n")
+    assert exc.value.line == 1
+    assert exc.value.column == 3
+
+
+def test_no_negative_number_literals():
+    # '-' lexes as an operator; the parser treats it as binary only.
+    assert kinds("-3") == [("op", "-"), ("nat", 3)]
+
+
+def test_token_describe():
+    assert Token("eof", None, 1, 1).describe() == "end of input"
+    assert Token("ident", "foo", 1, 1).describe() == "'foo'"
+
+
+def test_primes_and_digits_inside_identifiers():
+    assert kinds("x'y2z") == [("ident", "x'y2z")]
+
+
+def test_adjacent_tokens_without_spaces():
+    assert kinds("f(x)@g") == [
+        ("ident", "f"),
+        ("op", "("),
+        ("ident", "x"),
+        ("op", ")"),
+        ("op", "@"),
+        ("ident", "g"),
+    ]

@@ -1,0 +1,202 @@
+"""Additional coverage: smaller APIs and edge cases across subsystems."""
+
+import pytest
+
+import repro
+from repro.bench.metrics import code_lines, time_call
+from repro.bt.graph import ConstraintGraph, D_NODE
+from repro.bt.scheme import param_own_names
+from repro.genext import runtime as rt
+from repro.lang.ast import (
+    Lit,
+    Var,
+    count_nodes,
+    def_size,
+    module_size,
+    program_size,
+    walk,
+)
+from repro.lang.names import NameSupply, rename
+from repro.lang.parser import parse_expr, parse_program
+from repro.modsys.program import load_program
+
+
+# -- lang.ast helpers ------------------------------------------------------------
+
+
+def test_walk_preorder():
+    e = parse_expr("1 + 2 * 3")
+    kinds = [type(x).__name__ for x in walk(e)]
+    assert kinds == ["Prim", "Lit", "Prim", "Lit", "Lit"]
+
+
+def test_count_nodes():
+    assert count_nodes(parse_expr("1 + 2")) == 3
+    assert count_nodes(parse_expr("\\x -> x")) == 2
+
+
+def test_size_metrics_compose():
+    p = parse_program("module M where\nimport M2\n\nf x = x + 1\nmodule M2 where\n\ng = 1\n")
+    m = p.modules[0]
+    assert def_size(m.defs[0]) == 1 + 1 + 3
+    assert module_size(m) == 1 + 1 + def_size(m.defs[0])
+    assert program_size(p) == sum(module_size(x) for x in p.modules)
+
+
+def test_lit_rejects_bad_values():
+    with pytest.raises(ValueError):
+        Lit(-1)
+    with pytest.raises(ValueError):
+        Lit("nope")
+    with pytest.raises(ValueError):
+        Lit((1, 2))
+
+
+# -- names ------------------------------------------------------------------------
+
+
+def test_rename_shadows_under_binders():
+    e = parse_expr("x + (\\x -> x) @ x")
+    out = rename(e, {"x": "y"})
+    assert out == parse_expr("y + (\\x -> x) @ y")
+
+
+def test_rename_empty_mapping_is_identity():
+    e = parse_expr("x + 1")
+    assert rename(e, {}) is e
+
+
+def test_name_supply_is_per_prefix():
+    s = NameSupply()
+    assert s.fresh("a") == "a1"
+    assert s.fresh("b") == "b1"
+    assert s.fresh("a") == "a2"
+    s.reset()
+    assert s.fresh("a") == "a1"
+
+
+# -- metrics -----------------------------------------------------------------------
+
+
+def test_time_call_returns_result():
+    seconds, value = time_call(lambda a: a * 2, 21)
+    assert value == 42
+    assert seconds >= 0
+
+
+def test_code_lines_counts_code_only():
+    assert code_lines("") == 0
+    assert code_lines("\n\n-- c\n# c\nx = 1\n") == 1
+
+
+# -- constraint graph context --------------------------------------------------------
+
+
+def test_graph_context_records_reasons():
+    g = ConstraintGraph()
+    a, b = g.fresh(), g.fresh()
+    g.set_context("because")
+    g.edge(a, b)
+    assert g.reason(a, b) == "because"
+    assert g.reason(b, a) is None
+
+
+def test_graph_first_reason_wins():
+    g = ConstraintGraph()
+    a, b = g.fresh(), g.fresh()
+    g.set_context("first")
+    g.edge(a, b)
+    g.set_context("second")
+    g.edge(a, b)
+    assert g.reason(a, b) == "first"
+
+
+def test_find_path():
+    g = ConstraintGraph()
+    a, b, c = g.fresh(), g.fresh(), g.fresh()
+    g.edge(a, b)
+    g.edge(b, c)
+    assert g.find_path(a, c) == [(a, b), (b, c)]
+    assert g.find_path(c, a) is None
+    assert g.find_path(a, a) == []
+
+
+def test_find_path_prefers_shortest():
+    g = ConstraintGraph()
+    a, b, c = g.fresh(), g.fresh(), g.fresh()
+    g.edge(a, b)
+    g.edge(b, c)
+    g.edge(a, c)
+    assert g.find_path(a, c) == [(a, c)]
+
+
+# -- schemes ------------------------------------------------------------------------
+
+
+def test_param_own_names_power():
+    from repro.bt.analysis import analyse_program
+
+    analysis = analyse_program(
+        load_program(
+            "module M where\n\n"
+            "power n x = if n == 1 then x else x * power (n - 1) x\n"
+        )
+    )
+    assert param_own_names(analysis.schemes["power"]) == (("t",), ("u",))
+
+
+def test_param_own_names_structured():
+    from repro.bt.analysis import analyse_program
+
+    analysis = analyse_program(
+        load_program(
+            "module M where\n\n"
+            "len xs = if null xs then 0 else 1 + len (tail xs)\n"
+        )
+    )
+    (xs_names,) = param_own_names(analysis.schemes["len"])
+    assert len(xs_names) == 2  # spine + element slots
+
+
+# -- runtime stats and misc -------------------------------------------------------------
+
+
+def test_stats_as_dict_round_trip():
+    s = rt.Stats()
+    s.specialisations = 3
+    d = s.as_dict()
+    assert d["specialisations"] == 3
+    assert set(d) >= {"unfolds", "memo_hits", "pending_peak", "active_peak"}
+
+
+def test_spec_state_place_with_unknown_function():
+    from repro.modsys.graph import ModuleGraph
+
+    st = rt.SpecState({}, ModuleGraph({"A": ()}))
+    # Unknown functions contribute no modules; placement is empty.
+    assert st.place("ghost", ()) == frozenset()
+
+
+def test_from_python_rejects_unknown_values():
+    with pytest.raises(rt.SpecError):
+        rt.from_python(object())
+
+
+def test_code_of_error_message_mentions_coercion():
+    with pytest.raises(rt.SpecError) as exc:
+        rt.code_of(rt.SBase(1))
+    assert "coercion" in str(exc.value)
+
+
+# -- engine result convenience -----------------------------------------------------------
+
+
+def test_result_run_accepts_fuel():
+    gp = repro.compile_genexts(
+        "module M where\n\nloop x = if x == 0 then 0 else loop (x - 1)\n"
+    )
+    result = repro.specialise(gp, "loop", {})
+    from repro.interp import EvalError
+
+    with pytest.raises(EvalError):
+        result.run(10_000_000, fuel=100)

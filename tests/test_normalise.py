@@ -1,0 +1,100 @@
+"""Canonical-renaming tests."""
+
+import repro
+from repro.lang.ast import Call, Def, Lam, Module, Prim, Program, Var
+from repro.residual.normalise import normalise_program
+
+
+def test_entry_becomes_fn0():
+    p = Program(
+        (
+            Module(
+                "M",
+                (),
+                (
+                    Def("main", ("y",), Call("helper", (Var("y"),))),
+                    Def("helper", ("z",), Var("z")),
+                ),
+            ),
+        )
+    )
+    n = normalise_program(p, "main")
+    defs = {d.name: d for m in n.modules for d in m.defs}
+    assert set(defs) == {"fn0", "fn1"}
+    assert defs["fn0"].body == Call("fn1", (Var("v0"),))
+
+
+def test_variables_renamed_in_binding_order():
+    p = Program(
+        (
+            Module(
+                "M",
+                (),
+                (Def("f", ("a", "b"), Prim("+", (Var("b"), Var("a")))),),
+            ),
+        )
+    )
+    n = normalise_program(p, "f")
+    d = n.modules[0].defs[0]
+    assert d.params == ("v0", "v1")
+    assert d.body == Prim("+", (Var("v1"), Var("v0")))
+
+
+def test_lambda_binders_renamed():
+    p = Program(
+        (Module("M", (), (Def("f", ("x",), Lam("y", Var("y"))),)),)
+    )
+    n = normalise_program(p, "f")
+    assert n.modules[0].defs[0].body == Lam("v1", Var("v1"))
+
+
+def test_unreachable_definitions_dropped():
+    p = Program(
+        (
+            Module(
+                "M",
+                (),
+                (
+                    Def("main", (), Var("main") if False else Call("a", ())),
+                    Def("a", (), Call("a", ())),
+                    Def("orphan", (), Call("a", ())),
+                ),
+            ),
+        )
+    )
+    n = normalise_program(p, "main")
+    names = [d.name for m in n.modules for d in m.defs]
+    assert len(names) == 2  # orphan dropped
+
+
+def test_alpha_equivalent_programs_normalise_equal():
+    def variant(fn, var):
+        return Program(
+            (
+                Module(
+                    "M",
+                    (),
+                    (
+                        Def("go", (var,), Call(fn, (Var(var),))),
+                        Def(fn, ("q",), Prim("+", (Var("q"), Var("q")))),
+                    ),
+                ),
+            )
+        )
+
+    a = variant("helper_1", "x")
+    b = variant("zz_9", "argle")
+    assert normalise_program(a, "go") == normalise_program(b, "go")
+
+
+def test_imports_recomputed():
+    p = Program(
+        (
+            Module("A", (), (Def("f", ("x",), Var("x")),)),
+            Module("B", ("A",), (Def("g", ("y",), Call("f", (Var("y"),))),)),
+        )
+    )
+    n = normalise_program(p, "g")
+    by_name = {m.name: m for m in n.modules}
+    assert by_name["B"].imports == ("A",)
+    assert by_name["A"].imports == ()

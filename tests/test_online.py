@@ -1,0 +1,106 @@
+"""Online-specialiser tests: correctness, and the contrast with offline."""
+
+import pytest
+
+import repro
+from repro.bench.generators import power_source
+from repro.interp import run_program
+from repro.modsys.program import load_program
+from repro.specialiser.online import OnlineSpecialiser, fully_static, online_specialise
+from repro.genext import runtime as rt
+from repro.lang.ast import Var
+
+
+def test_fully_static_predicate():
+    assert fully_static(rt.SBase(1))
+    assert fully_static(rt.SList((rt.SBase(1),)))
+    assert fully_static(rt.SPair(rt.SBase(1), rt.SBase(2)))
+    assert not fully_static(rt.DCode(Var("x")))
+    assert not fully_static(rt.SList((rt.DCode(Var("x")),)))
+
+
+def test_all_static_goal_evaluates():
+    result = online_specialise(power_source(), "power", {"n": 4, "x": 3})
+    assert result.run() == 81
+
+
+def test_power_static_base_matches_offline_shape():
+    result = online_specialise(power_source(), "power", {"x": 2})
+    assert result.run(10) == 1024
+    assert result.stats["specialisations"] == 1  # the memoised loop
+
+
+def test_power_static_exponent_residualises_polyvariantly():
+    # Here online is WEAKER than offline: with x dynamic the call is not
+    # fully static, so instead of unfolding to x * (x * x) we get a
+    # chain of residual functions, one per exponent value.
+    result = online_specialise(power_source(), "power", {"n": 3})
+    assert result.run(2) == 8
+    assert result.stats["specialisations"] == 3
+    gp = repro.compile_genexts(power_source())
+    offline = repro.specialise(gp, "power", {"n": 3})
+    assert offline.stats["specialisations"] == 0  # fully unfolded
+
+
+def test_online_equivalence_on_corpus(corpus_case):
+    case = corpus_case
+    if case.get("force_residual"):
+        pytest.skip("online has no hand annotations")
+    linked = load_program(case["source"])
+    spec = OnlineSpecialiser(linked)
+    result = spec.specialise(case["goal"], case["static"])
+    _, d = linked.find_def(case["goal"])
+    for dyn in case["dyn_inputs"]:
+        dyn_iter = iter(dyn)
+        args = [
+            case["static"][p] if p in case["static"] else next(dyn_iter)
+            for p in d.params
+        ]
+        assert result.run(*dyn) == run_program(linked, case["goal"], args)
+
+
+def test_online_machine_interpreter():
+    from repro.bench.generators import machine_interpreter_source
+    from repro.lang.prims import make_pair
+
+    prog = (make_pair(1, 2), make_pair(0, 10), make_pair(2, 4), make_pair(1, 3))
+    result = online_specialise(
+        machine_interpreter_source(), "run", {"prog": prog}
+    )
+    linked = load_program(machine_interpreter_source())
+    for acc in (0, 1, 5):
+        assert result.run(acc) == run_program(linked, "run", [prog, acc])
+
+
+def test_online_higher_order():
+    src = (
+        "module A where\n\n"
+        "map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)\n"
+        "module B where\nimport A\n\n"
+        "scale k xs = map (\\x -> k * x) xs\n"
+    )
+    result = online_specialise(src, "scale", {"k": 5})
+    assert result.run((1, 2)) == (5, 10)
+
+
+def test_online_residual_is_well_formed():
+    result = online_specialise(power_source(), "power", {"n": 3})
+    from repro.types import infer_program
+
+    infer_program(result.linked)
+    result.linked.graph.check_acyclic()
+
+
+def test_online_unknown_param_rejected():
+    with pytest.raises(rt.SpecError):
+        online_specialise(power_source(), "power", {"zz": 1})
+
+
+def test_online_strategies_agree():
+    from repro.residual.normalise import normalise_program
+
+    bfs = online_specialise(power_source(), "power", {"x": 3}, strategy="bfs")
+    dfs = online_specialise(power_source(), "power", {"x": 3}, strategy="dfs")
+    assert normalise_program(bfs.program, bfs.entry) == normalise_program(
+        dfs.program, dfs.entry
+    )

@@ -1,0 +1,267 @@
+"""Residual-program optimiser tests: folding, algebra, CSE — all
+semantics-preserving (differential-tested against the unoptimised
+residual)."""
+
+import pytest
+
+import repro
+from repro.interp import run_program
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var, count_nodes
+from repro.lang.parser import parse_expr
+from repro.modsys.program import link_program, load_program
+from repro.residual.optimise import (
+    eliminate_common_subexpressions,
+    optimise_program,
+    simplify,
+)
+
+
+# -- simplify -------------------------------------------------------------------
+
+
+def test_constant_folding():
+    assert simplify(parse_expr("2 + 3 * 4")) == Lit(14)
+
+
+def test_folding_through_conditionals():
+    assert simplify(parse_expr("if 1 == 1 then 5 else 6")) == Lit(5)
+    assert simplify(parse_expr("if 1 == 2 then 5 else 6")) == Lit(6)
+
+
+def test_unit_laws():
+    assert simplify(parse_expr("x * 1")) == Var("x")
+    assert simplify(parse_expr("1 * x")) == Var("x")
+    assert simplify(parse_expr("x + 0")) == Var("x")
+    assert simplify(parse_expr("0 + x")) == Var("x")
+    assert simplify(parse_expr("x - 0")) == Var("x")
+
+
+def test_boolean_laws():
+    assert simplify(parse_expr("true && b")) == Var("b")
+    assert simplify(parse_expr("b || false")) == Var("b")
+    assert simplify(parse_expr("false && b")) == Lit(False)
+    assert simplify(parse_expr("true || b")) == Lit(True)
+
+
+def test_zero_absorber_only_for_total_operands():
+    # x * 0 folds when x is a variable (total)...
+    assert simplify(parse_expr("x * 0")) == Lit(0)
+    # ...but not when the operand can fault.
+    e = simplify(parse_expr("head xs * 0"))
+    assert e == Prim("*", (Prim("head", (Var("xs"),)), Lit(0)))
+
+
+def test_faulting_constants_not_folded():
+    e = simplify(parse_expr("div 1 0"))
+    assert isinstance(e, Prim)  # left in place, still faults at run time
+
+
+def test_folding_static_list_ops():
+    assert simplify(parse_expr("head [7, 8]")) == Lit(7)
+    assert simplify(parse_expr("null []")) == Lit(True)
+
+
+# -- CSE ------------------------------------------------------------------------
+
+
+def test_cse_binds_repeated_expression():
+    e = parse_expr("(x + 1) * (x + 1)")
+    out = eliminate_common_subexpressions(e)
+    assert isinstance(out, App)  # a let (beta-redex)
+    assert out.arg == parse_expr("x + 1")
+    body = out.fun.body
+    assert body == Prim("*", (Var(out.fun.var), Var(out.fun.var)))
+
+
+def test_cse_prefers_largest_repeat():
+    e = parse_expr("(f x + 1) * (f x + 1)")
+    # 'f' must be a call for this to parse; use a prim instead.
+    e = parse_expr("(head xs + 1) * (head xs + 1)")
+    out = eliminate_common_subexpressions(e)
+    assert out.arg == parse_expr("head xs + 1")
+
+
+def test_cse_respects_conditional_branches():
+    # head xs occurs once in each branch: hoisting would evaluate it on
+    # the path where the original did not; it must stay put.
+    e = parse_expr("if c then head xs else head xs + 1")
+    out = eliminate_common_subexpressions(e)
+    assert out == e
+
+
+def test_cse_within_a_branch():
+    e = parse_expr("if c then (head xs + head xs) else 0")
+    out = eliminate_common_subexpressions(e)
+    assert isinstance(out, If)
+    assert isinstance(out.then_branch, App)  # let inside the branch
+
+
+def test_cse_ignores_trivial_expressions():
+    e = parse_expr("x + x")
+    assert eliminate_common_subexpressions(e) == e
+
+
+def test_cse_does_not_cross_lambda_boundaries():
+    e = parse_expr("(\\y -> head xs + y) @ (head xs)")
+    out = eliminate_common_subexpressions(e)
+    # One occurrence is under a binder: not shared across it.
+    assert isinstance(out, App)
+
+
+# -- whole programs ---------------------------------------------------------------
+
+
+FIR = """
+module Lists where
+
+take n xs = if n == 0 then nil else if null xs then nil else head xs : take (n - 1) (tail xs)
+nth xs n = if n == 0 then head xs else nth (tail xs) (n - 1)
+
+module Fir where
+import Lists
+
+dot3 ks xs = head ks * head xs + (nth ks 1 * nth xs 1 + nth ks 2 * nth xs 2)
+go ks xs = dot3 ks (take 3 xs)
+"""
+
+
+def test_optimised_fir_shares_the_window():
+    from repro.interp import Interpreter
+
+    gp = repro.compile_genexts(FIR)
+    result = repro.specialise(gp, "go", {"ks": (1, 2, 1)})
+    after = link_program(optimise_program(result.program))
+    xs = (1, 2, 3, 4)
+    # CSE trades a few AST nodes for evaluation steps: the duplicated
+    # take_1 window is now computed once.
+    unopt = Interpreter(result.linked)
+    unopt.call(result.entry, [xs])
+    opt = Interpreter(after)
+    assert opt.call(result.entry, [xs]) == result.run(xs)
+    assert opt.steps < unopt.steps
+
+
+def test_optimised_corpus_equivalence(corpus_case, corpus_genexts):
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    result = repro.specialise(gp, case["goal"], case["static"])
+    optimised = optimise_program(result.program)
+    linked = link_program(optimised)
+    for dyn in case["dyn_inputs"]:
+        assert run_program(linked, result.entry, list(dyn)) == result.run(*dyn)
+
+
+def test_optimised_programs_type_check(corpus_case, corpus_genexts):
+    from repro.types import infer_program
+
+    case = corpus_case
+    gp = corpus_genexts[case["name"]]
+    result = repro.specialise(gp, case["goal"], case["static"])
+    infer_program(link_program(optimise_program(result.program)))
+
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+
+@st.composite
+def _bool_exprs(draw, depth=0):
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["c", "true", "false", "(a == b)"]))
+    left = draw(_nat_exprs(depth=depth + 1))
+    right = draw(_nat_exprs(depth=depth + 1))
+    form = draw(st.integers(0, 2))
+    if form == 0:
+        op = draw(st.sampled_from(["==", "<", "<="]))
+        return "(%s %s %s)" % (left, op, right)
+    if form == 1:
+        inner = draw(_bool_exprs(depth=depth + 1))
+        return "(not %s)" % inner
+    op = draw(st.sampled_from(["&&", "||"]))
+    return "(%s %s %s)" % (
+        draw(_bool_exprs(depth=depth + 1)),
+        op,
+        draw(_bool_exprs(depth=depth + 1)),
+    )
+
+
+@st.composite
+def _nat_exprs(draw, depth=0):
+    """Random well-typed Nat expressions over a, b (Nat) and c (Bool)."""
+    if depth >= 4 or draw(st.booleans()):
+        return draw(st.sampled_from(["a", "b", "0", "1", "2", "5"]))
+    left = draw(_nat_exprs(depth=depth + 1))
+    right = draw(_nat_exprs(depth=depth + 1))
+    form = draw(st.integers(0, 3))
+    if form == 0:
+        op = draw(st.sampled_from(["+", "*", "-"]))
+        return "(%s %s %s)" % (left, op, right)
+    if form == 1:
+        return "(if %s then %s else %s)" % (
+            draw(_bool_exprs(depth=depth + 1)),
+            left,
+            right,
+        )
+    if form == 2:
+        return "(head [%s, %s])" % (left, right)
+    return "(fst (pair %s %s))" % (left, right)
+
+
+_closed_exprs = _nat_exprs
+
+
+@given(body=_closed_exprs(), a=st.integers(0, 9), b=st.integers(0, 9),
+       c=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_simplify_preserves_semantics(body, a, b, c):
+    source = "module M where\n\nf a b c = %s\n" % body
+    linked = load_program(source)
+    expected = run_program(linked, "f", [a, b, c])
+    d = linked.find_def("f")[1]
+    from repro.lang.ast import Def, Module, Program
+
+    optimised = link_program(
+        Program((Module("M", (), (Def("f", d.params, simplify(d.body)),)),))
+    )
+    assert run_program(optimised, "f", [a, b, c]) == expected
+
+
+@given(body=_closed_exprs(), a=st.integers(0, 9), b=st.integers(0, 9),
+       c=st.booleans())
+@settings(max_examples=120, deadline=None)
+def test_cse_preserves_semantics(body, a, b, c):
+    source = "module M where\n\nf a b c = %s\n" % body
+    linked = load_program(source)
+    expected = run_program(linked, "f", [a, b, c])
+    d = linked.find_def("f")[1]
+    from repro.lang.ast import Def, Module, Program
+
+    optimised = link_program(
+        Program(
+            (
+                Module(
+                    "M",
+                    (),
+                    (
+                        Def(
+                            "f",
+                            d.params,
+                            eliminate_common_subexpressions(d.body),
+                        ),
+                    ),
+                ),
+            )
+        )
+    )
+    assert run_program(optimised, "f", [a, b, c]) == expected
+
+
+def test_optimise_flags():
+    gp = repro.compile_genexts(FIR)
+    result = repro.specialise(gp, "go", {"ks": (1, 2, 1)})
+    no_cse = optimise_program(result.program, cse=False)
+    no_fold = optimise_program(result.program, fold=False)
+    linked = link_program(no_cse)
+    assert run_program(linked, result.entry, [(1, 2, 3)]) == result.run((1, 2, 3))
+    linked = link_program(no_fold)
+    assert run_program(linked, result.entry, [(1, 2, 3)]) == result.run((1, 2, 3))

@@ -1,0 +1,226 @@
+"""Parser unit tests (experiment E1: the Fig. 1 grammar)."""
+
+import pytest
+
+from repro.lang.ast import App, Call, Def, If, Lam, Lit, Prim, Var
+from repro.lang.errors import ParseError
+from repro.lang.parser import parse_expr, parse_module, parse_program
+
+
+# -- atoms -------------------------------------------------------------------
+
+
+def test_nat_literal():
+    assert parse_expr("42") == Lit(42)
+
+
+def test_boolean_literals():
+    assert parse_expr("true") == Lit(True)
+    assert parse_expr("false") == Lit(False)
+
+
+def test_nil_literal():
+    assert parse_expr("nil") == Lit(())
+
+
+def test_variable():
+    assert parse_expr("x") == Var("x")
+
+
+def test_parenthesised_expression():
+    assert parse_expr("((x))") == Var("x")
+
+
+def test_list_sugar():
+    assert parse_expr("[1, 2]") == Prim(
+        "cons", (Lit(1), Prim("cons", (Lit(2), Lit(()))))
+    )
+    assert parse_expr("[]") == Lit(())
+
+
+def test_nested_list_sugar():
+    assert parse_expr("[[1]]") == Prim(
+        "cons", (Prim("cons", (Lit(1), Lit(()))), Lit(()))
+    )
+
+
+# -- operators ----------------------------------------------------------------
+
+
+def test_arithmetic_precedence():
+    assert parse_expr("1 + 2 * 3") == Prim(
+        "+", (Lit(1), Prim("*", (Lit(2), Lit(3))))
+    )
+
+
+def test_left_associativity_of_minus():
+    assert parse_expr("5 - 2 - 1") == Prim(
+        "-", (Prim("-", (Lit(5), Lit(2))), Lit(1))
+    )
+
+
+def test_cons_is_right_associative():
+    assert parse_expr("1 : 2 : nil") == Prim(
+        "cons", (Lit(1), Prim("cons", (Lit(2), Lit(()))))
+    )
+
+
+def test_comparison_binds_looser_than_arithmetic():
+    assert parse_expr("x + 1 == 2") == Prim(
+        "==", (Prim("+", (Var("x"), Lit(1))), Lit(2))
+    )
+
+
+def test_comparison_is_non_associative():
+    with pytest.raises(ParseError):
+        parse_expr("1 == 2 == 3")
+
+
+def test_boolean_operators_precedence():
+    assert parse_expr("a && b || c") == Prim(
+        "or", (Prim("and", (Var("a"), Var("b"))), Var("c"))
+    )
+
+
+def test_at_application_left_associative():
+    assert parse_expr("f @ x @ y") == App(App(Var("f"), Var("x")), Var("y"))
+
+
+def test_at_binds_tighter_than_arithmetic():
+    assert parse_expr("f @ x + 1") == Prim("+", (App(Var("f"), Var("x")), Lit(1)))
+
+
+def test_at_right_operand_can_be_juxtaposition():
+    assert parse_expr("f @ g x") == App(Var("f"), Call("g", (Var("x"),)))
+
+
+# -- calls and prims ------------------------------------------------------------
+
+
+def test_named_call_by_juxtaposition():
+    assert parse_expr("power (n - 1) x") == Call(
+        "power", (Prim("-", (Var("n"), Lit(1))), Var("x"))
+    )
+
+
+def test_prefix_primitives_resolve_to_prim_nodes():
+    assert parse_expr("head xs") == Prim("head", (Var("xs"),))
+    assert parse_expr("cons x xs") == Prim("cons", (Var("x"), Var("xs")))
+    assert parse_expr("pair 1 2") == Prim("pair", (Lit(1), Lit(2)))
+
+
+def test_prefix_primitive_arity_checked_by_parser():
+    with pytest.raises(ParseError):
+        parse_expr("head xs ys")
+
+
+def test_bare_primitive_is_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("head")
+
+
+def test_non_identifier_head_cannot_be_juxtaposed():
+    with pytest.raises(ParseError) as exc:
+        parse_expr("(f) x")
+    assert "'@'" in str(exc.value)
+
+
+# -- lambda and if ---------------------------------------------------------------
+
+
+def test_lambda():
+    assert parse_expr("\\x -> x + 1") == Lam("x", Prim("+", (Var("x"), Lit(1))))
+
+
+def test_lambda_body_extends_right():
+    assert parse_expr("\\x -> f @ x + 1") == Lam(
+        "x", Prim("+", (App(Var("f"), Var("x")), Lit(1)))
+    )
+
+
+def test_if_then_else():
+    assert parse_expr("if c then 1 else 2") == If(Var("c"), Lit(1), Lit(2))
+
+
+def test_nested_if_in_else():
+    e = parse_expr("if a then 1 else if b then 2 else 3")
+    assert e == If(Var("a"), Lit(1), If(Var("b"), Lit(2), Lit(3)))
+
+
+# -- modules ----------------------------------------------------------------------
+
+
+def test_module_with_imports_and_defs():
+    m = parse_module(
+        "module M where\n"
+        "import A\n"
+        "import B\n"
+        "\n"
+        "f x = x\n"
+        "g = 1\n"
+    )
+    assert m.name == "M"
+    assert m.imports == ("A", "B")
+    assert m.defs == (Def("f", ("x",), Var("x")), Def("g", (), Lit(1)))
+
+
+def test_layout_continuation_lines_must_be_indented():
+    m = parse_module(
+        "module M where\n"
+        "\n"
+        "f x =\n"
+        "  if x == 0 then 1\n"
+        "  else 2\n"
+        "g y = y\n"
+    )
+    assert [d.name for d in m.defs] == ["f", "g"]
+
+
+def test_layout_stops_juxtaposition_at_column_one():
+    m = parse_module(
+        "module M where\n"
+        "\n"
+        "f x = g x\n"
+        "g x = x\n"
+    )
+    assert m.defs[0].body == Call("g", (Var("x"),))
+
+
+def test_definition_not_at_column_one_is_rejected():
+    with pytest.raises(ParseError):
+        parse_module("module M where\n f x = x\n")
+
+
+def test_duplicate_parameter_rejected():
+    with pytest.raises(ParseError):
+        parse_module("module M where\nf x x = x\n")
+
+
+def test_program_with_multiple_modules():
+    p = parse_program(
+        "module A where\n\nf x = x\n"
+        "module B where\nimport A\n\ng y = f y\n"
+    )
+    assert p.module_names() == ("A", "B")
+
+
+def test_empty_program_rejected():
+    with pytest.raises(ParseError):
+        parse_program("")
+
+
+def test_trailing_garbage_rejected():
+    with pytest.raises(ParseError):
+        parse_expr("1 + ")
+
+
+def test_error_position_is_reported():
+    with pytest.raises(ParseError) as exc:
+        parse_expr("if x then 1")
+    assert exc.value.line == 1
+
+
+def test_zero_arity_definition_reference_parses_as_var():
+    # Resolution to Call('c', ()) happens in validate, not in the parser.
+    m = parse_module("module M where\n\nc = 1\nf x = x + c\n")
+    assert m.defs[1].body == Prim("+", (Var("x"), Var("c")))

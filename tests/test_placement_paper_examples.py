@@ -1,0 +1,107 @@
+"""E8: the residual module structures of the paper's Sec. 5 examples."""
+
+import pytest
+
+import repro
+from repro.bench.generators import power_twice_main_source
+
+
+@pytest.fixture(scope="module")
+def ptm_result():
+    gp = repro.compile_genexts(
+        power_twice_main_source(),
+        force_residual={"power", "twice", "main"},
+    )
+    return repro.specialise(gp, "main", {})
+
+
+def module_map(result):
+    return {m.name: m for m in result.program.modules}
+
+
+def test_residual_module_names(ptm_result):
+    assert sorted(module_map(ptm_result)) == ["Main", "Power", "PowerTwice"]
+
+
+def test_power_module_has_three_specialisations(ptm_result):
+    power = module_map(ptm_result)["Power"]
+    assert len(power.defs) == 3
+    assert all(d.name.startswith("power") for d in power.defs)
+
+
+def test_power_chain_counts_down(ptm_result):
+    # power_1 calls power_2 calls power_3; power_3 is the base case.
+    power = module_map(ptm_result)["Power"]
+    from repro.lang.names import called_functions
+
+    defs = {d.name: d for d in power.defs}
+    chain = sorted(defs)
+    assert called_functions(defs[chain[0]].body) == frozenset({chain[1]})
+    assert called_functions(defs[chain[1]].body) == frozenset({chain[2]})
+    assert called_functions(defs[chain[2]].body) == frozenset()
+
+
+def test_combination_module_power_twice(ptm_result):
+    pt = module_map(ptm_result)["PowerTwice"]
+    assert pt.imports == ("Power",)
+    assert len(pt.defs) == 1
+    (d,) = pt.defs
+    assert d.name.startswith("twice")
+
+
+def test_main_module_imports_combination(ptm_result):
+    main = module_map(ptm_result)["Main"]
+    assert main.imports == ("PowerTwice",)
+    assert main.defs[0].name == "main"
+
+
+def test_residual_structure_differs_from_source(ptm_result):
+    # The source has modules Power, Twice, Main; the residual program has
+    # Power, PowerTwice, Main — "quite different from that of the source".
+    source_modules = {"Power", "Twice", "Main"}
+    residual_modules = set(module_map(ptm_result))
+    assert residual_modules != source_modules
+    assert "Twice" not in residual_modules
+
+
+def test_empty_modules_not_emitted(ptm_result):
+    # Module Twice would be empty (its only specialisation moved to the
+    # combination); it must not exist.
+    for m in ptm_result.program.modules:
+        assert m.defs
+
+
+def test_behaviour_is_two_to_the_ninth(ptm_result):
+    assert ptm_result.run(2) == 512
+    assert ptm_result.run(3) == 3 ** 9
+
+
+def test_unforced_variant_unfolds_everything():
+    gp = repro.compile_genexts(power_twice_main_source())
+    result = repro.specialise(gp, "main", {})
+    # With the automatic unfold rule, power {S,D} unfolds (its conditional
+    # is static) and so do twice/main: the residual program is one module
+    # with a single entry computing y^9 inline.
+    assert result.run(2) == 512
+    assert len(result.program.modules) == 1
+    from repro.lang.ast import count_nodes
+
+    (module,) = result.program.modules
+    (entry,) = module.defs
+    assert count_nodes(entry.body) >= 17  # 8 multiplications inline
+
+
+def test_placement_decided_before_bodies_exist():
+    # The placement of twice's specialisation must already be the
+    # combination at first request, which the streaming sink observes.
+    gp = repro.compile_genexts(
+        power_twice_main_source(),
+        force_residual={"power", "twice", "main"},
+    )
+    placements = []
+    repro.specialise(
+        gp, "main", {}, sink=lambda pl, d: placements.append((d.name, set(pl)))
+    )
+    by_name = {name: pl for name, pl in placements}
+    twice_name = next(n for n in by_name if n.startswith("twice"))
+    assert by_name[twice_name] == {"Power", "Twice"}

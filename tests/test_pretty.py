@@ -1,0 +1,137 @@
+"""Pretty-printer tests: output re-parses to the same AST.
+
+Includes a hypothesis property over randomly generated expressions.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var
+from repro.lang.parser import parse_expr, parse_module
+from repro.lang.pretty import pretty_def, pretty_expr, pretty_module
+from repro.lang.prims import PRIMS
+
+
+def roundtrip(expr):
+    return parse_expr(pretty_expr(expr))
+
+
+def test_literals():
+    assert pretty_expr(Lit(5)) == "5"
+    assert pretty_expr(Lit(True)) == "true"
+    assert pretty_expr(Lit(False)) == "false"
+    assert pretty_expr(Lit(())) == "nil"
+
+
+def test_operator_precedence_minimal_parens():
+    e = parse_expr("1 + 2 * 3")
+    assert pretty_expr(e) == "1 + 2 * 3"
+    e = parse_expr("(1 + 2) * 3")
+    assert pretty_expr(e) == "(1 + 2) * 3"
+
+
+def test_left_associative_chains_need_no_parens():
+    e = parse_expr("5 - 2 - 1")
+    assert pretty_expr(e) == "5 - 2 - 1"
+    assert roundtrip(e) == e
+
+
+def test_right_operand_of_minus_parenthesised():
+    e = Prim("-", (Lit(5), Prim("-", (Lit(2), Lit(1)))))
+    assert pretty_expr(e) == "5 - (2 - 1)"
+    assert roundtrip(e) == e
+
+
+def test_cons_chain():
+    e = parse_expr("1 : 2 : nil")
+    assert pretty_expr(e) == "1 : 2 : nil"
+    assert roundtrip(e) == e
+
+
+def test_call_arguments_are_atomised():
+    e = Call("f", (Prim("+", (Var("x"), Lit(1))), Var("y")))
+    assert pretty_expr(e) == "f (x + 1) y"
+    assert roundtrip(e) == e
+
+
+def test_nested_call_argument():
+    e = Call("f", (Call("g", (Var("x"),)),))
+    assert pretty_expr(e) == "f (g x)"
+    assert roundtrip(e) == e
+
+
+def test_zero_arg_call_prints_bare():
+    # Re-parsing gives Var, which validate re-resolves; printing is the
+    # inverse of the *resolved* form only up to that normalisation.
+    assert pretty_expr(Call("c", ())) == "c"
+
+
+def test_lambda_and_app():
+    e = parse_expr("(\\x -> x + 1) @ y")
+    assert roundtrip(e) == e
+
+
+def test_if_inside_operator_needs_parens():
+    e = Prim("+", (If(Var("c"), Lit(1), Lit(2)), Lit(3)))
+    assert pretty_expr(e) == "(if c then 1 else 2) + 3"
+    assert roundtrip(e) == e
+
+
+def test_def_and_module_roundtrip():
+    source = (
+        "module M where\n"
+        "import A\n"
+        "\n"
+        "f x y = if x == 0 then y else f (x - 1) (y + 1)\n"
+    )
+    m = parse_module(source)
+    assert parse_module(pretty_module(m)) == m
+
+
+def test_pretty_def_zero_params():
+    m = parse_module("module M where\n\nc = 1 + 2\n")
+    assert pretty_def(m.defs[0]) == "c = 1 + 2"
+
+
+# -- property-based round-trip -------------------------------------------------
+
+_names = st.sampled_from(["x", "y", "z", "acc", "n0"])
+_funcs = st.sampled_from(["f", "g", "helper"])
+_infix = [p.name for p in PRIMS.values() if p.infix]
+_prefix = [p.name for p in PRIMS.values() if not p.infix]
+
+
+def _exprs():
+    leaves = st.one_of(
+        st.integers(min_value=0, max_value=99).map(Lit),
+        st.booleans().map(Lit),
+        st.just(Lit(())),
+        _names.map(Var),
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.tuples(st.sampled_from(_infix), children, children).map(
+                lambda t: Prim(t[0], (t[1], t[2]))
+            ),
+            st.tuples(st.sampled_from(_prefix), children).map(
+                lambda t: Prim(t[0], (t[1],))
+                if PRIMS[t[0]].arity == 1
+                else Prim(t[0], (t[1], t[1]))
+            ),
+            st.tuples(children, children, children).map(lambda t: If(*t)),
+            st.tuples(_funcs, st.lists(children, min_size=1, max_size=3)).map(
+                lambda t: Call(t[0], tuple(t[1]))
+            ),
+            st.tuples(_names, children).map(lambda t: Lam(t[0], t[1])),
+            st.tuples(children, children).map(lambda t: App(t[0], t[1])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=25)
+
+
+@given(_exprs())
+@settings(max_examples=300, deadline=None)
+def test_pretty_parse_roundtrip_property(expr):
+    text = pretty_expr(expr)
+    assert parse_expr(text) == expr

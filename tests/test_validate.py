@@ -1,0 +1,110 @@
+"""Name resolution and structural validation tests."""
+
+import pytest
+
+from repro.lang.ast import Call, Prim, Var
+from repro.lang.errors import ValidationError
+from repro.lang.parser import parse_module
+from repro.lang.validate import resolve_module
+from repro.modsys.program import load_program
+
+
+def resolve(source, imported=None):
+    return resolve_module(parse_module(source), imported or {})
+
+
+def test_zero_arity_reference_becomes_call():
+    m = resolve("module M where\n\nc = 1\nf x = x + c\n")
+    assert m.defs[1].body == Prim("+", (Var("x"), Call("c", ())))
+
+
+def test_local_variable_shadows_zero_arity_function():
+    m = resolve("module M where\n\nc = 1\nf c = c\n")
+    assert m.defs[1].body == Var("c")
+
+
+def test_unbound_variable_rejected():
+    with pytest.raises(ValidationError) as exc:
+        resolve("module M where\n\nf x = y\n")
+    assert "unbound variable 'y'" in str(exc.value)
+
+
+def test_unknown_function_rejected():
+    with pytest.raises(ValidationError) as exc:
+        resolve("module M where\n\nf x = g x\n")
+    assert "unknown function 'g'" in str(exc.value)
+
+
+def test_arity_mismatch_rejected():
+    with pytest.raises(ValidationError) as exc:
+        resolve("module M where\n\ng x y = x\nf x = g x\n")
+    assert "expects 2 arguments" in str(exc.value)
+
+
+def test_partial_application_of_named_function_rejected():
+    with pytest.raises(ValidationError) as exc:
+        resolve("module M where\n\ng x y = x\nf x = g\n")
+    assert "fully applied" in str(exc.value)
+
+
+def test_juxtaposing_a_local_variable_rejected():
+    with pytest.raises(ValidationError) as exc:
+        resolve("module M where\n\nf g x = g x\n")
+    assert "'@'" in str(exc.value)
+
+
+def test_lambda_var_shadows_function():
+    m = resolve("module M where\n\nc = 1\nf x = (\\c -> c) @ x\n")
+    lam = m.defs[1].body.fun
+    assert lam.body == Var("c")
+
+
+def test_duplicate_definition_rejected():
+    with pytest.raises(ValidationError):
+        resolve("module M where\n\nf x = x\nf y = y\n")
+
+
+def test_redefining_imported_function_rejected():
+    with pytest.raises(ValidationError):
+        resolve("module M where\n\nf x = x\n", imported={"f": 1})
+
+
+def test_imported_functions_resolvable():
+    m = resolve("module M where\n\nf x = g x x\n", imported={"g": 2})
+    assert m.defs[0].body == Call("g", (Var("x"), Var("x")))
+
+
+def test_recursion_within_module():
+    m = resolve("module M where\n\nf x = if x == 0 then 0 else f (x - 1)\n")
+    assert m.defs[0].body.else_branch.func == "f"
+
+
+def test_forward_references_within_module():
+    m = resolve("module M where\n\nf x = g x\ng x = x\n")
+    assert m.defs[0].body == Call("g", (Var("x"),))
+
+
+# -- program level (load_program) ---------------------------------------------
+
+
+def test_import_is_not_transitive():
+    source = (
+        "module A where\n\nf x = x\n"
+        "module B where\nimport A\n\ng x = f x\n"
+        "module C where\nimport B\n\nh x = f x\n"
+    )
+    with pytest.raises(ValidationError):
+        load_program(source)
+
+
+def test_global_function_name_uniqueness():
+    source = "module A where\n\nf x = x\nmodule B where\n\nf x = x\n"
+    with pytest.raises(ValidationError) as exc:
+        load_program(source)
+    assert "unique" in str(exc.value)
+
+
+def test_duplicate_module_names_rejected():
+    source = "module A where\n\nf x = x\nmodule A where\n\ng x = x\n"
+    with pytest.raises(ValidationError):
+        load_program(source)
