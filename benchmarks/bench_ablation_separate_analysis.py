@@ -5,15 +5,19 @@ tailored for specialisation once and for all.  For the analysis we only
 require that all imported modules have been analysed."
 
 We build an import chain of 24 modules and compare the cost of
-refreshing the analysis after an edit:
+refreshing the analysis after various events, under the
+content-digest invalidation scheme:
 
 * **whole-program** — re-analyse everything (a specialiser without
   interface files);
-* **leaf edit** — touch the last module; the interface manager
-  re-analyses exactly one module;
-* **root edit** — touch the first module; everything downstream must be
-  re-analysed (the honest worst case: interface files do not help when
-  a library at the bottom changes).
+* **touch all** — ``touch`` every source; digests are unchanged, so
+  nothing is re-analysed (a timestamp scheme would redo the world);
+* **leaf edit** — change the last module; exactly one re-analysis;
+* **root edit, comment** — change the first module without changing its
+  interface; early cutoff stops the cone at the root itself;
+* **root edit, new export** — change the first module's *interface*;
+  the direct importer is re-analysed, but its own interface comes out
+  byte-identical, so the remaining 22 modules are cut off.
 """
 
 import os
@@ -38,13 +42,13 @@ def _setup(tmp):
     linked = load_program_dir(tmp)
     manager = InterfaceManager(tmp)
     manager.analyse(linked)  # prime all interfaces
-    return linked, manager
+    return sources, manager
 
 
-def _touch(tmp, name):
-    path = os.path.join(tmp, name + ".mod")
-    future = time.time() + 10
-    os.utime(path, (future, future))
+def _edit(tmp, name, text):
+    with open(os.path.join(tmp, name + ".mod"), "w") as f:
+        f.write(text)
+    return load_program_dir(tmp)
 
 
 def _timed(fn):
@@ -55,34 +59,48 @@ def _timed(fn):
 
 def test_separate_analysis(benchmark, table, tmp_path):
     tmp = str(tmp_path)
-    linked, manager = _setup(tmp)
+    sources, manager = _setup(tmp)
+    leaf = "M%d" % (N_MODULES - 1)
 
     def scenario():
         rows = []
+        linked = load_program_dir(tmp)
         t_whole, _ = _timed(lambda: analyse_program(linked))
 
-        _touch(tmp, "M%d" % (N_MODULES - 1))
-        t_leaf, (_, analysed_leaf) = _timed(lambda: manager.analyse(linked))
+        future = time.time() + 10
+        for name in sources:
+            os.utime(os.path.join(tmp, name + ".mod"), (future, future))
+        t_touch, (_, touched) = _timed(lambda: manager.analyse(linked))
 
-        _touch(tmp, "M0")
-        t_root, (_, analysed_root) = _timed(lambda: manager.analyse(linked))
+        edited = _edit(tmp, leaf, sources[leaf] + "leaf_extra n x = x\n")
+        t_leaf, (_, leafed) = _timed(lambda: manager.analyse(edited))
+
+        edited = _edit(tmp, "M0", "-- cutoff probe\n" + sources["M0"])
+        t_cut, (_, cut) = _timed(lambda: manager.analyse(edited))
+
+        edited = _edit(tmp, "M0", sources["M0"] + "root_extra n x = x\n")
+        t_root, (_, rooted) = _timed(lambda: manager.analyse(edited))
 
         rows.append(["whole-program re-analysis", N_MODULES, "%.2f ms" % (t_whole * 1e3)])
-        rows.append(["leaf edit (interface files)", len(analysed_leaf), "%.2f ms" % (t_leaf * 1e3)])
-        rows.append(["root edit (interface files)", len(analysed_root), "%.2f ms" % (t_root * 1e3)])
-        return rows, t_whole, t_leaf, len(analysed_leaf), len(analysed_root)
+        rows.append(["touch all (digests)", len(touched), "%.2f ms" % (t_touch * 1e3)])
+        rows.append(["leaf edit", len(leafed), "%.2f ms" % (t_leaf * 1e3)])
+        rows.append(["root edit, comment (cutoff)", len(cut), "%.2f ms" % (t_cut * 1e3)])
+        rows.append(["root edit, new export", len(rooted), "%.2f ms" % (t_root * 1e3)])
+        return rows, t_whole, t_leaf, touched, leafed, cut, rooted
 
-    rows, t_whole, t_leaf, n_leaf, n_root = benchmark.pedantic(
+    rows, t_whole, t_leaf, touched, leafed, cut, rooted = benchmark.pedantic(
         scenario, rounds=1, iterations=1
     )
     table(
-        "Ablation — separate analysis via interface files (%d-module chain)"
+        "Ablation — separate analysis via interface digests (%d-module chain)"
         % N_MODULES,
         ["scenario", "modules analysed", "time"],
         rows,
     )
-    assert n_leaf == 1
-    assert n_root == N_MODULES
+    assert touched == []
+    assert leafed == ["M%d" % (N_MODULES - 1)]
+    assert cut == ["M0"], "early cutoff: the comment edit dirties M0 alone"
+    assert rooted == ["M0", "M1"], "cutoff at M1's unchanged interface"
     assert t_leaf * 3 < t_whole, "a leaf edit must be far cheaper"
 
 

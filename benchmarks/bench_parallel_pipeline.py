@@ -1,0 +1,158 @@
+"""The parallel wave-scheduled pipeline and its content-addressed cache.
+
+Three builds of the same 16-module wide synthetic program (4 layers ×
+4 modules, so every wave is 4 modules wide):
+
+* **cold, jobs=1** — serial BTA+cogen, empty cache;
+* **cold, jobs=4** — the same work fanned out over a process pool, one
+  wave at a time (the paper's separate-analysis property is what makes
+  the fan-out sound);
+* **warm, jobs=1** — a no-op rebuild against the populated cache, which
+  must re-analyse and re-cogen **zero** modules.
+
+Besides the usual table, the run emits a machine-readable
+``BENCH_parallel_pipeline.json`` next to this file so later PRs have a
+perf trajectory to regress against.
+
+The parallel-speedup assertion only fires when the machine actually has
+≥ 4 usable cores; the measurement is recorded either way (a 1-core CI
+box shows pool overhead, not parallelism — that is data too, not a
+failure of the pipeline).
+"""
+
+import json
+import os
+import time
+
+from repro.bench.generators import wide_program
+from repro.pipeline import build_dir
+from repro.pipeline.stats import PipelineStats
+
+LAYERS = 4
+WIDTH = 4
+DEFS = 20
+N_MODULES = LAYERS * WIDTH
+JSON_PATH = os.path.join(
+    os.path.dirname(__file__), "BENCH_parallel_pipeline.json"
+)
+
+MIN_PARALLEL_SPEEDUP = 1.8
+MIN_WARM_SPEEDUP = 5.0
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _timed_build(src, cache_dir, jobs):
+    stats = PipelineStats()
+    started = time.perf_counter()
+    result = build_dir(src, cache_dir=cache_dir, jobs=jobs, stats=stats)
+    return time.perf_counter() - started, result
+
+
+def test_parallel_pipeline(benchmark, table, tmp_path):
+    src = str(tmp_path / "src")
+    os.makedirs(src)
+    for name, text in wide_program(LAYERS, WIDTH, DEFS, seed=7).items():
+        with open(os.path.join(src, name + ".mod"), "w") as f:
+            f.write(text)
+
+    def scenario():
+        record = {}
+        # Cold builds, best of 2, a fresh cache per round.
+        for jobs in (1, 4):
+            times = []
+            for rnd in range(2):
+                cache = str(tmp_path / ("cache-j%d-r%d" % (jobs, rnd)))
+                seconds, result = _timed_build(src, cache, jobs)
+                assert len(result.analysed) == N_MODULES
+                assert result.stats.wave_widths == (WIDTH,) * LAYERS
+                times.append(seconds)
+                record["cold_jobs%d_stats" % jobs] = result.stats.as_dict()
+            record["cold_jobs%d_seconds" % jobs] = min(times)
+        # Warm no-op rebuild against a populated cache, best of 3.
+        cache = str(tmp_path / "cache-warm")
+        cold_seconds, _ = _timed_build(src, cache, 1)
+        warm_times = []
+        for _ in range(3):
+            seconds, warm = _timed_build(src, cache, 1)
+            assert warm.analysed == [], "warm rebuild must re-analyse nothing"
+            assert len(warm.cached) == N_MODULES
+            warm_times.append(seconds)
+        record["warm_cold_reference_seconds"] = cold_seconds
+        record["warm_seconds"] = min(warm_times)
+        record["warm_stats"] = warm.stats.as_dict()
+        record["warm_analysed"] = len(warm.analysed)
+        record["warm_cogen"] = len(warm.analysed)  # one job does both
+        return record
+
+    record = benchmark.pedantic(scenario, rounds=1, iterations=1)
+
+    cpus = _cpus()
+    parallel_speedup = (
+        record["cold_jobs1_seconds"] / record["cold_jobs4_seconds"]
+    )
+    warm_speedup = record["warm_cold_reference_seconds"] / record["warm_seconds"]
+    record.update(
+        {
+            "program": {
+                "modules": N_MODULES,
+                "layers": LAYERS,
+                "width": WIDTH,
+                "defs_per_module": DEFS,
+            },
+            "cpus": cpus,
+            "parallel_speedup": parallel_speedup,
+            "warm_speedup": warm_speedup,
+        }
+    )
+    with open(JSON_PATH, "w") as f:
+        json.dump(record, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    table(
+        "Parallel wave-scheduled pipeline (%d modules, %d×%d, %d cpus)"
+        % (N_MODULES, LAYERS, WIDTH, cpus),
+        ["scenario", "modules analysed", "time", "speedup"],
+        [
+            [
+                "cold, jobs=1",
+                N_MODULES,
+                "%.1f ms" % (record["cold_jobs1_seconds"] * 1e3),
+                "1.00x",
+            ],
+            [
+                "cold, jobs=4",
+                N_MODULES,
+                "%.1f ms" % (record["cold_jobs4_seconds"] * 1e3),
+                "%.2fx" % parallel_speedup,
+            ],
+            [
+                "warm rebuild",
+                0,
+                "%.1f ms" % (record["warm_seconds"] * 1e3),
+                "%.2fx" % warm_speedup,
+            ],
+        ],
+    )
+    print("wrote", JSON_PATH)
+
+    assert record["warm_analysed"] == 0 and record["warm_cogen"] == 0
+    assert warm_speedup >= MIN_WARM_SPEEDUP, (
+        "warm no-op rebuild only %.2fx faster than cold" % warm_speedup
+    )
+    if cpus >= 4:
+        assert parallel_speedup >= MIN_PARALLEL_SPEEDUP, (
+            "--jobs 4 only %.2fx faster than --jobs 1 on %d cpus"
+            % (parallel_speedup, cpus)
+        )
+    else:
+        print(
+            "NOTE: %d usable cpu(s); parallel speedup %.2fx recorded, "
+            "assertion (>= %.1fx) requires >= 4 cores"
+            % (cpus, parallel_speedup, MIN_PARALLEL_SPEEDUP)
+        )

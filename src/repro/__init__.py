@@ -37,13 +37,16 @@ from repro.genext.link import link_genexts, load_genext_dir, write_genexts
 from repro.interp import run_main, run_program
 from repro.lang.pretty import pretty_module, pretty_program
 from repro.modsys.program import LinkedProgram, load_program, load_program_dir
+from repro.pipeline import BuildEngine, build_dir
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "BuildEngine",
     "LinkedProgram",
     "SpecialisationResult",
     "analyse_program",
+    "build_dir",
     "cogen_program",
     "compile_genexts",
     "link_genexts",

@@ -175,6 +175,47 @@ def layered_program(n_modules, defs_per_module, seed=0):
     return out
 
 
+def wide_program(layers, width, defs_per_module=4, seed=0):
+    """A layered DAG of ``layers`` × ``width`` modules for parallel-build
+    experiments: module ``L{i}W{j}`` imports every module of layer
+    ``i-1``, so the wave schedule is exactly the layers and each wave is
+    ``width`` modules wide — the shape that exposes maximal parallelism
+    to the build pipeline.  Definitions are recursive loops; layer ``i``
+    definitions call into layer ``i-1``.  Returns a dict of module name
+    -> source text (one module per entry, loader-ready)."""
+    rng = random.Random(seed)
+    out = {}
+    for i in range(layers):
+        for j in range(width):
+            name = "L%dW%d" % (i, j)
+            lines = ["module %s where" % name]
+            if i > 0:
+                for jj in range(width):
+                    lines.append("import L%dW%d" % (i - 1, jj))
+            lines.append("")
+            for k in range(defs_per_module):
+                fname = "f_%d_%d_%d" % (i, j, k)
+                if i > 0:
+                    callee = "f_%d_%d_%d" % (
+                        i - 1,
+                        rng.randrange(width),
+                        rng.randrange(defs_per_module),
+                    )
+                    body = "if n == 0 then x else %s (n - 1) (x + %d)" % (
+                        callee,
+                        rng.randint(1, 9),
+                    )
+                else:
+                    body = "if n == 0 then x else %s (n - 1) (x * %d)" % (
+                        fname,
+                        rng.randint(2, 5),
+                    )
+                lines.append("%s n x = %s" % (fname, body))
+            lines.append("")
+            out[name] = "\n".join(lines)
+    return out
+
+
 def chain_program(depth):
     """A chain of ``depth`` mutually calling, always-residualised
     functions: ``c0 -> c1 -> ... -> c(depth-1)``.

@@ -7,21 +7,38 @@ information to analyse calls of imported functions."
 
 Interface files are JSON (one per module, suffix ``.bti``), containing
 the canonical :class:`~repro.bt.scheme.BTScheme` of every exported
-function.  The :class:`InterfaceManager` implements the separate-analysis
-workflow: a module is (re)analysed only when its source or any interface
-it depends on is newer than its own interface file — the "once and for
-all" property that lets library modules be prepared in advance.
+function.  The serialisation is canonical (sorted keys, fixed layout),
+so *byte equality of interface files coincides with semantic equality of
+interfaces* — the property the content-addressed invalidation scheme
+rests on.
+
+The :class:`InterfaceManager` implements the separate-analysis workflow
+with **content-digest invalidation**: each module's artifacts are keyed
+by the SHA-256 of its source text plus the digests of its imports'
+interface files (:func:`module_key`).  A module is re-analysed only when
+that key changes — so ``touch`` and fresh checkouts cost nothing, and an
+edit that leaves a module's interface byte-identical stops invalidation
+propagating any further (early cutoff).  Writes are atomic (temp file +
+``os.replace``), so concurrent builders never observe torn artifacts.
 """
 
+import hashlib
 import json
 import os
+import tempfile
 
 from repro.bt.analysis import analyse_module
 from repro.bt.bttypes import BTTBase, BTTFun, BTTList, BTTPair, BTTSkel
 from repro.bt.scheme import BTScheme
 
 INTERFACE_SUFFIX = ".bti"
+KEY_SUFFIX = ".bti.key"
 FORMAT_VERSION = 1
+
+# Bumping this invalidates every cached artifact (interfaces, genext
+# sources, code objects) — do so whenever the analysis or the cogen
+# changes what it produces for the same input.
+CACHE_EPOCH = 1
 
 
 class InterfaceError(Exception):
@@ -86,43 +103,160 @@ def scheme_from_json(j):
         raise InterfaceError("malformed scheme: %s" % e)
 
 
-def write_interface(path, module_name, schemes):
-    """Write one module's binding-time interface file."""
+def interface_text(module_name, schemes):
+    """The canonical on-disk serialisation of one interface.
+
+    Deterministic for a given ``(module_name, schemes)``: two analyses
+    that agree on the schemes produce byte-identical files, which is
+    what lets :func:`interface_digest` double as a semantic fingerprint.
+    """
     payload = {
         "format": FORMAT_VERSION,
         "module": module_name,
         "schemes": {name: scheme_to_json(s) for name, s in schemes.items()},
     }
-    with open(path, "w") as f:
-        json.dump(payload, f, indent=1, sort_keys=True)
-        f.write("\n")
+    return json.dumps(payload, indent=1, sort_keys=True) + "\n"
+
+
+def atomic_write_text(path, text):
+    """Write ``text`` to ``path`` atomically (temp file + ``os.replace``).
+
+    Readers never observe a torn file, and a crash mid-write leaves any
+    previous contents intact."""
+    directory = os.path.dirname(os.path.abspath(path))
+    fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp.", suffix="~")
+    try:
+        with os.fdopen(fd, "w") as f:
+            f.write(text)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+def write_interface(path, module_name, schemes):
+    """Write one module's binding-time interface file (atomically).
+
+    Returns the serialised text."""
+    text = interface_text(module_name, schemes)
+    atomic_write_text(path, text)
+    return text
+
+
+def interface_from_text(text, origin="<interface>"):
+    """Parse interface text; returns ``(module_name, schemes)``.
+
+    Raises :class:`InterfaceError` — naming ``origin`` — on corrupt,
+    truncated, or structurally wrong input, never a bare
+    ``json.JSONDecodeError``."""
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as e:
+        raise InterfaceError("corrupt interface file %s: %s" % (origin, e))
+    if not isinstance(payload, dict):
+        raise InterfaceError(
+            "%s: expected a JSON object, got %s"
+            % (origin, type(payload).__name__)
+        )
+    if payload.get("format") != FORMAT_VERSION:
+        raise InterfaceError(
+            "%s: unsupported interface format %r" % (origin, payload.get("format"))
+        )
+    module = payload.get("module")
+    schemes_json = payload.get("schemes")
+    if not isinstance(module, str) or not isinstance(schemes_json, dict):
+        raise InterfaceError(
+            "%s: missing or malformed 'module'/'schemes' fields" % origin
+        )
+    try:
+        schemes = {
+            name: scheme_from_json(j) for name, j in schemes_json.items()
+        }
+    except InterfaceError as e:
+        raise InterfaceError("%s: %s" % (origin, e))
+    return module, schemes
 
 
 def read_interface(path):
     """Read an interface file; returns ``(module_name, schemes)``."""
     try:
         with open(path) as f:
-            payload = json.load(f)
-    except (OSError, json.JSONDecodeError) as e:
+            text = f.read()
+    except OSError as e:
         raise InterfaceError("cannot read %s: %s" % (path, e))
-    if payload.get("format") != FORMAT_VERSION:
-        raise InterfaceError(
-            "%s: unsupported interface format %r" % (path, payload.get("format"))
-        )
-    schemes = {
-        name: scheme_from_json(j) for name, j in payload["schemes"].items()
-    }
-    return payload["module"], schemes
+    return interface_from_text(text, origin=path)
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed artifact keys.
+# ---------------------------------------------------------------------------
+
+_KEY_SALT = b"mspec-artifact-key\x00"
+
+
+def interface_digest(path):
+    """SHA-256 hex digest of an interface file's bytes, or ``None`` if
+    the file does not exist.  Because the serialisation is canonical,
+    equal digests mean equal interfaces."""
+    try:
+        with open(path, "rb") as f:
+            data = f.read()
+    except OSError:
+        return None
+    return hashlib.sha256(data).hexdigest()
+
+
+def digest_text(text):
+    """SHA-256 hex digest of a text artifact (canonical serialisation)."""
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def module_key(source_bytes, dep_digests, force_residual=frozenset()):
+    """The content-addressed cache key of one module's artifacts.
+
+    ``sha256`` over: a salt and :data:`CACHE_EPOCH`, the module's source
+    bytes, the analysis options that change its output
+    (``force_residual``), and the *interface digests* of its direct
+    imports (sorted by name).  Keying on the imports' interfaces — not
+    their sources — is what gives early cutoff: an upstream edit that
+    leaves an interface byte-identical leaves every downstream key
+    unchanged.
+
+    ``dep_digests`` is an iterable of ``(dep_name, digest_hex)``; a
+    ``None`` digest (missing dep interface) poisons the key so the
+    module can never appear up to date.
+    """
+    h = hashlib.sha256()
+    h.update(_KEY_SALT)
+    h.update(b"epoch=%d fmt=%d\x00" % (CACHE_EPOCH, FORMAT_VERSION))
+    h.update(source_bytes)
+    h.update(b"\x00")
+    for name in sorted(force_residual):
+        h.update(b"resid:")
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+    for dep, digest in sorted(dep_digests):
+        h.update(dep.encode("utf-8"))
+        h.update(b"=")
+        h.update((digest or "<missing>").encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
 
 
 class InterfaceManager:
-    """Separate analysis driven by interface-file timestamps.
+    """Separate analysis driven by content digests.
 
     Sources live as ``<Module>.mod`` in ``src_dir``; interfaces are kept
-    in ``iface_dir`` as ``<Module>.bti``.  ``analyse`` processes modules
-    in dependency order, skipping any module whose interface is up to
-    date — which is exactly how a library vendor prepares modules "once
-    and for all"."""
+    in ``iface_dir`` as ``<Module>.bti``, each alongside a
+    ``<Module>.bti.key`` sidecar recording the :func:`module_key` it was
+    built from.  ``analyse`` processes modules in dependency order,
+    skipping any module whose recorded key still matches — which is
+    exactly how a library vendor prepares modules "once and for all",
+    and which (unlike timestamps) survives ``touch``, ``git checkout``,
+    and edits that do not change an interface."""
 
     def __init__(self, src_dir, iface_dir=None):
         self.src_dir = src_dir
@@ -134,20 +268,37 @@ class InterfaceManager:
     def interface_path(self, module_name):
         return os.path.join(self.iface_dir, module_name + INTERFACE_SUFFIX)
 
-    def is_up_to_date(self, module_name, import_names):
-        """True when the module's interface is newer than its source and
-        than every imported interface."""
-        ipath = self.interface_path(module_name)
-        if not os.path.exists(ipath):
-            return False
-        itime = os.path.getmtime(ipath)
-        if os.path.getmtime(self.source_path(module_name)) > itime:
-            return False
+    def key_path(self, module_name):
+        return os.path.join(self.iface_dir, module_name + KEY_SUFFIX)
+
+    def current_key(self, module_name, import_names, force_residual=frozenset()):
+        """The module's key as computed from what is on disk right now,
+        or ``None`` when the source or a dep interface is missing."""
+        try:
+            with open(self.source_path(module_name), "rb") as f:
+                source_bytes = f.read()
+        except OSError:
+            return None
+        deps = []
         for dep in import_names:
-            dep_path = self.interface_path(dep)
-            if not os.path.exists(dep_path) or os.path.getmtime(dep_path) > itime:
-                return False
-        return True
+            digest = interface_digest(self.interface_path(dep))
+            if digest is None:
+                return None
+            deps.append((dep, digest))
+        return module_key(source_bytes, deps, force_residual)
+
+    def is_up_to_date(self, module_name, import_names, force_residual=frozenset()):
+        """True when the interface's recorded content key matches the
+        key recomputed from the current source and dep interfaces."""
+        if not os.path.exists(self.interface_path(module_name)):
+            return False
+        try:
+            with open(self.key_path(module_name)) as f:
+                recorded = f.read().strip()
+        except OSError:
+            return False
+        current = self.current_key(module_name, import_names, force_residual)
+        return current is not None and recorded == current
 
     def analyse(self, linked, force_residual=frozenset(), force=False):
         """Analyse every out-of-date module of ``linked``; returns
@@ -157,7 +308,9 @@ class InterfaceManager:
         analysed = []
         for module_name in linked.topo_order:
             module = linked.module(module_name)
-            if not force and self.is_up_to_date(module_name, module.imports):
+            if not force and self.is_up_to_date(
+                module_name, module.imports, force_residual
+            ):
                 _, cached = read_interface(self.interface_path(module_name))
                 schemes.update(cached)
                 continue
@@ -173,6 +326,8 @@ class InterfaceManager:
             write_interface(
                 self.interface_path(module_name), module_name, analysis.schemes
             )
+            key = self.current_key(module_name, module.imports, force_residual)
+            atomic_write_text(self.key_path(module_name), key + "\n")
             schemes.update(analysis.schemes)
             analysed.append(module_name)
         return schemes, analysed

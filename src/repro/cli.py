@@ -7,6 +7,11 @@ Subcommands mirror the paper's workflow:
   files (only out-of-date modules are re-analysed).
 * ``mspec cogen DIR [-o OUT]``   — run the cogen, writing one
   ``*.genext.py`` per module.
+* ``mspec build DIR [--jobs N] [--cache-dir D] [--stats]`` — the
+  parallel, incremental pipeline: wave-scheduled separate analysis and
+  cogen backed by a content-addressed artifact cache; writes ``*.bti``
+  and ``*.genext.py`` like ``analyze`` + ``cogen`` but re-does only the
+  dirty cone of an edit.
 * ``mspec specialise DIR GOAL [name=value...]`` — link the generating
   extensions and specialise ``GOAL`` with the given static arguments
   (unlisted parameters stay dynamic); prints the residual program or
@@ -68,6 +73,28 @@ def cmd_analyze(args):
         print("%-20s %s" % (name, status))
     for fname in sorted(schemes):
         print("  %s : %s" % (fname, schemes[fname]))
+    return 0
+
+
+def cmd_build(args):
+    from repro.pipeline import build_dir
+
+    result = build_dir(
+        args.dir,
+        cache_dir=args.cache_dir,
+        jobs=args.jobs,
+        force_residual=frozenset(args.residual or []),
+        iface_dir=args.iface_dir or args.dir,
+        out_dir=args.out or args.dir,
+    )
+    analysed = set(result.analysed)
+    for wave_idx, wave in enumerate(result.waves):
+        for name in wave:
+            status = "analysed" if name in analysed else "cached"
+            print("%-20s wave %-3d %s" % (name, wave_idx, status))
+    if args.stats:
+        print()
+        print(result.stats.report())
     return 0
 
 
@@ -175,6 +202,26 @@ def build_parser():
     p.add_argument("--iface-dir", help="where to keep *.bti files")
     p.add_argument("--force", action="store_true", help="re-analyse everything")
     p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser(
+        "build", help="parallel incremental analyse + cogen (cached)"
+    )
+    common(p)
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for per-wave BTA+cogen (default 1: serial)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        help="content-addressed artifact cache (default DIR/.mspec-cache)",
+    )
+    p.add_argument("--iface-dir", help="where to publish *.bti files")
+    p.add_argument("-o", "--out", help="where to publish *.genext.py files")
+    p.add_argument(
+        "--stats", action="store_true",
+        help="print per-stage timings, wave widths, and cache counters",
+    )
+    p.set_defaults(fn=cmd_build)
 
     p = sub.add_parser("cogen", help="generate generating extensions")
     common(p)

@@ -86,13 +86,18 @@ class GenextProgram:
         return self.signatures[fname]
 
 
-def load_genext(genext_module, filename=None):
-    """Compile and execute one generated module."""
-    code = compile(
-        genext_module.source,
-        filename or "<genext:%s>" % genext_module.name,
-        "exec",
-    )
+def load_genext(genext_module, filename=None, code=None):
+    """Compile and execute one generated module.
+
+    ``code`` may supply an already compiled code object of the module's
+    source (e.g. from the build pipeline's artifact cache), skipping
+    compilation."""
+    if code is None:
+        code = compile(
+            genext_module.source,
+            filename or "<genext:%s>" % genext_module.name,
+            "exec",
+        )
     namespace = {"__name__": "genext_%s" % genext_module.name}
     exec(code, namespace)
     return LoadedModule(genext_module.name, genext_module.imports, namespace)

@@ -1,0 +1,21 @@
+"""The parallel, incremental build pipeline.
+
+Wave-scheduled separate analysis and cogen
+(:class:`~repro.pipeline.build.BuildEngine`), backed by a
+content-addressed artifact cache
+(:class:`~repro.pipeline.cache.ArtifactCache`) and instrumented by
+:class:`~repro.pipeline.stats.PipelineStats`.  See
+``docs/pipeline.md`` ("Parallel & incremental builds").
+"""
+
+from repro.pipeline.build import BuildEngine, BuildResult, build_dir
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.stats import PipelineStats
+
+__all__ = [
+    "ArtifactCache",
+    "BuildEngine",
+    "BuildResult",
+    "PipelineStats",
+    "build_dir",
+]

@@ -1,0 +1,358 @@
+"""The parallel, incremental analyse→cogen build engine.
+
+The paper's separate-analysis property (Sec. 4.1) says each module can
+be analysed and compiled to a generating extension given only the
+binding-time *interfaces* of its imports.  The build engine exploits
+that twice:
+
+* **Wave scheduling** — the import DAG is partitioned into antichains
+  (:meth:`~repro.modsys.graph.ModuleGraph.waves`); every module of a
+  wave depends only on interfaces produced by earlier waves, so a
+  wave's BTA+cogen jobs run concurrently in a
+  :class:`~concurrent.futures.ProcessPoolExecutor` (``jobs=1`` falls
+  back to a plain serial loop).  Workers receive *only* a module's
+  source text and its imports' interface texts — the paper's interface
+  discipline is also the process-communication protocol.
+
+* **Content-addressed caching** — each module's artifacts (interface,
+  genext source, compiled code object) are keyed by
+  :func:`repro.bt.interface.module_key` (SHA-256 of the source plus the
+  imports' interface digests) and stored in an
+  :class:`~repro.pipeline.cache.ArtifactCache`.  A warm no-op rebuild
+  performs zero re-analyses; an edit re-does exactly its dirty cone,
+  with early cutoff wherever an interface comes out byte-identical.
+
+Determinism: a module's artifacts are a pure function of its source and
+its imports' interfaces, so ``jobs=1`` and ``jobs=N`` produce
+byte-identical interface files and genext sources.
+"""
+
+import marshal
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.bt.analysis import analyse_module
+from repro.bt.interface import (
+    INTERFACE_SUFFIX,
+    KEY_SUFFIX,
+    InterfaceError,
+    atomic_write_text,
+    digest_text,
+    interface_from_text,
+    interface_text,
+    module_key,
+)
+from repro.genext.cogen import GenextModule, cogen_module
+from repro.genext.link import GenextProgram, load_genext
+from repro.lang.errors import ValidationError
+from repro.lang.parser import parse_program
+from repro.lang.validate import resolve_module
+from repro.modsys.graph import ModuleGraph
+from repro.modsys.program import SOURCE_SUFFIX
+from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.stats import PipelineStats
+
+DEFAULT_CACHE_DIRNAME = ".mspec-cache"
+
+# Compiled code objects are interpreter-specific; the kind tag carries
+# the cache tag so interpreters never read each other's bytecode.
+CODE_KIND = "code-%s.bin" % (sys.implementation.cache_tag or "unknown")
+IFACE_KIND = "bti.json"
+GENEXT_KIND = "genext.py"
+
+
+@dataclass(frozen=True)
+class SourceModule:
+    """One scanned source file."""
+
+    name: str
+    path: str
+    text: str
+    imports: Tuple[str, ...]
+
+
+def _analyse_cogen_worker(payload):
+    """Analyse and cogen one module; pure function of its inputs.
+
+    ``payload`` is ``(name, source_text, ((dep, dep_interface_text), ...),
+    force_residual_tuple)`` — text in, text out, so the job crosses
+    process boundaries carrying nothing but what the paper says a
+    separate analysis may see.  Returns ``(name, interface_text,
+    genext_source)``.
+    """
+    name, text, deps, force_residual = payload
+    module = parse_program(text).modules[0]
+    visible = {}
+    for dep_name, dep_text in deps:
+        iface_name, schemes = interface_from_text(
+            dep_text, origin="<interface of %s>" % dep_name
+        )
+        if iface_name != dep_name:
+            raise InterfaceError(
+                "interface for %s names module %s" % (dep_name, iface_name)
+            )
+        visible.update(schemes)
+    arities = {fname: len(s.args) for fname, s in visible.items()}
+    resolved = resolve_module(module, arities)
+    analysis = analyse_module(resolved, visible, frozenset(force_residual))
+    genext = cogen_module(analysis)
+    return name, interface_text(name, analysis.schemes), genext.source
+
+
+@dataclass
+class BuildResult:
+    """Everything one build produced."""
+
+    genexts: Tuple[GenextModule, ...]  # in concatenated-wave (topo) order
+    keys: Dict[str, str]  # module name -> content-addressed build key
+    waves: Tuple[Tuple[str, ...], ...]
+    analysed: List[str]
+    cached: List[str]
+    stats: PipelineStats
+    cache: ArtifactCache = field(repr=False, default=None)
+
+    def link(self):
+        """Compile, execute, and link the generating extensions.
+
+        Code objects are taken from (and published to) the build cache,
+        so a warm link recompiles nothing."""
+        loaded = []
+        with self.stats.stage("link"):
+            for m in self.genexts:
+                code = None
+                data = self.cache.get_bytes(self.keys[m.name], CODE_KIND)
+                if data is not None:
+                    try:
+                        code = marshal.loads(data)
+                    except (EOFError, ValueError, TypeError):
+                        code = None  # corrupt or foreign: recompile
+                if code is None:
+                    code = compile(m.source, "%s.genext.py" % m.name, "exec")
+                    self.cache.put_bytes(
+                        self.keys[m.name], CODE_KIND, marshal.dumps(code)
+                    )
+                loaded.append(load_genext(m, code=code))
+        return GenextProgram(loaded)
+
+
+class BuildEngine:
+    """Wave-parallel, cache-aware driver for analyse→cogen.
+
+    ``src_dir`` holds ``*.mod`` sources (one module per file, file name
+    matching the module name).  Artifacts land in ``cache_dir``
+    (defaults to ``<src_dir>/.mspec-cache``); when ``iface_dir`` /
+    ``out_dir`` are given, ``*.bti`` (+ ``.bti.key`` sidecars) and
+    ``*.genext.py`` are additionally published there for the classic
+    on-disk vendor workflow.
+    """
+
+    def __init__(
+        self,
+        src_dir,
+        cache_dir=None,
+        jobs=1,
+        force_residual=frozenset(),
+        iface_dir=None,
+        out_dir=None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        self.src_dir = src_dir
+        self.cache = ArtifactCache(
+            cache_dir or os.path.join(src_dir, DEFAULT_CACHE_DIRNAME)
+        )
+        self.jobs = jobs
+        self.force_residual = frozenset(force_residual)
+        self.iface_dir = iface_dir
+        self.out_dir = out_dir
+
+    # -- scanning -----------------------------------------------------------
+
+    def scan(self):
+        """Parse every source file; returns ``{name: SourceModule}``.
+
+        Performs the same structural checks as
+        :func:`~repro.modsys.program.load_program_dir` (one module per
+        file, name matches file name, no functors) but resolves nothing:
+        resolution happens per module, against interfaces, inside the
+        build jobs."""
+        sources = {}
+        for entry in sorted(os.listdir(self.src_dir)):
+            if not entry.endswith(SOURCE_SUFFIX):
+                continue
+            path = os.path.join(self.src_dir, entry)
+            with open(path) as f:
+                text = f.read()
+            parsed = parse_program(text)
+            if len(parsed.modules) != 1:
+                raise ValidationError(
+                    "%s: expected exactly one module per file" % entry
+                )
+            module = parsed.modules[0]
+            expected = entry[: -len(SOURCE_SUFFIX)]
+            if module.name != expected:
+                raise ValidationError(
+                    "%s: file defines module %s (file name must match)"
+                    % (entry, module.name)
+                )
+            if module.is_functor:
+                raise ValidationError(
+                    "%s: parameterised module %s cannot be built directly "
+                    "(instantiate it with repro.functor first)"
+                    % (entry, module.name)
+                )
+            sources[module.name] = SourceModule(
+                name=module.name,
+                path=path,
+                text=text,
+                imports=tuple(module.imports),
+            )
+        return sources
+
+    # -- building -----------------------------------------------------------
+
+    def _publish(self, name, key, iface, genext_source):
+        """Mirror one module's artifacts into iface_dir/out_dir (skipping
+        byte-identical files so no-op rebuilds do not churn mtimes)."""
+
+        def publish_text(path, text):
+            try:
+                with open(path) as f:
+                    if f.read() == text:
+                        return
+            except OSError:
+                pass
+            atomic_write_text(path, text)
+
+        if self.iface_dir is not None:
+            os.makedirs(self.iface_dir, exist_ok=True)
+            publish_text(
+                os.path.join(self.iface_dir, name + INTERFACE_SUFFIX), iface
+            )
+            publish_text(
+                os.path.join(self.iface_dir, name + KEY_SUFFIX), key + "\n"
+            )
+        if self.out_dir is not None:
+            os.makedirs(self.out_dir, exist_ok=True)
+            publish_text(
+                os.path.join(self.out_dir, "%s.genext.py" % name), genext_source
+            )
+
+    def build(self, stats=None):
+        """Run the pipeline; returns a :class:`BuildResult`."""
+        stats = stats if stats is not None else PipelineStats()
+        stats.jobs = self.jobs
+        with stats.stage("scan"):
+            sources = self.scan()
+        stats.modules = len(sources)
+        with stats.stage("schedule"):
+            graph = ModuleGraph(
+                {s.name: s.imports for s in sources.values()}
+            )
+            waves = graph.waves()
+        stats.wave_widths = tuple(len(w) for w in waves)
+
+        ifaces = {}  # name -> canonical interface text, this build
+        genexts = {}
+        keys = {}
+        order = []
+        pool = None
+        try:
+            for wave in waves:
+                misses = []
+                with stats.stage("cache"):
+                    for name in wave:
+                        src = sources[name]
+                        key = module_key(
+                            src.text.encode("utf-8"),
+                            [
+                                (dep, digest_text(ifaces[dep]))
+                                for dep in src.imports
+                            ],
+                            self.force_residual,
+                        )
+                        keys[name] = key
+                        order.append(name)
+                        iface = self.cache.get_text(key, IFACE_KIND)
+                        genext_source = self.cache.get_text(key, GENEXT_KIND)
+                        hit = False
+                        if iface is not None and genext_source is not None:
+                            try:
+                                iface_name, _ = interface_from_text(
+                                    iface, origin=self.cache.path(key, IFACE_KIND)
+                                )
+                                hit = iface_name == name
+                            except InterfaceError:
+                                hit = False  # corrupt entry: rebuild it
+                        if hit:
+                            ifaces[name] = iface
+                            genexts[name] = GenextModule(
+                                name, src.imports, genext_source
+                            )
+                            stats.cached.append(name)
+                        else:
+                            misses.append(name)
+                if not misses:
+                    continue
+                payloads = [
+                    (
+                        name,
+                        sources[name].text,
+                        tuple(
+                            (dep, ifaces[dep])
+                            for dep in sources[name].imports
+                        ),
+                        tuple(sorted(self.force_residual)),
+                    )
+                    for name in misses
+                ]
+                with stats.stage("analyse"):
+                    if self.jobs > 1 and len(payloads) > 1:
+                        if pool is None:
+                            pool = ProcessPoolExecutor(max_workers=self.jobs)
+                        results = list(pool.map(_analyse_cogen_worker, payloads))
+                    else:
+                        results = [_analyse_cogen_worker(p) for p in payloads]
+                with stats.stage("publish"):
+                    for name, iface, genext_source in results:
+                        self.cache.put_text(keys[name], IFACE_KIND, iface)
+                        self.cache.put_text(keys[name], GENEXT_KIND, genext_source)
+                        ifaces[name] = iface
+                        genexts[name] = GenextModule(
+                            name, sources[name].imports, genext_source
+                        )
+                        stats.analysed.append(name)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        with stats.stage("publish"):
+            for name in order:
+                self._publish(name, keys[name], ifaces[name], genexts[name].source)
+
+        return BuildResult(
+            genexts=tuple(genexts[name] for name in order),
+            keys=keys,
+            waves=waves,
+            analysed=list(stats.analysed),
+            cached=list(stats.cached),
+            stats=stats,
+            cache=self.cache,
+        )
+
+
+def build_dir(src_dir, cache_dir=None, jobs=1, force_residual=frozenset(),
+              iface_dir=None, out_dir=None, stats=None):
+    """One-call convenience: build a directory of ``*.mod`` sources."""
+    engine = BuildEngine(
+        src_dir,
+        cache_dir=cache_dir,
+        jobs=jobs,
+        force_residual=force_residual,
+        iface_dir=iface_dir,
+        out_dir=out_dir,
+    )
+    return engine.build(stats=stats)

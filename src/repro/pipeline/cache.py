@@ -1,0 +1,67 @@
+"""An on-disk content-addressed artifact store.
+
+Artifacts (binding-time interfaces, generating-extension sources,
+compiled code objects) are filed under the SHA-256 *build key* of the
+module they belong to (:func:`repro.bt.interface.module_key`) plus a
+short ``kind`` tag:
+
+    <root>/objects/<key[:2]>/<key>.<kind>
+
+Keys are immutable — the same key always denotes the same bytes — so a
+hit needs no validation beyond reading the file, a cache can be shared
+between checkouts, and eviction is safe at any time (a miss merely
+recomputes).  All writes go through a temp file in the final directory
+followed by ``os.replace``, so parallel workers racing to publish the
+same artifact can never expose a torn file; the losing writer simply
+overwrites with identical bytes.
+"""
+
+import os
+import tempfile
+
+
+class ArtifactCache:
+    """Content-addressed artifact storage rooted at ``root``."""
+
+    def __init__(self, root):
+        self.root = root
+
+    def path(self, key, kind):
+        """Where an artifact lives (the file may not exist)."""
+        return os.path.join(self.root, "objects", key[:2], "%s.%s" % (key, kind))
+
+    def has(self, key, kind):
+        return os.path.exists(self.path(key, kind))
+
+    def get_bytes(self, key, kind):
+        """The artifact's bytes, or ``None`` on a miss."""
+        try:
+            with open(self.path(key, kind), "rb") as f:
+                return f.read()
+        except OSError:
+            return None
+
+    def get_text(self, key, kind):
+        data = self.get_bytes(key, kind)
+        return None if data is None else data.decode("utf-8")
+
+    def put_bytes(self, key, kind, data):
+        """Atomically publish an artifact; returns its path."""
+        path = self.path(key, kind)
+        directory = os.path.dirname(path)
+        os.makedirs(directory, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp.", suffix="~")
+        try:
+            with os.fdopen(fd, "wb") as f:
+                f.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def put_text(self, key, kind, text):
+        return self.put_bytes(key, kind, text.encode("utf-8"))

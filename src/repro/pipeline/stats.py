@@ -1,0 +1,83 @@
+"""Per-stage instrumentation for the build pipeline.
+
+A :class:`PipelineStats` rides through one :class:`~repro.pipeline.build.
+BuildEngine` run and records what a scaling experiment needs: how many
+modules were re-analysed vs served from cache, the wave widths the
+scheduler found (the available parallelism), and wall time per stage.
+``mspec build --stats`` prints :meth:`PipelineStats.report`;
+benchmarks serialise :meth:`PipelineStats.as_dict`.
+"""
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+# Stage names in pipeline order, for stable reporting.
+STAGES = ("scan", "schedule", "cache", "analyse", "publish", "link")
+
+
+@dataclass
+class PipelineStats:
+    """Counters and timers for one build."""
+
+    jobs: int = 1
+    modules: int = 0
+    wave_widths: Tuple[int, ...] = ()
+    analysed: List[str] = field(default_factory=list)  # cache misses
+    cached: List[str] = field(default_factory=list)  # cache hits
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+
+    @contextmanager
+    def stage(self, name):
+        """Accumulate wall time under ``name`` (re-entrant per build:
+        repeated stages — one analyse burst per wave — sum up)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - started
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    @property
+    def total_seconds(self):
+        return sum(self.stage_seconds.values())
+
+    def as_dict(self):
+        """A JSON-ready snapshot (machine-readable benchmark record)."""
+        return {
+            "jobs": self.jobs,
+            "modules": self.modules,
+            "wave_widths": list(self.wave_widths),
+            "analysed": list(self.analysed),
+            "cached": list(self.cached),
+            "n_analysed": len(self.analysed),
+            "n_cached": len(self.cached),
+            "stage_seconds": dict(self.stage_seconds),
+            "total_seconds": self.total_seconds,
+        }
+
+    def report(self):
+        """A human-readable multi-line summary."""
+        lines = []
+        lines.append(
+            "pipeline: %d module(s) in %d wave(s) (widths %s), jobs=%d"
+            % (
+                self.modules,
+                len(self.wave_widths),
+                "/".join(str(w) for w in self.wave_widths) or "-",
+                self.jobs,
+            )
+        )
+        lines.append(
+            "artifacts: %d analysed+cogen'd, %d from cache"
+            % (len(self.analysed), len(self.cached))
+        )
+        known = [s for s in STAGES if s in self.stage_seconds]
+        extra = [s for s in self.stage_seconds if s not in STAGES]
+        for name in known + sorted(extra):
+            lines.append(
+                "%-10s %8.2f ms" % (name, self.stage_seconds[name] * 1e3)
+            )
+        lines.append("%-10s %8.2f ms" % ("total", self.total_seconds * 1e3))
+        return "\n".join(lines)

@@ -79,11 +79,8 @@ def test_incremental_edit_only_reanalyses_app(project):
     linked = load_program_dir(src_dir)
     manager = InterfaceManager(src_dir)
     manager.analyse(linked)
-    # Touch App only.
-    import time
-
-    future = time.time() + 5
-    os.utime(str(project / "src" / "App.mod"), (future, future))
+    # Edit App only (content change; a mere touch would re-do nothing).
+    (project / "src" / "App.mod").write_text(APP + "alt y = power 2 y\n")
     _, analysed = manager.analyse(load_program_dir(src_dir))
     assert analysed == ["App"]
 

@@ -1,9 +1,8 @@
 """Binding-time interface files: serialisation round-trips and the
-separate-analysis manager."""
+separate-analysis manager (content-digest invalidation)."""
 
 import json
 import os
-import time
 
 import pytest
 
@@ -11,6 +10,8 @@ from repro.bt.analysis import analyse_program
 from repro.bt.interface import (
     InterfaceError,
     InterfaceManager,
+    interface_digest,
+    module_key,
     read_interface,
     scheme_from_json,
     scheme_to_json,
@@ -63,11 +64,96 @@ def test_malformed_interface_rejected(tmp_path):
         read_interface(path)
 
 
+def test_truncated_interface_rejected(tmp_path):
+    """A partially written (torn) file raises InterfaceError naming the
+    path, never a bare json.JSONDecodeError."""
+    good = str(tmp_path / "Lib.bti")
+    write_interface(good, "Lib", all_schemes(LIB))
+    text = open(good).read()
+    bad = tmp_path / "Torn.bti"
+    bad.write_text(text[: len(text) // 2])
+    with pytest.raises(InterfaceError) as excinfo:
+        read_interface(str(bad))
+    assert "Torn.bti" in str(excinfo.value)
+
+
+@pytest.mark.parametrize(
+    "payload",
+    [
+        "[1, 2, 3]",  # valid JSON, wrong top-level shape
+        '"just a string"',
+        '{"format": 1, "schemes": {}}',  # module missing
+        '{"format": 1, "module": "X"}',  # schemes missing
+        '{"format": 1, "module": "X", "schemes": []}',  # schemes wrong type
+        '{"format": 1, "module": "X", "schemes": {"f": {"args": "?"}}}',
+    ],
+)
+def test_structurally_wrong_interface_rejected(tmp_path, payload):
+    path = tmp_path / "Bad.bti"
+    path.write_text(payload)
+    with pytest.raises(InterfaceError):
+        read_interface(str(path))
+
+
 def test_wrong_format_version_rejected(tmp_path):
     path = str(tmp_path / "Bad.bti")
     (tmp_path / "Bad.bti").write_text('{"format": 999, "module": "X", "schemes": {}}')
     with pytest.raises(InterfaceError):
         read_interface(path)
+
+
+def test_write_interface_is_atomic(tmp_path, monkeypatch):
+    """A crash mid-serialisation must leave the previous file intact and
+    no temp droppings behind."""
+    path = str(tmp_path / "Lib.bti")
+    schemes = all_schemes(LIB)
+    write_interface(path, "Lib", schemes)
+    before = open(path).read()
+
+    import repro.bt.interface as iface_mod
+
+    def explode(*args, **kwargs):
+        raise RuntimeError("disk full")
+
+    monkeypatch.setattr(iface_mod, "interface_text", explode)
+    with pytest.raises(RuntimeError):
+        write_interface(path, "Lib", schemes)
+    monkeypatch.undo()
+    assert open(path).read() == before
+
+    # Interrupt *after* serialisation, inside the actual write.
+    real_replace = os.replace
+
+    def no_replace(src, dst):
+        raise OSError("interrupted")
+
+    monkeypatch.setattr(os, "replace", no_replace)
+    with pytest.raises(OSError):
+        write_interface(path, "Lib", schemes)
+    monkeypatch.setattr(os, "replace", real_replace)
+    assert open(path).read() == before
+    assert sorted(os.listdir(str(tmp_path))) == ["Lib.bti"], "no temp leftovers"
+
+
+def test_interface_serialisation_is_canonical(tmp_path):
+    """Writing the same schemes twice gives byte-identical files — the
+    property the digest scheme equates with semantic equality."""
+    schemes = all_schemes(LIB)
+    a, b = str(tmp_path / "A.bti"), str(tmp_path / "B.bti")
+    write_interface(a, "Lib", schemes)
+    write_interface(b, "Lib", dict(reversed(list(schemes.items()))))
+    assert open(a).read() == open(b).read()
+    assert interface_digest(a) == interface_digest(b)
+
+
+def test_module_key_sensitivity():
+    key = module_key(b"src", [("A", "d1"), ("B", "d2")])
+    assert key == module_key(b"src", [("B", "d2"), ("A", "d1")]), "order-free"
+    assert key != module_key(b"src2", [("A", "d1"), ("B", "d2")])
+    assert key != module_key(b"src", [("A", "XX"), ("B", "d2")])
+    assert key != module_key(b"src", [("A", "d1")])
+    assert key != module_key(b"src", [("A", "d1"), ("B", "d2")], {"f"})
+    assert key != module_key(b"src", [("A", None), ("B", "d2")])
 
 
 def _write_sources(tmp_path):
@@ -100,23 +186,74 @@ def test_manager_reanalyses_on_source_change(tmp_path):
     linked = load_program_dir(str(tmp_path))
     manager = InterfaceManager(str(tmp_path))
     manager.analyse(linked)
-    time.sleep(0.01)
     (tmp_path / "App.mod").write_text(APP + "quad y = power 4 y\n")
-    os.utime(str(tmp_path / "App.mod"))
     linked = load_program_dir(str(tmp_path))
     _, analysed = manager.analyse(linked)
     assert analysed == ["App"]
 
 
-def test_manager_reanalyses_importers_when_library_changes(tmp_path):
+def test_manager_reanalyses_importers_when_library_interface_changes(tmp_path):
     _write_sources(tmp_path)
     linked = load_program_dir(str(tmp_path))
     manager = InterfaceManager(str(tmp_path))
     manager.analyse(linked)
-    time.sleep(0.01)
-    os.utime(str(tmp_path / "Lib.mod"))
+    # A new export changes Lib's interface, so App's key changes too.
+    (tmp_path / "Lib.mod").write_text(LIB + "twice x = x + x\n")
+    linked = load_program_dir(str(tmp_path))
     _, analysed = manager.analyse(linked)
     assert analysed == ["Lib", "App"]
+
+
+def test_manager_ignores_touch(tmp_path):
+    """Timestamps are irrelevant: utime without a content change (touch,
+    fresh checkout) must not re-analyse anything."""
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    import time
+
+    future = time.time() + 100
+    os.utime(str(tmp_path / "Lib.mod"), (future, future))
+    os.utime(str(tmp_path / "App.mod"), (future, future))
+    _, analysed = manager.analyse(linked)
+    assert analysed == []
+
+
+def test_early_cutoff_stops_propagation_at_unchanged_interface(tmp_path):
+    """Editing Lib in a way that leaves its *interface* byte-identical
+    (a comment) re-analyses Lib but — early cutoff — not App, because
+    App's key is built from Lib's interface digest, not Lib's source."""
+    _write_sources(tmp_path)
+    linked = load_program_dir(str(tmp_path))
+    manager = InterfaceManager(str(tmp_path))
+    manager.analyse(linked)
+    iface_before = open(str(tmp_path / "Lib.bti")).read()
+    (tmp_path / "Lib.mod").write_text("-- a comment\n" + LIB)
+    linked = load_program_dir(str(tmp_path))
+    _, analysed = manager.analyse(linked)
+    assert analysed == ["Lib"], "the edit dirties Lib alone"
+    assert open(str(tmp_path / "Lib.bti")).read() == iface_before
+    # And the transitive case: a *semantic* Lib change must still reach
+    # an importer-of-an-importer when the middle interface changes.
+    (tmp_path / "Top.mod").write_text(
+        "module Top where\nimport App\n\nmain z = cube z + 1\n"
+    )
+    linked = load_program_dir(str(tmp_path))
+    _, analysed = manager.analyse(linked)
+    assert analysed == ["Top"]
+    (tmp_path / "Lib.mod").write_text(LIB + "cubeof x = x * x * x\n")
+    linked = load_program_dir(str(tmp_path))
+    _, analysed = manager.analyse(linked)
+    # Lib's interface changed -> App re-analysed; App's interface is
+    # byte-identical (its schemes are unchanged) -> Top is cut off.
+    assert analysed == ["Lib", "App"]
+    # But when the middle interface *does* change, propagation reaches
+    # the importer-of-an-importer.
+    (tmp_path / "App.mod").write_text(APP + "quad y = power 4 y\n")
+    linked = load_program_dir(str(tmp_path))
+    _, analysed = manager.analyse(linked)
+    assert analysed == ["App", "Top"]
 
 
 def test_manager_matches_whole_program_analysis(tmp_path):

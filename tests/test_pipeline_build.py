@@ -1,0 +1,204 @@
+"""The parallel incremental build engine: cache hits/misses, dirty
+cones, early cutoff, artifact publication, linking, CLI."""
+
+import os
+
+import pytest
+
+import repro
+from repro.bench.generators import layered_program
+from repro.genext.engine import specialise
+from repro.pipeline import ArtifactCache, BuildEngine, build_dir
+from repro.pipeline.build import GENEXT_KIND, IFACE_KIND, CODE_KIND
+
+POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
+MAIN = "module Main where\nimport Power\n\ncube y = power 3 y\n"
+
+
+def _write(path, name, text):
+    with open(os.path.join(str(path), name + ".mod"), "w") as f:
+        f.write(text)
+
+
+def _layered(path, n=4, defs=2, seed=5):
+    sources = layered_program(n, defs, seed=seed)
+    for name, text in sources.items():
+        _write(path, name, text)
+    return sources
+
+
+def test_cold_then_warm_noop(tmp_path):
+    _layered(tmp_path)
+    cache = str(tmp_path / "cache")
+    cold = build_dir(str(tmp_path), cache_dir=cache)
+    assert cold.analysed == ["M0", "M1", "M2", "M3"]
+    assert cold.cached == []
+    warm = build_dir(str(tmp_path), cache_dir=cache)
+    assert warm.analysed == [], "warm no-op rebuild re-analyses nothing"
+    assert warm.cached == ["M0", "M1", "M2", "M3"]
+    assert [m.source for m in warm.genexts] == [m.source for m in cold.genexts]
+    assert warm.keys == cold.keys
+
+
+def test_fresh_checkout_hits_shared_cache(tmp_path):
+    """A second checkout of the same sources (different directory, new
+    mtimes) gets full cache hits — content addressing, not timestamps."""
+    a, b = tmp_path / "a", tmp_path / "b"
+    a.mkdir(), b.mkdir()
+    sources = _layered(a)
+    for name, text in sources.items():
+        _write(b, name, text)
+    cache = str(tmp_path / "cache")
+    build_dir(str(a), cache_dir=cache)
+    again = build_dir(str(b), cache_dir=cache)
+    assert again.analysed == []
+    assert len(again.cached) == len(sources)
+
+
+def test_leaf_edit_rebuilds_exactly_the_leaf(tmp_path):
+    sources = _layered(tmp_path)
+    cache = str(tmp_path / "cache")
+    build_dir(str(tmp_path), cache_dir=cache)
+    _write(tmp_path, "M3", sources["M3"] + "extra n x = x + n\n")
+    result = build_dir(str(tmp_path), cache_dir=cache)
+    assert result.analysed == ["M3"]
+    assert sorted(result.cached) == ["M0", "M1", "M2"]
+
+
+def test_root_edit_rebuilds_dirty_cone_with_early_cutoff(tmp_path):
+    sources = _layered(tmp_path)
+    cache = str(tmp_path / "cache")
+    build_dir(str(tmp_path), cache_dir=cache)
+    # A comment-only edit: M0's interface is unchanged, so the cone
+    # stops at M0 itself.
+    _write(tmp_path, "M0", "-- tweaked\n" + sources["M0"])
+    result = build_dir(str(tmp_path), cache_dir=cache)
+    assert result.analysed == ["M0"]
+    # An interface-changing edit: M1 (the direct importer) is dirty too,
+    # but M1's own interface comes out unchanged, cutting off M2 and M3.
+    _write(tmp_path, "M0", sources["M0"] + "m0_new n x = x\n")
+    result = build_dir(str(tmp_path), cache_dir=cache)
+    assert result.analysed == ["M0", "M1"]
+    assert sorted(result.cached) == ["M2", "M3"]
+
+
+def test_force_residual_is_part_of_the_key(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    cache = str(tmp_path / "cache")
+    plain = build_dir(str(tmp_path), cache_dir=cache)
+    forced = build_dir(
+        str(tmp_path), cache_dir=cache, force_residual=frozenset(["power"])
+    )
+    assert forced.analysed == ["Power"], "different options, different key"
+    assert forced.keys["Power"] != plain.keys["Power"]
+    again = build_dir(str(tmp_path), cache_dir=cache)
+    assert again.analysed == [], "the plain entry is still cached"
+
+
+def test_corrupt_cache_entry_is_rebuilt(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    cache_dir = str(tmp_path / "cache")
+    first = build_dir(str(tmp_path), cache_dir=cache_dir)
+    cache = ArtifactCache(cache_dir)
+    key = first.keys["Power"]
+    cache.put_text(key, IFACE_KIND, '{"torn":')
+    result = build_dir(str(tmp_path), cache_dir=cache_dir)
+    assert result.analysed == ["Power"], "corrupt entry treated as a miss"
+    assert cache.get_text(key, IFACE_KIND).startswith("{")
+
+
+def test_published_artifacts_and_no_temp_droppings(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    _write(src, "Power", POWER)
+    _write(src, "Main", MAIN)
+    iface_dir = str(tmp_path / "iface")
+    out_dir = str(tmp_path / "out")
+    build_dir(
+        str(src),
+        cache_dir=str(tmp_path / "cache"),
+        iface_dir=iface_dir,
+        out_dir=out_dir,
+    )
+    assert sorted(os.listdir(iface_dir)) == [
+        "Main.bti",
+        "Main.bti.key",
+        "Power.bti",
+        "Power.bti.key",
+    ]
+    assert sorted(os.listdir(out_dir)) == ["Main.genext.py", "Power.genext.py"]
+    for root, _, files in os.walk(str(tmp_path)):
+        for f in files:
+            assert not f.startswith(".tmp."), "temp file leaked: %s" % f
+
+    # The published interfaces satisfy the classic manager: analyze
+    # after build is a no-op.
+    from repro.bt.interface import InterfaceManager
+
+    linked = repro.load_program_dir(str(src))
+    manager = InterfaceManager(str(src), iface_dir)
+    _, analysed = manager.analyse(linked)
+    assert analysed == []
+
+
+def test_build_matches_classic_pipeline_and_specialises(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    _write(tmp_path, "Main", MAIN)
+    result = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"))
+    classic = repro.cogen_program(
+        repro.analyse_program(repro.load_program_dir(str(tmp_path)))
+    )
+    assert {m.name: m.source for m in result.genexts} == {
+        m.name: m.source for m in classic
+    }
+    gp = result.link()
+    spec = specialise(gp, "cube", {})
+    assert spec.run(3) == 27
+
+    # Relinking warm pulls the compiled code objects from the cache.
+    cache = ArtifactCache(str(tmp_path / "cache"))
+    assert cache.has(result.keys["Power"], CODE_KIND)
+    warm = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"))
+    assert specialise(warm.link(), "cube", {}).run(2) == 8
+
+
+def test_stats_instrumentation(tmp_path):
+    _layered(tmp_path)
+    result = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"), jobs=1)
+    stats = result.stats
+    assert stats.modules == 4
+    assert stats.wave_widths == (1, 1, 1, 1)
+    assert len(stats.analysed) == 4 and stats.cached == []
+    for stage in ("scan", "schedule", "cache", "analyse", "publish"):
+        assert stage in stats.stage_seconds
+    d = stats.as_dict()
+    assert d["n_analysed"] == 4 and d["jobs"] == 1
+    assert d["total_seconds"] == pytest.approx(stats.total_seconds)
+    report = stats.report()
+    assert "4 module(s)" in report and "analyse" in report
+
+    # And it round-trips through JSON (the benchmark emitter's contract).
+    import json
+
+    json.loads(json.dumps(d))
+
+
+def test_bad_jobs_rejected(tmp_path):
+    with pytest.raises(ValueError):
+        BuildEngine(str(tmp_path), jobs=0)
+
+
+def test_cli_build(tmp_path, capsys):
+    from repro.cli import main
+
+    _write(tmp_path, "Power", POWER)
+    _write(tmp_path, "Main", MAIN)
+    assert main(["build", str(tmp_path), "--stats"]) == 0
+    out = capsys.readouterr().out
+    assert "analysed" in out and "pipeline:" in out
+    assert os.path.exists(os.path.join(str(tmp_path), "Power.bti"))
+    assert os.path.exists(os.path.join(str(tmp_path), "Main.genext.py"))
+    assert os.path.isdir(os.path.join(str(tmp_path), ".mspec-cache"))
+    assert main(["build", str(tmp_path), "--jobs", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "cached" in out and "analysed" not in out

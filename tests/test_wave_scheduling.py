@@ -1,0 +1,136 @@
+"""Wave scheduling: antichain/topological properties of
+``ModuleGraph.waves`` and determinism of the parallel build."""
+
+import os
+import random
+
+import pytest
+
+from repro.bench.generators import wide_program
+from repro.modsys.graph import CyclicImportError, ModuleGraph
+from repro.pipeline import build_dir
+
+# ---------------------------------------------------------------------------
+# Property tests over random DAGs.
+# ---------------------------------------------------------------------------
+
+
+def random_dag(n_nodes, edge_prob, seed):
+    """A random acyclic imports mapping: node i may import only j < i
+    (guaranteeing acyclicity), in a rng-shuffled presentation order."""
+    rng = random.Random(seed)
+    names = ["N%d" % i for i in range(n_nodes)]
+    imports = {}
+    for i, name in enumerate(names):
+        deps = [names[j] for j in range(i) if rng.random() < edge_prob]
+        imports[name] = tuple(deps)
+    shuffled = list(imports)
+    rng.shuffle(shuffled)
+    return {name: imports[name] for name in shuffled}
+
+
+@pytest.mark.parametrize("seed", range(25))
+def test_waves_properties_random_dags(seed):
+    rng = random.Random(seed * 7919)
+    imports = random_dag(
+        n_nodes=rng.randint(1, 40), edge_prob=rng.uniform(0.0, 0.5), seed=seed
+    )
+    graph = ModuleGraph(imports)
+    waves = graph.waves()
+
+    # Partition: every module exactly once.
+    flat = [name for wave in waves for name in wave]
+    assert sorted(flat) == sorted(imports)
+    assert len(flat) == len(set(flat))
+
+    # Antichain: no module (transitively) imports a member of its wave.
+    for wave in waves:
+        members = set(wave)
+        for name in wave:
+            assert not (graph.reachable_from(name) & members), (
+                "wave is not an antichain: %s imports into %s" % (name, wave)
+            )
+
+    # Concatenated waves are a valid topological order: every import of
+    # a wave-k module appears in an earlier wave.
+    seen = set()
+    for wave in waves:
+        for name in wave:
+            assert set(imports[name]) <= seen
+        seen.update(wave)
+
+    # Waves are maximal/greedy: each module has an import in the
+    # immediately preceding wave (else it would have been scheduled
+    # earlier), so the schedule has the fewest possible barriers.
+    for k, wave in enumerate(waves[1:], start=1):
+        for name in wave:
+            assert set(imports[name]) & set(waves[k - 1])
+
+
+def test_waves_shapes():
+    chain = ModuleGraph({"A": (), "B": ("A",), "C": ("B",)})
+    assert chain.waves() == (("A",), ("B",), ("C",))
+    flat = ModuleGraph({"A": (), "B": (), "C": ()})
+    assert flat.waves() == (("A", "B", "C"),)
+    diamond = ModuleGraph(
+        {"D": ("B", "C"), "B": ("A",), "C": ("A",), "A": ()}
+    )
+    assert diamond.waves() == (("A",), ("B", "C"), ("D",))
+    assert ModuleGraph({}).waves() == ()
+
+
+def test_waves_deterministic_within_wave_order():
+    g = {"B": (), "A": (), "C": ("B", "A")}
+    assert ModuleGraph(g).waves() == (("B", "A"), ("C",))
+
+
+def test_waves_cyclic_rejected():
+    with pytest.raises(CyclicImportError):
+        ModuleGraph({"A": ("B",), "B": ("A",)}).waves()
+
+
+# ---------------------------------------------------------------------------
+# Determinism under parallelism: jobs=1 and jobs=4 must emit
+# byte-identical interfaces and genext sources.
+# ---------------------------------------------------------------------------
+
+
+def _write_wide_program(path, layers=4, width=4):
+    sources = wide_program(layers, width, defs_per_module=3, seed=11)
+    for name, text in sources.items():
+        with open(os.path.join(str(path), name + ".mod"), "w") as f:
+            f.write(text)
+    return sources
+
+
+def test_parallel_build_is_deterministic(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    sources = _write_wide_program(src)
+    assert len(sources) == 16
+
+    outs = {}
+    for jobs in (1, 4):
+        iface_dir = str(tmp_path / ("iface%d" % jobs))
+        out_dir = str(tmp_path / ("out%d" % jobs))
+        result = build_dir(
+            str(src),
+            cache_dir=str(tmp_path / ("cache%d" % jobs)),
+            jobs=jobs,
+            iface_dir=iface_dir,
+            out_dir=out_dir,
+        )
+        assert sorted(result.analysed) == sorted(sources), "cold: all analysed"
+        assert result.stats.wave_widths == (4, 4, 4, 4)
+        files = {}
+        for d in (iface_dir, out_dir):
+            for entry in sorted(os.listdir(d)):
+                with open(os.path.join(d, entry), "rb") as f:
+                    files[entry] = f.read()
+        outs[jobs] = files
+
+    assert sorted(outs[1]) == sorted(outs[4])
+    for entry in outs[1]:
+        assert outs[1][entry] == outs[4][entry], (
+            "%s differs between --jobs 1 and --jobs 4" % entry
+        )
