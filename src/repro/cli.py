@@ -7,11 +7,17 @@ Subcommands mirror the paper's workflow:
   files (only out-of-date modules are re-analysed).
 * ``mspec cogen DIR [-o OUT]``   — run the cogen, writing one
   ``*.genext.py`` per module.
-* ``mspec build DIR [--jobs N] [--cache-dir D] [--stats]`` — the
-  parallel, incremental pipeline: wave-scheduled separate analysis and
-  cogen backed by a content-addressed artifact cache; writes ``*.bti``
-  and ``*.genext.py`` like ``analyze`` + ``cogen`` but re-does only the
-  dirty cone of an edit.
+* ``mspec build DIR [--jobs N] [--cache-dir D] [--stats]
+  [--keep-going] [--timeout S] [--retries N]`` — the parallel,
+  incremental pipeline: wave-scheduled separate analysis and cogen
+  backed by a content-addressed artifact cache; writes ``*.bti`` and
+  ``*.genext.py`` like ``analyze`` + ``cogen`` but re-does only the
+  dirty cone of an edit.  ``--keep-going`` builds everything outside a
+  failed module's downstream cone and reports all failures at once;
+  ``--timeout``/``--retries`` supervise the workers.  Exit codes name
+  the failure class: 3 module error, 4 deadline, 5 worker crash.
+* ``mspec fsck DIR [--cache-dir D]`` — scan the artifact cache,
+  quarantine corrupt/truncated objects (exit 6 when any were found).
 * ``mspec specialise DIR GOAL [name=value...]`` — link the generating
   extensions and specialise ``GOAL`` with the given static arguments
   (unlisted parameters stay dynamic); prints the residual program or
@@ -77,25 +83,61 @@ def cmd_analyze(args):
 
 
 def cmd_build(args):
-    from repro.pipeline import build_dir
+    from repro.pipeline import BuildError, FaultPolicy, build_dir
 
-    result = build_dir(
-        args.dir,
-        cache_dir=args.cache_dir,
-        jobs=args.jobs,
-        force_residual=frozenset(args.residual or []),
-        iface_dir=args.iface_dir or args.dir,
-        out_dir=args.out or args.dir,
+    policy = FaultPolicy(
+        timeout=args.timeout,
+        retries=args.retries,
+        keep_going=args.keep_going,
     )
+    try:
+        result = build_dir(
+            args.dir,
+            cache_dir=args.cache_dir,
+            jobs=args.jobs,
+            force_residual=frozenset(args.residual or []),
+            iface_dir=args.iface_dir or args.dir,
+            out_dir=args.out or args.dir,
+            policy=policy,
+        )
+    except BuildError as e:
+        print(e.report.render(), file=sys.stderr)
+        return e.report.exit_code
+    report = result.report
     analysed = set(result.analysed)
+    failed = {f.module for f in report.failures}
     for wave_idx, wave in enumerate(result.waves):
         for name in wave:
-            status = "analysed" if name in analysed else "cached"
+            if name in failed:
+                status = "FAILED"
+            elif name in report.skipped:
+                status = "skipped (downstream of %s)" % report.skipped[name]
+            elif name in analysed:
+                status = "analysed"
+            else:
+                status = "cached"
             print("%-20s wave %-3d %s" % (name, wave_idx, status))
     if args.stats:
         print()
         print(result.stats.report())
-    return 0
+    if not report.ok:
+        print(file=sys.stderr)
+        print(report.render(), file=sys.stderr)
+    return report.exit_code
+
+
+def cmd_fsck(args):
+    import os
+
+    from repro.pipeline import ArtifactCache, fsck_cache
+    from repro.pipeline.build import DEFAULT_CACHE_DIRNAME
+
+    cache = ArtifactCache(
+        args.cache_dir or os.path.join(args.dir, DEFAULT_CACHE_DIRNAME)
+    )
+    report = fsck_cache(cache)
+    print(report.render())
+    return report.exit_code
 
 
 def cmd_cogen(args):
@@ -117,7 +159,9 @@ def cmd_specialise(args):
     )
     gp = link_genexts(cogen_program(analysis))
     static = _parse_bindings(args.bindings)
-    result = specialise(gp, args.goal, static, strategy=args.strategy)
+    result = specialise(
+        gp, args.goal, static, strategy=args.strategy, timeout=args.timeout
+    )
     if args.optimise:
         from repro.modsys.program import link_program
         from repro.residual.optimise import optimise_program
@@ -221,7 +265,32 @@ def build_parser():
         "--stats", action="store_true",
         help="print per-stage timings, wave widths, and cache counters",
     )
+    p.add_argument(
+        "-k", "--keep-going", action="store_true",
+        help="on a module failure, still build everything outside its "
+        "downstream cone and report all failures at the end",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-module wall-clock deadline; a job past it is killed "
+        "(and retried, if --retries allows)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed/hung module up to N times with capped "
+        "exponential backoff (default 0)",
+    )
     p.set_defaults(fn=cmd_build)
+
+    p = sub.add_parser(
+        "fsck", help="scan the artifact cache, quarantine corrupt objects"
+    )
+    p.add_argument("dir", help="directory of *.mod module files")
+    p.add_argument(
+        "--cache-dir",
+        help="content-addressed artifact cache (default DIR/.mspec-cache)",
+    )
+    p.set_defaults(fn=cmd_fsck)
 
     p = sub.add_parser("cogen", help="generate generating extensions")
     common(p)
@@ -240,6 +309,10 @@ def build_parser():
     p.add_argument(
         "--optimise", action="store_true",
         help="run the residual-program optimiser (CSE + folding)",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline for the specialisation run",
     )
     p.set_defaults(fn=cmd_specialise)
 

@@ -101,12 +101,19 @@ def specialise(
     sink=None,
     monolithic=False,
     max_versions=10_000,
+    timeout=None,
 ):
     """Specialise ``goal`` with respect to ``static_args``.
 
     ``static_args`` maps parameter names of the goal function to Python
     values; parameters not mentioned stay dynamic and become the
     parameters of the residual entry function.
+
+    ``timeout`` is a wall-clock budget in seconds for the whole run —
+    the time-domain companion of the ``max_versions`` (polyvariance)
+    and interpreter ``fuel`` guards.  Past it the run is aborted with
+    :class:`~repro.genext.runtime.SpecTimeout`, so a pathological
+    division cannot wedge an unattended build worker.
     """
     static_args = dict(static_args or {})
     signature = gp.signature(goal)
@@ -117,7 +124,12 @@ def specialise(
         )
     env = goal_binding_times(signature, set(static_args))
     types = signature.param_types(env)
-    st = gp.new_state(strategy=strategy, sink=sink, max_versions=max_versions)
+    st = gp.new_state(
+        strategy=strategy,
+        sink=sink,
+        max_versions=max_versions,
+        deadline=timeout,
+    )
 
     args = []
     dynamic_params = []

@@ -68,14 +68,20 @@ class GenextProgram:
         for m in modules:
             m.namespace["_link"](self.registry)
 
-    def new_state(self, strategy="bfs", sink=None, max_versions=10_000):
-        """A fresh :class:`SpecState` for one specialisation run."""
+    def new_state(
+        self, strategy="bfs", sink=None, max_versions=10_000, deadline=None
+    ):
+        """A fresh :class:`SpecState` for one specialisation run.
+
+        ``deadline`` is a wall-clock budget in seconds (see
+        :meth:`SpecState.check_deadline`)."""
         return SpecState(
             self.fn_info,
             self.graph,
             strategy=strategy,
             sink=sink,
             max_versions=max_versions,
+            deadline=deadline,
         )
 
     def mk(self, fname):

@@ -34,6 +34,7 @@ construction — on the pending list (breadth-first, the paper's choice)
 or immediately (depth-first, kept for the space-consumption comparison).
 """
 
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, Optional, Tuple
@@ -59,6 +60,7 @@ __all__ = [
     "Signature",
     "SpecError",
     "SpecState",
+    "SpecTimeout",
     "TBase",
     "TFun",
     "TList",
@@ -84,6 +86,14 @@ __all__ = [
 class SpecError(Exception):
     """A specialisation-time error (the static part of the program went
     wrong, or generated code violated an invariant)."""
+
+
+class SpecTimeout(SpecError):
+    """The wall-clock deadline of a specialisation run expired.
+
+    The ``fuel``/``max_versions`` guards bound *logical* work; this one
+    bounds *time*, so a pathological division cannot wedge an unattended
+    build worker even when each individual step is cheap."""
 
 
 class deep_recursion:
@@ -481,6 +491,7 @@ class SpecState:
         strategy="bfs",
         sink=None,
         max_versions=10_000,
+        deadline=None,
     ):
         """``fn_info`` maps function names to :class:`FnInfo`;
         ``module_graph`` is the *source* import graph (placement needs
@@ -493,7 +504,12 @@ class SpecState:
         static-under-dynamic-control pitfall, e.g. a program counter
         that only stops on a dynamic test) would otherwise specialise
         forever; exceeding the bound raises a diagnostic
-        :class:`SpecError` instead.  ``None`` disables the guard."""
+        :class:`SpecError` instead.  ``None`` disables the guard.
+
+        ``deadline`` is a wall-clock budget in seconds for the whole
+        run; past it, :meth:`check_deadline` raises
+        :class:`SpecTimeout`.  ``None`` (the default) disables the
+        clock entirely."""
         if strategy not in ("bfs", "dfs"):
             raise ValueError("strategy must be 'bfs' or 'dfs'")
         self.fn_info = fn_info
@@ -509,6 +525,22 @@ class SpecState:
         self._vars = NameSupply()
         self._versions = {}
         self._active = 0
+        self.deadline = deadline
+        self._deadline_at = (
+            None if deadline is None else time.monotonic() + deadline
+        )
+
+    def check_deadline(self):
+        """Raise :class:`SpecTimeout` once the wall-clock budget is
+        spent.  Called on every ``mk_resid`` and every pending-list
+        step — the two places all specialisation loops pass through —
+        so even a non-terminating unfold is cut off promptly."""
+        if self._deadline_at is not None and time.monotonic() >= self._deadline_at:
+            raise SpecTimeout(
+                "specialisation exceeded its %.3gs deadline "
+                "(%d specialisation(s), %d unfold(s) so far)"
+                % (self.deadline, self.stats.specialisations, self.stats.unfolds)
+            )
 
     def count_version(self, fname):
         """Record one more specialised version of ``fname``; raise when
@@ -576,6 +608,7 @@ class SpecState:
     def run_pending(self):
         """Process the pending list to exhaustion (breadth-first mode)."""
         while self.pending:
+            self.check_deadline()
             info, build = self.pending.popleft()
             self._build_now(info, build)
 
@@ -599,6 +632,7 @@ def mk_resid(st, unfold, fname, bts, args, unfolded, build):
     residual version is looked up or created and a residual call
     returned.
     """
+    st.check_deadline()
     if not unfold.dyn:
         st.stats.unfolds += 1
         return unfolded()

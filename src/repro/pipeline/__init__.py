@@ -1,21 +1,45 @@
-"""The parallel, incremental build pipeline.
+"""The parallel, incremental, fault-tolerant build pipeline.
 
 Wave-scheduled separate analysis and cogen
 (:class:`~repro.pipeline.build.BuildEngine`), backed by a
 content-addressed artifact cache
-(:class:`~repro.pipeline.cache.ArtifactCache`) and instrumented by
-:class:`~repro.pipeline.stats.PipelineStats`.  See
-``docs/pipeline.md`` ("Parallel & incremental builds").
+(:class:`~repro.pipeline.cache.ArtifactCache`), instrumented by
+:class:`~repro.pipeline.stats.PipelineStats`, and supervised by
+:class:`~repro.pipeline.faults.WaveSupervisor` under a
+:class:`~repro.pipeline.faults.FaultPolicy` (deadlines, retries,
+degradation, keep-going, ``fsck``).  Deterministic fault injection for
+tests lives in :mod:`repro.pipeline.faultinject`.  See
+``docs/pipeline.md`` and ``docs/robustness.md``.
 """
 
 from repro.pipeline.build import BuildEngine, BuildResult, build_dir
 from repro.pipeline.cache import ArtifactCache
+from repro.pipeline.faultinject import Fault, FaultInjected, FaultPlan
+from repro.pipeline.faults import (
+    BuildError,
+    BuildReport,
+    FaultPolicy,
+    FsckReport,
+    ModuleFailure,
+    WaveSupervisor,
+    fsck_cache,
+)
 from repro.pipeline.stats import PipelineStats
 
 __all__ = [
     "ArtifactCache",
     "BuildEngine",
+    "BuildError",
+    "BuildReport",
     "BuildResult",
+    "Fault",
+    "FaultInjected",
+    "FaultPlan",
+    "FaultPolicy",
+    "FsckReport",
+    "ModuleFailure",
     "PipelineStats",
+    "WaveSupervisor",
     "build_dir",
+    "fsck_cache",
 ]

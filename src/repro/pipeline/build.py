@@ -25,14 +25,23 @@ that twice:
 Determinism: a module's artifacts are a pure function of its source and
 its imports' interfaces, so ``jobs=1`` and ``jobs=N`` produce
 byte-identical interface files and genext sources.
+
+Fault tolerance: jobs run under a
+:class:`~repro.pipeline.faults.WaveSupervisor` governed by a
+:class:`~repro.pipeline.faults.FaultPolicy` — per-module wall-clock
+deadlines, bounded retries with capped backoff, automatic degradation
+from the process pool to serial execution when a worker crashes, and a
+*keep-going* mode that still builds the maximal cone of modules
+unaffected by any failure, reporting every failure in one
+:class:`~repro.pipeline.faults.BuildReport`.  A failed module publishes
+nothing, so the cache is never poisoned: the next build re-analyses
+exactly the failed cone.  See ``docs/robustness.md``.
 """
 
 import marshal
 import os
-import sys
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.bt.analysis import analyse_module
 from repro.bt.interface import (
@@ -47,21 +56,29 @@ from repro.bt.interface import (
 )
 from repro.genext.cogen import GenextModule, cogen_module
 from repro.genext.link import GenextProgram, load_genext
-from repro.lang.errors import ValidationError
+from repro.lang.errors import LangError, ValidationError
 from repro.lang.parser import parse_program
 from repro.lang.validate import resolve_module
 from repro.modsys.graph import ModuleGraph
 from repro.modsys.program import SOURCE_SUFFIX
-from repro.pipeline.cache import ArtifactCache
+from repro.pipeline import faultinject
+from repro.pipeline.cache import (  # re-exported; the canonical home
+    ArtifactCache,
+    CODE_KIND,
+    GENEXT_KIND,
+    IFACE_KIND,
+)
+from repro.pipeline.faults import (
+    KIND_ERROR,
+    BuildError,
+    BuildReport,
+    FaultPolicy,
+    ModuleFailure,
+    WaveSupervisor,
+)
 from repro.pipeline.stats import PipelineStats
 
 DEFAULT_CACHE_DIRNAME = ".mspec-cache"
-
-# Compiled code objects are interpreter-specific; the kind tag carries
-# the cache tag so interpreters never read each other's bytecode.
-CODE_KIND = "code-%s.bin" % (sys.implementation.cache_tag or "unknown")
-IFACE_KIND = "bti.json"
-GENEXT_KIND = "genext.py"
 
 
 @dataclass(frozen=True)
@@ -84,6 +101,7 @@ def _analyse_cogen_worker(payload):
     genext_source)``.
     """
     name, text, deps, force_residual = payload
+    faultinject.fire("analyse", name)
     module = parse_program(text).modules[0]
     visible = {}
     for dep_name, dep_text in deps:
@@ -98,13 +116,19 @@ def _analyse_cogen_worker(payload):
     arities = {fname: len(s.args) for fname, s in visible.items()}
     resolved = resolve_module(module, arities)
     analysis = analyse_module(resolved, visible, frozenset(force_residual))
+    faultinject.fire("cogen", name)
     genext = cogen_module(analysis)
     return name, interface_text(name, analysis.schemes), genext.source
 
 
 @dataclass
 class BuildResult:
-    """Everything one build produced."""
+    """Everything one build produced.
+
+    Under ``keep_going`` the result may be *partial*: ``genexts`` holds
+    only the modules outside every failed cone (an import-closed set,
+    so :meth:`link` still works) and :attr:`report` records the rest.
+    """
 
     genexts: Tuple[GenextModule, ...]  # in concatenated-wave (topo) order
     keys: Dict[str, str]  # module name -> content-addressed build key
@@ -112,28 +136,32 @@ class BuildResult:
     analysed: List[str]
     cached: List[str]
     stats: PipelineStats
-    cache: ArtifactCache = field(repr=False, default=None)
+    cache: Optional[ArtifactCache] = field(repr=False, default=None)
+    report: BuildReport = field(default_factory=BuildReport)
 
     def link(self):
         """Compile, execute, and link the generating extensions.
 
         Code objects are taken from (and published to) the build cache,
-        so a warm link recompiles nothing."""
+        so a warm link recompiles nothing; without a cache every module
+        is compiled afresh."""
         loaded = []
         with self.stats.stage("link"):
             for m in self.genexts:
                 code = None
-                data = self.cache.get_bytes(self.keys[m.name], CODE_KIND)
-                if data is not None:
-                    try:
-                        code = marshal.loads(data)
-                    except (EOFError, ValueError, TypeError):
-                        code = None  # corrupt or foreign: recompile
+                if self.cache is not None:
+                    data = self.cache.get_bytes(self.keys[m.name], CODE_KIND)
+                    if data is not None:
+                        try:
+                            code = marshal.loads(data)
+                        except (EOFError, ValueError, TypeError):
+                            code = None  # corrupt or foreign: recompile
                 if code is None:
                     code = compile(m.source, "%s.genext.py" % m.name, "exec")
-                    self.cache.put_bytes(
-                        self.keys[m.name], CODE_KIND, marshal.dumps(code)
-                    )
+                    if self.cache is not None:
+                        self.cache.put_bytes(
+                            self.keys[m.name], CODE_KIND, marshal.dumps(code)
+                        )
                 loaded.append(load_genext(m, code=code))
         return GenextProgram(loaded)
 
@@ -146,7 +174,9 @@ class BuildEngine:
     (defaults to ``<src_dir>/.mspec-cache``); when ``iface_dir`` /
     ``out_dir`` are given, ``*.bti`` (+ ``.bti.key`` sidecars) and
     ``*.genext.py`` are additionally published there for the classic
-    on-disk vendor workflow.
+    on-disk vendor workflow.  ``policy`` governs supervision (deadlines,
+    retries, keep-going); the default policy fails fast with no
+    deadline, matching the classic behaviour.
     """
 
     def __init__(
@@ -157,6 +187,7 @@ class BuildEngine:
         force_residual=frozenset(),
         iface_dir=None,
         out_dir=None,
+        policy=None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
@@ -168,49 +199,63 @@ class BuildEngine:
         self.force_residual = frozenset(force_residual)
         self.iface_dir = iface_dir
         self.out_dir = out_dir
+        self.policy = policy if policy is not None else FaultPolicy()
 
     # -- scanning -----------------------------------------------------------
 
     def scan(self):
-        """Parse every source file; returns ``{name: SourceModule}``.
+        """Parse every source file; returns ``({name: SourceModule},
+        {name: ModuleFailure})``.
 
         Performs the same structural checks as
         :func:`~repro.modsys.program.load_program_dir` (one module per
         file, name matches file name, no functors) but resolves nothing:
         resolution happens per module, against interfaces, inside the
-        build jobs."""
+        build jobs.  A file that fails to parse (or fails the structural
+        checks) does not abort the scan: it becomes a
+        :class:`~repro.pipeline.faults.ModuleFailure` under the name the
+        file name implies, so the build treats it exactly like a module
+        that failed in a worker — its cone is skipped, everything else
+        still builds under ``keep_going``."""
         sources = {}
+        failures = {}
         for entry in sorted(os.listdir(self.src_dir)):
             if not entry.endswith(SOURCE_SUFFIX):
                 continue
             path = os.path.join(self.src_dir, entry)
             with open(path) as f:
                 text = f.read()
-            parsed = parse_program(text)
-            if len(parsed.modules) != 1:
-                raise ValidationError(
-                    "%s: expected exactly one module per file" % entry
-                )
-            module = parsed.modules[0]
             expected = entry[: -len(SOURCE_SUFFIX)]
-            if module.name != expected:
-                raise ValidationError(
-                    "%s: file defines module %s (file name must match)"
-                    % (entry, module.name)
+            try:
+                parsed = parse_program(text)
+                if len(parsed.modules) != 1:
+                    raise ValidationError(
+                        "%s: expected exactly one module per file" % entry
+                    )
+                module = parsed.modules[0]
+                if module.name != expected:
+                    raise ValidationError(
+                        "%s: file defines module %s (file name must match)"
+                        % (entry, module.name)
+                    )
+                if module.is_functor:
+                    raise ValidationError(
+                        "%s: parameterised module %s cannot be built directly "
+                        "(instantiate it with repro.functor first)"
+                        % (entry, module.name)
+                    )
+            except LangError as exc:
+                failures[expected] = ModuleFailure.from_exception(
+                    expected, KIND_ERROR, exc, attempts=1
                 )
-            if module.is_functor:
-                raise ValidationError(
-                    "%s: parameterised module %s cannot be built directly "
-                    "(instantiate it with repro.functor first)"
-                    % (entry, module.name)
-                )
+                continue
             sources[module.name] = SourceModule(
                 name=module.name,
                 path=path,
                 text=text,
                 imports=tuple(module.imports),
             )
-        return sources
+        return sources, failures
 
     # -- building -----------------------------------------------------------
 
@@ -241,16 +286,40 @@ class BuildEngine:
                 os.path.join(self.out_dir, "%s.genext.py" % name), genext_source
             )
 
+    def _failed_root(self, graph, name, failures):
+        """The root-cause module for ``name``: the failed module(s) in
+        its import cone (deterministically the alphabetically first)."""
+        roots = sorted(
+            failures[f].root_cause
+            for f in graph.reachable_from(name)
+            if f in failures
+        )
+        return roots[0] if roots else None
+
     def build(self, stats=None):
-        """Run the pipeline; returns a :class:`BuildResult`."""
+        """Run the pipeline; returns a :class:`BuildResult`.
+
+        With the default fail-fast policy a module failure raises
+        :class:`~repro.pipeline.faults.BuildError` (carrying the
+        :class:`~repro.pipeline.faults.BuildReport`) once the failing
+        wave has been drained.  With ``policy.keep_going`` all failures
+        are collected and a partial :class:`BuildResult` is returned;
+        inspect ``result.report``."""
         stats = stats if stats is not None else PipelineStats()
         stats.jobs = self.jobs
         with stats.stage("scan"):
-            sources = self.scan()
-        stats.modules = len(sources)
+            sources, failures = self.scan()  # name -> ModuleFailure
+        stats.modules = len(sources) + len(failures)
+        stats.failed.extend(sorted(failures))
         with stats.stage("schedule"):
+            # Unparseable modules enter the graph as import-less nodes:
+            # their name is known (from the file name), so importers
+            # still land in their cone and are skipped, not crashed.
             graph = ModuleGraph(
-                {s.name: s.imports for s in sources.values()}
+                {
+                    **{s.name: s.imports for s in sources.values()},
+                    **{name: () for name in failures},
+                }
             )
             waves = graph.waves()
         stats.wave_widths = tuple(len(w) for w in waves)
@@ -259,13 +328,32 @@ class BuildEngine:
         genexts = {}
         keys = {}
         order = []
-        pool = None
+        skipped = {}  # name -> root-cause module
+        if failures and not self.policy.keep_going:
+            for name in graph.modules():
+                if name in failures:
+                    continue
+                root = self._failed_root(graph, name, failures)
+                if root is not None:
+                    skipped[name] = root
+                    stats.skipped.append(name)
+            raise BuildError(self._report(failures, skipped, order, stats))
+        supervisor = WaveSupervisor(
+            _analyse_cogen_worker, self.jobs, self.policy, stats
+        )
         try:
             for wave in waves:
                 misses = []
                 with stats.stage("cache"):
                     for name in wave:
+                        if name in failures:  # failed at scan: no source
+                            continue
                         src = sources[name]
+                        root = self._failed_root(graph, name, failures)
+                        if root is not None:
+                            skipped[name] = root
+                            stats.skipped.append(name)
+                            continue
                         key = module_key(
                             src.text.encode("utf-8"),
                             [
@@ -295,39 +383,61 @@ class BuildEngine:
                             stats.cached.append(name)
                         else:
                             misses.append(name)
-                if not misses:
-                    continue
-                payloads = [
-                    (
-                        name,
-                        sources[name].text,
-                        tuple(
-                            (dep, ifaces[dep])
-                            for dep in sources[name].imports
-                        ),
-                        tuple(sorted(self.force_residual)),
-                    )
-                    for name in misses
-                ]
-                with stats.stage("analyse"):
-                    if self.jobs > 1 and len(payloads) > 1:
-                        if pool is None:
-                            pool = ProcessPoolExecutor(max_workers=self.jobs)
-                        results = list(pool.map(_analyse_cogen_worker, payloads))
-                    else:
-                        results = [_analyse_cogen_worker(p) for p in payloads]
-                with stats.stage("publish"):
-                    for name, iface, genext_source in results:
-                        self.cache.put_text(keys[name], IFACE_KIND, iface)
-                        self.cache.put_text(keys[name], GENEXT_KIND, genext_source)
-                        ifaces[name] = iface
-                        genexts[name] = GenextModule(
-                            name, sources[name].imports, genext_source
+                if misses:
+                    payloads = [
+                        (
+                            name,
+                            sources[name].text,
+                            tuple(
+                                (dep, ifaces[dep])
+                                for dep in sources[name].imports
+                            ),
+                            tuple(sorted(self.force_residual)),
                         )
-                        stats.analysed.append(name)
+                        for name in misses
+                    ]
+                    with stats.stage("analyse"):
+                        results, wave_failures = supervisor.run_wave(payloads)
+                    for name, failure in wave_failures.items():
+                        failures[name] = failure
+                        stats.failed.append(name)
+                        order.remove(name)
+                        del keys[name]
+                    with stats.stage("publish"):
+                        for name in misses:
+                            if name not in results:
+                                continue
+                            _, iface, genext_source = results[name]
+                            data = faultinject.corrupt(
+                                "publish", name, IFACE_KIND,
+                                iface.encode("utf-8"),
+                            )
+                            self.cache.put_bytes(keys[name], IFACE_KIND, data)
+                            data = faultinject.corrupt(
+                                "publish", name, GENEXT_KIND,
+                                genext_source.encode("utf-8"),
+                            )
+                            self.cache.put_bytes(keys[name], GENEXT_KIND, data)
+                            ifaces[name] = iface
+                            genexts[name] = GenextModule(
+                                name, sources[name].imports, genext_source
+                            )
+                            stats.analysed.append(name)
+                if failures and not self.policy.keep_going:
+                    # Fail fast — but name the whole downstream cone, so
+                    # the report reads the same as keep-going's.
+                    for name in sources:
+                        if name in genexts or name in failures or name in skipped:
+                            continue
+                        root = self._failed_root(graph, name, failures)
+                        if root is not None:
+                            skipped[name] = root
+                            stats.skipped.append(name)
+                    raise BuildError(
+                        self._report(failures, skipped, order, stats)
+                    )
         finally:
-            if pool is not None:
-                pool.shutdown()
+            supervisor.shutdown()
 
         with stats.stage("publish"):
             for name in order:
@@ -341,11 +451,21 @@ class BuildEngine:
             cached=list(stats.cached),
             stats=stats,
             cache=self.cache,
+            report=self._report(failures, skipped, order, stats),
+        )
+
+    def _report(self, failures, skipped, order, stats):
+        return BuildReport(
+            failures=[failures[n] for n in sorted(failures)],
+            skipped=dict(skipped),
+            succeeded=list(order),
+            retries=stats.retries,
+            degraded=bool(stats.degradations),
         )
 
 
 def build_dir(src_dir, cache_dir=None, jobs=1, force_residual=frozenset(),
-              iface_dir=None, out_dir=None, stats=None):
+              iface_dir=None, out_dir=None, stats=None, policy=None):
     """One-call convenience: build a directory of ``*.mod`` sources."""
     engine = BuildEngine(
         src_dir,
@@ -354,5 +474,6 @@ def build_dir(src_dir, cache_dir=None, jobs=1, force_residual=frozenset(),
         force_residual=force_residual,
         iface_dir=iface_dir,
         out_dir=out_dir,
+        policy=policy,
     )
     return engine.build(stats=stats)

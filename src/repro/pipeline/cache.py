@@ -14,10 +14,27 @@ recomputes).  All writes go through a temp file in the final directory
 followed by ``os.replace``, so parallel workers racing to publish the
 same artifact can never expose a torn file; the losing writer simply
 overwrites with identical bytes.
+
+Integrity is checked lazily on read (a corrupt entry is a miss) and
+eagerly by ``mspec fsck`` (:func:`repro.pipeline.faults.fsck_cache`),
+which moves damaged objects into ``<root>/quarantine``.
 """
 
 import os
+import sys
 import tempfile
+
+# Compiled code objects are interpreter-specific; the kind tag carries
+# the cache tag so interpreters never read each other's bytecode.
+CODE_KIND = "code-%s.bin" % (sys.implementation.cache_tag or "unknown")
+IFACE_KIND = "bti.json"
+GENEXT_KIND = "genext.py"
+
+OBJECTS_DIRNAME = "objects"
+QUARANTINE_DIRNAME = "quarantine"
+
+TMP_PREFIX = ".tmp."
+TMP_SUFFIX = "~"
 
 
 class ArtifactCache:
@@ -28,7 +45,9 @@ class ArtifactCache:
 
     def path(self, key, kind):
         """Where an artifact lives (the file may not exist)."""
-        return os.path.join(self.root, "objects", key[:2], "%s.%s" % (key, kind))
+        return os.path.join(
+            self.root, OBJECTS_DIRNAME, key[:2], "%s.%s" % (key, kind)
+        )
 
     def has(self, key, kind):
         return os.path.exists(self.path(key, kind))
@@ -42,26 +61,47 @@ class ArtifactCache:
             return None
 
     def get_text(self, key, kind):
+        """The artifact decoded as UTF-8; ``None`` on a miss *or* on
+        undecodable bytes (a corrupt entry is a miss — the caller
+        recomputes and overwrites it)."""
         data = self.get_bytes(key, kind)
-        return None if data is None else data.decode("utf-8")
+        if data is None:
+            return None
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError:
+            return None
 
     def put_bytes(self, key, kind, data):
         """Atomically publish an artifact; returns its path."""
         path = self.path(key, kind)
         directory = os.path.dirname(path)
         os.makedirs(directory, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(dir=directory, prefix=".tmp.", suffix="~")
+        fd, tmp = tempfile.mkstemp(
+            dir=directory, prefix=TMP_PREFIX, suffix=TMP_SUFFIX
+        )
         try:
             with os.fdopen(fd, "wb") as f:
                 f.write(data)
             os.replace(tmp, path)
-        except BaseException:
+        finally:
+            # Remove the temp file iff it is still there — i.e. the
+            # write or rename failed for *any* reason, including
+            # KeyboardInterrupt/SystemExit, which propagate untouched.
             try:
                 os.unlink(tmp)
             except OSError:
                 pass
-            raise
         return path
 
     def put_text(self, key, kind, text):
         return self.put_bytes(key, kind, text.encode("utf-8"))
+
+    def objects(self):
+        """Yield ``(dirpath, filename)`` for every file under
+        ``objects/`` (fsck's walk; droppings and misfiled names
+        included)."""
+        objects_root = os.path.join(self.root, OBJECTS_DIRNAME)
+        for dirpath, _, filenames in os.walk(objects_root):
+            for filename in sorted(filenames):
+                yield dirpath, filename

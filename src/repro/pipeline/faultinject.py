@@ -1,0 +1,227 @@
+"""Deterministic fault injection for the build pipeline.
+
+Every recovery path in :mod:`repro.pipeline.faults` — deadline kills,
+retries, pool degradation, keep-going cone skipping, ``fsck``
+quarantine — must be exercised by ordinary pytest, which means faults
+have to be *injected on purpose, deterministically, across process
+boundaries* (the victims run inside pool workers).  The mechanism:
+
+* A :class:`FaultPlan` is a list of :class:`Fault` entries, each naming
+  a victim module, a hook ``phase`` (``analyse``, ``cogen``,
+  ``publish``), an ``action`` and an attempt budget ``times``.  Plans
+  serialise to JSON; :meth:`FaultPlan.install` writes the file and
+  returns the environment variable setting (``MSPEC_FAULTS=<path>``)
+  that arms it — workers inherit the environment, so the same plan is
+  visible on both sides of the process boundary.
+
+* Each fault carries a budget of ``times`` firings, accounted in a
+  shared ``state_dir`` by exclusively creating one sentinel file per
+  firing (``O_CREAT | O_EXCL`` is atomic on a local filesystem, so
+  concurrent workers never double-spend a budget).  ``times=1`` is the
+  canonical "fail once, succeed on retry" transient.
+
+* Actions:
+
+  - ``raise``   — raise :class:`FaultInjected` (a mid-cogen error);
+  - ``hang``    — sleep ``seconds`` (defaults far past any deadline);
+  - ``crash``   — ``os._exit`` inside a pool worker (surfaces to the
+    parent as ``BrokenProcessPool``); in-process execution downgrades
+    to ``raise`` so a serial build is never killed outright;
+  - ``corrupt`` — fired from the *parent* at publish time via
+    :func:`corrupt`: the artifact bytes are replaced with garbage
+    before they reach the cache (what a torn disk write would leave).
+
+* :meth:`FaultPlan.seeded` derives victims from a seed with
+  ``random.Random(seed)``, so randomised fault campaigns are exactly
+  reproducible.
+
+The hooks (:func:`fire`, :func:`corrupt`) are no-ops unless
+``MSPEC_FAULTS`` is set, so production builds pay one dict lookup.
+"""
+
+import json
+import multiprocessing
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+PLAN_ENV = "MSPEC_FAULTS"
+
+ACTIONS = ("raise", "hang", "crash", "corrupt")
+
+# Deterministic garbage: invalid JSON, invalid Python source (NUL
+# bytes), invalid marshal data — corrupt for every artifact kind.
+CORRUPT_BYTES = b"\x00\xfe\xedmspec-injected-corruption\x00"
+
+
+class FaultInjected(Exception):
+    """The error an injected ``raise`` (or in-process ``crash``) throws."""
+
+
+@dataclass(frozen=True)
+class Fault:
+    """One planned fault against one module."""
+
+    module: str
+    action: str
+    phase: str = "analyse"
+    times: int = 1
+    seconds: float = 3600.0  # hang duration (parent deadline kills it)
+    message: str = "injected fault"
+    kind: Optional[str] = None  # artifact kind to corrupt (None: any)
+
+    def __post_init__(self):
+        if self.action not in ACTIONS:
+            raise ValueError("unknown fault action %r" % (self.action,))
+
+    def as_dict(self):
+        return {
+            "module": self.module,
+            "action": self.action,
+            "phase": self.phase,
+            "times": self.times,
+            "seconds": self.seconds,
+            "message": self.message,
+            "kind": self.kind,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of faults plus its attempt ledger."""
+
+    faults: Tuple[Fault, ...]
+    state_dir: str = field(default="")
+
+    @classmethod
+    def seeded(cls, seed, modules, state_dir, actions=("raise",), times=1):
+        """Pick one victim per action from ``modules`` with
+        ``random.Random(seed)`` — the same seed always builds the same
+        plan, so a failing fault campaign replays exactly."""
+        rng = random.Random(seed)
+        modules = sorted(modules)
+        faults = tuple(
+            Fault(module=rng.choice(modules), action=action, times=times)
+            for action in actions
+        )
+        return cls(faults=faults, state_dir=state_dir)
+
+    def as_dict(self):
+        return {
+            "state_dir": self.state_dir,
+            "faults": [f.as_dict() for f in self.faults],
+        }
+
+    @classmethod
+    def from_dict(cls, data):
+        return cls(
+            faults=tuple(
+                Fault(**{k: v for k, v in f.items()}) for f in data["faults"]
+            ),
+            state_dir=data["state_dir"],
+        )
+
+    def install(self, path):
+        """Write the plan to ``path`` and arm it for this process (and
+        every child) by setting :data:`PLAN_ENV`.  Returns ``path``."""
+        os.makedirs(self.state_dir, exist_ok=True)
+        with open(path, "w") as f:
+            json.dump(self.as_dict(), f, indent=2)
+        os.environ[PLAN_ENV] = path
+        _CACHE.clear()
+        return path
+
+    @staticmethod
+    def uninstall():
+        os.environ.pop(PLAN_ENV, None)
+        _CACHE.clear()
+
+    # -- firing --------------------------------------------------------------
+
+    def claim(self, phase, module, action=None, kind=None):
+        """The first matching fault with budget left, or ``None``.
+
+        Claiming spends one unit of the fault's budget atomically in the
+        shared ledger, so exactly ``times`` firings happen across all
+        processes no matter how the work is scheduled."""
+        for idx, fault in enumerate(self.faults):
+            if fault.module != module or fault.phase != phase:
+                continue
+            if action is not None and fault.action != action:
+                continue
+            if action is None and fault.action == "corrupt":
+                continue  # corrupt only fires through corrupt()
+            if kind is not None and fault.kind not in (None, kind):
+                continue
+            if self._spend(idx, fault):
+                return fault
+        return None
+
+    def _spend(self, idx, fault):
+        os.makedirs(self.state_dir, exist_ok=True)
+        for n in range(fault.times):
+            sentinel = os.path.join(self.state_dir, "fault.%d.%d" % (idx, n))
+            try:
+                os.close(os.open(sentinel, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                return True
+            except FileExistsError:
+                continue
+        return False
+
+
+# One plan per path, cached: the env var rarely changes inside a build,
+# and workers load it once per process.
+_CACHE = {}
+
+
+def active_plan():
+    """The armed plan, or ``None`` (the common case)."""
+    path = os.environ.get(PLAN_ENV)
+    if not path:
+        return None
+    plan = _CACHE.get(path)
+    if plan is None:
+        try:
+            with open(path) as f:
+                plan = FaultPlan.from_dict(json.load(f))
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+        _CACHE[path] = plan
+    return plan
+
+
+def fire(phase, module):
+    """Hook point inside a build job: perform any planned fault."""
+    plan = active_plan()
+    if plan is None:
+        return
+    fault = plan.claim(phase, module)
+    if fault is None:
+        return
+    if fault.action == "raise":
+        raise FaultInjected(
+            "%s (module %s, phase %s)" % (fault.message, module, phase)
+        )
+    if fault.action == "hang":
+        time.sleep(fault.seconds)
+        return
+    if fault.action == "crash":
+        if multiprocessing.parent_process() is not None:
+            os._exit(66)  # a worker dying mid-job: BrokenProcessPool
+        raise FaultInjected(
+            "injected crash (in-process; module %s)" % module
+        )
+
+
+def corrupt(phase, module, kind, data):
+    """Hook point at publish time: corrupted bytes if planned, else
+    ``data`` unchanged."""
+    plan = active_plan()
+    if plan is None:
+        return data
+    fault = plan.claim(phase, module, action="corrupt", kind=kind)
+    if fault is None:
+        return data
+    return CORRUPT_BYTES + data[:16]

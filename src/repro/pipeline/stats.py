@@ -27,6 +27,13 @@ class PipelineStats:
     analysed: List[str] = field(default_factory=list)  # cache misses
     cached: List[str] = field(default_factory=list)  # cache hits
     stage_seconds: Dict[str, float] = field(default_factory=dict)
+    # Fault-tolerance counters (see repro.pipeline.faults).
+    failed: List[str] = field(default_factory=list)  # exhausted retries
+    skipped: List[str] = field(default_factory=list)  # in a failed cone
+    retries: int = 0  # re-attempts after error/timeout
+    timeouts: int = 0  # deadline kills
+    crashes: int = 0  # broken worker pools
+    degradations: int = 0  # pool -> serial downgrades
 
     @contextmanager
     def stage(self, name):
@@ -53,6 +60,12 @@ class PipelineStats:
             "cached": list(self.cached),
             "n_analysed": len(self.analysed),
             "n_cached": len(self.cached),
+            "failed": list(self.failed),
+            "skipped": list(self.skipped),
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "crashes": self.crashes,
+            "degradations": self.degradations,
             "stage_seconds": dict(self.stage_seconds),
             "total_seconds": self.total_seconds,
         }
@@ -73,6 +86,22 @@ class PipelineStats:
             "artifacts: %d analysed+cogen'd, %d from cache"
             % (len(self.analysed), len(self.cached))
         )
+        if self.failed or self.skipped:
+            lines.append(
+                "failures: %d failed, %d skipped (downstream cones)"
+                % (len(self.failed), len(self.skipped))
+            )
+        if self.retries or self.timeouts or self.crashes:
+            lines.append(
+                "faults: %d retr%s, %d timeout(s), %d crash(es)%s"
+                % (
+                    self.retries,
+                    "y" if self.retries == 1 else "ies",
+                    self.timeouts,
+                    self.crashes,
+                    ", degraded to serial" if self.degradations else "",
+                )
+            )
         known = [s for s in STAGES if s in self.stage_seconds]
         extra = [s for s in self.stage_seconds if s not in STAGES]
         for name in known + sorted(extra):

@@ -124,13 +124,16 @@ class MixProgram:
     def signature(self, fname):
         return self._signatures[fname]
 
-    def new_state(self, strategy="bfs", sink=None, max_versions=10_000):
+    def new_state(
+        self, strategy="bfs", sink=None, max_versions=10_000, deadline=None
+    ):
         return rt.SpecState(
             self.fn_info,
             self.graph,
             strategy=strategy,
             sink=sink,
             max_versions=max_versions,
+            deadline=deadline,
         )
 
     def mk(self, fname):
