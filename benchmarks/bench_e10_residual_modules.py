@@ -21,6 +21,7 @@ from repro.bench.metrics import module_ast_size
 from repro.lang.pretty import pretty_module
 from repro.modsys.program import load_program
 from repro.types import infer_program
+from repro.api import SpecOptions
 
 SOURCE = """\
 module Power where
@@ -50,11 +51,9 @@ def _compile_module(module_source):
 
 
 def _residuals():
-    gp = repro.compile_genexts(
-        SOURCE, force_residual={"power", "fibaux", "sumto", "main"}
-    )
+    gp = repro.compile_genexts(SOURCE, SpecOptions(force_residual={"power", "fibaux", "sumto", "main"}))
     modular = repro.specialise(gp, "main", {})
-    mono = repro.specialise(gp, "main", {}, monolithic=True)
+    mono = repro.specialise(gp, "main", {}, SpecOptions(monolithic=True))
     return modular, mono
 
 

@@ -22,13 +22,14 @@ import pytest
 import repro
 from repro.bench.generators import chain_program, fanout_program
 from repro.genext.engine import specialise
+from repro.api import SpecOptions
 
 
 def _peak_memory(gp, goal, strategy):
     sink = lambda placement, d: None
     tracemalloc.start()
     tracemalloc.reset_peak()
-    specialise(gp, goal, {}, strategy=strategy, sink=sink)
+    specialise(gp, goal, {}, SpecOptions(strategy=strategy, sink=sink))
     _, peak = tracemalloc.get_traced_memory()
     tracemalloc.stop()
     return peak
@@ -46,8 +47,8 @@ def _sweep():
             ("tree depth 4 width 4", *_fan(4, 4)),
         ]:
             gp = repro.compile_genexts(source)
-            bfs = specialise(gp, goal, {}, strategy="bfs")
-            dfs = specialise(gp, goal, {}, strategy="dfs")
+            bfs = specialise(gp, goal, {}, SpecOptions(strategy="bfs"))
+            dfs = specialise(gp, goal, {}, SpecOptions(strategy="dfs"))
             mem_bfs = _peak_memory(gp, goal, "bfs")
             mem_dfs = _peak_memory(gp, goal, "dfs")
             rows.append(

@@ -10,12 +10,11 @@ import pytest
 
 import repro
 from repro.bench.generators import power_twice_main_source
+from repro.api import SpecOptions
 
 
 def _gp():
-    return repro.compile_genexts(
-        power_twice_main_source(), force_residual={"power", "twice", "main"}
-    )
+    return repro.compile_genexts(power_twice_main_source(), SpecOptions(force_residual={"power", "twice", "main"}))
 
 
 def test_paper_example_end_to_end(benchmark, table):
@@ -42,8 +41,7 @@ def test_paper_example_end_to_end(benchmark, table):
 
 
 def test_higher_order_placement(benchmark, table):
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
@@ -53,9 +51,7 @@ import A
 
 g x = x + 1
 h zs = map (\\x -> g x) zs
-""",
-        force_residual={"g", "h"},
-    )
+""", SpecOptions(force_residual={"g", "h"}))
     result = benchmark(repro.specialise, gp, "h", {})
     assert [m.name for m in result.program.modules] == ["B"]
     table(

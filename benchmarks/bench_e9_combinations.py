@@ -15,6 +15,7 @@ import pytest
 
 import repro
 from repro.bench.generators import power_twice_main_source
+from repro.api import SpecOptions
 
 AC_SHARING = """
 module A where
@@ -48,7 +49,7 @@ main zs = append (hb zs) (hd zs)
 
 
 def _run(source, goal, force):
-    gp = repro.compile_genexts(source, force_residual=force)
+    gp = repro.compile_genexts(source, SpecOptions(force_residual=force))
     result = repro.specialise(gp, goal, {})
     n_source = len(repro.load_program(source).program.modules)
     return n_source, len(result.program.modules)

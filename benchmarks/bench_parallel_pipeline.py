@@ -27,6 +27,7 @@ import time
 from repro.bench.generators import wide_program
 from repro.pipeline import build_dir
 from repro.pipeline.stats import PipelineStats
+from repro.api import BuildOptions
 
 LAYERS = 4
 WIDTH = 4
@@ -50,7 +51,7 @@ def _cpus():
 def _timed_build(src, cache_dir, jobs):
     stats = PipelineStats()
     started = time.perf_counter()
-    result = build_dir(src, cache_dir=cache_dir, jobs=jobs, stats=stats)
+    result = build_dir(src, BuildOptions(cache_dir=cache_dir, jobs=jobs), stats=stats)
     return time.perf_counter() - started, result
 
 

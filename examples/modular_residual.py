@@ -19,6 +19,7 @@ Run:  python examples/modular_residual.py
 
 import repro
 from repro.bench.generators import power_twice_main_source
+from repro.api import SpecOptions
 
 
 def show(result):
@@ -36,7 +37,8 @@ def main():
     print("=" * 66)
     gp = repro.compile_genexts(
         power_twice_main_source(),
-        force_residual={"power", "twice", "main"},  # as hand-annotated in Sec. 5
+        # as hand-annotated in Sec. 5
+        SpecOptions(force_residual={"power", "twice", "main"}),
     )
     result = repro.specialise(gp, "main", {})
     show(result)
@@ -46,8 +48,7 @@ def main():
     print("=" * 66)
     print("2. map specialised to a closure over g: placed with g, not map")
     print("=" * 66)
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
@@ -57,9 +58,7 @@ import A
 
 g x = x + 1
 h zs = map (\\x -> g x) zs
-""",
-        force_residual={"g", "h"},
-    )
+""", SpecOptions(force_residual={"g", "h"}))
     result = repro.specialise(gp, "h", {})
     show(result)
     print("h([1,2,3]) =", result.run((1, 2, 3)))
@@ -68,8 +67,7 @@ h zs = map (\\x -> g x) zs
     print("=" * 66)
     print("3. A shared specialisation lands in a combination module A∩C")
     print("=" * 66)
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
@@ -97,9 +95,7 @@ import Dm
 
 append xs ys = if null xs then ys else head xs : append (tail xs) ys
 main zs = append (hb zs) (hd zs)
-""",
-        force_residual={"g", "hb", "hd", "main", "append"},
-    )
+""", SpecOptions(force_residual={"g", "hb", "hd", "main", "append"}))
     result = repro.specialise(gp, "main", {})
     show(result)
     print("main([5,6]) =", result.run((5, 6)))

@@ -1,0 +1,6 @@
+-- main y = ((y^3)^3)^3 = y^9 once power 3 is specialised away.
+module Main where
+import Power
+import Twice
+
+main y = twice (\z -> power 3 z) y * power 3 y

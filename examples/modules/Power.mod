@@ -1,0 +1,5 @@
+-- The paper's running example: a power function whose exponent is
+-- static at specialisation time.
+module Power where
+
+power n x = if n == 1 then x else x * power (n - 1) x

@@ -1,0 +1,3 @@
+module Twice where
+
+twice f x = f @ (f @ x)

@@ -30,6 +30,7 @@ programs), :mod:`repro.genext` (cogen, runtime, linker, engine),
 :mod:`repro.interp` (the object-language interpreter).
 """
 
+from repro.api import BuildOptions, LegacyOptionsWarning, SpecOptions
 from repro.bt.analysis import analyse_program
 from repro.genext.cogen import cogen_program
 from repro.genext.engine import SpecialisationResult, specialise
@@ -37,13 +38,18 @@ from repro.genext.link import link_genexts, load_genext_dir, write_genexts
 from repro.interp import run_main, run_program
 from repro.lang.pretty import pretty_module, pretty_program
 from repro.modsys.program import LinkedProgram, load_program, load_program_dir
+from repro.obs import Obs
 from repro.pipeline import BuildEngine, build_dir
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BuildEngine",
+    "BuildOptions",
+    "LegacyOptionsWarning",
     "LinkedProgram",
+    "Obs",
+    "SpecOptions",
     "SpecialisationResult",
     "analyse_program",
     "build_dir",
@@ -62,16 +68,23 @@ __all__ = [
 ]
 
 
-def compile_genexts(source, force_residual=frozenset()):
+def compile_genexts(source, options=None, **legacy):
     """Front-to-back convenience: parse, analyse, cogen, and link.
 
     ``source`` is either program text or an already linked
-    :class:`~repro.modsys.program.LinkedProgram`.  ``force_residual``
-    names definitions to annotate non-unfoldable (the paper hand-annotates
-    its Sec. 5 examples this way).  Returns a linked
+    :class:`~repro.modsys.program.LinkedProgram`.  ``options`` is a
+    :class:`repro.api.SpecOptions`; its ``force_residual`` set names
+    definitions to annotate non-unfoldable (the paper hand-annotates its
+    Sec. 5 examples this way).  The legacy ``force_residual=...``
+    keyword still works, with a deprecation warning.  Returns a linked
     :class:`~repro.genext.link.GenextProgram` ready for
     :func:`specialise`.
     """
+    from repro.api import spec_options
+
+    options = spec_options("compile_genexts", options, legacy)
     linked = source if isinstance(source, LinkedProgram) else load_program(source)
-    analysis = analyse_program(linked, force_residual=force_residual)
+    analysis = analyse_program(
+        linked, force_residual=options.force_residual
+    )
     return link_genexts(cogen_program(analysis))

@@ -1,0 +1,204 @@
+"""The typed options facade: ``BuildOptions`` and ``SpecOptions``.
+
+The growing keyword lists on :func:`~repro.pipeline.build.build_dir` and
+:func:`~repro.genext.engine.specialise` (jobs, cache_dir, policy,
+strategy, timeout, ...) are replaced by two frozen, keyword-only
+dataclasses.  One object names a complete configuration, can be stored,
+compared, logged, and passed through layers without each layer
+re-declaring ten keywords:
+
+.. code-block:: python
+
+    from repro.api import BuildOptions, SpecOptions
+
+    result = repro.build_dir(src, BuildOptions(jobs=4, keep_going=True))
+    spec = repro.specialise(gp, "power", {"n": 3}, SpecOptions(strategy="dfs"))
+
+Backwards compatibility: the old keyword signatures still work —
+``build_dir(src, jobs=4)`` — but emit one :class:`DeprecationWarning`
+per entry point (not one per call) through :func:`warn_legacy`.  The
+test suite runs with ``-W error::DeprecationWarning``, so no in-tree
+caller uses the legacy spellings.
+"""
+
+import sys
+import warnings
+from dataclasses import dataclass, field, fields, replace
+from typing import Any, Callable, FrozenSet, Optional
+
+from repro.pipeline.faults import FaultPolicy
+
+__all__ = [
+    "BuildOptions",
+    "SpecOptions",
+    "LegacyOptionsWarning",
+    "build_options",
+    "spec_options",
+    "warn_legacy",
+]
+
+# Frozen everywhere; keyword-only where the interpreter supports it
+# (3.10+).  On 3.9 the fields are positional-capable but the documented
+# API is keyword construction.
+_DC_KW = {"frozen": True}
+if sys.version_info >= (3, 10):
+    _DC_KW["kw_only"] = True
+
+
+class LegacyOptionsWarning(DeprecationWarning):
+    """Legacy keyword options were used instead of an options object."""
+
+
+@dataclass(**_DC_KW)
+class BuildOptions:
+    """Everything one build run can be told.
+
+    ``policy`` wins over the ``keep_going``/``timeout``/``retries``
+    convenience fields when both are given; :meth:`fault_policy`
+    resolves them.  ``trace_path`` / ``metrics_path`` are output sinks:
+    when set, :func:`~repro.pipeline.build.build_dir` enables tracing
+    and writes the Chrome trace / metrics snapshot there even if the
+    build fails.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[str] = None
+    force_residual: FrozenSet[str] = frozenset()
+    iface_dir: Optional[str] = None
+    out_dir: Optional[str] = None
+    keep_going: bool = False
+    timeout: Optional[float] = None
+    retries: int = 0
+    policy: Optional[FaultPolicy] = None
+    trace_path: Optional[str] = None
+    metrics_path: Optional[str] = None
+
+    def __post_init__(self):
+        if self.jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % self.jobs)
+        if not isinstance(self.force_residual, frozenset):
+            object.__setattr__(
+                self, "force_residual", frozenset(self.force_residual or ())
+            )
+
+    def fault_policy(self):
+        """The effective :class:`~repro.pipeline.faults.FaultPolicy`."""
+        if self.policy is not None:
+            return self.policy
+        return FaultPolicy(
+            timeout=self.timeout,
+            retries=self.retries,
+            keep_going=self.keep_going,
+        )
+
+    def replace(self, **changes):
+        """A copy with ``changes`` applied (dataclasses.replace)."""
+        return replace(self, **changes)
+
+
+@dataclass(**_DC_KW)
+class SpecOptions:
+    """Everything one specialisation run can be told.
+
+    ``fuel`` bounds the *residual program's* interpretation steps when
+    the result is run (:meth:`SpecialisationResult.run`); ``timeout``
+    bounds the specialisation run's wall clock; ``max_versions`` bounds
+    its polyvariance.  ``force_residual`` is consumed by the analysis
+    front ends (:func:`repro.compile_genexts`,
+    :func:`repro.specialiser.mix_specialise`).
+    """
+
+    strategy: str = "bfs"
+    fuel: int = 1_000_000
+    timeout: Optional[float] = None
+    force_residual: FrozenSet[str] = frozenset()
+    sink: Optional[Callable[[Any, Any], None]] = field(default=None)
+    monolithic: bool = False
+    max_versions: Optional[int] = 10_000
+
+    def __post_init__(self):
+        if self.strategy not in ("bfs", "dfs"):
+            raise ValueError(
+                "strategy must be 'bfs' or 'dfs', got %r" % (self.strategy,)
+            )
+        if not isinstance(self.force_residual, frozenset):
+            object.__setattr__(
+                self, "force_residual", frozenset(self.force_residual or ())
+            )
+
+    def replace(self, **changes):
+        return replace(self, **changes)
+
+
+# ---------------------------------------------------------------------------
+# The deprecation shim.
+# ---------------------------------------------------------------------------
+
+_warned_apis = set()
+
+
+def warn_legacy(api_name, legacy_keys):
+    """Emit the once-per-entry-point deprecation warning."""
+    if api_name in _warned_apis:
+        return
+    _warned_apis.add(api_name)
+    warnings.warn(
+        "%s(%s=...) keyword options are deprecated; pass a single "
+        "repro.api.%s instead (e.g. %s(..., %s(%s=...)))"
+        % (
+            api_name,
+            "/".join(sorted(legacy_keys)),
+            "BuildOptions" if api_name in _BUILD_APIS else "SpecOptions",
+            api_name,
+            "BuildOptions" if api_name in _BUILD_APIS else "SpecOptions",
+            sorted(legacy_keys)[0],
+        ),
+        LegacyOptionsWarning,
+        stacklevel=4,
+    )
+
+
+def _reset_legacy_warnings():
+    """Test hook: make the next legacy call warn again."""
+    _warned_apis.clear()
+
+
+_BUILD_APIS = frozenset(["build_dir", "BuildEngine"])
+
+_BUILD_FIELDS = frozenset(f.name for f in fields(BuildOptions))
+_SPEC_FIELDS = frozenset(f.name for f in fields(SpecOptions))
+
+
+def _coerce(api_name, options, legacy, cls, allowed):
+    if legacy:
+        unknown = set(legacy) - allowed
+        if unknown:
+            raise TypeError(
+                "%s() got unexpected keyword argument(s): %s"
+                % (api_name, ", ".join(sorted(unknown)))
+            )
+        if options is not None:
+            raise TypeError(
+                "%s() takes either an options object or legacy keywords, "
+                "not both" % api_name
+            )
+        warn_legacy(api_name, legacy)
+        return cls(**legacy)
+    if options is None:
+        return cls()
+    if not isinstance(options, cls):
+        raise TypeError(
+            "%s() options must be a %s, got %r"
+            % (api_name, cls.__name__, type(options).__name__)
+        )
+    return options
+
+
+def build_options(api_name, options, legacy):
+    """Resolve ``(options, **legacy)`` to one :class:`BuildOptions`."""
+    return _coerce(api_name, options, legacy, BuildOptions, _BUILD_FIELDS)
+
+
+def spec_options(api_name, options, legacy):
+    """Resolve ``(options, **legacy)`` to one :class:`SpecOptions`."""
+    return _coerce(api_name, options, legacy, SpecOptions, _SPEC_FIELDS)

@@ -29,7 +29,7 @@ class GeneratedFunction:
         return self.compiled.call(self.result.entry, *dynamic_args)
 
 
-def generate(gp, goal, static_args=None, strategy="bfs"):
+def generate(gp, goal, static_args=None, options=None, **legacy):
     """Specialise and compile in one step.
 
     >>> import repro
@@ -43,6 +43,9 @@ def generate(gp, goal, static_args=None, strategy="bfs"):
     >>> cube(5)
     125
     """
-    result = specialise(gp, goal, static_args, strategy=strategy)
+    from repro.api import spec_options
+
+    options = spec_options("generate", options, legacy)
+    result = specialise(gp, goal, static_args, options)
     compiled = compile_program(result.program, filename="<rtcg:%s>" % goal)
     return GeneratedFunction(result, compiled)

@@ -21,15 +21,23 @@ Subcommands mirror the paper's workflow:
 * ``mspec specialise DIR GOAL [name=value...]`` — link the generating
   extensions and specialise ``GOAL`` with the given static arguments
   (unlisted parameters stay dynamic); prints the residual program or
-  writes it as modules with ``-o``.
+  writes it as modules with ``-o``.  (``specialize`` is an alias.)
 * ``mspec run DIR GOAL [values...]`` — interpret a program directly.
 * ``mspec show DIR``             — print schemes and annotated modules.
+
+Observability (see ``docs/observability.md``): ``build`` and
+``specialise`` accept ``--trace out.json`` (Chrome trace-event JSON,
+loadable in Perfetto), ``--metrics out.json`` (metrics snapshot), and
+``--profile`` (wall-clock attribution per module / residual version);
+``build``, ``specialise``, and ``fsck`` accept ``--json`` to print one
+machine-readable ``mspec.report/v1`` document instead of prose.
 
 Static values are Python-literal syntax: naturals, ``true``/``false``,
 and lists like ``[1,2,3]``.
 """
 
 import argparse
+import json
 import sys
 
 from repro.bt.analysis import analyse_program
@@ -41,6 +49,60 @@ from repro.interp import run_program
 from repro.lang.pretty import pretty_program
 from repro.modsys.program import load_program_dir
 from repro.residual.emit import emit_program_dir
+
+EXIT_CODES_HELP = """\
+exit codes:
+  0  success
+  2  usage error (argparse)
+  3  module failed to analyse/compile
+  4  a module exceeded its --timeout deadline
+  5  a worker process crashed
+  6  fsck found (and quarantined) corrupt cache objects
+"""
+
+
+def _make_obs(args):
+    """The Obs bundle an observability-aware subcommand asked for,
+    plus the Profiler when ``--profile`` was given."""
+    from repro.obs import Obs, Profiler
+
+    enabled = bool(
+        getattr(args, "trace", None) or getattr(args, "profile", False)
+    )
+    obs = Obs.enabled() if enabled else Obs()
+    profiler = Profiler(obs.bus) if getattr(args, "profile", False) else None
+    return obs, profiler
+
+
+def _finish_obs(args, obs, profiler):
+    """Export --trace/--metrics sinks and print the --profile report.
+    Runs even when the command failed, so a crashed build still leaves
+    its trace behind."""
+    if getattr(args, "trace", None):
+        obs.tracer.export(args.trace)
+    if getattr(args, "metrics", None):
+        obs.metrics.export(args.metrics)
+    if profiler is not None:
+        print(file=sys.stderr)
+        print(profiler.report(), file=sys.stderr)
+
+
+def _emit_json(command, exit_code, report, metrics=None):
+    """Print the one shared ``mspec.report/v1`` document."""
+    from repro.obs.schema import REPORT_SCHEMA
+
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "command": command,
+        "exit_code": exit_code,
+        "ok": exit_code == 0,
+        "report": report,
+    }
+    if metrics is not None:
+        doc["metrics"] = metrics
+    json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+    print()
+    return exit_code
 
 
 def _parse_value(text):
@@ -83,27 +145,51 @@ def cmd_analyze(args):
 
 
 def cmd_build(args):
-    from repro.pipeline import BuildError, FaultPolicy, build_dir
+    from repro.api import BuildOptions
+    from repro.pipeline import BuildError, build_dir
 
-    policy = FaultPolicy(
+    options = BuildOptions(
+        jobs=args.jobs,
+        cache_dir=args.cache_dir,
+        force_residual=frozenset(args.residual or []),
+        iface_dir=args.iface_dir or args.dir,
+        out_dir=args.out or args.dir,
+        keep_going=args.keep_going,
         timeout=args.timeout,
         retries=args.retries,
-        keep_going=args.keep_going,
+        trace_path=args.trace,
+        metrics_path=args.metrics,
     )
+    obs, profiler = _make_obs(args)
     try:
-        result = build_dir(
-            args.dir,
-            cache_dir=args.cache_dir,
-            jobs=args.jobs,
-            force_residual=frozenset(args.residual or []),
-            iface_dir=args.iface_dir or args.dir,
-            out_dir=args.out or args.dir,
-            policy=policy,
-        )
+        # build_dir exports the trace/metrics sinks itself (also on
+        # failure); _finish_obs only adds the --profile report here.
+        result = build_dir(args.dir, options, obs=obs)
     except BuildError as e:
+        if profiler is not None:
+            print(profiler.report(), file=sys.stderr)
+        if args.json:
+            return _emit_json(
+                "build",
+                e.report.exit_code,
+                e.report.as_dict(),
+                metrics=obs.metrics.snapshot(),
+            )
         print(e.report.render(), file=sys.stderr)
         return e.report.exit_code
     report = result.report
+    if args.json:
+        doc = report.as_dict()
+        doc["stats"] = result.stats.as_dict()
+        doc["waves"] = [list(w) for w in result.waves]
+        if profiler is not None:
+            doc["profile"] = profiler.as_dict()
+        return _emit_json(
+            "build",
+            report.exit_code,
+            doc,
+            metrics=result.stats.metrics.snapshot(),
+        )
     analysed = set(result.analysed)
     failed = {f.module for f in report.failures}
     for wave_idx, wave in enumerate(result.waves):
@@ -120,6 +206,9 @@ def cmd_build(args):
     if args.stats:
         print()
         print(result.stats.report())
+    if profiler is not None:
+        print(file=sys.stderr)
+        print(profiler.report(), file=sys.stderr)
     if not report.ok:
         print(file=sys.stderr)
         print(report.render(), file=sys.stderr)
@@ -136,6 +225,8 @@ def cmd_fsck(args):
         args.cache_dir or os.path.join(args.dir, DEFAULT_CACHE_DIRNAME)
     )
     report = fsck_cache(cache)
+    if args.json:
+        return _emit_json("fsck", report.exit_code, report.as_dict())
     print(report.render())
     return report.exit_code
 
@@ -153,15 +244,20 @@ def cmd_cogen(args):
 
 
 def cmd_specialise(args):
+    from repro.api import SpecOptions
+
     linked = load_program_dir(args.dir)
     analysis = analyse_program(
         linked, force_residual=frozenset(args.residual or [])
     )
     gp = link_genexts(cogen_program(analysis))
     static = _parse_bindings(args.bindings)
-    result = specialise(
-        gp, args.goal, static, strategy=args.strategy, timeout=args.timeout
-    )
+    options = SpecOptions(strategy=args.strategy, timeout=args.timeout)
+    obs, profiler = _make_obs(args)
+    try:
+        result = specialise(gp, args.goal, static, options, obs=obs)
+    finally:
+        _finish_obs(args, obs, profiler)
     if args.optimise:
         from repro.modsys.program import link_program
         from repro.residual.optimise import optimise_program
@@ -169,6 +265,24 @@ def cmd_specialise(args):
         optimised = optimise_program(result.program)
         result.program = optimised
         result.linked = link_program(optimised)
+    if args.json:
+        doc = {
+            "entry": result.entry,
+            "dynamic_params": list(result.dynamic_params),
+            "stats": dict(result.stats),
+            "modules": sorted(
+                name for _, name in result.module_names.items()
+            ),
+            "program": pretty_program(result.program),
+        }
+        if profiler is not None:
+            doc["profile"] = profiler.as_dict()
+        if args.out:
+            for path in emit_program_dir(result.program, args.out):
+                pass
+        return _emit_json(
+            "specialise", 0, doc, metrics=obs.metrics.snapshot()
+        )
     if args.out:
         for path in emit_program_dir(result.program, args.out):
             print("wrote", path)
@@ -228,7 +342,10 @@ def cmd_show(args):
 
 def build_parser():
     parser = argparse.ArgumentParser(
-        prog="mspec", description="Module-sensitive program specialisation"
+        prog="mspec",
+        description="Module-sensitive program specialisation",
+        epilog=EXIT_CODES_HELP,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -239,6 +356,29 @@ def build_parser():
             action="append",
             metavar="FUNC",
             help="force FUNC to be residualised (repeatable)",
+        )
+
+    def observability(p, sinks=True):
+        if sinks:
+            p.add_argument(
+                "--trace", metavar="FILE",
+                help="write a Chrome trace-event JSON timeline to FILE "
+                "(open in https://ui.perfetto.dev)",
+            )
+            p.add_argument(
+                "--metrics", metavar="FILE",
+                help="write the metrics snapshot (repro.obs.metrics/v1 "
+                "JSON) to FILE",
+            )
+            p.add_argument(
+                "--profile", action="store_true",
+                help="print wall-clock attribution per module / residual "
+                "version to stderr",
+            )
+        p.add_argument(
+            "--json", action="store_true",
+            help="print one machine-readable mspec.report/v1 JSON "
+            "document on stdout instead of prose",
         )
 
     p = sub.add_parser("analyze", help="separate binding-time analysis")
@@ -280,6 +420,7 @@ def build_parser():
         help="retry a failed/hung module up to N times with capped "
         "exponential backoff (default 0)",
     )
+    observability(p)
     p.set_defaults(fn=cmd_build)
 
     p = sub.add_parser(
@@ -290,6 +431,7 @@ def build_parser():
         "--cache-dir",
         help="content-addressed artifact cache (default DIR/.mspec-cache)",
     )
+    observability(p, sinks=False)
     p.set_defaults(fn=cmd_fsck)
 
     p = sub.add_parser("cogen", help="generate generating extensions")
@@ -297,7 +439,11 @@ def build_parser():
     p.add_argument("-o", "--out", help="output directory for *.genext.py")
     p.set_defaults(fn=cmd_cogen)
 
-    p = sub.add_parser("specialise", help="specialise a goal function")
+    p = sub.add_parser(
+        "specialise",
+        aliases=["specialize"],
+        help="specialise a goal function (alias: specialize)",
+    )
     common(p)
     p.add_argument("goal", help="function to specialise")
     p.add_argument("bindings", nargs="*", help="static arguments: name=value")
@@ -314,6 +460,7 @@ def build_parser():
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="wall-clock deadline for the specialisation run",
     )
+    observability(p)
     p.set_defaults(fn=cmd_specialise)
 
     p = sub.add_parser("run", help="interpret a program")

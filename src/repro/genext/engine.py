@@ -52,11 +52,14 @@ class SpecialisationResult:
     dynamic_params: Tuple[str, ...]
     stats: Dict[str, int]
     module_names: Dict[frozenset, str]
+    obs: Optional[object] = None  # the run's repro.obs.Obs, if any
+    fuel: int = 1_000_000  # default fuel for :meth:`run`
 
-    def run(self, *dynamic_args, fuel=1_000_000):
+    def run(self, *dynamic_args, fuel=None):
         """Run the residual program on the dynamic arguments."""
         from repro.interp import run_program
 
+        fuel = self.fuel if fuel is None else fuel
         return run_program(self.linked, self.entry, list(dynamic_args), fuel=fuel)
 
 
@@ -93,28 +96,44 @@ def goal_binding_times(signature, static_names):
     return env
 
 
-def specialise(
-    gp,
-    goal,
-    static_args=None,
-    strategy="bfs",
-    sink=None,
-    monolithic=False,
-    max_versions=10_000,
-    timeout=None,
-):
+def _absorb_spec_stats(metrics, stats):
+    """Unify a run's :class:`~repro.genext.runtime.Stats` into the
+    metrics registry (``spec.*``): counts become counters, peaks become
+    max-gauges, so repeated runs against one registry accumulate."""
+    for name, value in stats.as_dict().items():
+        if name.endswith("_peak"):
+            metrics.gauge("spec." + name).max_of(value)
+        else:
+            metrics.counter("spec." + name).inc(value)
+
+
+def specialise(gp, goal, static_args=None, options=None, obs=None, **legacy):
     """Specialise ``goal`` with respect to ``static_args``.
 
     ``static_args`` maps parameter names of the goal function to Python
     values; parameters not mentioned stay dynamic and become the
     parameters of the residual entry function.
 
-    ``timeout`` is a wall-clock budget in seconds for the whole run —
-    the time-domain companion of the ``max_versions`` (polyvariance)
-    and interpreter ``fuel`` guards.  Past it the run is aborted with
+    ``options`` is a :class:`repro.api.SpecOptions` (legacy keywords —
+    ``strategy=...``, ``sink=...`` — still work, with a once-per-process
+    :class:`repro.api.LegacyOptionsWarning`).  Its ``timeout`` is a
+    wall-clock budget in seconds for the whole run — the time-domain
+    companion of the ``max_versions`` (polyvariance) and interpreter
+    ``fuel`` guards.  Past it the run is aborted with
     :class:`~repro.genext.runtime.SpecTimeout`, so a pathological
     division cannot wedge an unattended build worker.
+
+    ``obs``, if given, receives the run's spans (``specialise`` →
+    ``pending-pump`` → ``mk_resid:<version>``) and its ``spec.*``
+    metrics.
     """
+    from repro.api import spec_options
+    from repro.obs import Obs
+
+    options = spec_options("specialise", options, legacy)
+    if obs is None:
+        obs = Obs()
+    tracer = obs.tracer
     static_args = dict(static_args or {})
     signature = gp.signature(goal)
     unknown = set(static_args) - set(signature.params)
@@ -125,10 +144,11 @@ def specialise(
     env = goal_binding_times(signature, set(static_args))
     types = signature.param_types(env)
     st = gp.new_state(
-        strategy=strategy,
-        sink=sink,
-        max_versions=max_versions,
-        deadline=timeout,
+        strategy=options.strategy,
+        sink=options.sink,
+        max_versions=options.max_versions,
+        deadline=options.timeout,
+        obs=obs,
     )
 
     args = []
@@ -146,25 +166,31 @@ def specialise(
             args.append(DCode(Var(param)))
 
     bt_values = [env[b] for b in signature.bt_params]
-    with deep_recursion():
-        result = gp.mk(goal)(st, *bt_values, *args)
-        st.run_pending()
+    with tracer.span(
+        "specialise", cat="spec", goal=goal, strategy=options.strategy
+    ):
+        with deep_recursion():
+            result = gp.mk(goal)(st, *bt_values, *args)
+            st.run_pending()
 
-        entry_code = dynamize(st, result).code
-        st.run_pending()  # dynamisation may residualise further calls
+            entry_code = dynamize(st, result).code
+            st.run_pending()  # dynamisation may residualise further calls
 
-        placed = list(st.defs)
-        entry_name, placed = _attach_entry(
-            st, goal, args, entry_code, tuple(dynamic_params), placed
-        )
+            placed = list(st.defs)
+            entry_name, placed = _attach_entry(
+                st, goal, args, entry_code, tuple(dynamic_params), placed
+            )
 
-        if monolithic:
-            program = assemble_monolithic(placed)
-            names = {frozenset(["Residual"]): "Residual"}
-        else:
-            program, names = assemble_program(placed)
-        # Linking walks the (possibly very deep) residual expressions.
-        linked = link_program(program)
+            with tracer.span("assemble", cat="spec"):
+                if options.monolithic:
+                    program = assemble_monolithic(placed)
+                    names = {frozenset(["Residual"]): "Residual"}
+                else:
+                    program, names = assemble_program(placed)
+                # Linking walks the (possibly very deep) residual
+                # expressions.
+                linked = link_program(program)
+    _absorb_spec_stats(obs.metrics, st.stats)
     return SpecialisationResult(
         program=program,
         linked=linked,
@@ -172,6 +198,8 @@ def specialise(
         dynamic_params=tuple(dynamic_params),
         stats=st.stats.as_dict(),
         module_names=names,
+        obs=obs,
+        fuel=options.fuel,
     )
 
 

@@ -69,12 +69,18 @@ class GenextProgram:
             m.namespace["_link"](self.registry)
 
     def new_state(
-        self, strategy="bfs", sink=None, max_versions=10_000, deadline=None
+        self,
+        strategy="bfs",
+        sink=None,
+        max_versions=10_000,
+        deadline=None,
+        obs=None,
     ):
         """A fresh :class:`SpecState` for one specialisation run.
 
         ``deadline`` is a wall-clock budget in seconds (see
-        :meth:`SpecState.check_deadline`)."""
+        :meth:`SpecState.check_deadline`); ``obs`` an optional
+        :class:`repro.obs.Obs` whose tracer receives the run's spans."""
         return SpecState(
             self.fn_info,
             self.graph,
@@ -82,6 +88,7 @@ class GenextProgram:
             sink=sink,
             max_versions=max_versions,
             deadline=deadline,
+            obs=obs,
         )
 
     def mk(self, fname):

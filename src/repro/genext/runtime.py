@@ -43,6 +43,7 @@ from repro.bt.bt import BT, D, S, bt_lub
 from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var, count_nodes
 from repro.lang.names import NameSupply
 from repro.lang.prims import PrimError, apply_prim, is_pair
+from repro.obs.trace import NULL_TRACER
 
 # Re-exports so generated code only needs the ``rt`` namespace.
 lub = bt_lub
@@ -492,6 +493,7 @@ class SpecState:
         sink=None,
         max_versions=10_000,
         deadline=None,
+        obs=None,
     ):
         """``fn_info`` maps function names to :class:`FnInfo`;
         ``module_graph`` is the *source* import graph (placement needs
@@ -509,7 +511,12 @@ class SpecState:
         ``deadline`` is a wall-clock budget in seconds for the whole
         run; past it, :meth:`check_deadline` raises
         :class:`SpecTimeout`.  ``None`` (the default) disables the
-        clock entirely."""
+        clock entirely.
+
+        ``obs``, if given, is a :class:`repro.obs.Obs`: every
+        pending-pump drain and every residual version built get spans on
+        its tracer (``pending-pump`` / ``mk_resid:<name>``), so
+        ``mspec specialise --trace`` shows where a run's time went."""
         if strategy not in ("bfs", "dfs"):
             raise ValueError("strategy must be 'bfs' or 'dfs'")
         self.fn_info = fn_info
@@ -525,6 +532,8 @@ class SpecState:
         self._vars = NameSupply()
         self._versions = {}
         self._active = 0
+        self.obs = obs
+        self._tracer = obs.tracer if obs is not None else NULL_TRACER
         self.deadline = deadline
         self._deadline_at = (
             None if deadline is None else time.monotonic() + deadline
@@ -594,7 +603,13 @@ class SpecState:
         self._active += 1
         self.stats.active_peak = max(self.stats.active_peak, self._active)
         try:
-            self._emit(info, build())
+            with self._tracer.span(
+                "mk_resid:%s" % info.name,
+                cat="mk_resid",
+                version=info.name,
+                placement="+".join(sorted(info.placement)),
+            ):
+                self._emit(info, build())
         finally:
             self._active -= 1
 
@@ -607,10 +622,16 @@ class SpecState:
 
     def run_pending(self):
         """Process the pending list to exhaustion (breadth-first mode)."""
-        while self.pending:
-            self.check_deadline()
-            info, build = self.pending.popleft()
-            self._build_now(info, build)
+        if not self.pending:
+            return
+        with self._tracer.span("pending-pump", cat="spec") as span:
+            drained = 0
+            while self.pending:
+                self.check_deadline()
+                info, build = self.pending.popleft()
+                self._build_now(info, build)
+                drained += 1
+            span.note(drained=drained)
 
 
 def _make_def(name, params, body):

@@ -1,0 +1,88 @@
+"""Observability: tracing, metrics, and profiling for the whole stack.
+
+The paper's module-sensitivity means every unit of work — a module's
+BTA+cogen job, a wave of such jobs, one residual version built by
+``mk_resid`` — is separately delimitable, so it can be separately
+*measured*.  This package supplies the three instruments and the plumbing
+between them, with zero dependencies beyond the standard library:
+
+* :class:`~repro.obs.trace.Tracer` — hierarchical wall-clock spans
+  exported as Chrome trace-event JSON (loadable in Perfetto or
+  ``chrome://tracing``).  Spans recorded inside pool workers are shipped
+  back as plain dicts and merged into the parent trace, so a parallel
+  build yields one timeline across processes.  The disabled tracer
+  (:data:`~repro.obs.trace.NULL_TRACER`) is a shared no-op whose spans
+  cost one attribute lookup — near-free on hot paths.
+
+* :class:`~repro.obs.metrics.MetricsRegistry` — named counters, gauges,
+  and timers with a stable JSON snapshot schema
+  (:data:`~repro.obs.metrics.METRICS_SCHEMA`).  The registry is the one
+  store behind ``PipelineStats``, the cache hit/miss counts, the fault
+  supervisor's retry/timeout/crash counters, and the specialiser's
+  ``SpecState`` stats — one queryable snapshot instead of three ad-hoc
+  surfaces.
+
+* :class:`~repro.obs.bus.EventBus` — ``on_span_end`` / ``on_metric`` /
+  ``subscribe`` hooks, so the fault supervisor, the cache, benchmarks,
+  and the :class:`~repro.obs.profile.Profiler` observe the build instead
+  of having counters hand-threaded through their constructors.
+
+:class:`Obs` bundles the three; every layer accepts an ``obs`` and
+defaults to a null one.  See ``docs/observability.md`` for the span
+taxonomy, the metrics glossary, and the Perfetto how-to.
+"""
+
+from repro.obs.bus import EventBus
+from repro.obs.metrics import METRICS_SCHEMA, Counter, Gauge, MetricsRegistry, Timer
+from repro.obs.profile import Profiler
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "Gauge",
+    "METRICS_SCHEMA",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Obs",
+    "Profiler",
+    "Timer",
+    "Tracer",
+]
+
+
+class Obs:
+    """One build's (or one specialisation run's) observability bundle.
+
+    ``Obs()`` is the *disabled* configuration: a shared no-op tracer, a
+    live (but unexported) metrics registry, and an event bus with no
+    subscribers — all three near-free.  ``Obs.enabled()`` turns tracing
+    on.  Pass an ``Obs`` to :class:`~repro.pipeline.build.BuildEngine`,
+    :func:`~repro.pipeline.build.build_dir`,
+    :func:`~repro.genext.engine.specialise`, or the ``mspec`` CLI flags
+    ``--trace`` / ``--metrics`` / ``--profile`` do it for you.
+    """
+
+    __slots__ = ("tracer", "metrics", "bus")
+
+    def __init__(self, tracer=None, metrics=None, bus=None):
+        self.bus = bus if bus is not None else EventBus()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(bus=self.bus)
+        )
+
+    @classmethod
+    def enabled(cls):
+        """An ``Obs`` with a live tracer (metrics and bus included)."""
+        bus = EventBus()
+        return cls(tracer=Tracer(bus=bus), metrics=MetricsRegistry(bus=bus), bus=bus)
+
+    def with_metrics(self, metrics):
+        """This bundle's tracer/bus over a different registry (used by
+        the build engine so a caller-supplied ``PipelineStats`` and the
+        engine's tracer share one snapshot)."""
+        if metrics is self.metrics:
+            return self
+        return Obs(tracer=self.tracer, metrics=metrics, bus=self.bus)

@@ -1,0 +1,86 @@
+"""The event bus: subscription hooks over spans, metrics, and events.
+
+Producers (the tracer, the metrics registry, the build engine, the fault
+supervisor) *publish*; consumers (the profiler, benchmarks, a user's
+dashboard glue) *subscribe* — nobody hand-threads counters through
+constructors.  Publishing with no subscribers is a couple of attribute
+checks, so an instrumented component costs nothing until someone
+listens.
+
+Three channels:
+
+* ``on_span_end(cb)`` — ``cb(event_dict)`` for every finished span (a
+  Chrome trace event dict, including spans merged from pool workers);
+* ``on_metric(cb)`` — ``cb(name, kind, value)`` for every counter
+  increment, gauge set, and timer record;
+* ``subscribe(kind, cb)`` / ``emit(kind, **payload)`` — free-form named
+  events (the fault supervisor emits ``"retry"``, ``"timeout"``,
+  ``"crash"``, ``"degraded"``; the build engine emits ``"cache.hit"`` /
+  ``"cache.miss"`` and ``"module.done"``).
+
+A subscriber that raises does not break the producer: the exception is
+swallowed (observability must never fail the build it observes).
+"""
+
+__all__ = ["EventBus"]
+
+
+class EventBus:
+    """Pub/sub hub for spans, metrics, and named events."""
+
+    __slots__ = ("_span_subs", "_metric_subs", "_event_subs")
+
+    def __init__(self):
+        self._span_subs = []
+        self._metric_subs = []
+        self._event_subs = {}  # kind -> [cb]; "*" subscribes to all
+
+    # -- subscription --------------------------------------------------------
+
+    def on_span_end(self, cb):
+        """Call ``cb(event)`` for every finished span; returns ``cb``."""
+        self._span_subs.append(cb)
+        return cb
+
+    def on_metric(self, cb):
+        """Call ``cb(name, kind, value)`` on every metric update;
+        ``kind`` is ``'counter'``, ``'gauge'``, or ``'timer'``."""
+        self._metric_subs.append(cb)
+        return cb
+
+    def subscribe(self, kind, cb):
+        """Call ``cb(kind, payload_dict)`` for events of ``kind``
+        (``"*"`` matches every kind); returns ``cb``."""
+        self._event_subs.setdefault(kind, []).append(cb)
+        return cb
+
+    # -- publication ---------------------------------------------------------
+
+    def span_end(self, event):
+        for cb in self._span_subs:
+            try:
+                cb(event)
+            except Exception:
+                pass
+
+    def metric(self, name, kind, value):
+        for cb in self._metric_subs:
+            try:
+                cb(name, kind, value)
+            except Exception:
+                pass
+
+    def emit(self, kind, **payload):
+        subs = self._event_subs
+        if not subs:
+            return
+        for cb in subs.get(kind, ()):
+            try:
+                cb(kind, payload)
+            except Exception:
+                pass
+        for cb in subs.get("*", ()):
+            try:
+                cb(kind, payload)
+            except Exception:
+                pass

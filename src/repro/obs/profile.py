@@ -1,0 +1,84 @@
+"""Wall-clock attribution: where did the build (or run) spend its time?
+
+The profiler is a pure :class:`~repro.obs.bus.EventBus` subscriber — it
+never touches the pipeline.  It listens to ``on_span_end`` and buckets
+durations by span category: per-module job time (``job`` spans, pool
+workers included), per-stage time, and per-specialisation-version time
+(``mk_resid`` spans).  ``mspec build --profile`` / ``mspec specialise
+--profile`` print :meth:`Profiler.report`.
+"""
+
+__all__ = ["Profiler"]
+
+# Span categories attributed per distinct span name (everything else is
+# aggregated per category only).
+_NAMED_CATS = ("job", "analyse", "cogen", "mk_resid", "stage")
+
+
+class Profiler:
+    """Aggregates span durations from a bus subscription."""
+
+    def __init__(self, bus):
+        self.by_name = {}  # (cat, name) -> [seconds, count]
+        self.by_cat = {}  # cat -> seconds
+        bus.on_span_end(self._on_span_end)
+
+    def _on_span_end(self, event):
+        if event.get("ph") != "X":
+            return
+        cat = event.get("cat", "")
+        seconds = event.get("dur", 0) / 1e6
+        self.by_cat[cat] = self.by_cat.get(cat, 0.0) + seconds
+        if cat in _NAMED_CATS:
+            rec = self.by_name.setdefault((cat, event["name"]), [0.0, 0])
+            rec[0] += seconds
+            rec[1] += 1
+
+    # -- queries -------------------------------------------------------------
+
+    def seconds(self, cat, name=None):
+        if name is None:
+            return self.by_cat.get(cat, 0.0)
+        return self.by_name.get((cat, name), [0.0, 0])[0]
+
+    def top(self, cat, n=None):
+        """``[(name, seconds, count)]`` for ``cat``, slowest first."""
+        rows = [
+            (name, rec[0], rec[1])
+            for (c, name), rec in self.by_name.items()
+            if c == cat
+        ]
+        rows.sort(key=lambda r: (-r[1], r[0]))
+        return rows if n is None else rows[:n]
+
+    def as_dict(self):
+        return {
+            "by_category": dict(sorted(self.by_cat.items())),
+            "spans": {
+                "%s:%s" % (cat, name): {"seconds": rec[0], "count": rec[1]}
+                for (cat, name), rec in sorted(self.by_name.items())
+            },
+        }
+
+    def report(self, top=15):
+        """Human-readable attribution, one section per populated
+        category (module jobs, then specialisation versions)."""
+        lines = []
+        sections = (
+            ("job", "per-module wall clock (analyse+cogen jobs)"),
+            ("mk_resid", "per-version wall clock (specialised versions)"),
+            ("stage", "per-stage wall clock"),
+        )
+        for cat, title in sections:
+            rows = self.top(cat, top)
+            if not rows:
+                continue
+            lines.append(title + ":")
+            width = max(len(name) for name, _, _ in rows)
+            for name, seconds, count in rows:
+                lines.append(
+                    "  %-*s %9.2f ms  x%d" % (width, name, seconds * 1e3, count)
+                )
+        if not lines:
+            return "profile: no spans recorded (is tracing enabled?)"
+        return "\n".join(lines)

@@ -1,0 +1,174 @@
+"""Schema validation for the observability JSON artifacts.
+
+Zero-dependency structural validators (no jsonschema in the image) for
+the three documents the toolchain emits:
+
+* Chrome trace files (``mspec build --trace``) — checked against the
+  trace-event subset we generate (``X`` complete spans / ``i`` instants
+  with microsecond ``ts``, ``pid``/``tid`` lanes, ``args`` dicts);
+* metrics snapshots (``mspec build --metrics``,
+  :meth:`repro.obs.metrics.MetricsRegistry.snapshot`);
+* ``mspec ... --json`` reports (``mspec.report/v1``).
+
+Each ``validate_*`` returns a list of problem strings (empty = valid).
+``python -m repro.obs.schema FILE...`` validates files (kind inferred
+from content) and exits non-zero on the first invalid one — CI runs it
+on the artifacts of a traced smoke build.
+"""
+
+import json
+import sys
+
+from repro.obs.metrics import METRICS_SCHEMA
+
+__all__ = [
+    "REPORT_SCHEMA",
+    "validate_metrics",
+    "validate_report",
+    "validate_trace",
+    "validate_file",
+]
+
+REPORT_SCHEMA = "mspec.report/v1"
+
+_REPORT_COMMANDS = ("build", "specialise", "fsck")
+
+_NUMBER = (int, float)
+
+
+def _problems_prefix(problems, prefix):
+    return ["%s: %s" % (prefix, p) for p in problems]
+
+
+def validate_trace(doc):
+    """Problems with a Chrome trace-event document (empty list = ok)."""
+    problems = []
+    if not isinstance(doc, dict):
+        return ["trace document must be a JSON object, got %s" % type(doc).__name__]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    for i, e in enumerate(events):
+        where = "traceEvents[%d]" % i
+        if not isinstance(e, dict):
+            problems.append("%s: not an object" % where)
+            continue
+        if not isinstance(e.get("name"), str) or not e.get("name"):
+            problems.append("%s: missing/empty name" % where)
+        ph = e.get("ph")
+        if ph not in ("X", "i", "M"):
+            problems.append("%s: unsupported ph %r" % (where, ph))
+            continue
+        if ph == "M":
+            continue
+        if not isinstance(e.get("ts"), _NUMBER) or e.get("ts", -1) < 0:
+            problems.append("%s: ts must be a non-negative number" % where)
+        if ph == "X" and (
+            not isinstance(e.get("dur"), _NUMBER) or e.get("dur", -1) < 0
+        ):
+            problems.append("%s: X event needs a non-negative dur" % where)
+        for lane in ("pid", "tid"):
+            if not isinstance(e.get(lane), int):
+                problems.append("%s: %s must be an integer" % (where, lane))
+        if "cat" in e and not isinstance(e["cat"], str):
+            problems.append("%s: cat must be a string" % where)
+        if "args" in e and not isinstance(e["args"], dict):
+            problems.append("%s: args must be an object" % where)
+    return problems
+
+
+def validate_metrics(doc):
+    """Problems with a metrics snapshot (empty list = ok)."""
+    if not isinstance(doc, dict):
+        return ["metrics document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != METRICS_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r" % (METRICS_SCHEMA, doc.get("schema"))
+        )
+    for section in ("counters", "gauges"):
+        table = doc.get(section)
+        if not isinstance(table, dict):
+            problems.append("%s must be an object" % section)
+            continue
+        for name, value in table.items():
+            if not isinstance(name, str):
+                problems.append("%s key %r is not a string" % (section, name))
+            if not isinstance(value, _NUMBER) or isinstance(value, bool):
+                problems.append("%s[%r] must be a number" % (section, name))
+    timers = doc.get("timers")
+    if not isinstance(timers, dict):
+        problems.append("timers must be an object")
+    else:
+        for name, rec in timers.items():
+            if not isinstance(rec, dict):
+                problems.append("timers[%r] must be an object" % name)
+                continue
+            if not isinstance(rec.get("count"), int):
+                problems.append("timers[%r].count must be an integer" % name)
+            if not isinstance(rec.get("seconds"), _NUMBER):
+                problems.append("timers[%r].seconds must be a number" % name)
+    return problems
+
+
+def validate_report(doc):
+    """Problems with an ``mspec --json`` report (empty list = ok)."""
+    if not isinstance(doc, dict):
+        return ["report document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != REPORT_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r" % (REPORT_SCHEMA, doc.get("schema"))
+        )
+    if doc.get("command") not in _REPORT_COMMANDS:
+        problems.append(
+            "command must be one of %s, got %r"
+            % ("/".join(_REPORT_COMMANDS), doc.get("command"))
+        )
+    if not isinstance(doc.get("exit_code"), int):
+        problems.append("exit_code must be an integer")
+    if not isinstance(doc.get("ok"), bool):
+        problems.append("ok must be a boolean")
+    if not isinstance(doc.get("report"), dict):
+        problems.append("report must be an object")
+    if "metrics" in doc:
+        problems.extend(_problems_prefix(validate_metrics(doc["metrics"]), "metrics"))
+    return problems
+
+
+def validate_file(path):
+    """``(kind, problems)`` for a JSON file; kind inferred from content."""
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as exc:
+        return "unknown", ["cannot load %s: %s" % (path, exc)]
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return "trace", validate_trace(doc)
+    if isinstance(doc, dict) and doc.get("schema") == METRICS_SCHEMA:
+        return "metrics", validate_metrics(doc)
+    if isinstance(doc, dict) and doc.get("schema") == REPORT_SCHEMA:
+        return "report", validate_report(doc)
+    return "unknown", ["unrecognised document (no known schema marker)"]
+
+
+def main(argv=None):
+    argv = sys.argv[1:] if argv is None else argv
+    if not argv:
+        print("usage: python -m repro.obs.schema FILE.json ...", file=sys.stderr)
+        return 2
+    status = 0
+    for path in argv:
+        kind, problems = validate_file(path)
+        if problems:
+            status = 1
+            print("%s: INVALID %s" % (path, kind))
+            for p in problems:
+                print("  - " + p)
+        else:
+            print("%s: valid %s" % (path, kind))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -40,6 +40,7 @@ exactly the failed cone.  See ``docs/robustness.md``.
 
 import marshal
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
@@ -61,6 +62,8 @@ from repro.lang.parser import parse_program
 from repro.lang.validate import resolve_module
 from repro.modsys.graph import ModuleGraph
 from repro.modsys.program import SOURCE_SUFFIX
+from repro.obs import Obs
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.pipeline import faultinject
 from repro.pipeline.cache import (  # re-exported; the canonical home
     ArtifactCache,
@@ -95,30 +98,52 @@ def _analyse_cogen_worker(payload):
     """Analyse and cogen one module; pure function of its inputs.
 
     ``payload`` is ``(name, source_text, ((dep, dep_interface_text), ...),
-    force_residual_tuple)`` — text in, text out, so the job crosses
-    process boundaries carrying nothing but what the paper says a
-    separate analysis may see.  Returns ``(name, interface_text,
-    genext_source)``.
+    force_residual_tuple[, trace])`` — text in, text out, so the job
+    crosses process boundaries carrying nothing but what the paper says
+    a separate analysis may see.  Returns ``(name, interface_text,
+    genext_source)``, extended with the job's span events (plain dicts)
+    when ``trace`` is set: the worker records its own ``job`` /
+    ``analyse`` / ``cogen`` spans on a short-lived local tracer, and the
+    parent merges them into the build trace — one timeline across
+    processes.  Works identically in-process (``jobs=1``), so traces are
+    span-for-span comparable between serial and parallel builds.
     """
-    name, text, deps, force_residual = payload
-    faultinject.fire("analyse", name)
-    module = parse_program(text).modules[0]
-    visible = {}
-    for dep_name, dep_text in deps:
-        iface_name, schemes = interface_from_text(
-            dep_text, origin="<interface of %s>" % dep_name
-        )
-        if iface_name != dep_name:
-            raise InterfaceError(
-                "interface for %s names module %s" % (dep_name, iface_name)
-            )
-        visible.update(schemes)
-    arities = {fname: len(s.args) for fname, s in visible.items()}
-    resolved = resolve_module(module, arities)
-    analysis = analyse_module(resolved, visible, frozenset(force_residual))
-    faultinject.fire("cogen", name)
-    genext = cogen_module(analysis)
-    return name, interface_text(name, analysis.schemes), genext.source
+    name, text, deps, force_residual = payload[:4]
+    trace = payload[4] if len(payload) > 4 else False
+    tracer = Tracer() if trace else NULL_TRACER
+    with tracer.span("job:%s" % name, cat="job", module=name):
+        faultinject.fire("analyse", name)
+        with tracer.span("analyse:%s" % name, cat="analyse", module=name):
+            module = parse_program(text).modules[0]
+            visible = {}
+            for dep_name, dep_text in deps:
+                iface_name, schemes = interface_from_text(
+                    dep_text, origin="<interface of %s>" % dep_name
+                )
+                if iface_name != dep_name:
+                    raise InterfaceError(
+                        "interface for %s names module %s" % (dep_name, iface_name)
+                    )
+                visible.update(schemes)
+            arities = {fname: len(s.args) for fname, s in visible.items()}
+            resolved = resolve_module(module, arities)
+            analysis = analyse_module(resolved, visible, frozenset(force_residual))
+        faultinject.fire("cogen", name)
+        with tracer.span("cogen:%s" % name, cat="cogen", module=name):
+            genext = cogen_module(analysis)
+    iface = interface_text(name, analysis.schemes)
+    if trace:
+        return name, iface, genext.source, tracer.events
+    return name, iface, genext.source
+
+
+@contextmanager
+def _stage(stats, tracer, name):
+    """One pipeline stage: a ``stage.<name>`` timer in the metrics
+    registry and a ``stage:<name>`` span in the trace."""
+    with tracer.span("stage:%s" % name, cat="stage"):
+        with stats.stage(name):
+            yield
 
 
 @dataclass
@@ -138,6 +163,7 @@ class BuildResult:
     stats: PipelineStats
     cache: Optional[ArtifactCache] = field(repr=False, default=None)
     report: BuildReport = field(default_factory=BuildReport)
+    obs: Optional[Obs] = field(repr=False, default=None)
 
     def link(self):
         """Compile, execute, and link the generating extensions.
@@ -146,7 +172,8 @@ class BuildResult:
         so a warm link recompiles nothing; without a cache every module
         is compiled afresh."""
         loaded = []
-        with self.stats.stage("link"):
+        tracer = self.obs.tracer if self.obs is not None else NULL_TRACER
+        with _stage(self.stats, tracer, "link"):
             for m in self.genexts:
                 code = None
                 if self.cache is not None:
@@ -179,27 +206,21 @@ class BuildEngine:
     deadline, matching the classic behaviour.
     """
 
-    def __init__(
-        self,
-        src_dir,
-        cache_dir=None,
-        jobs=1,
-        force_residual=frozenset(),
-        iface_dir=None,
-        out_dir=None,
-        policy=None,
-    ):
-        if jobs < 1:
-            raise ValueError("jobs must be >= 1, got %d" % jobs)
+    def __init__(self, src_dir, options=None, obs=None, **legacy):
+        from repro.api import build_options
+
+        options = build_options("BuildEngine", options, legacy)
         self.src_dir = src_dir
+        self.options = options
         self.cache = ArtifactCache(
-            cache_dir or os.path.join(src_dir, DEFAULT_CACHE_DIRNAME)
+            options.cache_dir or os.path.join(src_dir, DEFAULT_CACHE_DIRNAME)
         )
-        self.jobs = jobs
-        self.force_residual = frozenset(force_residual)
-        self.iface_dir = iface_dir
-        self.out_dir = out_dir
-        self.policy = policy if policy is not None else FaultPolicy()
+        self.jobs = options.jobs
+        self.force_residual = options.force_residual
+        self.iface_dir = options.iface_dir
+        self.out_dir = options.out_dir
+        self.policy = options.fault_policy()
+        self.obs = obs if obs is not None else Obs()
 
     # -- scanning -----------------------------------------------------------
 
@@ -305,13 +326,24 @@ class BuildEngine:
         wave has been drained.  With ``policy.keep_going`` all failures
         are collected and a partial :class:`BuildResult` is returned;
         inspect ``result.report``."""
-        stats = stats if stats is not None else PipelineStats()
+        if stats is None:
+            stats = PipelineStats(metrics=self.obs.metrics, bus=self.obs.bus)
+        obs = self.obs.with_metrics(stats.metrics)
+        tracer = obs.tracer
+        self.cache.metrics = stats.metrics
         stats.jobs = self.jobs
-        with stats.stage("scan"):
+        with tracer.span(
+            "build", cat="build", src_dir=self.src_dir, jobs=self.jobs
+        ):
+            return self._build(stats, obs, tracer)
+
+    def _build(self, stats, obs, tracer):
+        with _stage(stats, tracer, "scan"):
             sources, failures = self.scan()  # name -> ModuleFailure
         stats.modules = len(sources) + len(failures)
-        stats.failed.extend(sorted(failures))
-        with stats.stage("schedule"):
+        for name in sorted(failures):
+            stats.note_failed(name)
+        with _stage(stats, tracer, "schedule"):
             # Unparseable modules enter the graph as import-less nodes:
             # their name is known (from the file name), so importers
             # still land in their cone and are skipped, not crashed.
@@ -336,93 +368,110 @@ class BuildEngine:
                 root = self._failed_root(graph, name, failures)
                 if root is not None:
                     skipped[name] = root
-                    stats.skipped.append(name)
+                    stats.note_skipped(name)
             raise BuildError(self._report(failures, skipped, order, stats))
         supervisor = WaveSupervisor(
-            _analyse_cogen_worker, self.jobs, self.policy, stats
+            _analyse_cogen_worker, self.jobs, self.policy, stats, obs=obs
         )
         try:
-            for wave in waves:
+            for wave_index, wave in enumerate(waves):
                 misses = []
-                with stats.stage("cache"):
-                    for name in wave:
-                        if name in failures:  # failed at scan: no source
-                            continue
-                        src = sources[name]
-                        root = self._failed_root(graph, name, failures)
-                        if root is not None:
-                            skipped[name] = root
-                            stats.skipped.append(name)
-                            continue
-                        key = module_key(
-                            src.text.encode("utf-8"),
-                            [
-                                (dep, digest_text(ifaces[dep]))
-                                for dep in src.imports
-                            ],
-                            self.force_residual,
-                        )
-                        keys[name] = key
-                        order.append(name)
-                        iface = self.cache.get_text(key, IFACE_KIND)
-                        genext_source = self.cache.get_text(key, GENEXT_KIND)
-                        hit = False
-                        if iface is not None and genext_source is not None:
-                            try:
-                                iface_name, _ = interface_from_text(
-                                    iface, origin=self.cache.path(key, IFACE_KIND)
-                                )
-                                hit = iface_name == name
-                            except InterfaceError:
-                                hit = False  # corrupt entry: rebuild it
-                        if hit:
-                            ifaces[name] = iface
-                            genexts[name] = GenextModule(
-                                name, src.imports, genext_source
-                            )
-                            stats.cached.append(name)
-                        else:
-                            misses.append(name)
-                if misses:
-                    payloads = [
-                        (
-                            name,
-                            sources[name].text,
-                            tuple(
-                                (dep, ifaces[dep])
-                                for dep in sources[name].imports
-                            ),
-                            tuple(sorted(self.force_residual)),
-                        )
-                        for name in misses
-                    ]
-                    with stats.stage("analyse"):
-                        results, wave_failures = supervisor.run_wave(payloads)
-                    for name, failure in wave_failures.items():
-                        failures[name] = failure
-                        stats.failed.append(name)
-                        order.remove(name)
-                        del keys[name]
-                    with stats.stage("publish"):
-                        for name in misses:
-                            if name not in results:
+                with tracer.span(
+                    "wave[%d]" % wave_index, cat="build", width=len(wave)
+                ):
+                    with _stage(stats, tracer, "cache"):
+                        for name in wave:
+                            if name in failures:  # failed at scan: no source
                                 continue
-                            _, iface, genext_source = results[name]
-                            data = faultinject.corrupt(
-                                "publish", name, IFACE_KIND,
-                                iface.encode("utf-8"),
+                            src = sources[name]
+                            root = self._failed_root(graph, name, failures)
+                            if root is not None:
+                                skipped[name] = root
+                                stats.note_skipped(name)
+                                continue
+                            key = module_key(
+                                src.text.encode("utf-8"),
+                                [
+                                    (dep, digest_text(ifaces[dep]))
+                                    for dep in src.imports
+                                ],
+                                self.force_residual,
                             )
-                            self.cache.put_bytes(keys[name], IFACE_KIND, data)
-                            data = faultinject.corrupt(
-                                "publish", name, GENEXT_KIND,
-                                genext_source.encode("utf-8"),
+                            keys[name] = key
+                            order.append(name)
+                            iface = self.cache.get_text(key, IFACE_KIND)
+                            genext_source = self.cache.get_text(key, GENEXT_KIND)
+                            hit = False
+                            if iface is not None and genext_source is not None:
+                                try:
+                                    iface_name, _ = interface_from_text(
+                                        iface,
+                                        origin=self.cache.path(key, IFACE_KIND),
+                                    )
+                                    hit = iface_name == name
+                                except InterfaceError:
+                                    hit = False  # corrupt entry: rebuild it
+                            if hit:
+                                ifaces[name] = iface
+                                genexts[name] = GenextModule(
+                                    name, src.imports, genext_source
+                                )
+                                stats.note_cache_hit(name)
+                                obs.bus.emit("cache.hit", module=name, key=key)
+                            else:
+                                misses.append(name)
+                                stats.note_cache_miss(name)
+                                obs.bus.emit("cache.miss", module=name, key=key)
+                    if misses:
+                        payloads = [
+                            (
+                                name,
+                                sources[name].text,
+                                tuple(
+                                    (dep, ifaces[dep])
+                                    for dep in sources[name].imports
+                                ),
+                                tuple(sorted(self.force_residual)),
+                                tracer.enabled,
                             )
-                            self.cache.put_bytes(keys[name], GENEXT_KIND, data)
-                            ifaces[name] = iface
-                            genexts[name] = GenextModule(
-                                name, sources[name].imports, genext_source
+                            for name in misses
+                        ]
+                        with _stage(stats, tracer, "analyse"):
+                            results, wave_failures = supervisor.run_wave(
+                                payloads
                             )
-                            stats.analysed.append(name)
+                        for name, failure in wave_failures.items():
+                            failures[name] = failure
+                            stats.note_failed(name)
+                            order.remove(name)
+                            del keys[name]
+                        with _stage(stats, tracer, "publish"):
+                            for name in misses:
+                                if name not in results:
+                                    continue
+                                res = results[name]
+                                iface, genext_source = res[1], res[2]
+                                if len(res) > 3:
+                                    tracer.add_events(res[3])
+                                data = faultinject.corrupt(
+                                    "publish", name, IFACE_KIND,
+                                    iface.encode("utf-8"),
+                                )
+                                self.cache.put_bytes(
+                                    keys[name], IFACE_KIND, data
+                                )
+                                data = faultinject.corrupt(
+                                    "publish", name, GENEXT_KIND,
+                                    genext_source.encode("utf-8"),
+                                )
+                                self.cache.put_bytes(
+                                    keys[name], GENEXT_KIND, data
+                                )
+                                ifaces[name] = iface
+                                genexts[name] = GenextModule(
+                                    name, sources[name].imports, genext_source
+                                )
+                                stats.note_analysed(name)
                 if failures and not self.policy.keep_going:
                     # Fail fast — but name the whole downstream cone, so
                     # the report reads the same as keep-going's.
@@ -432,14 +481,14 @@ class BuildEngine:
                         root = self._failed_root(graph, name, failures)
                         if root is not None:
                             skipped[name] = root
-                            stats.skipped.append(name)
+                            stats.note_skipped(name)
                     raise BuildError(
                         self._report(failures, skipped, order, stats)
                     )
         finally:
             supervisor.shutdown()
 
-        with stats.stage("publish"):
+        with _stage(stats, tracer, "publish"):
             for name in order:
                 self._publish(name, keys[name], ifaces[name], genexts[name].source)
 
@@ -452,6 +501,7 @@ class BuildEngine:
             stats=stats,
             cache=self.cache,
             report=self._report(failures, skipped, order, stats),
+            obs=obs,
         )
 
     def _report(self, failures, skipped, order, stats):
@@ -464,16 +514,25 @@ class BuildEngine:
         )
 
 
-def build_dir(src_dir, cache_dir=None, jobs=1, force_residual=frozenset(),
-              iface_dir=None, out_dir=None, stats=None, policy=None):
-    """One-call convenience: build a directory of ``*.mod`` sources."""
-    engine = BuildEngine(
-        src_dir,
-        cache_dir=cache_dir,
-        jobs=jobs,
-        force_residual=force_residual,
-        iface_dir=iface_dir,
-        out_dir=out_dir,
-        policy=policy,
-    )
-    return engine.build(stats=stats)
+def build_dir(src_dir, options=None, *, stats=None, obs=None, **legacy):
+    """One-call convenience: build a directory of ``*.mod`` sources.
+
+    ``options`` is a :class:`repro.api.BuildOptions` (legacy keywords
+    still work, with a :class:`repro.api.LegacyOptionsWarning`).  When
+    ``options.trace_path`` / ``options.metrics_path`` are set the trace
+    and metrics snapshot are written there even if the build raises.
+    """
+    from repro.api import build_options
+
+    options = build_options("build_dir", options, legacy)
+    if obs is None:
+        obs = Obs.enabled() if options.trace_path else Obs()
+    engine = BuildEngine(src_dir, options, obs=obs)
+    try:
+        return engine.build(stats=stats)
+    finally:
+        if options.trace_path:
+            obs.tracer.export(options.trace_path)
+        if options.metrics_path:
+            registry = stats.metrics if stats is not None else obs.metrics
+            registry.export(options.metrics_path)

@@ -38,10 +38,23 @@ TMP_SUFFIX = "~"
 
 
 class ArtifactCache:
-    """Content-addressed artifact storage rooted at ``root``."""
+    """Content-addressed artifact storage rooted at ``root``.
 
-    def __init__(self, root):
+    ``metrics`` (a :class:`repro.obs.metrics.MetricsRegistry`, set at
+    construction or assigned later) makes the store count its own I/O:
+    ``cache.reads`` / ``cache.read_bytes`` for successful gets,
+    ``cache.writes`` / ``cache.write_bytes`` for puts.  With no
+    registry attached the accounting is a single attribute test.
+    """
+
+    def __init__(self, root, metrics=None):
         self.root = root
+        self.metrics = metrics
+
+    def _count(self, name, nbytes):
+        if self.metrics is not None:
+            self.metrics.counter("cache." + name).inc()
+            self.metrics.counter("cache.%s_bytes" % name[:-1]).inc(nbytes)
 
     def path(self, key, kind):
         """Where an artifact lives (the file may not exist)."""
@@ -56,9 +69,11 @@ class ArtifactCache:
         """The artifact's bytes, or ``None`` on a miss."""
         try:
             with open(self.path(key, kind), "rb") as f:
-                return f.read()
+                data = f.read()
         except OSError:
             return None
+        self._count("reads", len(data))
+        return data
 
     def get_text(self, key, kind):
         """The artifact decoded as UTF-8; ``None`` on a miss *or* on
@@ -92,6 +107,7 @@ class ArtifactCache:
                 os.unlink(tmp)
             except OSError:
                 pass
+        self._count("writes", len(data))
         return path
 
     def put_text(self, key, kind, text):

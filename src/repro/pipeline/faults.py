@@ -273,15 +273,43 @@ class WaveSupervisor:
     supervisor owns at most one :class:`ProcessPoolExecutor` at a time,
     tears it down on hangs and breakage, and — once broken — stays
     degraded to serial execution for the rest of the build.
+
+    Fault accounting goes through the observability layer: counters
+    (``faults.retries`` / ``faults.timeouts`` / ``faults.crashes`` /
+    ``faults.degradations``) land in the metrics registry shared with
+    the build's :class:`~repro.pipeline.stats.PipelineStats`, and each
+    incident is published on the event bus (``retry`` / ``timeout`` /
+    ``crash`` / ``degraded``) for subscribers such as profilers or
+    benchmarks.  ``stats`` is accepted for direct callers and supplies
+    the registry when no ``obs`` is given; counters are recorded exactly
+    once regardless of how many of the two are passed, because both
+    views read the same registry.
     """
 
-    def __init__(self, worker, jobs, policy, stats=None):
+    def __init__(self, worker, jobs, policy, stats=None, obs=None):
         self.worker = worker
         self.jobs = jobs
         self.policy = policy
         self.stats = stats
+        if obs is not None:
+            self.metrics = obs.metrics
+            self.bus = obs.bus
+        elif stats is not None:
+            self.metrics = stats.metrics
+            self.bus = stats.metrics.bus
+        else:
+            self.metrics = None
+            self.bus = None
         self.degraded = False
         self._pool = None
+
+    def _count(self, counter):
+        if self.metrics is not None:
+            self.metrics.counter(counter).inc()
+
+    def _event(self, kind, **payload):
+        if self.bus is not None:
+            self.bus.emit(kind, **payload)
 
     # -- pool lifecycle ------------------------------------------------------
 
@@ -332,13 +360,14 @@ class WaveSupervisor:
                     pending[name] = batch[name]
                     continue
                 attempts[name] += 1
-                if tag == _TIMEOUT and self.stats is not None:
-                    self.stats.timeouts += 1
+                if tag == _TIMEOUT:
+                    self._count("faults.timeouts")
+                    self._event("fault.timeout", module=name, attempt=attempts[name])
                 if attempts[name] <= self.policy.retries:
                     pending[name] = batch[name]
                     needs_backoff = True
-                    if self.stats is not None:
-                        self.stats.retries += 1
+                    self._count("faults.retries")
+                    self._event("fault.retry", module=name, attempt=attempts[name])
                 else:
                     failures[name] = ModuleFailure.from_exception(
                         name, tag, value, attempts[name]
@@ -415,10 +444,14 @@ class WaveSupervisor:
         if broken:
             self._kill_pool()
             if not self.degraded:
+                # One breakage = one crash + one degradation, however
+                # many victims it had and however they are re-run; the
+                # serial re-execution below never re-enters this path.
                 self.degraded = True
-                if self.stats is not None:
-                    self.stats.crashes += 1
-                    self.stats.degradations += 1
+                self._count("faults.crashes")
+                self._count("faults.degradations")
+                self._event("fault.crash", modules=sorted(batch))
+                self._event("fault.degraded", jobs=self.jobs)
         elif hung:
             # The pool still holds a wedged worker: scrap it; a fresh
             # one is built lazily if another parallel batch arrives.

@@ -6,45 +6,145 @@ modules were re-analysed vs served from cache, the wave widths the
 scheduler found (the available parallelism), and wall time per stage.
 ``mspec build --stats`` prints :meth:`PipelineStats.report`;
 benchmarks serialise :meth:`PipelineStats.as_dict`.
+
+Since the observability layer (``repro.obs``) landed, ``PipelineStats``
+is a *view*: every counter and timer lives in a
+:class:`~repro.obs.metrics.MetricsRegistry` (``stats.metrics``), shared
+with the fault supervisor, the cache accounting, and — through
+``mspec build --metrics`` — the exported snapshot.  The scalar
+attributes (``retries``, ``timeouts``, ``crashes``, ``degradations``,
+``jobs``, ``modules``) are properties over registry metrics, so the
+legacy reading *and writing* spellings (``stats.retries += 1``) keep
+working and can never disagree with the snapshot.
+
+Metric names (see ``docs/observability.md`` for the full glossary):
+
+========================  ======  =======================================
+``cache.hits``            counter modules served from the artifact cache
+``cache.misses``          counter modules scheduled for analyse+cogen
+``modules.analysed``      counter modules analysed+cogen'd this build
+``modules.failed``        counter modules whose job exhausted retries
+``modules.skipped``       counter modules inside a failed cone
+``faults.retries``        counter re-attempts after error/timeout
+``faults.timeouts``       counter deadline kills
+``faults.crashes``        counter broken worker pools
+``faults.degradations``   counter pool → serial downgrades
+``build.jobs``            gauge   requested pool width
+``build.modules``         gauge   modules discovered by the scan
+``build.waves``           gauge   number of scheduling waves
+``stage.<name>``          timer   wall seconds per pipeline stage
+========================  ======  =======================================
 """
 
-import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+
+from repro.obs.metrics import MetricsRegistry
 
 # Stage names in pipeline order, for stable reporting.
 STAGES = ("scan", "schedule", "cache", "analyse", "publish", "link")
 
+_STAGE_PREFIX = "stage."
 
-@dataclass
+
+def _counter_property(metric, doc):
+    def _get(self):
+        return self.metrics.counter(metric).value
+
+    def _set(self, value):
+        self.metrics.counter(metric).set(value)
+
+    return property(_get, _set, doc=doc)
+
+
+def _gauge_property(metric, doc):
+    def _get(self):
+        return self.metrics.gauge(metric).value
+
+    def _set(self, value):
+        self.metrics.gauge(metric).set(value)
+
+    return property(_get, _set, doc=doc)
+
+
 class PipelineStats:
-    """Counters and timers for one build."""
+    """Counters and timers for one build, backed by a metrics registry.
 
-    jobs: int = 1
-    modules: int = 0
-    wave_widths: Tuple[int, ...] = ()
-    analysed: List[str] = field(default_factory=list)  # cache misses
-    cached: List[str] = field(default_factory=list)  # cache hits
-    stage_seconds: Dict[str, float] = field(default_factory=dict)
-    # Fault-tolerance counters (see repro.pipeline.faults).
-    failed: List[str] = field(default_factory=list)  # exhausted retries
-    skipped: List[str] = field(default_factory=list)  # in a failed cone
-    retries: int = 0  # re-attempts after error/timeout
-    timeouts: int = 0  # deadline kills
-    crashes: int = 0  # broken worker pools
-    degradations: int = 0  # pool -> serial downgrades
+    ``metrics`` (or a ``bus`` for a fresh registry) may be supplied to
+    share the store with an :class:`~repro.obs.Obs`; by default each
+    stats object owns a private registry.
+    """
+
+    def __init__(self, metrics=None, bus=None):
+        self.metrics = (
+            metrics if metrics is not None else MetricsRegistry(bus=bus)
+        )
+        self.jobs = 1
+        self.wave_widths = ()
+        self.analysed = []  # cache misses, in publish order
+        self.cached = []  # cache hits
+        self.failed = []  # exhausted retries
+        self.skipped = []  # in a failed cone
+
+    # -- registry-backed scalars --------------------------------------------
+
+    jobs = _gauge_property("build.jobs", "requested pool width")
+    modules = _gauge_property("build.modules", "modules found by the scan")
+    retries = _counter_property(
+        "faults.retries", "re-attempts after error/timeout"
+    )
+    timeouts = _counter_property("faults.timeouts", "deadline kills")
+    crashes = _counter_property("faults.crashes", "broken worker pools")
+    degradations = _counter_property(
+        "faults.degradations", "pool -> serial downgrades"
+    )
+
+    @property
+    def wave_widths(self):
+        return self._wave_widths
+
+    @wave_widths.setter
+    def wave_widths(self, widths):
+        self._wave_widths = tuple(widths)
+        self.metrics.gauge("build.waves").set(len(self._wave_widths))
+
+    # -- recording ----------------------------------------------------------
 
     @contextmanager
     def stage(self, name):
         """Accumulate wall time under ``name`` (re-entrant per build:
         repeated stages — one analyse burst per wave — sum up)."""
-        started = time.perf_counter()
-        try:
+        with self.metrics.timer(_STAGE_PREFIX + name).time():
             yield
-        finally:
-            elapsed = time.perf_counter() - started
-            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + elapsed
+
+    def note_cache_hit(self, name):
+        self.cached.append(name)
+        self.metrics.counter("cache.hits").inc()
+
+    def note_cache_miss(self, name):
+        self.metrics.counter("cache.misses").inc()
+
+    def note_analysed(self, name):
+        self.analysed.append(name)
+        self.metrics.counter("modules.analysed").inc()
+
+    def note_failed(self, name):
+        self.failed.append(name)
+        self.metrics.counter("modules.failed").inc()
+
+    def note_skipped(self, name):
+        self.skipped.append(name)
+        self.metrics.counter("modules.skipped").inc()
+
+    # -- derived views -------------------------------------------------------
+
+    @property
+    def stage_seconds(self):
+        """``{stage: seconds}`` — a live view over the registry timers."""
+        return {
+            name[len(_STAGE_PREFIX):]: t.seconds
+            for name, t in self.metrics.timers.items()
+            if name.startswith(_STAGE_PREFIX)
+        }
 
     @property
     def total_seconds(self):
@@ -102,11 +202,10 @@ class PipelineStats:
                     ", degraded to serial" if self.degradations else "",
                 )
             )
-        known = [s for s in STAGES if s in self.stage_seconds]
-        extra = [s for s in self.stage_seconds if s not in STAGES]
+        stage_seconds = self.stage_seconds
+        known = [s for s in STAGES if s in stage_seconds]
+        extra = [s for s in stage_seconds if s not in STAGES]
         for name in known + sorted(extra):
-            lines.append(
-                "%-10s %8.2f ms" % (name, self.stage_seconds[name] * 1e3)
-            )
+            lines.append("%-10s %8.2f ms" % (name, stage_seconds[name] * 1e3))
         lines.append("%-10s %8.2f ms" % ("total", self.total_seconds * 1e3))
         return "\n".join(lines)

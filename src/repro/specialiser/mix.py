@@ -125,7 +125,12 @@ class MixProgram:
         return self._signatures[fname]
 
     def new_state(
-        self, strategy="bfs", sink=None, max_versions=10_000, deadline=None
+        self,
+        strategy="bfs",
+        sink=None,
+        max_versions=10_000,
+        deadline=None,
+        obs=None,
     ):
         return rt.SpecState(
             self.fn_info,
@@ -134,6 +139,7 @@ class MixProgram:
             sink=sink,
             max_versions=max_versions,
             deadline=deadline,
+            obs=obs,
         )
 
     def mk(self, fname):
@@ -220,25 +226,22 @@ class MixProgram:
         return rt.mk_lam(None, e.var, helper, bts, captured, e.label, e.fvs)
 
 
-def mix_specialise(
-    source,
-    goal,
-    static_args=None,
-    strategy="bfs",
-    force_residual=frozenset(),
-    sink=None,
-    monolithic=False,
-):
+def mix_specialise(source, goal, static_args=None, options=None, obs=None,
+                   **legacy):
     """Whole-pipeline specialisation with the interpretive baseline:
     parse + analyse the complete program, then specialise.  Returns the
     same :class:`~repro.genext.engine.SpecialisationResult` as the
-    generating-extension path."""
-    mp = MixProgram.from_source(source, force_residual=force_residual)
+    generating-extension path.
+
+    ``options`` is a :class:`repro.api.SpecOptions`; its
+    ``force_residual`` set feeds the analysis front end.  Legacy
+    keywords still work with a deprecation warning."""
+    from repro.api import spec_options
+
+    options = spec_options("mix_specialise", options, legacy)
+    mp = MixProgram.from_source(
+        source, force_residual=options.force_residual
+    )
     return engine_specialise(
-        mp,
-        goal,
-        static_args=static_args,
-        strategy=strategy,
-        sink=sink,
-        monolithic=monolithic,
+        mp, goal, static_args=static_args, options=options, obs=obs
     )

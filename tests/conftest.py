@@ -3,6 +3,7 @@
 import pytest
 
 import repro
+from repro.api import SpecOptions
 from repro.bench.generators import (
     machine_interpreter_source,
     power_source,
@@ -234,7 +235,5 @@ def corpus_genexts():
     """Linked generating extensions for every corpus entry (cached)."""
     out = {}
     for case in CORPUS:
-        out[case["name"]] = repro.compile_genexts(
-            case["source"], force_residual=frozenset(case.get("force_residual", ()))
-        )
+        out[case["name"]] = repro.compile_genexts(case["source"], SpecOptions(force_residual=frozenset(case.get("force_residual", ()))))
     return out

@@ -11,11 +11,12 @@ import pytest
 import repro
 from repro.bench.generators import chain_program, fanout_program
 from repro.residual.normalise import normalise_program
+from repro.api import SpecOptions
 
 
 def test_chain_bfs_keeps_one_active():
     gp = repro.compile_genexts(chain_program(60))
-    result = repro.specialise(gp, "c0", {}, strategy="bfs")
+    result = repro.specialise(gp, "c0", {}, SpecOptions(strategy="bfs"))
     assert result.stats["active_peak"] == 1
     assert result.stats["pending_peak"] <= 2
     assert result.stats["specialisations"] == 60
@@ -23,15 +24,15 @@ def test_chain_bfs_keeps_one_active():
 
 def test_chain_dfs_active_grows_with_depth():
     gp = repro.compile_genexts(chain_program(60))
-    result = repro.specialise(gp, "c0", {}, strategy="dfs")
+    result = repro.specialise(gp, "c0", {}, SpecOptions(strategy="dfs"))
     assert result.stats["active_peak"] == 60
 
 
 def test_fanout_dfs_depth_vs_bfs_width():
     src, root = fanout_program(5, 2)
     gp = repro.compile_genexts(src)
-    bfs = repro.specialise(gp, root, {}, strategy="bfs")
-    dfs = repro.specialise(gp, root, {}, strategy="dfs")
+    bfs = repro.specialise(gp, root, {}, SpecOptions(strategy="bfs"))
+    dfs = repro.specialise(gp, root, {}, SpecOptions(strategy="dfs"))
     assert dfs.stats["active_peak"] == 5  # tree depth
     assert bfs.stats["active_peak"] == 1
     assert bfs.stats["specialisations"] == dfs.stats["specialisations"]
@@ -39,8 +40,8 @@ def test_fanout_dfs_depth_vs_bfs_width():
 
 def test_strategies_equivalent_on_chain():
     gp = repro.compile_genexts(chain_program(20))
-    bfs = repro.specialise(gp, "c0", {}, strategy="bfs")
-    dfs = repro.specialise(gp, "c0", {}, strategy="dfs")
+    bfs = repro.specialise(gp, "c0", {}, SpecOptions(strategy="bfs"))
+    dfs = repro.specialise(gp, "c0", {}, SpecOptions(strategy="dfs"))
     assert normalise_program(bfs.program, bfs.entry) == normalise_program(
         dfs.program, dfs.entry
     )
@@ -51,8 +52,8 @@ def test_strategies_equivalent_on_chain():
 def test_strategies_equivalent_on_fanout():
     src, root = fanout_program(4, 3)
     gp = repro.compile_genexts(src)
-    bfs = repro.specialise(gp, root, {}, strategy="bfs")
-    dfs = repro.specialise(gp, root, {}, strategy="dfs")
+    bfs = repro.specialise(gp, root, {}, SpecOptions(strategy="bfs"))
+    dfs = repro.specialise(gp, root, {}, SpecOptions(strategy="dfs"))
     assert normalise_program(bfs.program, bfs.entry) == normalise_program(
         dfs.program, dfs.entry
     )
@@ -66,8 +67,8 @@ def test_memoisation_shares_across_strategies():
         "leaf x = if x == 0 then 0 else x + 1\n"
         "top x = leaf (x + 1) + leaf (x + 2)\n"
     )
-    gp = repro.compile_genexts(src, force_residual={"leaf", "top"})
+    gp = repro.compile_genexts(src, SpecOptions(force_residual={"leaf", "top"}))
     for strategy in ("bfs", "dfs"):
-        result = repro.specialise(gp, "top", {}, strategy=strategy)
+        result = repro.specialise(gp, "top", {}, SpecOptions(strategy=strategy))
         assert result.stats["specialisations"] == 2  # top and one leaf
         assert result.stats["memo_hits"] == 1

@@ -17,6 +17,7 @@ from repro.genext.runtime import SpecError
 from repro.interp import run_program
 from repro.modsys.program import load_program
 from tests.conftest import CORPUS
+from repro.api import SpecOptions
 
 
 def _full_values(case, linked):
@@ -47,9 +48,7 @@ def test_all_divisions(case, corpus_genexts):
             static = {p: values[p] for p in static_set}
             dynamic = [values[p] for p in params if p not in static_set]
             try:
-                result = repro.specialise(
-                    gp, case["goal"], static, max_versions=60
-                )
+                result = repro.specialise(gp, case["goal"], static, SpecOptions(max_versions=60))
             except SpecError:
                 # Some divisions are rejected up front (a dynamic
                 # parameter whose binding-time type has a static

@@ -6,6 +6,7 @@ import pytest
 import repro
 from repro.genext.engine import goal_binding_times
 from repro.genext.runtime import D, S, SpecError
+from repro.api import SpecOptions
 
 POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
 
@@ -81,7 +82,7 @@ def test_entry_keeps_goal_name(power_gp):
 
 
 def test_trivial_wrapper_is_folded():
-    gp = repro.compile_genexts(POWER, force_residual={"power"})
+    gp = repro.compile_genexts(POWER, SpecOptions(force_residual={"power"}))
     result = repro.specialise(gp, "power", {"n": 3})
     names = [d.name for m in result.program.modules for d in m.defs]
     # The residualised goal takes over the entry name; no power_1 wrapper
@@ -111,9 +112,7 @@ def test_stats_are_reported(power_gp):
 
 def test_sink_receives_streamed_definitions(power_gp):
     seen = []
-    repro.specialise(
-        power_gp, "power", {"x": 2}, sink=lambda pl, d: seen.append(d.name)
-    )
+    repro.specialise(power_gp, "power", {"x": 2}, SpecOptions(sink=lambda pl, d: seen.append(d.name)))
     assert seen == ["power_1"]
 
 
@@ -149,7 +148,7 @@ def test_unbounded_static_variation_is_diagnosed():
     )
     gp = repro.compile_genexts(src)
     with pytest.raises(SpecError) as exc:
-        repro.specialise(gp, "loop", {"pc": 0}, max_versions=50)
+        repro.specialise(gp, "loop", {"pc": 0}, SpecOptions(max_versions=50))
     assert "unbounded static variation" in str(exc.value)
 
 

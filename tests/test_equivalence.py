@@ -13,6 +13,7 @@ import repro
 from repro.interp import run_program
 from repro.specialiser import mix_specialise
 from repro.types import infer_program
+from repro.api import SpecOptions
 
 
 def _static_values(case):
@@ -24,8 +25,8 @@ def _to_value(v):
     return v
 
 
-def _specialise(gp, case, **kwargs):
-    return repro.specialise(gp, case["goal"], _static_values(case), **kwargs)
+def _specialise(gp, case, options=None):
+    return repro.specialise(gp, case["goal"], _static_values(case), options)
 
 
 def test_residual_equals_source(corpus_case, corpus_genexts):
@@ -50,12 +51,9 @@ def test_mix_produces_identical_residual(corpus_case, corpus_genexts):
     case = corpus_case
     gp = corpus_genexts[case["name"]]
     genext_result = _specialise(gp, case)
-    mix_result = mix_specialise(
-        case["source"],
+    mix_result = mix_specialise(case["source"],
         case["goal"],
-        _static_values(case),
-        force_residual=frozenset(case.get("force_residual", ())),
-    )
+        _static_values(case), SpecOptions(force_residual=frozenset(case.get("force_residual", ()))))
     assert mix_result.program == genext_result.program
     assert mix_result.entry == genext_result.entry
 
@@ -79,8 +77,8 @@ def test_dfs_equivalent_to_bfs(corpus_case, corpus_genexts):
 
     case = corpus_case
     gp = corpus_genexts[case["name"]]
-    bfs = _specialise(gp, case, strategy="bfs")
-    dfs = _specialise(gp, case, strategy="dfs")
+    bfs = _specialise(gp, case, SpecOptions(strategy="bfs"))
+    dfs = _specialise(gp, case, SpecOptions(strategy="dfs"))
     assert normalise_program(bfs.program, bfs.entry) == normalise_program(
         dfs.program, dfs.entry
     )
@@ -92,7 +90,7 @@ def test_monolithic_emission_equivalent(corpus_case, corpus_genexts):
     case = corpus_case
     gp = corpus_genexts[case["name"]]
     modular = _specialise(gp, case)
-    mono = _specialise(gp, case, monolithic=True)
+    mono = _specialise(gp, case, SpecOptions(monolithic=True))
     assert len(mono.program.modules) == 1
     for dyn in case["dyn_inputs"]:
         assert mono.run(*dyn) == modular.run(*dyn)

@@ -19,6 +19,7 @@ from repro.pipeline import (
     fsck_cache,
 )
 from repro.pipeline import faultinject, faults
+from repro.api import BuildOptions
 from repro.pipeline.cache import (
     CODE_KIND,
     GENEXT_KIND,
@@ -76,7 +77,7 @@ def test_keep_going_builds_everything_outside_the_cone(tmp_path):
     cache_dir = str(tmp_path / "cache")
     _install(tmp_path, Fault(module="B1", action="raise", times=99))
 
-    result = build_dir(src, cache_dir=cache_dir, policy=FaultPolicy(keep_going=True))
+    result = build_dir(src, BuildOptions(cache_dir=cache_dir, policy=FaultPolicy(keep_going=True)))
     report = result.report
     assert [f.module for f in report.failures] == ["B1"]
     failure = report.failures[0]
@@ -97,7 +98,7 @@ def test_keep_going_builds_everything_outside_the_cone(tmp_path):
     # The cache was never poisoned: a clean rebuild re-analyses exactly
     # the failed cone and serves everything else from cache.
     FaultPlan.uninstall()
-    clean = build_dir(src, cache_dir=cache_dir)
+    clean = build_dir(src, BuildOptions(cache_dir=cache_dir))
     assert sorted(clean.analysed) == ["B1", "C1"]
     assert sorted(clean.cached) == ["A0", "A1", "A2", "B0", "B2", "C0", "C2"]
     assert clean.report.ok
@@ -107,7 +108,7 @@ def test_fail_fast_raises_build_error_naming_the_cone(tmp_path):
     src = _write_grid(tmp_path)
     _install(tmp_path, Fault(module="B1", action="raise", times=99))
     with pytest.raises(BuildError) as excinfo:
-        build_dir(src, cache_dir=str(tmp_path / "cache"))
+        build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache")))
     report = excinfo.value.report
     assert [f.module for f in report.failures] == ["B1"]
     assert report.skipped == {"C1": "B1"}
@@ -123,8 +124,11 @@ def test_unparseable_module_fails_only_its_cone(tmp_path):
         f.write("module B1 where\nimport A1\n\nfB1 n = @@@\n")
 
     result = build_dir(
-        src, cache_dir=str(tmp_path / "cache"),
-        policy=FaultPolicy(keep_going=True),
+        src,
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            policy=FaultPolicy(keep_going=True),
+        ),
     )
     report = result.report
     assert [f.module for f in report.failures] == ["B1"]
@@ -142,7 +146,7 @@ def test_unparseable_module_fails_fast_with_a_report(tmp_path):
     with open(os.path.join(src, "B1.mod"), "w") as f:
         f.write("module B1 where\nimport A1\n\nfB1 n = @@@\n")
     with pytest.raises(BuildError) as excinfo:
-        build_dir(src, cache_dir=str(tmp_path / "cache"))
+        build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache")))
     report = excinfo.value.report
     assert [f.module for f in report.failures] == ["B1"]
     assert report.failures[0].error_class == "ParseError"
@@ -155,8 +159,11 @@ def test_misnamed_module_file_is_a_structured_failure(tmp_path):
     with open(os.path.join(src, "B1.mod"), "w") as f:
         f.write("module NotB1 where\n\nf n = n\n")
     result = build_dir(
-        src, cache_dir=str(tmp_path / "cache"),
-        policy=FaultPolicy(keep_going=True),
+        src,
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            policy=FaultPolicy(keep_going=True),
+        ),
     )
     [failure] = result.report.failures
     assert failure.module == "B1"  # the name the file name implies
@@ -172,7 +179,11 @@ def test_two_independent_failures_one_report(tmp_path):
         Fault(module="B2", action="raise", times=99),
     )
     result = build_dir(
-        src, cache_dir=str(tmp_path / "cache"), policy=FaultPolicy(keep_going=True)
+        src,
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            policy=FaultPolicy(keep_going=True),
+        ),
     )
     report = result.report
     assert [f.module for f in report.failures] == ["A0", "B2"]
@@ -192,7 +203,7 @@ def test_transient_failure_retried_with_capped_backoff(tmp_path):
     policy = FaultPolicy(
         retries=3, backoff_base=0.01, backoff_cap=0.015, sleep=sleeps.append
     )
-    result = build_dir(src, cache_dir=str(tmp_path / "cache"), policy=policy)
+    result = build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache"), policy=policy))
     assert result.report.ok
     assert sorted(m.name for m in result.genexts) == sorted(GRID)
     assert result.stats.retries == 2
@@ -204,7 +215,7 @@ def test_retry_budget_exhausted_is_a_failure(tmp_path):
     src = _write_grid(tmp_path)
     _install(tmp_path, Fault(module="B1", action="raise", times=99))
     policy = FaultPolicy(retries=2, keep_going=True, sleep=lambda s: None)
-    result = build_dir(src, cache_dir=str(tmp_path / "cache"), policy=policy)
+    result = build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache"), policy=policy))
     assert [f.module for f in result.report.failures] == ["B1"]
     assert result.report.failures[0].attempts == 3  # 1 try + 2 retries
     assert result.stats.retries == 2
@@ -219,7 +230,7 @@ def test_pool_hang_killed_at_deadline_and_retried(tmp_path):
     src = _write_grid(tmp_path)
     _install(tmp_path, Fault(module="B1", action="hang", seconds=120.0, times=1))
     policy = FaultPolicy(timeout=2.0, retries=1, sleep=lambda s: None)
-    result = build_dir(src, cache_dir=str(tmp_path / "cache"), jobs=2, policy=policy)
+    result = build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache"), jobs=2, policy=policy))
     assert result.report.ok
     assert result.stats.timeouts == 1
     assert result.stats.retries == 1
@@ -230,7 +241,7 @@ def test_serial_hang_killed_by_alarm_deadline(tmp_path):
     src = _write_grid(tmp_path)
     _install(tmp_path, Fault(module="B1", action="hang", seconds=120.0, times=1))
     policy = FaultPolicy(timeout=0.5, retries=1, sleep=lambda s: None)
-    result = build_dir(src, cache_dir=str(tmp_path / "cache"), jobs=1, policy=policy)
+    result = build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache"), jobs=1, policy=policy))
     assert result.report.ok
     assert result.stats.timeouts == 1
 
@@ -239,7 +250,7 @@ def test_hang_with_no_retries_reports_timeout_exit_code(tmp_path):
     src = _write_grid(tmp_path)
     _install(tmp_path, Fault(module="B1", action="hang", seconds=120.0, times=99))
     policy = FaultPolicy(timeout=0.5, keep_going=True, sleep=lambda s: None)
-    result = build_dir(src, cache_dir=str(tmp_path / "cache"), jobs=1, policy=policy)
+    result = build_dir(src, BuildOptions(cache_dir=str(tmp_path / "cache"), jobs=1, policy=policy))
     report = result.report
     assert [f.module for f in report.failures] == ["B1"]
     assert report.failures[0].kind == "timeout"
@@ -257,9 +268,11 @@ def test_worker_crash_degrades_to_serial_and_recovers(tmp_path):
     _install(tmp_path, Fault(module="B1", action="crash", times=1))
     result = build_dir(
         src,
-        cache_dir=str(tmp_path / "cache"),
-        jobs=3,
-        policy=FaultPolicy(keep_going=True, sleep=lambda s: None),
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            jobs=3,
+            policy=FaultPolicy(keep_going=True, sleep=lambda s: None),
+        ),
     )
     # The breakage victims were re-run serially; nothing actually failed.
     assert result.report.ok
@@ -274,9 +287,11 @@ def test_persistent_crasher_fails_only_its_own_cone(tmp_path):
     _install(tmp_path, Fault(module="B1", action="crash", times=99))
     result = build_dir(
         src,
-        cache_dir=str(tmp_path / "cache"),
-        jobs=3,
-        policy=FaultPolicy(keep_going=True, sleep=lambda s: None),
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            jobs=3,
+            policy=FaultPolicy(keep_going=True, sleep=lambda s: None),
+        ),
     )
     # After degradation the crash fires in-process as an exception, so
     # only the true culprit fails; its pool-breakage victims recovered.
@@ -299,7 +314,7 @@ def test_corrupt_artifact_quarantined_by_fsck_and_rebuilt(tmp_path):
         tmp_path,
         Fault(module="B1", action="corrupt", phase="publish", kind=IFACE_KIND),
     )
-    first = build_dir(src, cache_dir=cache_dir)
+    first = build_dir(src, BuildOptions(cache_dir=cache_dir))
     assert first.report.ok  # the torn write is silent at build time
     key = first.keys["B1"]
     cache = ArtifactCache(cache_dir)
@@ -319,7 +334,7 @@ def test_corrupt_artifact_quarantined_by_fsck_and_rebuilt(tmp_path):
 
     # The rebuild re-analyses exactly the damaged module; early cutoff
     # keeps its importer cached (the recomputed interface is identical).
-    again = build_dir(src, cache_dir=cache_dir)
+    again = build_dir(src, BuildOptions(cache_dir=cache_dir))
     assert again.analysed == ["B1"]
     assert again.report.ok
 
@@ -331,9 +346,9 @@ def test_corrupt_entry_is_a_miss_even_without_fsck(tmp_path):
         tmp_path,
         Fault(module="B1", action="corrupt", phase="publish", kind=IFACE_KIND),
     )
-    build_dir(src, cache_dir=cache_dir)
+    build_dir(src, BuildOptions(cache_dir=cache_dir))
     FaultPlan.uninstall()
-    again = build_dir(src, cache_dir=cache_dir)
+    again = build_dir(src, BuildOptions(cache_dir=cache_dir))
     assert again.analysed == ["B1"]
 
 
@@ -344,7 +359,7 @@ def test_fsck_quarantines_every_damaged_object_kind(tmp_path):
     src = tmp_path / "src"
     src.mkdir()
     (src / "Power.mod").write_text(POWER)
-    real = build_dir(str(src), cache_dir=cache.root)
+    real = build_dir(str(src), BuildOptions(cache_dir=cache.root))
     good_iface = cache.get_text(real.keys["Power"], IFACE_KIND)
     cache.put_text(good_iface_key, IFACE_KIND, good_iface)
     cache.put_text("b" * 64, GENEXT_KIND, "x = 1\n")

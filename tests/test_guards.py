@@ -10,6 +10,7 @@ import pytest
 import repro
 from repro.genext.runtime import SpecError, SpecTimeout, deep_recursion
 from repro.interp.eval import EvalError
+from repro.api import SpecOptions
 
 POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
 
@@ -113,7 +114,7 @@ def test_real_runaway_static_unfolding_is_diagnosed():
 def test_max_versions_guard_fires():
     gp = repro.compile_genexts(POWER)
     with pytest.raises(SpecError, match="specialised versions"):
-        repro.specialise(gp, "power", {"x": 2}, max_versions=0)
+        repro.specialise(gp, "power", {"x": 2}, SpecOptions(max_versions=0))
 
 
 # ---------------------------------------------------------------------------
@@ -128,12 +129,12 @@ def test_spec_timeout_is_a_spec_error():
 def test_expired_deadline_aborts_specialisation():
     gp = repro.compile_genexts(POWER)
     with pytest.raises(SpecTimeout, match="deadline"):
-        repro.specialise(gp, "power", {"n": 30}, timeout=0.0)
+        repro.specialise(gp, "power", {"n": 30}, SpecOptions(timeout=0.0))
 
 
 def test_generous_deadline_changes_nothing():
     gp = repro.compile_genexts(POWER)
-    result = repro.specialise(gp, "power", {"n": 3}, timeout=60.0)
+    result = repro.specialise(gp, "power", {"n": 3}, SpecOptions(timeout=60.0))
     assert result.run(2) == 8
 
 

@@ -15,6 +15,7 @@ from repro.genext.link import load_genext_dir, write_genexts
 from repro.interp import run_program
 from repro.modsys.program import load_program_dir
 from repro.residual.emit import TwoPassEmitter, emit_program_dir
+from repro.api import SpecOptions
 
 LIB = """\
 module Lib where
@@ -62,7 +63,7 @@ def test_full_disk_pipeline(project):
 
     # 4. Specialise with streaming two-pass emission to disk.
     emitter = TwoPassEmitter(out_dir)
-    result = repro.specialise(gp, "main", {}, sink=emitter)
+    result = repro.specialise(gp, "main", {}, SpecOptions(sink=emitter))
     emitter.finish()
 
     # 5. Reload the emitted residual modules and run them.

@@ -5,6 +5,7 @@ import pytest
 import repro
 from repro.bench.generators import power_source
 from repro.specialiser import MixProgram, mix_specialise
+from repro.api import SpecOptions
 
 
 def test_front_end_time_is_recorded():
@@ -47,26 +48,22 @@ def test_mix_higher_order():
 def test_mix_strategies_agree():
     from repro.residual.normalise import normalise_program
 
-    bfs = mix_specialise(power_source(), "power", {"x": 5}, strategy="bfs")
-    dfs = mix_specialise(power_source(), "power", {"x": 5}, strategy="dfs")
+    bfs = mix_specialise(power_source(), "power", {"x": 5}, SpecOptions(strategy="bfs"))
+    dfs = mix_specialise(power_source(), "power", {"x": 5}, SpecOptions(strategy="dfs"))
     assert normalise_program(bfs.program, bfs.entry) == normalise_program(
         dfs.program, dfs.entry
     )
 
 
 def test_mix_force_residual():
-    result = mix_specialise(
-        power_source(), "power", {"n": 3}, force_residual={"power"}
-    )
+    result = mix_specialise(power_source(), "power", {"n": 3}, SpecOptions(force_residual={"power"}))
     # Forced residual: no unfolding even with static n; polyvariant chain.
     assert result.stats["specialisations"] == 3
     assert result.run(2) == 8
 
 
 def test_mix_monolithic():
-    result = mix_specialise(
-        power_source(), "power", {"x": 2}, monolithic=True
-    )
+    result = mix_specialise(power_source(), "power", {"x": 2}, SpecOptions(monolithic=True))
     assert len(result.program.modules) == 1
 
 

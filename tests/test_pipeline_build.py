@@ -10,6 +10,7 @@ from repro.bench.generators import layered_program
 from repro.genext.engine import specialise
 from repro.pipeline import ArtifactCache, BuildEngine, build_dir
 from repro.pipeline.build import GENEXT_KIND, IFACE_KIND, CODE_KIND
+from repro.api import BuildOptions
 
 POWER = "module Power where\n\npower n x = if n == 1 then x else x * power (n - 1) x\n"
 MAIN = "module Main where\nimport Power\n\ncube y = power 3 y\n"
@@ -30,10 +31,10 @@ def _layered(path, n=4, defs=2, seed=5):
 def test_cold_then_warm_noop(tmp_path):
     _layered(tmp_path)
     cache = str(tmp_path / "cache")
-    cold = build_dir(str(tmp_path), cache_dir=cache)
+    cold = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert cold.analysed == ["M0", "M1", "M2", "M3"]
     assert cold.cached == []
-    warm = build_dir(str(tmp_path), cache_dir=cache)
+    warm = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert warm.analysed == [], "warm no-op rebuild re-analyses nothing"
     assert warm.cached == ["M0", "M1", "M2", "M3"]
     assert [m.source for m in warm.genexts] == [m.source for m in cold.genexts]
@@ -49,8 +50,8 @@ def test_fresh_checkout_hits_shared_cache(tmp_path):
     for name, text in sources.items():
         _write(b, name, text)
     cache = str(tmp_path / "cache")
-    build_dir(str(a), cache_dir=cache)
-    again = build_dir(str(b), cache_dir=cache)
+    build_dir(str(a), BuildOptions(cache_dir=cache))
+    again = build_dir(str(b), BuildOptions(cache_dir=cache))
     assert again.analysed == []
     assert len(again.cached) == len(sources)
 
@@ -58,9 +59,9 @@ def test_fresh_checkout_hits_shared_cache(tmp_path):
 def test_leaf_edit_rebuilds_exactly_the_leaf(tmp_path):
     sources = _layered(tmp_path)
     cache = str(tmp_path / "cache")
-    build_dir(str(tmp_path), cache_dir=cache)
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     _write(tmp_path, "M3", sources["M3"] + "extra n x = x + n\n")
-    result = build_dir(str(tmp_path), cache_dir=cache)
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert result.analysed == ["M3"]
     assert sorted(result.cached) == ["M0", "M1", "M2"]
 
@@ -68,16 +69,16 @@ def test_leaf_edit_rebuilds_exactly_the_leaf(tmp_path):
 def test_root_edit_rebuilds_dirty_cone_with_early_cutoff(tmp_path):
     sources = _layered(tmp_path)
     cache = str(tmp_path / "cache")
-    build_dir(str(tmp_path), cache_dir=cache)
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     # A comment-only edit: M0's interface is unchanged, so the cone
     # stops at M0 itself.
     _write(tmp_path, "M0", "-- tweaked\n" + sources["M0"])
-    result = build_dir(str(tmp_path), cache_dir=cache)
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert result.analysed == ["M0"]
     # An interface-changing edit: M1 (the direct importer) is dirty too,
     # but M1's own interface comes out unchanged, cutting off M2 and M3.
     _write(tmp_path, "M0", sources["M0"] + "m0_new n x = x\n")
-    result = build_dir(str(tmp_path), cache_dir=cache)
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert result.analysed == ["M0", "M1"]
     assert sorted(result.cached) == ["M2", "M3"]
 
@@ -85,24 +86,25 @@ def test_root_edit_rebuilds_dirty_cone_with_early_cutoff(tmp_path):
 def test_force_residual_is_part_of_the_key(tmp_path):
     _write(tmp_path, "Power", POWER)
     cache = str(tmp_path / "cache")
-    plain = build_dir(str(tmp_path), cache_dir=cache)
+    plain = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     forced = build_dir(
-        str(tmp_path), cache_dir=cache, force_residual=frozenset(["power"])
+        str(tmp_path),
+        BuildOptions(cache_dir=cache, force_residual=frozenset(["power"])),
     )
     assert forced.analysed == ["Power"], "different options, different key"
     assert forced.keys["Power"] != plain.keys["Power"]
-    again = build_dir(str(tmp_path), cache_dir=cache)
+    again = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert again.analysed == [], "the plain entry is still cached"
 
 
 def test_corrupt_cache_entry_is_rebuilt(tmp_path):
     _write(tmp_path, "Power", POWER)
     cache_dir = str(tmp_path / "cache")
-    first = build_dir(str(tmp_path), cache_dir=cache_dir)
+    first = build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
     cache = ArtifactCache(cache_dir)
     key = first.keys["Power"]
     cache.put_text(key, IFACE_KIND, '{"torn":')
-    result = build_dir(str(tmp_path), cache_dir=cache_dir)
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
     assert result.analysed == ["Power"], "corrupt entry treated as a miss"
     assert cache.get_text(key, IFACE_KIND).startswith("{")
 
@@ -116,9 +118,11 @@ def test_published_artifacts_and_no_temp_droppings(tmp_path):
     out_dir = str(tmp_path / "out")
     build_dir(
         str(src),
-        cache_dir=str(tmp_path / "cache"),
-        iface_dir=iface_dir,
-        out_dir=out_dir,
+        BuildOptions(
+            cache_dir=str(tmp_path / "cache"),
+            iface_dir=iface_dir,
+            out_dir=out_dir,
+        ),
     )
     assert sorted(os.listdir(iface_dir)) == [
         "Main.bti",
@@ -144,7 +148,7 @@ def test_published_artifacts_and_no_temp_droppings(tmp_path):
 def test_build_matches_classic_pipeline_and_specialises(tmp_path):
     _write(tmp_path, "Power", POWER)
     _write(tmp_path, "Main", MAIN)
-    result = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"))
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=str(tmp_path / "cache")))
     classic = repro.cogen_program(
         repro.analyse_program(repro.load_program_dir(str(tmp_path)))
     )
@@ -158,13 +162,13 @@ def test_build_matches_classic_pipeline_and_specialises(tmp_path):
     # Relinking warm pulls the compiled code objects from the cache.
     cache = ArtifactCache(str(tmp_path / "cache"))
     assert cache.has(result.keys["Power"], CODE_KIND)
-    warm = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"))
+    warm = build_dir(str(tmp_path), BuildOptions(cache_dir=str(tmp_path / "cache")))
     assert specialise(warm.link(), "cube", {}).run(2) == 8
 
 
 def test_stats_instrumentation(tmp_path):
     _layered(tmp_path)
-    result = build_dir(str(tmp_path), cache_dir=str(tmp_path / "cache"), jobs=1)
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=str(tmp_path / "cache"), jobs=1))
     stats = result.stats
     assert stats.modules == 4
     assert stats.wave_widths == (1, 1, 1, 1)
@@ -185,7 +189,7 @@ def test_stats_instrumentation(tmp_path):
 
 def test_bad_jobs_rejected(tmp_path):
     with pytest.raises(ValueError):
-        BuildEngine(str(tmp_path), jobs=0)
+        BuildEngine(str(tmp_path), BuildOptions(jobs=0))
 
 
 def test_cli_build(tmp_path, capsys):

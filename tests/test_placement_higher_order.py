@@ -4,6 +4,7 @@ import pytest
 
 import repro
 from repro.lang.names import called_functions
+from repro.api import SpecOptions
 
 MAP_A = """\
 module A where
@@ -15,34 +16,28 @@ map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
 def test_map_specialisation_moves_out_of_defining_module():
     # The paper's second example: placing map_g in A would make A refer
     # to g in B; the specialisation must live with g instead.
-    gp = repro.compile_genexts(
-        MAP_A
+    gp = repro.compile_genexts(MAP_A
         + """
 module B where
 import A
 
 g x = x + 1
 h zs = map (\\x -> g x) zs
-""",
-        force_residual={"g", "h"},
-    )
+""", SpecOptions(force_residual={"g", "h"}))
     result = repro.specialise(gp, "h", {})
     assert [m.name for m in result.program.modules] == ["B"]
     assert result.run((1, 2, 3)) == (2, 3, 4)
 
 
 def test_no_cyclic_residual_imports():
-    gp = repro.compile_genexts(
-        MAP_A
+    gp = repro.compile_genexts(MAP_A
         + """
 module B where
 import A
 
 g x = x + 1
 h zs = map (\\x -> g x) zs
-""",
-        force_residual={"g", "h"},
-    )
+""", SpecOptions(force_residual={"g", "h"}))
     result = repro.specialise(gp, "h", {})
     result.linked.graph.check_acyclic()
 
@@ -51,8 +46,7 @@ def test_combination_module_shared_between_importers():
     # The paper's third example: g defined in C, map in A; both B and Dm
     # specialise map to the same closure, so one residual function lands
     # in combination A∩C and is imported by both.
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
@@ -80,9 +74,7 @@ import Dm
 
 append xs ys = if null xs then ys else head xs : append (tail xs) ys
 main zs = append (hb zs) (hd zs)
-""",
-        force_residual={"g", "hb", "hd", "main", "append"},
-    )
+""", SpecOptions(force_residual={"g", "hb", "hd", "main", "append"}))
     result = repro.specialise(gp, "main", {})
     names = {m.name: m for m in result.program.modules}
     assert "AC" in names
@@ -100,8 +92,7 @@ main zs = append (hb zs) (hd zs)
 def test_dominated_module_dropped_from_combination():
     # When g lives in a module that A already imports, the combination
     # {A, Base} reduces to {A}.
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module Base where
 
 g x = x + 1
@@ -111,9 +102,7 @@ import Base
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
 use zs = map (\\x -> g x) zs
-""",
-        force_residual={"g", "use"},
-    )
+""", SpecOptions(force_residual={"g", "use"}))
     result = repro.specialise(gp, "use", {})
     module_names = {m.name for m in result.program.modules}
     assert "ABase" not in module_names
@@ -124,8 +113,7 @@ use zs = map (\\x -> g x) zs
 def test_closures_in_environments_count_for_placement():
     # A closure capturing another closure over g: the inner fvs must
     # still reach the placement computation.
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 map f xs = if null xs then nil else (f @ head xs) : map f (tail xs)
@@ -135,9 +123,7 @@ import A
 
 g x = x * 2
 h zs = map ((\\inner -> \\x -> inner @ x) @ (\\y -> g y)) zs
-""",
-        force_residual={"g", "h"},
-    )
+""", SpecOptions(force_residual={"g", "h"}))
     result = repro.specialise(gp, "h", {})
     # All residual code must be in B (it references g).
     assert [m.name for m in result.program.modules] == ["B"]
@@ -145,8 +131,7 @@ h zs = map ((\\inner -> \\x -> inner @ x) @ (\\y -> g y)) zs
 
 
 def test_partially_static_list_of_closures():
-    gp = repro.compile_genexts(
-        """
+    gp = repro.compile_genexts("""
 module A where
 
 applyall fs x = if null fs then x else applyall (tail fs) (head fs @ x)
@@ -156,9 +141,7 @@ import A
 
 g x = x + 1
 go x = applyall [\\a -> g a, \\b -> b * 2] x
-""",
-        force_residual={"g", "go"},
-    )
+""", SpecOptions(force_residual={"g", "go"}))
     result = repro.specialise(gp, "go", {})
     assert result.run(5) == 12
     # applyall's specialisations reference g, so they live in B.

@@ -4,14 +4,12 @@ import pytest
 
 import repro
 from repro.bench.generators import power_twice_main_source
+from repro.api import SpecOptions
 
 
 @pytest.fixture(scope="module")
 def ptm_result():
-    gp = repro.compile_genexts(
-        power_twice_main_source(),
-        force_residual={"power", "twice", "main"},
-    )
+    gp = repro.compile_genexts(power_twice_main_source(), SpecOptions(force_residual={"power", "twice", "main"}))
     return repro.specialise(gp, "main", {})
 
 
@@ -94,14 +92,9 @@ def test_unforced_variant_unfolds_everything():
 def test_placement_decided_before_bodies_exist():
     # The placement of twice's specialisation must already be the
     # combination at first request, which the streaming sink observes.
-    gp = repro.compile_genexts(
-        power_twice_main_source(),
-        force_residual={"power", "twice", "main"},
-    )
+    gp = repro.compile_genexts(power_twice_main_source(), SpecOptions(force_residual={"power", "twice", "main"}))
     placements = []
-    repro.specialise(
-        gp, "main", {}, sink=lambda pl, d: placements.append((d.name, set(pl)))
-    )
+    repro.specialise(gp, "main", {}, SpecOptions(sink=lambda pl, d: placements.append((d.name, set(pl)))))
     by_name = {name: pl for name, pl in placements}
     twice_name = next(n for n in by_name if n.startswith("twice"))
     assert by_name[twice_name] == {"Power", "Twice"}

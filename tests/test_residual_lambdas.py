@@ -4,6 +4,7 @@ import pytest
 
 import repro
 from repro.lang.ast import Lam, walk
+from repro.api import SpecOptions
 
 
 def _has_lambda(program):
@@ -80,7 +81,7 @@ def test_closure_passed_to_residual_function_keeps_dynamic_env():
         "import A\n\n"
         "addall z ys = map (\\x -> x + z) ys\n"
     )
-    gp = repro.compile_genexts(src, force_residual={"addall"})
+    gp = repro.compile_genexts(src, SpecOptions(force_residual={"addall"}))
     result = repro.specialise(gp, "addall", {})
     # The paper's own example: map_{\x->x+z} gets z as an extra residual
     # parameter.

@@ -8,6 +8,7 @@ import repro
 from repro.lang.ast import Call, Def, Lit, Var
 from repro.modsys.program import load_program_dir
 from repro.residual.emit import TwoPassEmitter, emit_program_dir
+from repro.api import SpecOptions
 from repro.residual.module import (
     ResidualStructureError,
     assemble_monolithic,
@@ -83,12 +84,10 @@ def test_emit_program_dir_roundtrip(tmp_path):
 def test_two_pass_emitter_streams_and_assembles(tmp_path):
     from repro.bench.generators import power_twice_main_source
 
-    gp = repro.compile_genexts(
-        power_twice_main_source(), force_residual={"power", "twice", "main"}
-    )
+    gp = repro.compile_genexts(power_twice_main_source(), SpecOptions(force_residual={"power", "twice", "main"}))
     out = str(tmp_path / "residual")
     emitter = TwoPassEmitter(out)
-    result = repro.specialise(gp, "main", {}, sink=emitter)
+    result = repro.specialise(gp, "main", {}, SpecOptions(sink=emitter))
     names = emitter.finish()
     assert emitter.defs_written == result.stats["specialisations"]
     emitted = sorted(os.listdir(out))
@@ -112,7 +111,7 @@ def test_two_pass_emitter_imports_are_computed_after_bodies(tmp_path):
     )
     out = str(tmp_path / "residual")
     emitter = TwoPassEmitter(out)
-    repro.specialise(gp, "f", {}, sink=emitter)
+    repro.specialise(gp, "f", {}, SpecOptions(sink=emitter))
     emitter.finish()
     text = (tmp_path / "residual" / "A.mod").read_text()
     assert text.startswith("module A where\n")

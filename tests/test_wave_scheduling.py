@@ -9,6 +9,7 @@ import pytest
 from repro.bench.generators import wide_program
 from repro.modsys.graph import CyclicImportError, ModuleGraph
 from repro.pipeline import build_dir
+from repro.api import BuildOptions
 
 # ---------------------------------------------------------------------------
 # Property tests over random DAGs.
@@ -115,10 +116,12 @@ def test_parallel_build_is_deterministic(tmp_path):
         out_dir = str(tmp_path / ("out%d" % jobs))
         result = build_dir(
             str(src),
-            cache_dir=str(tmp_path / ("cache%d" % jobs)),
-            jobs=jobs,
-            iface_dir=iface_dir,
-            out_dir=out_dir,
+            BuildOptions(
+                cache_dir=str(tmp_path / ("cache%d" % jobs)),
+                jobs=jobs,
+                iface_dir=iface_dir,
+                out_dir=out_dir,
+            ),
         )
         assert sorted(result.analysed) == sorted(sources), "cold: all analysed"
         assert result.stats.wave_widths == (4, 4, 4, 4)
