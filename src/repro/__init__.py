@@ -32,6 +32,7 @@ programs), :mod:`repro.genext` (cogen, runtime, linker, engine),
 
 from repro.api import BuildOptions, LegacyOptionsWarning, SpecOptions
 from repro.bt.analysis import analyse_program
+from repro.genext.batch import BatchResult, specialise_many
 from repro.genext.cogen import cogen_program
 from repro.genext.engine import SpecialisationResult, specialise
 from repro.genext.link import link_genexts, load_genext_dir, write_genexts
@@ -44,6 +45,7 @@ from repro.pipeline import BuildEngine, build_dir
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
     "BuildEngine",
     "BuildOptions",
     "LegacyOptionsWarning",
@@ -64,6 +66,7 @@ __all__ = [
     "run_main",
     "run_program",
     "specialise",
+    "specialise_many",
     "write_genexts",
 ]
 

@@ -106,6 +106,12 @@ class SpecOptions:
     its polyvariance.  ``force_residual`` is consumed by the analysis
     front ends (:func:`repro.compile_genexts`,
     :func:`repro.specialiser.mix_specialise`).
+
+    ``cache_dir`` enables the persistent residual cache
+    (:mod:`repro.speccache`): a repeated request is answered from disk
+    without running the specialiser at all.  ``None`` (the default)
+    disables it; runs with a ``sink`` are never cached (the caller
+    wants the definitions streamed).  See ``docs/performance.md``.
     """
 
     strategy: str = "bfs"
@@ -115,6 +121,7 @@ class SpecOptions:
     sink: Optional[Callable[[Any, Any], None]] = field(default=None)
     monolithic: bool = False
     max_versions: Optional[int] = 10_000
+    cache_dir: Optional[str] = None
 
     def __post_init__(self):
         if self.strategy not in ("bfs", "dfs"):

@@ -6,8 +6,25 @@ Python, returning a callable over the dynamic arguments.  This is the
 lightweight-RTCG workflow: the expensive preparation (analysis, cogen)
 happened once per module, long before; code generation at run time is
 just running the generating extensions plus one ``compile()``.
+
+Serve-many-users path
+---------------------
+
+Repeated ``generate`` calls for the same request are the common case
+when residual callables back a service (one compiled ``power_3`` serves
+every user who asks for cubes).  ``generate`` therefore memoises its
+:class:`GeneratedFunction` objects in a bounded, process-wide LRU keyed
+exactly like the persistent residual cache
+(:func:`repro.speccache.residual_cache_key`): program fingerprint +
+goal + canonical static arguments + the semantically relevant
+:class:`~repro.api.SpecOptions` fields.  A hit skips *both* the
+specialisation run and the ``compile()`` — it is one dict probe — and
+counts as ``rtcg.lru_hits`` in the run's metrics registry.  Use
+:func:`configure_lru` / :func:`clear_lru` to size or reset the cache
+(capacity 0 disables memoisation entirely).
 """
 
+from collections import OrderedDict
 from dataclasses import dataclass
 
 from repro.backend.pyemit import compile_program
@@ -29,7 +46,31 @@ class GeneratedFunction:
         return self.compiled.call(self.result.entry, *dynamic_args)
 
 
-def generate(gp, goal, static_args=None, options=None, **legacy):
+_LRU_CAPACITY = 128
+_LRU = OrderedDict()  # key -> GeneratedFunction, most-recent last
+
+
+def configure_lru(capacity):
+    """Set the LRU's capacity (evicting down if needed); 0 disables."""
+    global _LRU_CAPACITY
+    if capacity < 0:
+        raise ValueError("capacity must be >= 0, got %d" % capacity)
+    _LRU_CAPACITY = capacity
+    while len(_LRU) > _LRU_CAPACITY:
+        _LRU.popitem(last=False)
+
+
+def clear_lru():
+    """Drop every memoised callable (test isolation, redeploys)."""
+    _LRU.clear()
+
+
+def lru_len():
+    """How many callables are currently memoised."""
+    return len(_LRU)
+
+
+def generate(gp, goal, static_args=None, options=None, obs=None, **legacy):
     """Specialise and compile in one step.
 
     >>> import repro
@@ -44,8 +85,34 @@ def generate(gp, goal, static_args=None, options=None, **legacy):
     125
     """
     from repro.api import spec_options
+    from repro.obs import Obs
 
     options = spec_options("generate", options, legacy)
-    result = specialise(gp, goal, static_args, options)
+    if obs is None:
+        obs = Obs()
+    static_args = dict(static_args or {})
+
+    key = None
+    if _LRU_CAPACITY > 0 and options.sink is None:
+        fingerprint = getattr(gp, "fingerprint", None)
+        fingerprint = fingerprint() if callable(fingerprint) else None
+        if fingerprint is not None:
+            from repro.speccache import residual_cache_key
+
+            key = residual_cache_key(fingerprint, goal, static_args, options)
+            hit = _LRU.get(key)
+            if hit is not None:
+                _LRU.move_to_end(key)
+                obs.metrics.counter("rtcg.lru_hits").inc()
+                obs.bus.emit("rtcg.lru_hit", goal=goal, key=key)
+                return hit
+            obs.metrics.counter("rtcg.lru_misses").inc()
+
+    result = specialise(gp, goal, static_args, options, obs=obs)
     compiled = compile_program(result.program, filename="<rtcg:%s>" % goal)
-    return GeneratedFunction(result, compiled)
+    fn = GeneratedFunction(result, compiled)
+    if key is not None:
+        _LRU[key] = fn
+        while len(_LRU) > _LRU_CAPACITY:
+            _LRU.popitem(last=False)
+    return fn

@@ -59,12 +59,19 @@ def var(name):
 
 
 def bt_lub(*bts):
-    """Least upper bound of symbolic binding times."""
-    params = frozenset()
+    """Least upper bound of symbolic binding times.
+
+    Returns the shared ``S``/``D`` singletons (no allocation) whenever
+    the result is a constant — the only case generating extensions ever
+    hit, since their operands are concrete at specialisation time."""
+    params = None
     for b in bts:
         if b.dyn:
             return D
-        params |= b.params
+        if b.params:
+            params = b.params if params is None else params | b.params
+    if params is None:
+        return S
     return BT(params, False)
 
 

@@ -21,7 +21,13 @@ Subcommands mirror the paper's workflow:
 * ``mspec specialise DIR GOAL [name=value...]`` — link the generating
   extensions and specialise ``GOAL`` with the given static arguments
   (unlisted parameters stay dynamic); prints the residual program or
-  writes it as modules with ``-o``.  (``specialize`` is an alias.)
+  writes it as modules with ``-o``.  ``--cache-dir`` enables the
+  persistent residual cache (repeated requests are answered from
+  disk); ``--batch requests.json [--jobs N]`` specialises a whole
+  batch of requests through the parallel batch driver with
+  deduplication and a shared cache (default ``DIR/.mspec-cache``),
+  writing per-request subdirectories with ``-o``.  (``specialize`` is
+  an alias.)
 * ``mspec run DIR GOAL [values...]`` — interpret a program directly.
 * ``mspec show DIR``             — print schemes and annotated modules.
 
@@ -243,6 +249,112 @@ def cmd_cogen(args):
     return 0
 
 
+def _load_batch_requests(path):
+    """Parse a ``--batch`` file: a JSON list of
+    ``{"goal": ..., "static_args": {...}}`` objects (or an object with
+    a ``"requests"`` list).  JSON lists become object-language lists."""
+
+    def conv(v):
+        if isinstance(v, list):
+            return tuple(conv(x) for x in v)
+        return v
+
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, dict):
+        doc = doc.get("requests")
+    if not isinstance(doc, list):
+        raise SystemExit(
+            '--batch file must be a JSON list of requests, or an object '
+            'with a "requests" list'
+        )
+    out = []
+    for i, r in enumerate(doc):
+        if not isinstance(r, dict) or not isinstance(r.get("goal"), str):
+            raise SystemExit(
+                'request #%d must be an object with a "goal" name' % i
+            )
+        static = {
+            name: conv(v) for name, v in (r.get("static_args") or {}).items()
+        }
+        out.append({"goal": r["goal"], "static_args": static})
+    return out
+
+
+def _cmd_specialise_batch(args, gp, options, obs, profiler):
+    import os
+
+    from repro.genext.batch import specialise_many
+    from repro.pipeline.faults import EXIT_ERROR, EXIT_TIMEOUT, EXIT_CRASH
+
+    requests = _load_batch_requests(args.batch)
+    cache_dir = args.cache_dir or os.path.join(args.dir, ".mspec-cache")
+    options = options.replace(cache_dir=cache_dir)
+    try:
+        batch = specialise_many(gp, requests, options, jobs=args.jobs, obs=obs)
+    finally:
+        _finish_obs(args, obs, profiler)
+
+    exit_code = 0
+    kind_codes = {"error": EXIT_ERROR, "timeout": EXIT_TIMEOUT, "crash": EXIT_CRASH}
+    for failure in batch.failures.values():
+        exit_code = max(exit_code, kind_codes.get(failure.kind, EXIT_ERROR))
+
+    written = {}
+    if args.out:
+        for i, result in enumerate(batch.results):
+            if result is None:
+                continue
+            out_dir = os.path.join(args.out, "req%d" % i)
+            written[i] = list(emit_program_dir(result.program, out_dir))
+
+    if args.json:
+        docs = []
+        for i, (request, result) in enumerate(zip(requests, batch.results)):
+            doc = {"goal": request["goal"], "static_args": request["static_args"]}
+            if result is not None:
+                doc.update(
+                    ok=True,
+                    entry=result.entry,
+                    dynamic_params=list(result.dynamic_params),
+                    modules=sorted(
+                        name for _, name in result.module_names.items()
+                    ),
+                    program=pretty_program(result.program),
+                )
+            else:
+                doc.update(ok=False, failure=batch.failures[i].as_dict())
+            docs.append(doc)
+        return _emit_json(
+            "specialise",
+            exit_code,
+            {"batch": batch.stats, "requests": docs},
+            metrics=obs.metrics.snapshot(),
+        )
+
+    for i, (request, result) in enumerate(zip(requests, batch.results)):
+        static = ", ".join(
+            "%s=%s" % (k, v)
+            for k, v in sorted(request["static_args"].items())
+        )
+        head = "req%d %s(%s)" % (i, request["goal"], static)
+        if result is None:
+            f = batch.failures[i]
+            print("%s: FAILED [%s] %s" % (head, f.kind, f.message))
+            continue
+        if args.out:
+            print("%s: wrote %d module(s)" % (head, len(written.get(i, ()))))
+        else:
+            print("-- %s" % head)
+            print(pretty_program(result.program), end="")
+    print(
+        "-- %(requests)d request(s): %(unique)d unique, %(deduped)d "
+        "deduplicated, %(failed)d failed (jobs=%(jobs)d)" % batch.stats,
+        file=sys.stderr,
+    )
+    return exit_code
+
+
 def cmd_specialise(args):
     from repro.api import SpecOptions
 
@@ -251,9 +363,21 @@ def cmd_specialise(args):
         linked, force_residual=frozenset(args.residual or [])
     )
     gp = link_genexts(cogen_program(analysis))
-    static = _parse_bindings(args.bindings)
-    options = SpecOptions(strategy=args.strategy, timeout=args.timeout)
+    options = SpecOptions(
+        strategy=args.strategy,
+        timeout=args.timeout,
+        cache_dir=args.cache_dir,
+    )
     obs, profiler = _make_obs(args)
+    if args.batch:
+        if args.goal is not None or args.bindings:
+            raise SystemExit(
+                "--batch replaces the GOAL and name=value arguments"
+            )
+        return _cmd_specialise_batch(args, gp, options, obs, profiler)
+    if args.goal is None:
+        raise SystemExit("a GOAL function is required (or use --batch)")
+    static = _parse_bindings(args.bindings)
     try:
         result = specialise(gp, args.goal, static, options, obs=obs)
     finally:
@@ -445,12 +569,29 @@ def build_parser():
         help="specialise a goal function (alias: specialize)",
     )
     common(p)
-    p.add_argument("goal", help="function to specialise")
+    p.add_argument(
+        "goal", nargs="?", default=None,
+        help="function to specialise (omit with --batch)",
+    )
     p.add_argument("bindings", nargs="*", help="static arguments: name=value")
     p.add_argument("-o", "--out", help="write residual modules here")
     p.add_argument(
         "--strategy", choices=("bfs", "dfs"), default="bfs",
         help="pending-list discipline (default bfs)",
+    )
+    p.add_argument(
+        "--batch", metavar="FILE",
+        help="specialise a JSON batch of requests "
+        '([{"goal": ..., "static_args": {...}}]) instead of one GOAL',
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="process-pool width for --batch (default 1: serial)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent residual cache; repeated requests are answered "
+        "from disk (default for --batch: DIR/.mspec-cache, else off)",
     )
     p.add_argument(
         "--optimise", action="store_true",

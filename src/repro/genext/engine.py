@@ -126,6 +126,13 @@ def specialise(gp, goal, static_args=None, options=None, obs=None, **legacy):
     ``obs``, if given, receives the run's spans (``specialise`` →
     ``pending-pump`` → ``mk_resid:<version>``) and its ``spec.*``
     metrics.
+
+    With ``options.cache_dir`` set, results are kept in the persistent
+    residual cache (:mod:`repro.speccache`): a warm hit decodes the
+    stored residual program — byte-identical to a cold run's — without
+    constructing a :class:`~repro.genext.runtime.SpecState` at all.
+    Runs with a ``sink`` bypass the cache, as do programs that cannot
+    report a :meth:`~repro.genext.link.GenextProgram.fingerprint`.
     """
     from repro.api import spec_options
     from repro.obs import Obs
@@ -135,6 +142,22 @@ def specialise(gp, goal, static_args=None, options=None, obs=None, **legacy):
         obs = Obs()
     tracer = obs.tracer
     static_args = dict(static_args or {})
+
+    cache = key = None
+    if options.cache_dir is not None and options.sink is None:
+        fingerprint = getattr(gp, "fingerprint", None)
+        fingerprint = fingerprint() if callable(fingerprint) else None
+        if fingerprint is not None:
+            from repro.speccache import SpecCache, decode_result
+
+            cache = SpecCache(
+                options.cache_dir, metrics=obs.metrics, bus=obs.bus
+            )
+            key = cache.key(fingerprint, goal, static_args, options)
+            payload = cache.get(key, goal=goal)
+            if payload is not None:
+                return decode_result(payload, obs=obs, fuel=options.fuel)
+
     signature = gp.signature(goal)
     unknown = set(static_args) - set(signature.params)
     if unknown:
@@ -191,7 +214,7 @@ def specialise(gp, goal, static_args=None, options=None, obs=None, **legacy):
                 # expressions.
                 linked = link_program(program)
     _absorb_spec_stats(obs.metrics, st.stats)
-    return SpecialisationResult(
+    result = SpecialisationResult(
         program=program,
         linked=linked,
         entry=entry_name,
@@ -201,6 +224,11 @@ def specialise(gp, goal, static_args=None, options=None, obs=None, **legacy):
         obs=obs,
         fuel=options.fuel,
     )
+    if cache is not None:
+        from repro.speccache import encode_result
+
+        cache.put(key, encode_result(result))
+    return result
 
 
 def _attach_entry(st, goal, args, entry_code, dynamic_params, placed):

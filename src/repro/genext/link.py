@@ -9,9 +9,10 @@ cross-module ``mk_f`` references through a global registry.  Only the
 came from, which is the paper's black-box property for libraries.
 """
 
+import hashlib
 import os
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.genext.cogen import GenextModule
 from repro.genext.runtime import SpecState
@@ -20,11 +21,16 @@ from repro.modsys.graph import ModuleGraph
 
 @dataclass
 class LoadedModule:
-    """A compiled, executed generating-extension module."""
+    """A compiled, executed generating-extension module.
+
+    ``source`` is the module's generated Python text when it is known
+    (always, for the in-tree loaders); it feeds the program fingerprint
+    that keys the residual caches (:mod:`repro.speccache`)."""
 
     name: str
     imports: Tuple[str, ...]
     namespace: dict
+    source: Optional[str] = None
 
     @property
     def exports(self):
@@ -67,6 +73,28 @@ class GenextProgram:
             )
         for m in modules:
             m.namespace["_link"](self.registry)
+        self._fingerprint = None
+
+    def fingerprint(self):
+        """A SHA-256 hex digest identifying this linked program: the
+        generating-extension module *sources* plus the link topology
+        (module names and import lists).  Two programs with the same
+        fingerprint specialise identically, so it anchors the keys of
+        the persistent residual cache and the RTCG callable LRU
+        (:mod:`repro.speccache`).  ``None`` when any module was loaded
+        without its source text (caching is then disabled)."""
+        if self._fingerprint is None:
+            h = hashlib.sha256(b"mspec-genext-fingerprint\x00")
+            for name in sorted(self.modules):
+                m = self.modules[name]
+                if m.source is None:
+                    return None
+                h.update(name.encode("utf-8"))
+                h.update(b"(%s)" % ",".join(m.imports).encode("utf-8"))
+                h.update(hashlib.sha256(m.source.encode("utf-8")).digest())
+                h.update(b"\x00")
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     def new_state(
         self,
@@ -91,6 +119,19 @@ class GenextProgram:
             obs=obs,
         )
 
+    def genext_modules(self):
+        """The :class:`GenextModule` records this program links, or
+        ``None`` when any source is missing.  The batch driver ships
+        these across process boundaries (text, per the paper's
+        interface discipline) so workers can re-link the program."""
+        out = []
+        for name in sorted(self.modules):
+            m = self.modules[name]
+            if m.source is None:
+                return None
+            out.append(GenextModule(name, m.imports, m.source))
+        return out
+
     def mk(self, fname):
         """The generating version of ``fname``."""
         return self.registry[fname]
@@ -113,7 +154,12 @@ def load_genext(genext_module, filename=None, code=None):
         )
     namespace = {"__name__": "genext_%s" % genext_module.name}
     exec(code, namespace)
-    return LoadedModule(genext_module.name, genext_module.imports, namespace)
+    return LoadedModule(
+        genext_module.name,
+        genext_module.imports,
+        namespace,
+        source=genext_module.source,
+    )
 
 
 def link_genexts(genext_modules):
@@ -169,5 +215,7 @@ def load_genext_dir(directory):
                 if f in module_of and module_of[f] != name
             }
         )
-        modules.append(LoadedModule(name, tuple(imports), ns))
+        modules.append(
+            LoadedModule(name, tuple(imports), ns, source=sources[name])
+        )
     return GenextProgram(modules)

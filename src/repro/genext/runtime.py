@@ -34,6 +34,7 @@ construction — on the pending list (breadth-first, the paper's choice)
 or immediately (depth-first, kept for the space-consumption comparison).
 """
 
+import sys
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -45,7 +46,17 @@ from repro.lang.names import NameSupply
 from repro.lang.prims import PrimError, apply_prim, is_pair
 from repro.obs.trace import NULL_TRACER
 
-# Re-exports so generated code only needs the ``rt`` namespace.
+# ``slots=True`` (3.10+) removes the per-instance ``__dict__`` from the
+# partially static values and runtime types — the two object families a
+# specialisation run allocates by the million.
+_DC_SLOTS = {"frozen": True}
+if sys.version_info >= (3, 10):
+    _DC_SLOTS["slots"] = True
+
+# The ``rt.lub`` of generated code.  Generated code only ever passes
+# concrete S/D operands, for which :func:`~repro.bt.bt.bt_lub` returns
+# the shared singletons on an allocation-free path — measurably cheaper
+# than memoising the call (see benchmarks/bench_spec_throughput.py).
 lub = bt_lub
 
 __all__ = [
@@ -130,33 +141,33 @@ class deep_recursion:
 # ---------------------------------------------------------------------------
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class TBase:
     name: str
     bt: BT
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class TList:
     bt: BT
     elem: object
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class TPair:
     bt: BT
     fst: object
     snd: object
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class TFun:
     bt: BT
     arg: object
     res: object
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class TSkel:
     """A still-polymorphic position; coercion through it is an identity
     unless the target is dynamic."""
@@ -175,21 +186,21 @@ class PE:
     __slots__ = ()
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class SBase(PE):
     """A known base value (natural or boolean)."""
 
     value: object
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class SList(PE):
     """A list with known spine; elements are partially static values."""
 
     items: Tuple[PE, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class SPair(PE):
     """A known pair of partially static values."""
 
@@ -197,14 +208,14 @@ class SPair(PE):
     snd: PE
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class DCode(PE):
     """A dynamic value: a fragment of residual code."""
 
     code: object  # repro.lang.ast.Expr
 
 
-@dataclass(frozen=True)
+@dataclass(**_DC_SLOTS)
 class SClo(PE):
     """A static closure.
 
@@ -350,23 +361,31 @@ def coerce(st, pe, dst):
 # ---------------------------------------------------------------------------
 
 
-@dataclass
+@dataclass(**({"slots": True} if sys.version_info >= (3, 10) else {}))
 class _Split:
     """One argument split into a memoisation key, dynamic code leaves,
     fresh-name hints for those leaves, and a rebuild function taking
     replacement leaves (as PEs)."""
 
     key: object
-    dyn: list
-    hints: list
+    dyn: tuple
+    hints: tuple
     rebuild: Callable
+
+
+# Memo-key helpers for ``_split``.  Static leaves use the (frozen,
+# hashable) PE itself as its own key — type-discriminated equality for
+# free, no per-call tuple allocation; the all-dynamic leaf shares one
+# key object, as do the empty dyn/hint tuples.
+_DYN_KEY = ("d",)
+_EMPTY = ()
 
 
 def _split(pe, hint):
     if isinstance(pe, SBase):
-        return _Split(("b", pe.value), [], [], lambda leaves: pe)
+        return _Split(pe, _EMPTY, _EMPTY, lambda leaves: pe)
     if isinstance(pe, DCode):
-        return _Split(("d",), [pe.code], [hint], lambda leaves: leaves[0])
+        return _Split(_DYN_KEY, (pe.code,), (hint,), lambda leaves: leaves[0])
     if isinstance(pe, SList):
         parts = [_split(item, hint) for item in pe.items]
         return _combine("l", parts, lambda rebuilt: SList(tuple(rebuilt)))
@@ -388,15 +407,15 @@ def _split(pe, hint):
             )
 
         split = _combine("c", parts, rebuild_clo)
-        split.key = ("c", pe.label, pe.bts) + (split.key,)
+        split.key = ("c", pe.label, pe.bts, split.key)
         return split
     raise SpecError("cannot split %r" % (pe,))
 
 
 def _combine(tag, parts, assemble):
     key = (tag,) + tuple(p.key for p in parts)
-    dyn = [c for p in parts for c in p.dyn]
-    hints = [h for p in parts for h in p.hints]
+    dyn = tuple(c for p in parts for c in p.dyn)
+    hints = tuple(h for p in parts for h in p.hints)
     sizes = [len(p.dyn) for p in parts]
 
     def rebuild(leaves):
@@ -657,7 +676,10 @@ def mk_resid(st, unfold, fname, bts, args, unfolded, build):
     if not unfold.dyn:
         st.stats.unfolds += 1
         return unfolded()
-    splits = [_split(a, hint) for a, hint in zip(args, _param_hints(st, fname))]
+    splits = [
+        _split(a, hint)
+        for a, hint in zip(args, _param_hints(st, fname, len(args)))
+    ]
     key = (fname, tuple(bts), tuple(s.key for s in splits))
     info = st.done.get(key)
     if info is None:
@@ -683,12 +705,24 @@ def mk_resid(st, unfold, fname, bts, args, unfolded, build):
     return DCode(Call(info.name, dyn_args))
 
 
-def _param_hints(st, fname):
-    """Fresh-variable hints for the parameters of ``fname``."""
+# Hoisted fallback hints for functions with no FnInfo: one shared tuple,
+# grown on demand, instead of a fresh 64-tuple per mk_resid call.  Sizing
+# it to the actual argument count matters for correctness, not just
+# speed: a fixed-size tuple would silently truncate the ``zip(args,
+# hints)`` in mk_resid for functions with more parameters, dropping
+# their argument splits.
+_FALLBACK_HINTS = tuple("a%d" % i for i in range(64))
+
+
+def _param_hints(st, fname, nargs):
+    """Fresh-variable hints for the ``nargs`` parameters of ``fname``."""
     fn = st.fn_info.get(fname)
     if fn is not None and fn.params:
         return fn.params
-    return tuple("a%d" % i for i in range(64))
+    global _FALLBACK_HINTS
+    if nargs > len(_FALLBACK_HINTS):
+        _FALLBACK_HINTS = tuple("a%d" % i for i in range(nargs))
+    return _FALLBACK_HINTS
 
 
 def mk_if(st, bt, cond, then_thunk, else_thunk):

@@ -22,7 +22,10 @@ import sys
 from repro.obs.metrics import METRICS_SCHEMA
 
 __all__ = [
+    "BENCH_SPEC_THROUGHPUT_SCHEMA",
     "REPORT_SCHEMA",
+    "WELL_KNOWN_COUNTERS",
+    "validate_bench_spec_throughput",
     "validate_metrics",
     "validate_report",
     "validate_trace",
@@ -31,9 +34,36 @@ __all__ = [
 
 REPORT_SCHEMA = "mspec.report/v1"
 
+BENCH_SPEC_THROUGHPUT_SCHEMA = "repro.bench.spec_throughput/v1"
+
 _REPORT_COMMANDS = ("build", "specialise", "fsck")
 
 _NUMBER = (int, float)
+
+# Counters with a pinned meaning across the toolchain: event *counts*,
+# so a snapshot carrying one must report a non-negative integer.
+# (Arbitrary counter names remain legal — user code may count anything —
+# but these names are part of the documented performance surface; see
+# docs/performance.md.)
+WELL_KNOWN_COUNTERS = frozenset(
+    [
+        "speccache.hits",
+        "speccache.misses",
+        "speccache.reads",
+        "speccache.writes",
+        "rtcg.lru_hits",
+        "rtcg.lru_misses",
+        "batch.requests",
+        "batch.deduped",
+        "batch.failed",
+        "cache.hits",
+        "cache.misses",
+        "faults.retries",
+        "faults.timeouts",
+        "faults.crashes",
+        "faults.degradations",
+    ]
+)
 
 
 def _problems_prefix(problems, prefix):
@@ -96,6 +126,13 @@ def validate_metrics(doc):
                 problems.append("%s key %r is not a string" % (section, name))
             if not isinstance(value, _NUMBER) or isinstance(value, bool):
                 problems.append("%s[%r] must be a number" % (section, name))
+            elif section == "counters" and name in WELL_KNOWN_COUNTERS:
+                if not isinstance(value, int) or value < 0:
+                    problems.append(
+                        "counters[%r] is a well-known event count and "
+                        "must be a non-negative integer, got %r"
+                        % (name, value)
+                    )
     timers = doc.get("timers")
     if not isinstance(timers, dict):
         problems.append("timers must be an object")
@@ -136,6 +173,46 @@ def validate_report(doc):
     return problems
 
 
+def validate_bench_spec_throughput(doc):
+    """Problems with a ``BENCH_spec_throughput.json`` document (empty
+    list = ok).  The document is what
+    ``benchmarks/bench_spec_throughput.py`` emits: the workload shape,
+    a flat table of timings/speedups, and the byte-identity verdict."""
+    if not isinstance(doc, dict):
+        return ["bench document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != BENCH_SPEC_THROUGHPUT_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r"
+            % (BENCH_SPEC_THROUGHPUT_SCHEMA, doc.get("schema"))
+        )
+    if not isinstance(doc.get("cpus"), int) or doc.get("cpus", 0) < 1:
+        problems.append("cpus must be a positive integer")
+    if not isinstance(doc.get("workload"), dict):
+        problems.append("workload must be an object")
+    if doc.get("identical") is not True:
+        problems.append(
+            "identical must be true (results must be byte-identical "
+            "across cache states and jobs widths)"
+        )
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        problems.append("results must be a non-empty object")
+    else:
+        for name, value in results.items():
+            if not isinstance(name, str):
+                problems.append("results key %r is not a string" % (name,))
+            if (
+                not isinstance(value, _NUMBER)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                problems.append(
+                    "results[%r] must be a non-negative number" % (name,)
+                )
+    return problems
+
+
 def validate_file(path):
     """``(kind, problems)`` for a JSON file; kind inferred from content."""
     try:
@@ -149,6 +226,8 @@ def validate_file(path):
         return "metrics", validate_metrics(doc)
     if isinstance(doc, dict) and doc.get("schema") == REPORT_SCHEMA:
         return "report", validate_report(doc)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SPEC_THROUGHPUT_SCHEMA:
+        return "bench", validate_bench_spec_throughput(doc)
     return "unknown", ["unrecognised document (no known schema marker)"]
 
 

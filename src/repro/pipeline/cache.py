@@ -29,6 +29,11 @@ import tempfile
 CODE_KIND = "code-%s.bin" % (sys.implementation.cache_tag or "unknown")
 IFACE_KIND = "bti.json"
 GENEXT_KIND = "genext.py"
+# Cached residual programs (repro.speccache payloads).  They share the
+# object store with the build artifacts: keys come from a different
+# hash domain, so the namespaces can never collide, and fsck validates
+# the payloads like any other kind.
+RESID_KIND = "resid.json"
 
 OBJECTS_DIRNAME = "objects"
 QUARANTINE_DIRNAME = "quarantine"

@@ -58,6 +58,7 @@ from repro.pipeline.cache import (
     GENEXT_KIND,
     IFACE_KIND,
     QUARANTINE_DIRNAME,
+    RESID_KIND,
     TMP_PREFIX,
     TMP_SUFFIX,
 )
@@ -524,6 +525,13 @@ def _validate_object(kind, data):
             marshal.loads(data)
         except (EOFError, ValueError, TypeError) as exc:
             return "corrupt code object: %s" % exc
+        return None
+    if kind == RESID_KIND:
+        from repro.speccache import validate_payload_bytes
+
+        reason = validate_payload_bytes(data)
+        if reason is not None:
+            return "corrupt residual payload: %s" % reason
         return None
     return "unknown artifact kind %r" % kind
 

@@ -101,6 +101,14 @@ class MixProgram:
             name: _signature_of(d, program_analysis.schemes[name])
             for name, (_, d) in self.defs.items()
         }
+        self._fingerprint = None
+
+    def fingerprint(self):
+        """Cache identity of this program (see
+        :meth:`repro.genext.link.GenextProgram.fingerprint`); set by
+        :meth:`from_source`, ``None`` (caching disabled) for programs
+        constructed directly from an analysis."""
+        return self._fingerprint
 
     # -- front end ----------------------------------------------------------
 
@@ -112,11 +120,19 @@ class MixProgram:
         from repro.bt.analysis import analyse_program
         from repro.modsys.program import load_program
 
+        import hashlib
+
         started = time.perf_counter()
         linked = load_program(source)
         analysis = analyse_program(linked, force_residual=force_residual)
         mp = cls(analysis, linked.graph)
         mp.front_end_seconds = time.perf_counter() - started
+        h = hashlib.sha256(b"mspec-mix-fingerprint\x00")
+        h.update(source.encode("utf-8"))
+        for name in sorted(force_residual):
+            h.update(b"\x00resid:")
+            h.update(name.encode("utf-8"))
+        mp._fingerprint = h.hexdigest()
         return mp
 
     # -- the GenextProgram protocol -------------------------------------------

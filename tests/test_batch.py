@@ -1,0 +1,356 @@
+"""The parallel batch-specialisation driver.
+
+The load-bearing property: for any ``jobs`` width, cold or warm cache,
+``specialise_many`` produces residual programs byte-identical to
+one-at-a-time ``specialise`` — parallelism and caching are pure
+performance, never semantics.  Plus: request coercion, parent-side
+dedup, shared-cache reuse, failure isolation, the batch counters, and
+the ``mspec specialise --batch`` CLI surface.
+"""
+
+import json
+
+import pytest
+
+import repro
+from repro.api import SpecOptions
+from repro.genext.batch import BatchRequest, specialise_many
+from repro.genext.runtime import SpecError
+from repro.obs import Obs
+
+TWO_MODULES = """\
+module Power where
+
+power n x = if n == 1 then x else x * power (n - 1) x
+
+module Sum where
+import Power
+
+sumpow n x y = power n x + power n y
+"""
+
+REQUESTS = [
+    ("power", {"n": 2}),
+    ("sumpow", {"n": 3}),
+    ("power", {"n": 4}),
+    ("power", {"n": 2}),  # duplicate of #0
+    ("sumpow", {"n": 3}),  # duplicate of #1
+    ("power", {"n": 5}),
+]
+
+
+@pytest.fixture(scope="module")
+def gp():
+    return repro.compile_genexts(TWO_MODULES)
+
+
+def _texts(batch):
+    return [repro.pretty_program(r.program) for r in batch.results]
+
+
+# ---------------------------------------------------------------------------
+# The byte-identity property.
+# ---------------------------------------------------------------------------
+
+
+def test_batch_matches_one_at_a_time_for_every_jobs_width(gp, tmp_path):
+    reference = [
+        repro.pretty_program(
+            repro.specialise(gp, goal, args).program
+        )
+        for goal, args in REQUESTS
+    ]
+    outputs = {}
+    for jobs in (1, 2, 4):
+        for state in ("cold", "warm"):
+            cache = str(tmp_path / ("cache-%d" % jobs))
+            batch = specialise_many(
+                gp, REQUESTS, SpecOptions(cache_dir=cache), jobs=jobs
+            )
+            assert batch.ok, batch.render_failures()
+            outputs[(jobs, state)] = _texts(batch)
+    for key, texts in outputs.items():
+        assert texts == reference, "divergence at jobs=%d, %s" % key
+
+
+def test_batch_without_a_cache_is_still_identical(gp):
+    reference = _texts(specialise_many(gp, REQUESTS, jobs=1))
+    assert _texts(specialise_many(gp, REQUESTS, jobs=4)) == reference
+
+
+# ---------------------------------------------------------------------------
+# Dedup and sharing.
+# ---------------------------------------------------------------------------
+
+
+def test_duplicate_requests_share_one_result_object(gp):
+    batch = specialise_many(gp, REQUESTS, jobs=1)
+    assert batch.results[0] is batch.results[3]
+    assert batch.results[1] is batch.results[4]
+    assert batch.stats == {
+        "requests": 6,
+        "unique": 4,
+        "deduped": 2,
+        "failed": 0,
+        "jobs": 1,
+    }
+
+
+def test_batch_counters(gp):
+    obs = Obs()
+    specialise_many(gp, REQUESTS, jobs=1, obs=obs)
+    snapshot = obs.metrics.snapshot()
+    assert snapshot["counters"]["batch.requests"] == 6
+    assert snapshot["counters"]["batch.deduped"] == 2
+    assert snapshot["counters"]["batch.failed"] == 0
+    assert snapshot["gauges"]["batch.jobs"] == 1
+
+
+def test_second_batch_is_answered_from_the_shared_cache(gp, tmp_path):
+    options = SpecOptions(cache_dir=str(tmp_path))
+    specialise_many(gp, REQUESTS, options, jobs=1)
+    obs = Obs()
+    batch = specialise_many(gp, REQUESTS, options, jobs=1, obs=obs)
+    assert batch.ok
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["speccache.hits"] == 4  # every unique request
+    assert "speccache.writes" not in counters
+
+
+def test_batch_results_run(gp):
+    batch = specialise_many(gp, [("sumpow", {"n": 3}), ("power", {"n": 3})])
+    assert batch.results[0].run(2, 3) == 35  # 8 + 27
+    assert batch.results[1].run(2) == 8
+
+
+# ---------------------------------------------------------------------------
+# Request coercion.
+# ---------------------------------------------------------------------------
+
+
+def test_requests_accept_mappings_and_objects(gp):
+    batch = specialise_many(
+        gp,
+        [
+            {"goal": "power", "static_args": {"n": 2}},
+            {"goal": "power"},
+            BatchRequest("power", (("n", 2),)),
+            ("power", {"n": 2}),
+        ],
+    )
+    assert batch.ok
+    # The mapping, BatchRequest, and tuple spellings of n=2 dedup.
+    assert batch.stats["unique"] == 2
+
+
+@pytest.mark.parametrize(
+    "bad",
+    [
+        {"goal": "power", "static_args": {"n": 2}, "extra": 1},
+        {"static_args": {"n": 2}},
+        {"goal": 7},
+        {"goal": "power", "static_args": [1, 2]},
+        42,
+    ],
+)
+def test_malformed_requests_are_rejected(gp, bad):
+    with pytest.raises(SpecError):
+        specialise_many(gp, [bad])
+
+
+def test_sink_is_rejected(gp):
+    with pytest.raises(SpecError):
+        specialise_many(
+            gp, [("power", {"n": 2})], SpecOptions(sink=lambda p, d: None)
+        )
+
+
+def test_bad_jobs_is_rejected(gp):
+    with pytest.raises(ValueError):
+        specialise_many(gp, [("power", {"n": 2})], jobs=0)
+
+
+# ---------------------------------------------------------------------------
+# Failure isolation.
+# ---------------------------------------------------------------------------
+
+
+def test_one_failure_does_not_abandon_the_rest(gp):
+    batch = specialise_many(
+        gp,
+        [("power", {"n": 2}), ("power", {"bogus": 1}), ("power", {"n": 3})],
+        jobs=1,
+    )
+    assert not batch.ok
+    assert batch.results[0] is not None and batch.results[2] is not None
+    assert batch.results[1] is None
+    assert list(batch.failures) == [1]
+    assert batch.failures[1].kind == "error"
+    assert "req1" in batch.render_failures()
+    assert batch.stats["failed"] == 1
+
+
+def test_duplicate_of_a_failing_request_fails_identically(gp):
+    batch = specialise_many(
+        gp, [("power", {"bogus": 1}), ("power", {"bogus": 1})], jobs=1
+    )
+    assert set(batch.failures) == {0, 1}
+    assert batch.stats["deduped"] == 1
+
+
+def test_failures_under_a_pool_are_isolated_too(gp, tmp_path):
+    batch = specialise_many(
+        gp,
+        [("power", {"n": 2}), ("power", {"bogus": 1}), ("power", {"n": 3})],
+        SpecOptions(cache_dir=str(tmp_path)),
+        jobs=2,
+    )
+    assert not batch.ok
+    assert batch.results[0] is not None and batch.results[2] is not None
+    assert list(batch.failures) == [1]
+
+
+# ---------------------------------------------------------------------------
+# The unshippable-program fallback (MixProgram has no module sources).
+# ---------------------------------------------------------------------------
+
+
+def test_mix_program_degrades_to_serial_but_works(tmp_path):
+    from repro.specialiser.mix import MixProgram
+
+    mp = MixProgram.from_source(TWO_MODULES)
+    batch = specialise_many(
+        mp,
+        [("power", {"n": 3}), ("power", {"n": 3}), ("power", {"n": 2})],
+        SpecOptions(cache_dir=str(tmp_path)),
+        jobs=4,
+    )
+    assert batch.ok
+    assert batch.stats["jobs"] == 1  # no module sources to ship
+    assert batch.stats["deduped"] == 1  # fingerprint still keys dedup
+    assert batch.results[0].run(2) == 8
+
+
+# ---------------------------------------------------------------------------
+# The --batch CLI surface.
+# ---------------------------------------------------------------------------
+
+
+def _write_src(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    for name, text in (
+        ("Power", TWO_MODULES.split("\nmodule Sum")[0]),
+    ):
+        (src / (name + ".mod")).write_text(text)
+    return src
+
+
+def test_cli_batch_json_report(tmp_path, capsys):
+    from repro.cli import main
+    from repro.obs.schema import validate_report
+
+    src = _write_src(tmp_path)
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(
+        json.dumps(
+            [
+                {"goal": "power", "static_args": {"n": 3}},
+                {"goal": "power", "static_args": {"n": 5}},
+                {"goal": "power", "static_args": {"n": 3}},
+            ]
+        )
+    )
+    rc = main(
+        ["specialise", str(src), "--batch", str(reqs), "--jobs", "2", "--json"]
+    )
+    assert rc == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_report(doc) == []
+    assert doc["report"]["batch"]["requests"] == 3
+    assert doc["report"]["batch"]["deduped"] == 1
+    requests = doc["report"]["requests"]
+    assert [r["ok"] for r in requests] == [True, True, True]
+    assert requests[0]["program"] == requests[2]["program"]
+    assert doc["metrics"]["counters"]["batch.requests"] == 3
+
+
+def test_cli_batch_failure_exit_code_and_prose(tmp_path, capsys):
+    from repro.cli import main
+
+    src = _write_src(tmp_path)
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(
+        json.dumps(
+            {
+                "requests": [
+                    {"goal": "power", "static_args": {"n": 3}},
+                    {"goal": "nosuch"},
+                ]
+            }
+        )
+    )
+    rc = main(["specialise", str(src), "--batch", str(reqs)])
+    assert rc == 3  # EXIT_ERROR
+    out = capsys.readouterr().out
+    assert "req0" in out and "FAILED" in out
+
+
+def test_cli_batch_writes_per_request_dirs(tmp_path, capsys):
+    from repro.cli import main
+
+    src = _write_src(tmp_path)
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(json.dumps([{"goal": "power", "static_args": {"n": 2}}]))
+    out_dir = tmp_path / "out"
+    rc = main(
+        ["specialise", str(src), "--batch", str(reqs), "-o", str(out_dir)]
+    )
+    assert rc == 0
+    assert (out_dir / "req0" / "Power.mod").exists()
+
+
+def test_cli_batch_rejects_goal_argument(tmp_path):
+    from repro.cli import main
+
+    src = _write_src(tmp_path)
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(json.dumps([{"goal": "power"}]))
+    with pytest.raises(SystemExit):
+        main(["specialise", str(src), "power", "--batch", str(reqs)])
+
+
+def test_cli_goal_required_without_batch(tmp_path):
+    from repro.cli import main
+
+    src = _write_src(tmp_path)
+    with pytest.raises(SystemExit):
+        main(["specialise", str(src)])
+
+
+def test_cli_batch_rejects_malformed_file(tmp_path):
+    from repro.cli import main
+
+    src = _write_src(tmp_path)
+    reqs = tmp_path / "requests.json"
+    reqs.write_text(json.dumps({"nope": 1}))
+    with pytest.raises(SystemExit):
+        main(["specialise", str(src), "--batch", str(reqs)])
+
+
+# ---------------------------------------------------------------------------
+# Regression: residual parameter hints beyond the 64-name fallback.
+# ---------------------------------------------------------------------------
+
+
+def test_param_hints_fallback_covers_more_than_64_arguments():
+    from repro.genext.runtime import _param_hints
+
+    class _St:
+        fn_info = {}
+
+    hints = _param_hints(_St(), "nosuch", 70)
+    assert len(hints) >= 70
+    assert len(set(hints[:70])) == 70  # names stay distinct
+    # And the small case still serves from the precomputed tuple.
+    assert _param_hints(_St(), "nosuch", 3)[:3] == ("a0", "a1", "a2")

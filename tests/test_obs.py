@@ -442,3 +442,99 @@ def test_cli_help_lists_exit_codes(capsys):
         main(["--help"])
     out = capsys.readouterr().out
     assert "exit codes" in out.lower()
+
+
+# ---------------------------------------------------------------------------
+# Well-known performance counters and the bench document schema.
+# ---------------------------------------------------------------------------
+
+
+def _metrics_doc(counters):
+    return {
+        "schema": METRICS_SCHEMA,
+        "counters": counters,
+        "gauges": {},
+        "timers": {},
+    }
+
+
+def test_well_known_counters_must_be_nonnegative_integers():
+    assert validate_metrics(_metrics_doc({"speccache.hits": 3})) == []
+    problems = validate_metrics(_metrics_doc({"speccache.hits": 1.5}))
+    assert any("well-known" in p for p in problems)
+    problems = validate_metrics(_metrics_doc({"rtcg.lru_hits": -1}))
+    assert any("well-known" in p for p in problems)
+
+
+def test_arbitrary_counters_may_still_be_any_number():
+    assert validate_metrics(_metrics_doc({"my.custom.rate": 1.5})) == []
+
+
+def test_speccache_counters_flow_into_a_valid_snapshot(tmp_path):
+    import repro
+
+    obs = Obs()
+    gp = repro.compile_genexts(POWER)
+    options = SpecOptions(cache_dir=str(tmp_path / "cache"))
+    repro.specialise(gp, "power", {"n": 3}, options, obs=obs)
+    repro.specialise(gp, "power", {"n": 3}, options, obs=obs)
+    snapshot = obs.metrics.snapshot()
+    assert validate_metrics(snapshot) == []
+    assert snapshot["counters"]["speccache.hits"] == 1
+    assert snapshot["counters"]["speccache.writes"] == 1
+
+
+def _bench_doc():
+    from repro.obs.schema import BENCH_SPEC_THROUGHPUT_SCHEMA
+
+    return {
+        "schema": BENCH_SPEC_THROUGHPUT_SCHEMA,
+        "cpus": 4,
+        "workload": {"goal": "run"},
+        "results": {"cache_warm_speedup": 12.5},
+        "identical": True,
+    }
+
+
+def test_bench_spec_throughput_validator_accepts_the_shape():
+    from repro.obs.schema import validate_bench_spec_throughput
+
+    assert validate_bench_spec_throughput(_bench_doc()) == []
+
+
+@pytest.mark.parametrize(
+    "mutation, expected",
+    [
+        ({"schema": "nope"}, "schema"),
+        ({"cpus": 0}, "cpus"),
+        ({"workload": None}, "workload"),
+        ({"identical": False}, "identical"),
+        ({"results": {}}, "results"),
+        ({"results": {"x": -1}}, "results"),
+        ({"results": {"x": True}}, "results"),
+    ],
+)
+def test_bench_spec_throughput_validator_rejects(mutation, expected):
+    from repro.obs.schema import validate_bench_spec_throughput
+
+    doc = dict(_bench_doc(), **mutation)
+    problems = validate_bench_spec_throughput(doc)
+    assert any(expected in p for p in problems), problems
+
+
+def test_validate_file_recognises_bench_documents(tmp_path):
+    path = tmp_path / "bench.json"
+    path.write_text(json.dumps(_bench_doc()))
+    kind, problems = validate_file(str(path))
+    assert kind == "bench"
+    assert problems == []
+
+
+def test_committed_bench_document_is_valid():
+    path = os.path.join(
+        os.path.dirname(__file__), "..", "benchmarks",
+        "BENCH_spec_throughput.json",
+    )
+    kind, problems = validate_file(path)
+    assert kind == "bench"
+    assert problems == []
