@@ -449,6 +449,21 @@ class _Checker:
                 )
 
 
+def coercion_violation(src, dst):
+    """``None`` when the coercion ``[src -> dst]`` is *upward* (it only
+    raises binding times, pointwise, on an identical shape), else the
+    reason it is not.  The standalone form of the :class:`_Checker`'s
+    coercion rule, used by ``repro.check.lint``."""
+    checker = _Checker({})
+    checker.where = "coercion"
+    try:
+        checker.coercible(src, dst)
+        checker.well_formed(dst)
+    except AnnotationError as exc:
+        return str(exc)
+    return None
+
+
 def check_module(amodule, defs_env=None):
     """Check every definition of an annotated module.
 

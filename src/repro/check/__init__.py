@@ -1,0 +1,56 @@
+"""Cross-layer correctness harness (``mspec check``).
+
+The paper's claim is that per-module BTA + cogen is *sound without
+seeing the uses*: linking independently generated extensions and running
+them must compute exactly what the source program computes, and a
+module's published binding-time interface must stay consistent with what
+its importers assumed.  Nothing in the toolchain enforced that end to
+end — this package does, with three passes:
+
+* :mod:`repro.check.diff` — differential testing: a seeded generator of
+  well-typed multi-module programs (:mod:`repro.check.gen`) and an
+  oracle that runs each program four ways (direct interpretation, mix
+  specialisation + residual run, genext specialisation + residual run,
+  warm-cache replay) and asserts value equality and byte-identity of
+  residual programs across ``--jobs`` widths and cache temperature.
+  Divergences are minimised by iterative definition deletion and written
+  as replayable JSON repro bundles.
+
+* :mod:`repro.check.ifaces` — interface fsck: re-derives each module's
+  principal binding-time schemes from source and diffs them against the
+  committed ``*.bti`` files and against every importer's recorded
+  assumptions — the stale-interface skew the digest cache cannot see.
+
+* :mod:`repro.check.lint` — annotation lint: the Fig. 2 global
+  invariants over analysed programs (coercions only go upward, each
+  definition's unfold/residualise flag is exactly the lub of its body's
+  conditional binding times, nothing dynamic reaches a static position
+  uncoerced).
+
+All passes emit structured :class:`Finding` records and ``check.*``
+metrics; the CLI maps any error-severity finding to exit code 7.  See
+``docs/correctness.md``.
+"""
+
+from repro.check.report import (
+    CHECK_BUNDLE_SCHEMA,
+    EXIT_CHECK_FAILED,
+    CheckReport,
+    Finding,
+)
+
+__all__ = [
+    "CHECK_BUNDLE_SCHEMA",
+    "CheckReport",
+    "EXIT_CHECK_FAILED",
+    "Finding",
+    "run_check",
+]
+
+
+def run_check(*args, **kwargs):
+    """See :func:`repro.check.driver.run_check` (imported lazily so that
+    ``import repro.check`` stays cheap)."""
+    from repro.check.driver import run_check as _run_check
+
+    return _run_check(*args, **kwargs)

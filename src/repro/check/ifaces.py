@@ -1,0 +1,197 @@
+"""Interface fsck: committed ``*.bti`` files vs re-derived truth.
+
+The separate-analysis workflow (Sec. 4.1) trusts interface files twice:
+a module's artifacts are keyed by the digests of its imports'
+interfaces, and importers are analysed against the schemes those files
+contain.  The digest cache detects *changed* files — it cannot detect a
+file that is simply *wrong* (hand-edited, restored from the wrong
+checkout, or produced by an older analysis).  This pass can:
+
+* re-derives every module's principal binding-time schemes from source,
+  in dependency order, against the *fresh* schemes of its imports —
+  never against anything on disk;
+* diffs the committed interface against the re-derivation, per function
+  (missing, extra, or differing schemes are each separate findings);
+* checks the committed file is the canonical serialisation of its own
+  schemes (a non-canonical file breaks the byte-equality-is-semantic-
+  equality property the cache keys rest on);
+* checks each module's recorded content key (the ``.bti.key`` sidecar)
+  still matches the key recomputed from current sources and dep
+  interfaces — the importer-assumption staleness the build would only
+  notice by rebuilding.
+"""
+
+import os
+
+from repro.bt.analysis import BTAError, analyse_module
+from repro.bt.interface import (
+    INTERFACE_SUFFIX,
+    InterfaceError,
+    InterfaceManager,
+    interface_text,
+    read_interface,
+)
+from repro.check.report import SEVERITY_WARNING, Finding
+from repro.lang.errors import LangError
+from repro.modsys.program import load_program_dir
+
+
+def _finding(rule, where, message, severity="error", **details):
+    return Finding(
+        check_pass="ifaces",
+        rule=rule,
+        where=where,
+        message=message,
+        severity=severity,
+        details=tuple(sorted(details.items())),
+    )
+
+
+def _scheme_str(scheme):
+    """``str(scheme)`` hardened against structurally nonsense schemes
+    (a skewed interface can name slots that do not exist)."""
+    try:
+        return str(scheme)
+    except Exception:
+        return "<unprintable scheme: %r>" % (scheme,)
+
+
+def derive_schemes(linked, force_residual=frozenset()):
+    """Principal schemes per module, re-derived purely from source:
+    ``{module_name: {fn_name: BTScheme}}``."""
+    by_module = {}
+    all_schemes = {}
+    for module_name in linked.topo_order:
+        module = linked.module(module_name)
+        visible = {}
+        for dep in module.imports:
+            visible.update(by_module[dep])
+        analysis = analyse_module(module, visible, force_residual)
+        by_module[module_name] = dict(analysis.schemes)
+        all_schemes.update(analysis.schemes)
+    return by_module
+
+
+def check_interfaces(src_dir, iface_dir=None, force_residual=frozenset()):
+    """The fsck itself; returns ``(findings, checked)`` where ``checked``
+    is the number of interface files examined (0 = nothing on disk, the
+    caller should report the pass as skipped)."""
+    findings = []
+    try:
+        linked = load_program_dir(src_dir)
+    except (LangError, OSError) as exc:
+        return [_finding("load", src_dir, str(exc))], 0
+
+    manager = InterfaceManager(src_dir, iface_dir)
+    present = [
+        name
+        for name in linked.topo_order
+        if os.path.exists(manager.interface_path(name))
+    ]
+    if not present:
+        return [], 0
+
+    try:
+        fresh_by_module = derive_schemes(linked, force_residual)
+    except BTAError as exc:
+        return [_finding("analyse", src_dir, str(exc))], 0
+
+    for module_name in linked.topo_order:
+        module = linked.module(module_name)
+        path = manager.interface_path(module_name)
+        where = module_name + INTERFACE_SUFFIX
+        if not os.path.exists(path):
+            findings.append(
+                _finding(
+                    "missing-interface",
+                    where,
+                    "module %s has no committed interface while other "
+                    "modules do" % module_name,
+                )
+            )
+            continue
+        try:
+            committed_name, committed = read_interface(path)
+        except InterfaceError as exc:
+            findings.append(_finding("corrupt-interface", where, str(exc)))
+            continue
+        if committed_name != module_name:
+            findings.append(
+                _finding(
+                    "wrong-module",
+                    where,
+                    "interface file names module %r" % committed_name,
+                )
+            )
+            continue
+
+        fresh = fresh_by_module[module_name]
+        for fn in sorted(set(fresh) - set(committed)):
+            findings.append(
+                _finding(
+                    "scheme-missing",
+                    "%s:%s" % (where, fn),
+                    "exported function %s has no committed scheme" % fn,
+                )
+            )
+        for fn in sorted(set(committed) - set(fresh)):
+            findings.append(
+                _finding(
+                    "scheme-extra",
+                    "%s:%s" % (where, fn),
+                    "committed scheme for %s, which the module does not "
+                    "define" % fn,
+                )
+            )
+        for fn in sorted(set(committed) & set(fresh)):
+            if committed[fn] != fresh[fn]:
+                findings.append(
+                    _finding(
+                        "scheme-skew",
+                        "%s:%s" % (where, fn),
+                        "committed binding-time scheme disagrees with "
+                        "the re-derived principal scheme",
+                        committed=_scheme_str(committed[fn]),
+                        derived=_scheme_str(fresh[fn]),
+                    )
+                )
+
+        with open(path) as f:
+            on_disk = f.read()
+        if on_disk != interface_text(module_name, committed):
+            findings.append(
+                _finding(
+                    "non-canonical",
+                    where,
+                    "interface file is not the canonical serialisation "
+                    "of its own schemes (byte-equality no longer implies "
+                    "semantic equality)",
+                    severity=SEVERITY_WARNING,
+                )
+            )
+
+        key_path = manager.key_path(module_name)
+        if not os.path.exists(key_path):
+            findings.append(
+                _finding(
+                    "no-key",
+                    where,
+                    "no recorded content key (%s.bti.key); staleness "
+                    "cannot be established" % module_name,
+                    severity=SEVERITY_WARNING,
+                )
+            )
+        elif not manager.is_up_to_date(
+            module_name, module.imports, force_residual
+        ):
+            findings.append(
+                _finding(
+                    "stale-key",
+                    where,
+                    "recorded content key no longer matches the current "
+                    "source and dep interfaces (the interface predates "
+                    "an edit — importers analysed against it saw stale "
+                    "assumptions)",
+                )
+            )
+    return findings, len(present)

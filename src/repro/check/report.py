@@ -1,0 +1,185 @@
+"""Findings, reports, and replayable repro bundles for ``mspec check``.
+
+A :class:`Finding` is one problem one pass established; a
+:class:`CheckReport` aggregates the findings of a whole run together
+with the counters the passes maintained.  A *repro bundle* is a
+self-contained JSON document (schema ``repro.check.bundle/v1``) that
+captures everything needed to replay one differential-testing
+divergence: the generator seed, the full and minimised sources, the
+goal, the static/dynamic division, the inputs, and what each execution
+way produced.  ``mspec check --replay bundle.json`` re-runs it.
+"""
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+CHECK_BUNDLE_SCHEMA = "repro.check.bundle/v1"
+
+# Exit code for "the correctness harness found problems" — after the
+# pipeline's 3/4/5 and fsck's 6.
+EXIT_CHECK_FAILED = 7
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One problem established by one pass.
+
+    ``check_pass`` is ``diff`` / ``ifaces`` / ``lint``; ``rule`` names
+    the specific invariant; ``where`` locates it (``Module.def``, a
+    file path, or a generator seed); ``severity`` is ``error`` or
+    ``warning`` — only errors fail the run.
+    """
+
+    check_pass: str
+    rule: str
+    where: str
+    message: str
+    severity: str = SEVERITY_ERROR
+    details: Tuple[Tuple[str, object], ...] = ()
+
+    def as_dict(self):
+        doc = {
+            "pass": self.check_pass,
+            "rule": self.rule,
+            "where": self.where,
+            "message": self.message,
+            "severity": self.severity,
+        }
+        if self.details:
+            doc["details"] = {k: v for k, v in self.details}
+        return doc
+
+    def render(self):
+        return "[%s/%s] %s: %s" % (
+            self.check_pass,
+            self.rule,
+            self.where,
+            self.message,
+        )
+
+
+@dataclass
+class CheckReport:
+    """Everything one ``mspec check`` run established."""
+
+    findings: List[Finding] = field(default_factory=list)
+    counters: Dict[str, int] = field(default_factory=dict)
+    bundles: List[str] = field(default_factory=list)  # bundle file paths
+    skipped: Dict[str, str] = field(default_factory=dict)  # pass -> why
+
+    @property
+    def ok(self):
+        return not any(
+            f.severity == SEVERITY_ERROR for f in self.findings
+        )
+
+    @property
+    def exit_code(self):
+        return 0 if self.ok else EXIT_CHECK_FAILED
+
+    def extend(self, findings):
+        self.findings.extend(findings)
+        return self
+
+    def count(self, name, n=1):
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def as_dict(self):
+        return {
+            "ok": self.ok,
+            "findings": [f.as_dict() for f in self.findings],
+            "counters": dict(sorted(self.counters.items())),
+            "bundles": list(self.bundles),
+            "skipped": dict(sorted(self.skipped.items())),
+        }
+
+    def render(self):
+        lines = []
+        for f in self.findings:
+            lines.append(f.render())
+        for name, why in sorted(self.skipped.items()):
+            lines.append("[%s] skipped: %s" % (name, why))
+        for path in self.bundles:
+            lines.append("repro bundle: %s" % path)
+        errors = sum(
+            1 for f in self.findings if f.severity == SEVERITY_ERROR
+        )
+        warnings = len(self.findings) - errors
+        lines.append(
+            "check: %d error(s), %d warning(s)" % (errors, warnings)
+        )
+        return "\n".join(lines)
+
+
+def make_bundle(case, failures, minimised_source=None):
+    """The replayable JSON document for one divergence.
+
+    ``case`` is a :class:`repro.check.gen.GeneratedCase` (or anything
+    with the same fields); ``failures`` a list of dicts describing what
+    diverged (way, inputs, expected, got, ...)."""
+    import repro
+
+    return {
+        "schema": CHECK_BUNDLE_SCHEMA,
+        "version": repro.__version__,
+        "seed": case.seed,
+        "goal": case.goal,
+        "params": list(case.params),
+        "static_args": dict(case.static_args),
+        "static_variants": [dict(v) for v in case.static_variants],
+        "dyn_inputs": [list(v) for v in case.dyn_inputs],
+        "source": case.source,
+        "minimised_source": minimised_source,
+        "failures": failures,
+    }
+
+
+def write_bundle(path, bundle):
+    """Atomically write a bundle document; returns ``path``."""
+    from repro.bt.interface import atomic_write_text
+
+    atomic_write_text(
+        path, json.dumps(bundle, indent=1, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def read_bundle(path):
+    """Read and structurally validate a bundle; raises ``ValueError``."""
+    with open(path) as f:
+        doc = json.load(f)
+    problems = validate_bundle(doc)
+    if problems:
+        raise ValueError(
+            "%s is not a %s document: %s"
+            % (path, CHECK_BUNDLE_SCHEMA, "; ".join(problems))
+        )
+    return doc
+
+
+def validate_bundle(doc):
+    """Problems with a repro-bundle document (empty list = valid)."""
+    if not isinstance(doc, dict):
+        return ["bundle must be a JSON object"]
+    problems = []
+    if doc.get("schema") != CHECK_BUNDLE_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r"
+            % (CHECK_BUNDLE_SCHEMA, doc.get("schema"))
+        )
+    for fld, types in (
+        ("seed", int),
+        ("goal", str),
+        ("params", list),
+        ("static_args", dict),
+        ("dyn_inputs", list),
+        ("source", str),
+        ("failures", list),
+    ):
+        if not isinstance(doc.get(fld), types):
+            problems.append("missing or malformed %r field" % fld)
+    return problems

@@ -30,6 +30,14 @@ Subcommands mirror the paper's workflow:
   an alias.)
 * ``mspec run DIR GOAL [values...]`` — interpret a program directly.
 * ``mspec show DIR``             — print schemes and annotated modules.
+* ``mspec check DIR [--fuzz N] [--seed S] [--jobs-widths 1,4]`` — the
+  correctness harness (see ``docs/correctness.md``): annotation lint,
+  interface fsck (committed ``*.bti`` vs re-derived schemes), and
+  bounded differential fuzzing of the whole toolchain; divergences are
+  minimised and written as replayable JSON repro bundles
+  (``--bundle-dir``, default ``DIR/.mspec-check``).  ``mspec check
+  --replay bundle.json`` re-runs one bundle.  Exit 7 when anything was
+  found.
 
 Observability (see ``docs/observability.md``): ``build`` and
 ``specialise`` accept ``--trace out.json`` (Chrome trace-event JSON,
@@ -64,6 +72,7 @@ exit codes:
   4  a module exceeded its --timeout deadline
   5  a worker process crashed
   6  fsck found (and quarantined) corrupt cache objects
+  7  check found correctness problems (lint/iface/divergence findings)
 """
 
 
@@ -425,6 +434,88 @@ def cmd_specialise(args):
     return 0
 
 
+def _parse_jobs_widths(text):
+    try:
+        widths = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        raise SystemExit("--jobs-widths must be a comma-separated list "
+                         "of integers, got %r" % text)
+    if not widths or any(w < 1 for w in widths):
+        raise SystemExit("--jobs-widths needs at least one width >= 1")
+    return widths
+
+
+def cmd_check(args):
+    from repro.check import EXIT_CHECK_FAILED, run_check
+    from repro.check.driver import replay
+
+    jobs_widths = _parse_jobs_widths(args.jobs_widths)
+    obs, profiler = _make_obs(args)
+
+    if args.replay:
+        try:
+            try:
+                case, failures = replay(
+                    args.replay,
+                    jobs_widths=jobs_widths,
+                    timeout=args.timeout,
+                    obs=obs,
+                )
+            except (OSError, ValueError) as exc:
+                raise SystemExit("mspec check --replay: %s" % exc)
+        finally:
+            _finish_obs(args, obs, profiler)
+        exit_code = EXIT_CHECK_FAILED if failures else 0
+        if args.json:
+            return _emit_json(
+                "check",
+                exit_code,
+                {
+                    "replay": args.replay,
+                    "seed": case.seed,
+                    "reproduces": bool(failures),
+                    "failures": failures,
+                },
+                metrics=obs.metrics.snapshot(),
+            )
+        if failures:
+            print("%s: still diverges (%d failure(s))"
+                  % (args.replay, len(failures)))
+            for f in failures:
+                print("  [%s/%s] %s"
+                      % (f.get("way"), f.get("kind"), f.get("message")))
+        else:
+            print("%s: no longer reproduces" % args.replay)
+        return exit_code
+
+    if not args.dir:
+        raise SystemExit("mspec check: DIR is required (or use --replay)")
+    try:
+        report = run_check(
+            args.dir,
+            fuzz=args.fuzz,
+            seed=args.seed,
+            jobs_widths=jobs_widths,
+            bundle_dir=args.bundle_dir,
+            iface_dir=args.iface_dir,
+            force_residual=frozenset(args.residual or []),
+            timeout=args.timeout,
+            minimise=not args.no_minimise,
+            obs=obs,
+        )
+    finally:
+        _finish_obs(args, obs, profiler)
+    if args.json:
+        return _emit_json(
+            "check",
+            report.exit_code,
+            report.as_dict(),
+            metrics=obs.metrics.snapshot(),
+        )
+    print(report.render())
+    return report.exit_code
+
+
 def cmd_run(args):
     linked = load_program_dir(args.dir)
     values = [_parse_value(v) for v in args.values]
@@ -603,6 +694,55 @@ def build_parser():
     )
     observability(p)
     p.set_defaults(fn=cmd_specialise)
+
+    p = sub.add_parser(
+        "check",
+        help="correctness harness: lint + interface fsck + differential "
+        "fuzzing (exit 7 on findings)",
+    )
+    p.add_argument(
+        "dir", nargs="?", default=None,
+        help="directory of *.mod module files (omit with --replay)",
+    )
+    p.add_argument(
+        "--residual",
+        action="append",
+        metavar="FUNC",
+        help="force FUNC to be residualised (repeatable)",
+    )
+    p.add_argument(
+        "--fuzz", type=int, default=10, metavar="N",
+        help="generated programs to put through the differential oracle "
+        "(default 10; 0 disables the pass)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="base generator seed (program i uses seed S+i; default 0)",
+    )
+    p.add_argument(
+        "--jobs-widths", default="1", metavar="W1,W2,...",
+        help="batch pool widths whose residuals must be byte-identical "
+        "(default 1)",
+    )
+    p.add_argument(
+        "--bundle-dir", metavar="DIR",
+        help="where to write repro bundles (default DIR/.mspec-check)",
+    )
+    p.add_argument("--iface-dir", help="where the *.bti files live")
+    p.add_argument(
+        "--replay", metavar="FILE",
+        help="re-run one repro bundle instead of checking a directory",
+    )
+    p.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock deadline per specialisation run",
+    )
+    p.add_argument(
+        "--no-minimise", action="store_true",
+        help="skip minimising divergent programs before bundling",
+    )
+    observability(p)
+    p.set_defaults(fn=cmd_check)
 
     p = sub.add_parser("run", help="interpret a program")
     common(p)

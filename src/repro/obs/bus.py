@@ -18,22 +18,46 @@ Three channels:
   ``"crash"``, ``"degraded"``; the build engine emits ``"cache.hit"`` /
   ``"cache.miss"`` and ``"module.done"``).
 
-A subscriber that raises does not break the producer: the exception is
-swallowed (observability must never fail the build it observes).
+A subscriber that raises does not break the producer (observability must
+never fail the build it observes) — but the drop is *accounted*, not
+silent: every suppressed exception increments
+:attr:`EventBus.subscriber_errors` (surfaced as the
+``bus.subscriber_errors`` counter in metrics snapshots), and the first
+failure of each subscriber per channel is logged with its traceback.
+``EventBus(strict=True)`` re-raises instead — the test suite runs strict
+so a buggy observer fails loudly there.
 """
+
+import logging
 
 __all__ = ["EventBus"]
 
+_log = logging.getLogger("repro.obs.bus")
+
 
 class EventBus:
-    """Pub/sub hub for spans, metrics, and named events."""
+    """Pub/sub hub for spans, metrics, and named events.
 
-    __slots__ = ("_span_subs", "_metric_subs", "_event_subs")
+    ``strict=True`` re-raises subscriber exceptions instead of counting
+    and suppressing them (for test suites and debugging sessions).
+    """
 
-    def __init__(self):
+    __slots__ = (
+        "_span_subs",
+        "_metric_subs",
+        "_event_subs",
+        "strict",
+        "subscriber_errors",
+        "_failed_subs",
+    )
+
+    def __init__(self, strict=False):
         self._span_subs = []
         self._metric_subs = []
         self._event_subs = {}  # kind -> [cb]; "*" subscribes to all
+        self.strict = strict
+        self.subscriber_errors = 0
+        self._failed_subs = set()
 
     # -- subscription --------------------------------------------------------
 
@@ -56,19 +80,42 @@ class EventBus:
 
     # -- publication ---------------------------------------------------------
 
+    def _subscriber_raised(self, cb, channel, exc):
+        """Account (and in strict mode re-raise) a subscriber failure.
+
+        The plain-int counter deliberately bypasses the metrics registry:
+        a metric *subscriber* may be the thing that raised, and routing
+        the error count back through ``on_metric`` would recurse."""
+        if self.strict:
+            raise exc
+        self.subscriber_errors += 1
+        key = (channel, id(cb))
+        if key not in self._failed_subs:
+            self._failed_subs.add(key)
+            _log.warning(
+                "%s subscriber %r raised %s: %s (suppressed; further "
+                "failures counted in bus.subscriber_errors without "
+                "logging)",
+                channel,
+                cb,
+                type(exc).__name__,
+                exc,
+                exc_info=exc,
+            )
+
     def span_end(self, event):
         for cb in self._span_subs:
             try:
                 cb(event)
-            except Exception:
-                pass
+            except Exception as exc:
+                self._subscriber_raised(cb, "span_end", exc)
 
     def metric(self, name, kind, value):
         for cb in self._metric_subs:
             try:
                 cb(name, kind, value)
-            except Exception:
-                pass
+            except Exception as exc:
+                self._subscriber_raised(cb, "metric", exc)
 
     def emit(self, kind, **payload):
         subs = self._event_subs
@@ -77,10 +124,10 @@ class EventBus:
         for cb in subs.get(kind, ()):
             try:
                 cb(kind, payload)
-            except Exception:
-                pass
+            except Exception as exc:
+                self._subscriber_raised(cb, "event:%s" % kind, exc)
         for cb in subs.get("*", ()):
             try:
                 cb(kind, payload)
-            except Exception:
-                pass
+            except Exception as exc:
+                self._subscriber_raised(cb, "event:%s" % kind, exc)

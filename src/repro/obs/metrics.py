@@ -140,11 +140,22 @@ class MetricsRegistry:
     # -- snapshots -----------------------------------------------------------
 
     def snapshot(self):
-        """The stable JSON-ready document (see module docstring)."""
+        """The stable JSON-ready document (see module docstring).
+
+        When an attached bus has suppressed subscriber exceptions, the
+        drop count appears as a ``bus.subscriber_errors`` counter — so a
+        buggy observer is visible in the very artifact it was corrupting.
+        """
+        counters = {name: c.value for name, c in self.counters.items()}
+        dropped = getattr(self.bus, "subscriber_errors", 0)
+        if dropped:
+            counters["bus.subscriber_errors"] = (
+                counters.get("bus.subscriber_errors", 0) + dropped
+            )
         return {
             "schema": METRICS_SCHEMA,
             "counters": {
-                name: c.value for name, c in sorted(self.counters.items())
+                name: counters[name] for name in sorted(counters)
             },
             "gauges": {name: g.value for name, g in sorted(self.gauges.items())},
             "timers": {

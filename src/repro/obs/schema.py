@@ -36,7 +36,7 @@ REPORT_SCHEMA = "mspec.report/v1"
 
 BENCH_SPEC_THROUGHPUT_SCHEMA = "repro.bench.spec_throughput/v1"
 
-_REPORT_COMMANDS = ("build", "specialise", "fsck")
+_REPORT_COMMANDS = ("build", "specialise", "fsck", "check")
 
 _NUMBER = (int, float)
 
@@ -62,6 +62,13 @@ WELL_KNOWN_COUNTERS = frozenset(
         "faults.timeouts",
         "faults.crashes",
         "faults.degradations",
+        "bus.subscriber_errors",
+        "check.programs",
+        "check.divergences",
+        "check.lint_findings",
+        "check.iface_findings",
+        "check.bundles",
+        "check.minimise_deletions",
     ]
 )
 

@@ -328,7 +328,9 @@ class WaveSupervisor:
         for process in list(getattr(pool, "_processes", {}).values()):
             try:
                 process.terminate()
-            except Exception:
+            except (OSError, ValueError):
+                # Already-dead or never-started workers; anything else
+                # (a programming error) must propagate.
                 pass
         pool.shutdown(wait=False, cancel_futures=True)
 

@@ -19,7 +19,7 @@ from collections import OrderedDict
 
 from repro.lang.ast import Module, Program
 from repro.lang.names import called_functions
-from repro.modsys.graph import ModuleGraph
+from repro.modsys.graph import CyclicImportError, ModuleGraph
 
 
 class ResidualStructureError(Exception):
@@ -88,7 +88,9 @@ def assemble_program(placed_defs):
     graph = ModuleGraph({m.name: m.imports for m in modules})
     try:
         order = graph.topo_order()
-    except Exception as e:
+    except CyclicImportError as e:
+        # Only a genuine cycle is a placement-rule violation; any other
+        # exception out of the graph is a bug and must propagate as-is.
         raise ResidualStructureError(
             "residual module imports are cyclic: %s" % e
         )

@@ -56,6 +56,7 @@ import hashlib
 import json
 
 from repro.bt.interface import CACHE_EPOCH
+from repro.lang.errors import LangError
 from repro.lang.parser import parse_program
 from repro.lang.pretty import pretty_program
 from repro.modsys.program import link_program
@@ -194,7 +195,9 @@ def validate_payload_bytes(data):
             return "missing or malformed %r field" % field
     try:
         parse_program(payload["program"])
-    except Exception as exc:
+    except LangError as exc:
+        # A front-end rejection means a corrupt payload (= cache miss);
+        # any other exception is a parser bug and must propagate.
         return "residual program does not parse: %s" % exc
     return None
 

@@ -221,6 +221,22 @@ go a b = if xor a true then (if b then 1 else 2) else 3
 ]
 
 
+@pytest.fixture(autouse=True)
+def _strict_event_bus(monkeypatch):
+    """Run every in-process EventBus in strict mode: a subscriber that
+    raises fails the test instead of being counted and suppressed.
+    Tests of the accounting path construct ``EventBus(strict=False)``
+    explicitly."""
+    from repro.obs.bus import EventBus
+
+    original = EventBus.__init__
+
+    def strict_init(self, strict=True):
+        original(self, strict=strict)
+
+    monkeypatch.setattr(EventBus, "__init__", strict_init)
+
+
 def corpus_ids():
     return [c["name"] for c in CORPUS]
 

@@ -1,0 +1,88 @@
+"""Regenerate the seed-pinned differential-testing corpus.
+
+Each ``seedNNNN.json`` pins one generated program (see
+``repro.check.gen``) together with its golden residuals — the
+``pretty_program`` text the genext specialiser produced for every
+static valuation — and the interpreter's answer for every
+(valuation, dynamic input) pair.  ``tests/test_check.py`` re-derives
+all of that on every run and insists on byte-identical residuals: any
+behavioural drift in the analysis, the cogen, the specialiser, or the
+pretty-printer shows up as a corpus diff that must be reviewed (and,
+if intended, re-pinned by re-running this script).
+
+Usage::
+
+    PYTHONPATH=src python tests/corpus/regenerate.py
+
+Seeds are fixed below; changing them invalidates the corpus on
+purpose.
+"""
+
+import json
+import os
+import sys
+
+CORPUS_SCHEMA = "repro.check.corpus/v1"
+SEEDS = list(range(25))
+CORPUS_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def pin_case(seed):
+    from repro.bt.analysis import analyse_program
+    from repro.check.gen import generate_case
+    from repro.check.diff import DIFF_FUEL
+    from repro.genext.cogen import cogen_program
+    from repro.genext.engine import specialise
+    from repro.genext.link import link_genexts
+    from repro.interp import run_program
+    from repro.lang.pretty import pretty_program
+    from repro.modsys.program import load_program
+
+    case = generate_case(seed)
+    linked = load_program(case.source)
+    gp = link_genexts(cogen_program(analyse_program(linked)))
+
+    residuals = []
+    values = []
+    for valuation in case.static_variants:
+        result = specialise(gp, case.goal, dict(valuation))
+        residuals.append(pretty_program(result.program))
+        values.append(
+            [
+                run_program(
+                    linked,
+                    case.goal,
+                    case.full_args(valuation, vec),
+                    fuel=DIFF_FUEL,
+                )
+                for vec in case.dyn_inputs
+            ]
+        )
+
+    return {
+        "schema": CORPUS_SCHEMA,
+        "seed": case.seed,
+        "goal": case.goal,
+        "params": list(case.params),
+        "static_args": dict(case.static_args),
+        "static_variants": [dict(v) for v in case.static_variants],
+        "dyn_inputs": [list(v) for v in case.dyn_inputs],
+        "source": case.source,
+        "residuals": residuals,
+        "values": values,
+    }
+
+
+def main():
+    for seed in SEEDS:
+        doc = pin_case(seed)
+        path = os.path.join(CORPUS_DIR, "seed%04d.json" % seed)
+        with open(path, "w") as f:
+            json.dump(doc, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print("pinned", path)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
