@@ -1,0 +1,436 @@
+"""The serve daemon's load test: warm latency, mixed throughput, identity.
+
+The daemon's reason to exist is economic: the one-shot CLI pays
+interpreter startup, parse, analyse, cogen, link, and pool setup on
+*every* request, while ``mspec serve`` pays them once and answers warm
+requests from the resident residual cache in-parent.  This harness
+measures that gap against a real daemon subprocess with real concurrent
+clients, on the same first-Futamura workload as
+``bench_spec_throughput.py`` (specialising the register-machine
+interpreter with respect to machine programs):
+
+* **cold CLI baseline** — one fresh ``mspec specialise`` subprocess per
+  request, empty cache: the full price the daemon amortises;
+* **warm daemon latency** — p50/p99 over many requests answered from
+  the hot cache through the socket;
+* **mixed workload throughput** — N concurrent clients issuing a
+  warm/cold mix over K distinct programs, against the *serial one-shot*
+  baseline: the same N clients served without a daemon, i.e. one
+  ``mspec specialise --batch`` subprocess per client run back-to-back
+  (``--jobs 1``), sharing a persistent ``--cache-dir`` — the best a
+  non-resident pipeline can do, which still re-pays interpreter
+  startup, parse, analyse, cogen, and link per client;
+* **saturation throughput** — concurrent clients hammering warm
+  requests, reported as requests/second.
+
+Every daemon answer is byte-compared against the one-shot CLI's
+residual program for the same request; the emitted ``BENCH_serve.json``
+(``repro.bench.serve/v1``, schema-checked in CI by
+``python -m repro.obs.schema``) refuses to record anything else.
+
+Run directly — no pytest machinery:
+
+    PYTHONPATH=src python benchmarks/bench_serve.py
+
+``MSPEC_BENCH_TINY=1`` shrinks the workload for CI smoke runs; speedup
+assertions that only hold at full size are reported but not enforced
+there.
+"""
+
+import json
+import os
+import statistics
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.bench.generators import (  # noqa: E402
+    machine_interpreter_source,
+    random_machine_program,
+)
+from repro.obs.schema import (  # noqa: E402
+    BENCH_SERVE_SCHEMA,
+    validate_bench_serve,
+)
+from repro.serve import ServeClient  # noqa: E402
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_serve.json"
+)
+
+TINY = os.environ.get("MSPEC_BENCH_TINY") == "1"
+PROGRAM_LENGTH = 12 if TINY else 48
+JOBS = 2
+WARM_REQUESTS = 50 if TINY else 200
+MIXED_THREADS = 2 if TINY else 4
+MIXED_PER_THREAD = 8 if TINY else 25
+MIXED_UNIQUE = 2 if TINY else 4
+SATURATION_REQUESTS = 50 if TINY else 400
+
+MIN_WARM_SPEEDUP_VS_CLI = 50.0
+MIN_MIXED_SPEEDUP = 1.0
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO_ROOT, "src")
+    return env
+
+
+def _cli(argv, **kw):
+    return subprocess.run(
+        [sys.executable, "-m", "repro.cli"] + argv,
+        env=_env(),
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        **kw,
+    )
+
+
+def _cli_batch_programs(moddir, requests, cache_dir, jobs=1):
+    """One one-shot ``mspec specialise --batch`` subprocess; returns
+    (wall seconds, list of residual program texts aligned with
+    ``requests``)."""
+    with tempfile.NamedTemporaryFile(
+        "w", suffix=".json", delete=False
+    ) as f:
+        json.dump(
+            [{"goal": g, "static_args": s} for g, s in requests], f
+        )
+        batch_file = f.name
+    try:
+        started = time.perf_counter()
+        proc = _cli(
+            [
+                "specialise",
+                moddir,
+                "--batch",
+                batch_file,
+                "--jobs",
+                str(jobs),
+                "--cache-dir",
+                cache_dir,
+                "--json",
+            ]
+        )
+        seconds = time.perf_counter() - started
+        assert proc.returncode == 0, proc.stderr.decode()
+        doc = json.loads(proc.stdout.decode())
+        programs = [r["program"] for r in doc["report"]["requests"]]
+        return seconds, programs
+    finally:
+        os.unlink(batch_file)
+
+
+class Daemon:
+    """One ``mspec serve`` subprocess, shut down gracefully."""
+
+    def __init__(self, moddir, cache_dir):
+        self.socket_path = os.path.join(moddir, ".bench-serve.sock")
+        self.proc = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.cli",
+                "serve",
+                moddir,
+                "--socket",
+                self.socket_path,
+                "--jobs",
+                str(JOBS),
+                "--cache-dir",
+                cache_dir,
+            ],
+            env=_env(),
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+        )
+        with ServeClient.wait_ready(self.socket_path, timeout=120.0) as c:
+            c.ping()
+
+    def client(self):
+        return ServeClient.connect(self.socket_path)
+
+    def stop(self):
+        with self.client() as c:
+            c.shutdown()
+        out, err = self.proc.communicate(timeout=120)
+        assert self.proc.returncode == 0, (
+            "daemon exit %r: %s" % (self.proc.returncode, err.decode())
+        )
+
+
+def bench_cold_cli(moddir, request, tmp):
+    """Best-of-3 fresh one-shot CLI runs, empty cache each: the full
+    per-request price the daemon exists to amortise."""
+    times = []
+    programs = []
+    for rnd in range(3):
+        cache = os.path.join(tmp, "cli-cold-%d" % rnd)
+        seconds, progs = _cli_batch_programs(moddir, [request], cache)
+        times.append(seconds)
+        programs.append(progs[0])
+    assert len(set(programs)) == 1
+    return min(times), programs[0]
+
+
+def bench_warm_daemon(daemon, request, expected_program):
+    """Per-request latency once the daemon's cache is hot."""
+    goal, static = request
+    latencies = []
+    with daemon.client() as client:
+        first = client.specialise(goal, static)
+        assert first["ok"], first
+        assert first["result"]["program"] == expected_program
+        for _ in range(WARM_REQUESTS):
+            started = time.perf_counter()
+            response = client.specialise(goal, static)
+            latencies.append(time.perf_counter() - started)
+            assert response["ok"] and response["served"] == "warm", response
+            assert response["result"]["program"] == expected_program
+    latencies.sort()
+    p50 = statistics.median(latencies)
+    p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+    return p50, p99
+
+
+def _mixed_requests():
+    """The concurrent phase's per-thread request lists over fresh
+    (never-cached) programs, plus the flat multiset for the serial
+    baseline."""
+    progs = [
+        random_machine_program(PROGRAM_LENGTH, seed=100 + s)
+        for s in range(MIXED_UNIQUE)
+    ]
+    per_thread = []
+    for t in range(MIXED_THREADS):
+        reqs = [
+            ("run", {"prog": progs[(t + i) % MIXED_UNIQUE]})
+            for i in range(MIXED_PER_THREAD)
+        ]
+        per_thread.append(reqs)
+    flat = [r for reqs in per_thread for r in reqs]
+    return per_thread, flat
+
+
+def bench_mixed(daemon, per_thread):
+    """Concurrent clients over a warm/cold mix; returns (wall seconds,
+    {prog-repr: set of program texts})."""
+    answers = {}
+    answers_lock = threading.Lock()
+    errors = []
+
+    def worker(reqs):
+        try:
+            with daemon.client() as client:
+                for goal, static in reqs:
+                    response = client.specialise(goal, static)
+                    assert response["ok"], response
+                    key = repr(sorted(static.items()))
+                    with answers_lock:
+                        answers.setdefault(key, set()).add(
+                            response["result"]["program"]
+                        )
+        except Exception as exc:  # surfaced after join
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker, args=(reqs,)) for reqs in per_thread
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - started
+    assert not errors, errors
+    return seconds, answers
+
+
+def bench_saturation(daemon, request):
+    """Concurrent clients hammering one warm request: requests/second
+    at the admission layer's steady state."""
+    goal, static = request
+    per_thread = SATURATION_REQUESTS // MIXED_THREADS
+    errors = []
+
+    def worker():
+        try:
+            with daemon.client() as client:
+                for _ in range(per_thread):
+                    response = client.specialise(goal, static)
+                    assert response["ok"], response
+        except Exception as exc:
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=worker) for _ in range(MIXED_THREADS)
+    ]
+    started = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    seconds = time.perf_counter() - started
+    assert not errors, errors
+    return (per_thread * MIXED_THREADS) / seconds
+
+
+def main():
+    cpus = _cpus()
+    identical = True
+
+    with tempfile.TemporaryDirectory() as tmp:
+        moddir = os.path.join(tmp, "modules")
+        os.makedirs(moddir)
+        with open(os.path.join(moddir, "Machine.mod"), "w") as f:
+            f.write(machine_interpreter_source())
+
+        warm_prog = random_machine_program(PROGRAM_LENGTH, seed=7)
+        warm_request = ("run", {"prog": warm_prog})
+
+        cold_cli_s, cli_program = bench_cold_cli(moddir, warm_request, tmp)
+
+        daemon = Daemon(moddir, cache_dir=os.path.join(tmp, "serve-cache"))
+        try:
+            # One cold daemon request, timed through the socket.
+            with daemon.client() as client:
+                started = time.perf_counter()
+                response = client.specialise(*warm_request)
+                cold_daemon_s = time.perf_counter() - started
+            assert response["ok"] and response["served"] == "cold", response
+            identical &= response["result"]["program"] == cli_program
+
+            warm_p50, warm_p99 = bench_warm_daemon(
+                daemon, warm_request, cli_program
+            )
+
+            per_thread, flat = _mixed_requests()
+            mixed_daemon_s, answers = bench_mixed(daemon, per_thread)
+            identical &= all(len(texts) == 1 for texts in answers.values())
+
+            saturation_rps = bench_saturation(daemon, warm_request)
+
+            with daemon.client() as client:
+                counters = client.metrics()["metrics"]["counters"]
+        finally:
+            daemon.stop()
+
+        # Serial one-shot baseline: the same clients without a daemon —
+        # one CLI subprocess per client, back to back, sharing one
+        # persistent cache (so later clients get disk-warm answers;
+        # what they cannot share is the resident pipeline).
+        serial_cache = os.path.join(tmp, "serial-cache")
+        mixed_serial_s = 0.0
+        for reqs in per_thread:
+            seconds, serial_programs = _cli_batch_programs(
+                moddir, reqs, serial_cache
+            )
+            mixed_serial_s += seconds
+            for (goal, static), program in zip(reqs, serial_programs):
+                key = repr(sorted(static.items()))
+                identical &= answers[key] == {program}
+
+    results = {
+        "cold_cli_s": cold_cli_s,
+        "cold_daemon_s": cold_daemon_s,
+        "warm_daemon_p50_s": warm_p50,
+        "warm_daemon_p99_s": warm_p99,
+        "warm_speedup_vs_cli": cold_cli_s / warm_p50,
+        "mixed_daemon_s": mixed_daemon_s,
+        "mixed_serial_cli_s": mixed_serial_s,
+        "mixed_speedup": mixed_serial_s / mixed_daemon_s,
+        "mixed_daemon_rps": len(flat) / mixed_daemon_s,
+        "saturation_rps": saturation_rps,
+        "serve_warm_hits": counters.get("serve.warm", 0),
+        "serve_cold_runs": counters.get("serve.cold", 0),
+        "serve_rejections": counters.get("serve.rejections", 0),
+    }
+
+    doc = {
+        "schema": BENCH_SERVE_SCHEMA,
+        "cpus": cpus,
+        "tiny": TINY,
+        "workload": {
+            "goal": "run",
+            "machine_program_length": PROGRAM_LENGTH,
+            "jobs": JOBS,
+            "warm_requests": WARM_REQUESTS,
+            "mixed_threads": MIXED_THREADS,
+            "mixed_requests": len(flat),
+            "mixed_unique": MIXED_UNIQUE,
+            "saturation_requests": SATURATION_REQUESTS,
+        },
+        "results": results,
+        "identical": identical,
+    }
+    problems = validate_bench_serve(doc)
+    assert not problems, problems
+    with open(JSON_PATH, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    print(
+        "== serve daemon (program length %d, %d cpus, jobs %d%s) =="
+        % (PROGRAM_LENGTH, cpus, JOBS, ", tiny" if TINY else "")
+    )
+    rows = [
+        ("one-shot CLI, cold", cold_cli_s, 1.0),
+        ("daemon, cold (socket)", cold_daemon_s, cold_cli_s / cold_daemon_s),
+        ("daemon, warm p50", warm_p50, results["warm_speedup_vs_cli"]),
+        ("daemon, warm p99", warm_p99, cold_cli_s / warm_p99),
+    ]
+    for label, seconds, speedup in rows:
+        print("%-28s %10.3f ms  %8.2fx" % (label, seconds * 1e3, speedup))
+    print(
+        "mixed x%d (%d clients):  daemon %.3fs (%.0f req/s)  "
+        "vs serial one-shot %.3fs  -> %.2fx"
+        % (
+            len(flat),
+            MIXED_THREADS,
+            mixed_daemon_s,
+            results["mixed_daemon_rps"],
+            mixed_serial_s,
+            results["mixed_speedup"],
+        )
+    )
+    print(
+        "saturation: %.0f warm req/s; daemon counters: %d warm, %d cold, "
+        "%d rejected; byte-identical: %s"
+        % (
+            saturation_rps,
+            results["serve_warm_hits"],
+            results["serve_cold_runs"],
+            results["serve_rejections"],
+            identical,
+        )
+    )
+    print("wrote", JSON_PATH)
+
+    assert identical, "daemon residuals differ from the one-shot CLI's"
+    if not TINY:
+        assert results["warm_speedup_vs_cli"] >= MIN_WARM_SPEEDUP_VS_CLI, (
+            "daemon warm p50 only %.1fx faster than the cold CLI"
+            % results["warm_speedup_vs_cli"]
+        )
+        assert results["mixed_speedup"] >= MIN_MIXED_SPEEDUP, (
+            "mixed workload only %.2fx the serial one-shot baseline"
+            % results["mixed_speedup"]
+        )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,8 +22,17 @@ specialisation run and the ``compile()`` — it is one dict probe — and
 counts as ``rtcg.lru_hits`` in the run's metrics registry.  Use
 :func:`configure_lru` / :func:`clear_lru` to size or reset the cache
 (capacity 0 disables memoisation entirely).
+
+The LRU is shared process-wide and the specialisation daemon
+(:mod:`repro.serve`) probes it from concurrent request-handler threads,
+so every structural operation (probe + move-to-end, insert + evict,
+reconfigure, clear) holds :data:`_LRU_LOCK`.  The expensive work — the
+specialisation run and the ``compile()`` — happens *outside* the lock;
+two threads racing on the same cold key may both compute, and the last
+insert wins (both callables are correct, nothing is ever torn).
 """
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -48,6 +57,7 @@ class GeneratedFunction:
 
 _LRU_CAPACITY = 128
 _LRU = OrderedDict()  # key -> GeneratedFunction, most-recent last
+_LRU_LOCK = threading.RLock()  # guards _LRU and _LRU_CAPACITY
 
 
 def configure_lru(capacity):
@@ -55,19 +65,22 @@ def configure_lru(capacity):
     global _LRU_CAPACITY
     if capacity < 0:
         raise ValueError("capacity must be >= 0, got %d" % capacity)
-    _LRU_CAPACITY = capacity
-    while len(_LRU) > _LRU_CAPACITY:
-        _LRU.popitem(last=False)
+    with _LRU_LOCK:
+        _LRU_CAPACITY = capacity
+        while len(_LRU) > _LRU_CAPACITY:
+            _LRU.popitem(last=False)
 
 
 def clear_lru():
     """Drop every memoised callable (test isolation, redeploys)."""
-    _LRU.clear()
+    with _LRU_LOCK:
+        _LRU.clear()
 
 
 def lru_len():
     """How many callables are currently memoised."""
-    return len(_LRU)
+    with _LRU_LOCK:
+        return len(_LRU)
 
 
 def generate(gp, goal, static_args=None, options=None, obs=None, **legacy):
@@ -93,26 +106,37 @@ def generate(gp, goal, static_args=None, options=None, obs=None, **legacy):
     static_args = dict(static_args or {})
 
     key = None
-    if _LRU_CAPACITY > 0 and options.sink is None:
+    hit = None
+    if options.sink is None:
         fingerprint = getattr(gp, "fingerprint", None)
         fingerprint = fingerprint() if callable(fingerprint) else None
         if fingerprint is not None:
             from repro.speccache import residual_cache_key
 
-            key = residual_cache_key(fingerprint, goal, static_args, options)
-            hit = _LRU.get(key)
+            probe_key = residual_cache_key(
+                fingerprint, goal, static_args, options
+            )
+            with _LRU_LOCK:
+                if _LRU_CAPACITY > 0:
+                    key = probe_key
+                    hit = _LRU.get(key)
+                    if hit is not None:
+                        _LRU.move_to_end(key)
             if hit is not None:
-                _LRU.move_to_end(key)
                 obs.metrics.counter("rtcg.lru_hits").inc()
                 obs.bus.emit("rtcg.lru_hit", goal=goal, key=key)
                 return hit
-            obs.metrics.counter("rtcg.lru_misses").inc()
+            if key is not None:
+                obs.metrics.counter("rtcg.lru_misses").inc()
 
     result = specialise(gp, goal, static_args, options, obs=obs)
     compiled = compile_program(result.program, filename="<rtcg:%s>" % goal)
     fn = GeneratedFunction(result, compiled)
     if key is not None:
-        _LRU[key] = fn
-        while len(_LRU) > _LRU_CAPACITY:
-            _LRU.popitem(last=False)
+        with _LRU_LOCK:
+            if _LRU_CAPACITY > 0:
+                _LRU[key] = fn
+                _LRU.move_to_end(key)
+                while len(_LRU) > _LRU_CAPACITY:
+                    _LRU.popitem(last=False)
     return fn

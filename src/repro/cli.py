@@ -30,6 +30,20 @@ Subcommands mirror the paper's workflow:
   an alias.)
 * ``mspec run DIR GOAL [values...]`` — interpret a program directly.
 * ``mspec show DIR``             — print schemes and annotated modules.
+* ``mspec serve DIR [--socket P | --tcp H:P] [--jobs N]
+  [--max-inflight N] [--queue N] [--deadline S]`` — the persistent
+  specialisation daemon (see ``docs/serving.md``): loads and links
+  ``DIR`` once, pre-forks a worker pool, keeps the residual cache hot,
+  and answers ``repro.serve/v1`` requests over a unix socket (default
+  ``DIR/.mspec-serve.sock``) or TCP until told to shut down.  Requests
+  beyond the admission bounds are rejected with backpressure (client
+  exit 8); an edited module triggers one controlled re-link.
+* ``mspec client [--socket P | --tcp H:P] OP [GOAL] [name=value...]``
+  — one request against a running daemon: ``ping`` / ``health`` /
+  ``metrics`` / ``trace`` / ``specialise`` / ``shutdown``.  A
+  ``specialise`` answer prints the residual program byte-identically
+  to ``mspec specialise``; error codes map to the same exit codes the
+  one-shot pipeline uses (3/4/5), plus 8 for rejected/draining.
 * ``mspec check DIR [--fuzz N] [--seed S] [--jobs-widths 1,4]`` — the
   correctness harness (see ``docs/correctness.md``): annotation lint,
   interface fsck (committed ``*.bti`` vs re-derived schemes), and
@@ -73,6 +87,7 @@ exit codes:
   5  a worker process crashed
   6  fsck found (and quarantined) corrupt cache objects
   7  check found correctness problems (lint/iface/divergence findings)
+  8  serve daemon rejected the request (admission queue full / draining)
 """
 
 
@@ -516,6 +531,134 @@ def cmd_check(args):
     return report.exit_code
 
 
+def _parse_tcp(text):
+    host, _, port = text.rpartition(":")
+    try:
+        return (host or "127.0.0.1", int(port))
+    except ValueError:
+        raise SystemExit("--tcp expects HOST:PORT, got %r" % text)
+
+
+def cmd_serve(args):
+    from repro.api import SpecOptions
+    from repro.serve import ServeConfig, serve_forever
+
+    config = ServeConfig(
+        dir=args.dir,
+        socket_path=args.socket,
+        tcp=_parse_tcp(args.tcp) if args.tcp else None,
+        jobs=args.jobs,
+        max_inflight=args.max_inflight,
+        queue=args.queue,
+        deadline=args.deadline,
+        drain_timeout=args.drain_timeout,
+        cache_dir=args.cache_dir,
+        options=SpecOptions(
+            strategy=args.strategy,
+            force_residual=frozenset(args.residual or []),
+        ),
+        retries=args.retries,
+        watch_source=not args.no_watch,
+        warm_pool=not args.no_warm,
+        metrics_path=args.metrics,
+    )
+
+    def announce(server, transport):
+        import os
+
+        print(
+            "mspec serve: %s at %s (pid %d, jobs %d, max-inflight %d, "
+            "queue %d)"
+            % (
+                args.dir,
+                config.address,
+                os.getpid(),
+                config.jobs,
+                config.max_inflight,
+                config.queue,
+            ),
+            file=sys.stderr,
+        )
+
+    return serve_forever(config, ready=announce)
+
+
+def cmd_client(args):
+    from repro.serve import ServeClient, ServeClientError, exit_code_for
+
+    if (args.socket is None) == (args.tcp is None):
+        raise SystemExit("give exactly one of --socket or --tcp")
+    tcp = _parse_tcp(args.tcp) if args.tcp else None
+    static = _parse_bindings(args.bindings)
+    if static and args.op != "specialise":
+        raise SystemExit("name=value arguments only apply to specialise")
+    if args.op == "specialise" and not args.goal:
+        raise SystemExit("specialise needs a GOAL function name")
+    if args.op != "specialise" and args.goal:
+        raise SystemExit("%s takes no GOAL argument" % args.op)
+
+    try:
+        if args.wait:
+            client = ServeClient.wait_ready(args.socket, tcp, timeout=args.wait)
+        else:
+            client = ServeClient.connect(args.socket, tcp)
+    except ServeClientError as exc:
+        print("mspec client: %s" % exc, file=sys.stderr)
+        return 3
+    try:
+        if args.op == "specialise":
+            response = client.specialise(
+                args.goal, static, deadline=args.deadline
+            )
+        else:
+            response = client.request({"op": args.op})
+    except ServeClientError as exc:
+        print("mspec client: %s" % exc, file=sys.stderr)
+        return 3
+    finally:
+        client.close()
+
+    exit_code = exit_code_for(response)
+    if args.json:
+        json.dump(response, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return exit_code
+    if not response.get("ok"):
+        error = response.get("error") or {}
+        print(
+            "mspec client: %s [%s] %s"
+            % (args.op, error.get("code"), error.get("message")),
+            file=sys.stderr,
+        )
+        return exit_code
+    if args.op == "specialise":
+        # Byte-identical to `mspec specialise DIR GOAL ...` on stdout.
+        result = response["result"]
+        print(result["program"], end="")
+        print(
+            "-- served %s in %.6fs; entry %s(%s)"
+            % (
+                response.get("served"),
+                response.get("seconds", 0.0),
+                result["entry"],
+                ", ".join(result["dynamic_params"]),
+            ),
+            file=sys.stderr,
+        )
+    elif args.op == "ping":
+        print("pong")
+    else:
+        # health/metrics/trace are data: print the meat as JSON.
+        body = {
+            k: v
+            for k, v in response.items()
+            if k not in ("schema", "op", "ok", "id")
+        }
+        json.dump(body, sys.stdout, indent=2, sort_keys=True)
+        print()
+    return exit_code
+
+
 def cmd_run(args):
     linked = load_program_dir(args.dir)
     values = [_parse_value(v) for v in args.values]
@@ -743,6 +886,102 @@ def build_parser():
     )
     observability(p)
     p.set_defaults(fn=cmd_check)
+
+    p = sub.add_parser(
+        "serve",
+        help="run the persistent specialisation daemon (repro.serve/v1)",
+    )
+    common(p)
+    p.add_argument(
+        "--socket", metavar="PATH",
+        help="unix socket to listen on (default DIR/.mspec-serve.sock)",
+    )
+    p.add_argument(
+        "--tcp", metavar="HOST:PORT",
+        help="listen on TCP instead of a unix socket",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker-pool width, pre-forked at startup (default 1)",
+    )
+    p.add_argument(
+        "--max-inflight", type=int, default=None, metavar="N",
+        help="concurrent specialisations admitted (default: --jobs)",
+    )
+    p.add_argument(
+        "--queue", type=int, default=None, metavar="N",
+        help="requests allowed to wait beyond --max-inflight before "
+        "backpressure rejection (default: 4x max-inflight)",
+    )
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline, queue wait included "
+        "(a request may narrow it, never widen it)",
+    )
+    p.add_argument(
+        "--drain-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="how long a graceful shutdown waits for in-flight requests "
+        "(default 30)",
+    )
+    p.add_argument(
+        "--retries", type=int, default=0, metavar="N",
+        help="retry a failed/hung specialisation up to N times (default 0)",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent residual cache (default DIR/.mspec-cache)",
+    )
+    p.add_argument(
+        "--strategy", choices=("bfs", "dfs"), default="bfs",
+        help="pending-list discipline (default bfs)",
+    )
+    p.add_argument(
+        "--no-warm", action="store_true",
+        help="skip pre-forking the worker pool at startup",
+    )
+    p.add_argument(
+        "--no-watch", action="store_true",
+        help="do not watch DIR for source changes (skip the per-request "
+        "digest check)",
+    )
+    p.add_argument(
+        "--metrics", metavar="FILE",
+        help="write the final metrics snapshot to FILE on shutdown "
+        "(live metrics are always available via `mspec client metrics`)",
+    )
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "client",
+        help="send one request to a running serve daemon",
+    )
+    p.add_argument(
+        "op",
+        choices=("ping", "health", "metrics", "trace", "specialise",
+                 "shutdown"),
+        help="the protocol operation",
+    )
+    p.add_argument(
+        "goal", nargs="?", default=None,
+        help="function to specialise (specialise only)",
+    )
+    p.add_argument("bindings", nargs="*", help="static arguments: name=value")
+    p.add_argument("--socket", metavar="PATH", help="daemon's unix socket")
+    p.add_argument("--tcp", metavar="HOST:PORT", help="daemon's TCP address")
+    p.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-request deadline (queue wait included)",
+    )
+    p.add_argument(
+        "--wait", type=float, default=None, metavar="SECONDS",
+        help="wait up to SECONDS for the daemon to become ready "
+        "(for scripts that just started it)",
+    )
+    p.add_argument(
+        "--json", action="store_true",
+        help="print the raw repro.serve/v1 response document",
+    )
+    p.set_defaults(fn=cmd_client)
 
     p = sub.add_parser("run", help="interpret a program")
     common(p)

@@ -26,7 +26,17 @@ Three layers of work avoidance stack:
    :class:`~repro.genext.link.GenextProgram` re-link per worker
    process, memoised in :data:`_WORKER_PROGRAMS` (pre-seeded in the
    parent before the pool forks, so on ``fork`` platforms workers
-   inherit the already-linked program and re-link nothing).
+   inherit the already-linked program and re-link nothing).  Pass a
+   :class:`~repro.pipeline.pool.WorkerPool` as ``pool`` to keep those
+   forked workers alive *across calls*: the pool is created once,
+   reused by every batch (and every retry wave within a batch), and
+   shut down by its owner — this is the daemon steady state
+   (:mod:`repro.serve`), where per-call fork/pickle overhead would
+   otherwise dominate microsecond jobs.  With a resident pool even a
+   single cold request is dispatched to it rather than run inline, so
+   the caller's thread (a server's request handler) never does
+   specialisation work itself and per-request deadlines are enforced
+   from any thread.
 
 Determinism: requests are independent, the residual program of each is
 a pure function of (program fingerprint, goal, static args, options),
@@ -46,7 +56,12 @@ from typing import Dict, List, Tuple
 from repro.genext.runtime import SpecError
 from repro.pipeline.faults import FaultPolicy, ModuleFailure, WaveSupervisor
 
-__all__ = ["BatchRequest", "BatchResult", "specialise_many"]
+__all__ = [
+    "BatchRequest",
+    "BatchResult",
+    "seed_worker_program",
+    "specialise_many",
+]
 
 
 @dataclass(frozen=True)
@@ -129,6 +144,21 @@ class BatchResult:
 _WORKER_PROGRAMS = {}
 
 
+def seed_worker_program(gp):
+    """Memoise ``gp`` under its fingerprint so workers forked *after*
+    this call inherit the linked program and re-link nothing.  Call it
+    before :meth:`~repro.pipeline.pool.WorkerPool.warm` when holding a
+    resident pool (the daemon and the benches do); ``specialise_many``
+    seeds it automatically for pools it forks itself.  Returns the
+    fingerprint (``None`` for unfingerprinted programs, which cannot be
+    shipped to workers at all)."""
+    fingerprint = getattr(gp, "fingerprint", None)
+    fingerprint = fingerprint() if callable(fingerprint) else None
+    if fingerprint is not None:
+        _WORKER_PROGRAMS[fingerprint] = gp
+    return fingerprint
+
+
 def _worker_program(fingerprint, modules):
     gp = _WORKER_PROGRAMS.get(fingerprint)
     if gp is None:
@@ -153,7 +183,8 @@ def _specialise_worker(payload):
 
 
 def specialise_many(
-    gp, requests, options=None, jobs=1, policy=None, obs=None, **legacy
+    gp, requests, options=None, jobs=1, policy=None, obs=None, pool=None,
+    **legacy
 ):
     """Specialise every request of a batch; returns a :class:`BatchResult`.
 
@@ -163,7 +194,10 @@ def specialise_many(
     (default: fail fast, no retries — but one request's failure never
     abandons the others' results).  ``options`` applies to every
     request; set ``options.cache_dir`` to give the workers a shared
-    persistent residual cache.
+    persistent residual cache.  ``pool`` is an optional borrowed
+    :class:`~repro.pipeline.pool.WorkerPool`: its pre-forked workers
+    are reused (and left running) across calls, and cold requests are
+    always dispatched to it — the persistent-daemon operating point.
     """
     from repro.api import spec_options
     from repro.obs import Obs
@@ -233,9 +267,14 @@ def specialise_many(
         cold.append(key)
 
     # A pool needs the program as text; without it, degrade to
-    # supervised serial execution in this process.
-    use_pool = jobs > 1 and len(cold) > 1 and modules is not None
-    effective_jobs = jobs if use_pool else 1
+    # supervised serial execution in this process.  A borrowed resident
+    # pool is used for *any* cold work (its workers are already forked
+    # and must own the jobs — deadlines only bind in pool mode off the
+    # main thread); an ephemeral pool is only worth forking for >1 job.
+    use_pool = modules is not None and (
+        len(cold) > 1 if pool is None else len(cold) >= 1
+    ) and (jobs > 1 or pool is not None)
+    effective_jobs = (pool.jobs if pool is not None else jobs) if use_pool else 1
     shipped = modules if use_pool else None
     # Pre-seed so forked workers (and the serial path) skip re-linking.
     _WORKER_PROGRAMS[fingerprint] = gp
@@ -256,7 +295,8 @@ def specialise_many(
         )
 
     supervisor = WaveSupervisor(
-        _specialise_worker, effective_jobs, policy, obs=obs
+        _specialise_worker, effective_jobs, policy, obs=obs,
+        pool=pool if use_pool else None,
     )
     try:
         done, failed = supervisor.run_wave(payloads)

@@ -18,10 +18,18 @@ Snapshots round-trip: ``MetricsRegistry.from_snapshot(snapshot)``
 rebuilds an equivalent registry (used to merge metrics across processes
 and to regression-test the schema).  Every update is published on the
 bus's ``on_metric`` channel when a bus is attached.
+
+Thread safety: a registry may be written by many threads at once (the
+specialisation daemon's request handlers all share one), so each cell's
+read-modify-write and the registry's get-or-create hold a lock; bus
+notification happens outside it (a subscriber may touch other metrics).
+Plain ``+=`` on an attribute is *not* atomic under the GIL — a thread
+switch between the load and the store loses increments.
 """
 
 import json
 import os
+import threading
 import time
 from contextlib import contextmanager
 
@@ -33,65 +41,78 @@ METRICS_SCHEMA = "repro.obs.metrics/v1"
 class Counter:
     """A monotonically increasing count (resettable only via ``set``)."""
 
-    __slots__ = ("name", "value", "_registry")
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name, registry=None):
         self.name = name
         self.value = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def inc(self, n=1):
-        self.value += n
+        with self._lock:
+            self.value += n
+            value = self.value
         if self._registry is not None:
-            self._registry._notify(self.name, "counter", self.value)
-        return self.value
+            self._registry._notify(self.name, "counter", value)
+        return value
 
     def set(self, value):
-        self.value = value
+        with self._lock:
+            self.value = value
         if self._registry is not None:
-            self._registry._notify(self.name, "counter", self.value)
-        return self.value
+            self._registry._notify(self.name, "counter", value)
+        return value
 
 
 class Gauge:
     """A point-in-time value (last write wins; ``max_of`` keeps peaks)."""
 
-    __slots__ = ("name", "value", "_registry")
+    __slots__ = ("name", "value", "_registry", "_lock")
 
     def __init__(self, name, registry=None):
         self.name = name
         self.value = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def set(self, value):
-        self.value = value
+        with self._lock:
+            self.value = value
         if self._registry is not None:
             self._registry._notify(self.name, "gauge", value)
         return value
 
     def max_of(self, value):
-        if value > self.value:
-            self.set(value)
-        return self.value
+        with self._lock:
+            if value <= self.value:
+                return self.value
+            self.value = value
+        if self._registry is not None:
+            self._registry._notify(self.name, "gauge", value)
+        return value
 
 
 class Timer:
     """Accumulated wall-clock seconds plus a record count."""
 
-    __slots__ = ("name", "seconds", "count", "_registry")
+    __slots__ = ("name", "seconds", "count", "_registry", "_lock")
 
     def __init__(self, name, registry=None):
         self.name = name
         self.seconds = 0.0
         self.count = 0
         self._registry = registry
+        self._lock = threading.Lock()
 
     def add(self, seconds, count=1):
-        self.seconds += seconds
-        self.count += count
+        with self._lock:
+            self.seconds += seconds
+            self.count += count
+            total = self.seconds
         if self._registry is not None:
             self._registry._notify(self.name, "timer", seconds)
-        return self.seconds
+        return total
 
     @contextmanager
     def time(self):
@@ -105,13 +126,14 @@ class Timer:
 class MetricsRegistry:
     """Named metrics, created on first use; one snapshot for everything."""
 
-    __slots__ = ("counters", "gauges", "timers", "bus")
+    __slots__ = ("counters", "gauges", "timers", "bus", "_lock")
 
     def __init__(self, bus=None):
         self.counters = {}
         self.gauges = {}
         self.timers = {}
         self.bus = bus
+        self._lock = threading.Lock()
 
     def _notify(self, name, kind, value):
         if self.bus is not None:
@@ -122,19 +144,28 @@ class MetricsRegistry:
     def counter(self, name):
         c = self.counters.get(name)
         if c is None:
-            c = self.counters[name] = Counter(name, self)
+            with self._lock:
+                c = self.counters.get(name)
+                if c is None:
+                    c = self.counters[name] = Counter(name, self)
         return c
 
     def gauge(self, name):
         g = self.gauges.get(name)
         if g is None:
-            g = self.gauges[name] = Gauge(name, self)
+            with self._lock:
+                g = self.gauges.get(name)
+                if g is None:
+                    g = self.gauges[name] = Gauge(name, self)
         return g
 
     def timer(self, name):
         t = self.timers.get(name)
         if t is None:
-            t = self.timers[name] = Timer(name, self)
+            with self._lock:
+                t = self.timers.get(name)
+                if t is None:
+                    t = self.timers[name] = Timer(name, self)
         return t
 
     # -- snapshots -----------------------------------------------------------

@@ -22,9 +22,11 @@ import sys
 from repro.obs.metrics import METRICS_SCHEMA
 
 __all__ = [
+    "BENCH_SERVE_SCHEMA",
     "BENCH_SPEC_THROUGHPUT_SCHEMA",
     "REPORT_SCHEMA",
     "WELL_KNOWN_COUNTERS",
+    "validate_bench_serve",
     "validate_bench_spec_throughput",
     "validate_metrics",
     "validate_report",
@@ -35,6 +37,8 @@ __all__ = [
 REPORT_SCHEMA = "mspec.report/v1"
 
 BENCH_SPEC_THROUGHPUT_SCHEMA = "repro.bench.spec_throughput/v1"
+
+BENCH_SERVE_SCHEMA = "repro.bench.serve/v1"
 
 _REPORT_COMMANDS = ("build", "specialise", "fsck", "check")
 
@@ -69,6 +73,20 @@ WELL_KNOWN_COUNTERS = frozenset(
         "check.iface_findings",
         "check.bundles",
         "check.minimise_deletions",
+        # The serve daemon's request accounting (docs/serving.md):
+        # every specialise request increments serve.requests and exactly
+        # one of warm/cold (answered) or rejections/failures/
+        # deadline_kills (refused/failed); coalesced marks followers of
+        # an identical in-flight request; relinks counts source-change
+        # re-links of the served program.
+        "serve.requests",
+        "serve.warm",
+        "serve.cold",
+        "serve.rejections",
+        "serve.deadline_kills",
+        "serve.failures",
+        "serve.relinks",
+        "serve.coalesced",
     ]
 )
 
@@ -220,6 +238,47 @@ def validate_bench_spec_throughput(doc):
     return problems
 
 
+def validate_bench_serve(doc):
+    """Problems with a ``BENCH_serve.json`` document (empty list = ok).
+
+    The document is what ``benchmarks/bench_serve.py`` emits: the
+    workload shape, daemon/CLI latencies and throughputs, and the
+    byte-identity verdict for daemon-vs-CLI residuals."""
+    if not isinstance(doc, dict):
+        return ["bench document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != BENCH_SERVE_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r"
+            % (BENCH_SERVE_SCHEMA, doc.get("schema"))
+        )
+    if not isinstance(doc.get("cpus"), int) or doc.get("cpus", 0) < 1:
+        problems.append("cpus must be a positive integer")
+    if not isinstance(doc.get("workload"), dict):
+        problems.append("workload must be an object")
+    if doc.get("identical") is not True:
+        problems.append(
+            "identical must be true (daemon residuals must be "
+            "byte-identical to the one-shot CLI's)"
+        )
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        problems.append("results must be a non-empty object")
+    else:
+        for name, value in results.items():
+            if not isinstance(name, str):
+                problems.append("results key %r is not a string" % (name,))
+            if (
+                not isinstance(value, _NUMBER)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                problems.append(
+                    "results[%r] must be a non-negative number" % (name,)
+                )
+    return problems
+
+
 def validate_file(path):
     """``(kind, problems)`` for a JSON file; kind inferred from content."""
     try:
@@ -235,6 +294,8 @@ def validate_file(path):
         return "report", validate_report(doc)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SPEC_THROUGHPUT_SCHEMA:
         return "bench", validate_bench_spec_throughput(doc)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SERVE_SCHEMA:
+        return "bench", validate_bench_serve(doc)
     return "unknown", ["unrecognised document (no known schema marker)"]
 
 

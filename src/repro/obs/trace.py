@@ -190,6 +190,15 @@ class Tracer:
         for event in events:
             self.record(event)
 
+    def trim(self, keep):
+        """Drop all but the ``keep`` most recent events.  Long-lived
+        processes (the :mod:`repro.serve` daemon) call this after each
+        request so the trace buffer stays bounded; dropped spans were
+        already published on the bus."""
+        with self._lock:
+            if len(self.events) > keep:
+                del self.events[: len(self.events) - keep]
+
     # -- export --------------------------------------------------------------
 
     def to_chrome(self):

@@ -24,6 +24,7 @@ from repro.pipeline.faults import (
     WaveSupervisor,
     fsck_cache,
 )
+from repro.pipeline.pool import WorkerPool
 from repro.pipeline.stats import PipelineStats
 
 __all__ = [
@@ -40,6 +41,7 @@ __all__ = [
     "ModuleFailure",
     "PipelineStats",
     "WaveSupervisor",
+    "WorkerPool",
     "build_dir",
     "fsck_cache",
 ]

@@ -46,13 +46,13 @@ import os
 import signal
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bt.interface import InterfaceError, interface_from_text
+from repro.pipeline.pool import WorkerPool
 from repro.pipeline.cache import (
     CODE_KIND,
     GENEXT_KIND,
@@ -271,9 +271,18 @@ class WaveSupervisor:
 
     ``worker`` is a picklable function of one payload; payloads are
     ``(name, ...)`` tuples whose first element names the module.  The
-    supervisor owns at most one :class:`ProcessPoolExecutor` at a time,
-    tears it down on hangs and breakage, and — once broken — stays
-    degraded to serial execution for the rest of the build.
+    supervisor drives at most one executor at a time (through a
+    :class:`~repro.pipeline.pool.WorkerPool`), tears it down on hangs
+    and breakage, and — once broken — stays degraded to serial
+    execution for the rest of the build.
+
+    ``pool`` may supply a *borrowed* :class:`WorkerPool`: the
+    supervisor then reuses its already-forked workers and leaves the
+    pool running at :meth:`shutdown` (the owner — a daemon, a bench, a
+    batch driver serving many calls — shuts it down once, at the end of
+    its life).  Hangs and breakage still :meth:`~WorkerPool.kill` the
+    borrowed pool's executor — a hung worker must die whoever owns it —
+    but the pool respawns transparently on next use.
 
     Fault accounting goes through the observability layer: counters
     (``faults.retries`` / ``faults.timeouts`` / ``faults.crashes`` /
@@ -287,9 +296,9 @@ class WaveSupervisor:
     views read the same registry.
     """
 
-    def __init__(self, worker, jobs, policy, stats=None, obs=None):
+    def __init__(self, worker, jobs, policy, stats=None, obs=None, pool=None):
         self.worker = worker
-        self.jobs = jobs
+        self.jobs = pool.jobs if pool is not None else jobs
         self.policy = policy
         self.stats = stats
         if obs is not None:
@@ -302,7 +311,8 @@ class WaveSupervisor:
             self.metrics = None
             self.bus = None
         self.degraded = False
-        self._pool = None
+        self._owns_pool = pool is None
+        self._pool = pool
 
     def _count(self, counter):
         if self.metrics is not None:
@@ -315,29 +325,26 @@ class WaveSupervisor:
     # -- pool lifecycle ------------------------------------------------------
 
     def _ensure_pool(self):
+        """The live executor (forked lazily; reused across retry waves
+        and, with a borrowed pool, across supervisor lifetimes)."""
         if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        return self._pool
+            self._pool = WorkerPool(self.jobs)
+        return self._pool.executor()
 
-    def _kill_pool(self):
-        """Tear the pool down hard: terminate workers (a hung worker
-        never returns on its own), then release the executor."""
-        pool, self._pool = self._pool, None
-        if pool is None:
-            return
-        for process in list(getattr(pool, "_processes", {}).values()):
-            try:
-                process.terminate()
-            except (OSError, ValueError):
-                # Already-dead or never-started workers; anything else
-                # (a programming error) must propagate.
-                pass
-        pool.shutdown(wait=False, cancel_futures=True)
+    def _kill_pool(self, executor=None):
+        """Tear the executor down hard: terminate workers (a hung worker
+        never returns on its own), then release it.  A borrowed pool
+        survives — killed generation-checked, respawned on next use."""
+        if self._pool is not None:
+            self._pool.kill(executor)
 
     def shutdown(self):
-        pool, self._pool = self._pool, None
-        if pool is not None:
-            pool.shutdown()
+        """Release an owned pool; a borrowed pool is the owner's to
+        shut down and is left running."""
+        if self._owns_pool:
+            pool, self._pool = self._pool, None
+            if pool is not None:
+                pool.shutdown()
 
     # -- one wave ------------------------------------------------------------
 
@@ -381,8 +388,12 @@ class WaveSupervisor:
         return results, failures
 
     def _run_batch(self, batch):
-        use_pool = (
-            not self.degraded and self.jobs > 1 and len(batch) > 1
+        # A borrowed pool's workers are already forked: use them even
+        # for a single job (so deadlines bind off the main thread and
+        # the caller's thread stays free).  An owned pool is only worth
+        # forking when there is real parallelism to be had.
+        use_pool = not self.degraded and (
+            not self._owns_pool or (self.jobs > 1 and len(batch) > 1)
         )
         if use_pool:
             return self._run_batch_pool(batch)
@@ -445,7 +456,7 @@ class WaveSupervisor:
             except Exception as exc:
                 outcomes[name] = (_ERROR, exc)
         if broken:
-            self._kill_pool()
+            self._kill_pool(pool)
             if not self.degraded:
                 # One breakage = one crash + one degradation, however
                 # many victims it had and however they are re-run; the
@@ -458,7 +469,7 @@ class WaveSupervisor:
         elif hung:
             # The pool still holds a wedged worker: scrap it; a fresh
             # one is built lazily if another parallel batch arrives.
-            self._kill_pool()
+            self._kill_pool(pool)
         return outcomes
 
 

@@ -1,0 +1,129 @@
+"""Reusable worker-pool lifecycle: fork once, reuse until told otherwise.
+
+The committed benches showed process-pool startup eating the
+parallelism it was meant to buy: every ``specialise_many`` call (and,
+before PR 1's supervisor kept one executor per *build*, every wave)
+forked a fresh pool, re-pickled state, and threw the workers away — for
+jobs that take microseconds once warm.  :class:`WorkerPool` extracts
+the lifecycle into one shareable object:
+
+* **lazy spawn** — the underlying :class:`ProcessPoolExecutor` is
+  created on first use, after the owner has pre-seeded whatever
+  module-level state the workers should inherit (on ``fork`` platforms
+  a worker gets the parent's memory image at spawn time, so a
+  pre-linked :class:`~repro.genext.link.GenextProgram` rides along for
+  free — no per-request pickling);
+* **hard kill + transparent respawn** — :meth:`kill` terminates the
+  worker processes (a hung worker never returns on its own) and drops
+  the executor; the next :meth:`executor` call forks a fresh one.
+  Killing is generation-checked, so a supervisor that decides to kill
+  the executor it was using never tears down a replacement another
+  thread already spawned;
+* **sharing** — one pool instance can outlive any number of
+  :class:`~repro.pipeline.faults.WaveSupervisor` runs.  The batch
+  driver (:func:`repro.genext.batch.specialise_many`) and the
+  specialisation daemon (:mod:`repro.serve`) both accept a borrowed
+  pool: the supervisor uses it but never shuts it down — the owner
+  does, once, at the end of its life.
+
+Thread safety: all lifecycle transitions happen under one lock;
+``ProcessPoolExecutor.submit`` itself is thread-safe, so concurrent
+supervisors (the daemon's request handlers) can share one pool.
+"""
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+
+__all__ = ["WorkerPool"]
+
+
+def _warm_task(seconds):
+    """Top-level (picklable) task used to pre-fork pool workers: sleep
+    long enough that distinct workers pick up distinct tasks, and report
+    which process ran it."""
+    time.sleep(seconds)
+    return os.getpid()
+
+
+class WorkerPool:
+    """A persistent, killable, respawnable process pool of ``jobs``
+    workers.
+
+    ``spawns`` counts executors created over the pool's lifetime (1 in
+    the steady state — the whole point); ``kills`` counts hard
+    teardowns (hangs, worker crashes).
+    """
+
+    def __init__(self, jobs):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1, got %d" % jobs)
+        self.jobs = jobs
+        self._executor = None
+        self._lock = threading.Lock()
+        self.spawns = 0
+        self.kills = 0
+
+    def executor(self):
+        """The live executor, forking a fresh one if needed."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+                self.spawns += 1
+            return self._executor
+
+    def submit(self, fn, *args):
+        """Submit one task (convenience over :meth:`executor`)."""
+        return self.executor().submit(fn, *args)
+
+    def warm(self, timeout=10.0, sleep=0.05):
+        """Pre-fork the workers by running ``jobs`` short sleeps; returns
+        the set of worker pids observed.  Call this at daemon startup so
+        the first real request never pays the fork."""
+        futures = [self.submit(_warm_task, sleep) for _ in range(self.jobs)]
+        pids = set()
+        for future in futures:
+            try:
+                pids.add(future.result(timeout=timeout))
+            except Exception:
+                # A worker that cannot even warm up will resurface as a
+                # crash on the first real job, where the supervisor's
+                # degradation machinery handles it properly.
+                break
+        return pids
+
+    def kill(self, executor=None):
+        """Hard teardown: terminate the worker processes, drop the
+        executor.  With ``executor`` given, only kill if it is still the
+        current one (another thread may have killed and respawned
+        already — its replacement must survive)."""
+        with self._lock:
+            current = self._executor
+            if current is None:
+                return
+            if executor is not None and executor is not current:
+                return
+            self._executor = None
+            self.kills += 1
+        for process in list(getattr(current, "_processes", {}).values()):
+            try:
+                process.terminate()
+            except (OSError, ValueError):
+                # Already-dead or never-started workers; anything else
+                # (a programming error) must propagate.
+                pass
+        current.shutdown(wait=False, cancel_futures=True)
+
+    def shutdown(self):
+        """Graceful teardown: let running tasks finish, then release."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown()
+
+    @property
+    def alive(self):
+        """Whether an executor currently exists (workers may still be
+        forking lazily inside it)."""
+        return self._executor is not None

@@ -1,0 +1,43 @@
+"""The persistent specialisation service: ``mspec serve`` / ``mspec client``.
+
+The CLI pays the whole pipeline — parse, analyse, cogen, link, pool
+fork — on every invocation, for requests that cost microseconds once the
+caches are warm.  This package keeps everything resident instead:
+
+* :mod:`.daemon` — the long-lived server: the module directory loaded
+  and linked **once**, a pre-forked :class:`~repro.pipeline.pool.WorkerPool`
+  whose workers inherit the linked program, the persistent residual
+  cache and RTCG LRU hot across requests, an admission/backpressure
+  layer, per-request deadlines, live observability, graceful drain, and
+  digest-based re-link when the source directory changes.
+* :mod:`.client` — :class:`~repro.serve.client.ServeClient`, the Python
+  client (and the engine behind ``mspec client``).
+* :mod:`.protocol` — the ``repro.serve/v1`` newline-delimited JSON wire
+  format and its error-code → exit-code contract.
+
+See ``docs/serving.md`` for the protocol reference, the daemon
+lifecycle, and the failure-mode table.
+"""
+
+from repro.serve.client import ServeClient, ServeClientError
+from repro.serve.daemon import ServeConfig, SpecServer, serve_forever
+from repro.serve.protocol import (
+    EXIT_REJECTED,
+    OPS,
+    SERVE_SCHEMA,
+    ProtocolError,
+    exit_code_for,
+)
+
+__all__ = [
+    "EXIT_REJECTED",
+    "OPS",
+    "ProtocolError",
+    "SERVE_SCHEMA",
+    "ServeClient",
+    "ServeClientError",
+    "ServeConfig",
+    "SpecServer",
+    "serve_forever",
+    "exit_code_for",
+]

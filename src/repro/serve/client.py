@@ -1,0 +1,150 @@
+"""The Python client for a running ``mspec serve`` daemon.
+
+One :class:`ServeClient` is one socket connection speaking the
+``repro.serve/v1`` newline-delimited JSON protocol (:mod:`.protocol`).
+Requests on a connection are strictly request/response in order, so a
+client instance is not itself thread-safe — concurrent callers open one
+client each (connections are cheap; the daemon's handler threads are
+``daemon_threads``).
+
+>>> with ServeClient.connect(socket_path=path) as client:   # doctest: +SKIP
+...     response = client.specialise("power", {"n": 3})
+...     print(response["result"]["program"])
+
+:meth:`ServeClient.wait_ready` covers the startup race: it retries the
+connection until the daemon's socket answers a ping, which is how the
+CLI, the benchmark harness, and CI wait for a freshly spawned daemon.
+"""
+
+import socket
+import time
+
+from repro.serve import protocol
+
+__all__ = ["ServeClient", "ServeClientError"]
+
+
+class ServeClientError(Exception):
+    """The daemon could not be reached (connection, framing, EOF)."""
+
+
+class ServeClient:
+    """A connected protocol client; close it (or use ``with``)."""
+
+    def __init__(self, sock, address):
+        self._sock = sock
+        self._rfile = sock.makefile("rb")
+        self.address = address
+
+    # -- connecting ----------------------------------------------------------
+
+    @classmethod
+    def connect(cls, socket_path=None, tcp=None, timeout=10.0):
+        """One connected client for a unix socket path or a
+        ``(host, port)`` pair (exactly one must be given)."""
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("give exactly one of socket_path or tcp")
+        try:
+            if tcp is not None:
+                sock = socket.create_connection(tcp, timeout=timeout)
+                address = "tcp://%s:%d" % tuple(tcp)
+            else:
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(timeout)
+                sock.connect(socket_path)
+                address = "unix://%s" % socket_path
+        except OSError as exc:
+            raise ServeClientError(
+                "cannot connect to daemon at %s: %s"
+                % (socket_path or "%s:%d" % tuple(tcp), exc)
+            )
+        return cls(sock, address)
+
+    @classmethod
+    def wait_ready(cls, socket_path=None, tcp=None, timeout=30.0, interval=0.05):
+        """Connect to a daemon that may still be starting: retry until a
+        ping answers, up to ``timeout`` seconds, then return the
+        connected client.  Raises :class:`ServeClientError` on expiry."""
+        deadline = time.monotonic() + timeout
+        last = None
+        while time.monotonic() < deadline:
+            try:
+                client = cls.connect(socket_path, tcp, timeout=timeout)
+            except ServeClientError as exc:
+                last = exc
+            else:
+                try:
+                    client.ping()
+                    return client
+                except ServeClientError as exc:
+                    last = exc
+                    client.close()
+            time.sleep(interval)
+        raise ServeClientError(
+            "daemon did not become ready within %.3gs: %s" % (timeout, last)
+        )
+
+    # -- the wire ------------------------------------------------------------
+
+    def request(self, doc):
+        """One raw request dict in, one response dict out."""
+        try:
+            self._sock.sendall(protocol.encode(doc))
+            line = self._rfile.readline()
+        except OSError as exc:
+            raise ServeClientError("daemon connection failed: %s" % exc)
+        if not line:
+            raise ServeClientError(
+                "daemon closed the connection without answering"
+            )
+        try:
+            return protocol.decode_line(line)
+        except protocol.ProtocolError as exc:
+            raise ServeClientError("malformed daemon response: %s" % exc)
+
+    # -- the ops -------------------------------------------------------------
+
+    def ping(self):
+        return self.request({"op": "ping"})
+
+    def health(self):
+        return self.request({"op": "health"})
+
+    def metrics(self):
+        return self.request({"op": "metrics"})
+
+    def trace(self):
+        return self.request({"op": "trace"})
+
+    def specialise(self, goal, static_args=None, deadline=None, request_id=None):
+        doc = {"op": "specialise", "goal": goal}
+        if static_args:
+            doc["static_args"] = dict(static_args)
+        if deadline is not None:
+            doc["deadline"] = deadline
+        if request_id is not None:
+            doc["id"] = request_id
+        return self.request(doc)
+
+    def shutdown(self):
+        """Ask the daemon to drain and exit; returns its acknowledgement
+        (the daemon answers first, then closes everything)."""
+        return self.request({"op": "shutdown"})
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def close(self):
+        try:
+            self._rfile.close()
+        finally:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

@@ -1,0 +1,216 @@
+"""The ``repro.serve/v1`` wire protocol: newline-delimited JSON.
+
+One request per line, one response line per request, over a unix-domain
+stream socket (default) or TCP.  Keeping the framing this dumb is a
+feature: any language with a socket and a JSON parser is a client, and
+a request is greppable in a packet capture.
+
+Requests
+--------
+
+``{"op": OP, "id": ID?, ...}`` where ``OP`` is one of:
+
+* ``ping``        — liveness probe; answers ``{"ok": true}``.
+* ``health``      — daemon vitals: uptime, inflight/queued requests,
+  worker-pool state, the served program's source digest.
+* ``metrics``     — the live ``repro.obs.metrics/v1`` snapshot
+  (``serve.*`` counters included).
+* ``trace``       — recent spans as a Chrome trace-event document
+  (bounded ring; load it in Perfetto).
+* ``specialise``  — ``goal`` (function name), ``static_args`` (JSON
+  object; lists become object-language lists, so a pair is
+  ``["pair", 1, 2]``), optional ``deadline`` (seconds, caps queue wait
+  plus run time).
+* ``shutdown``    — graceful drain: in-flight requests finish, new ones
+  are refused, then the daemon exits 0.
+
+``id`` is an optional client correlation token echoed verbatim.
+
+Responses
+---------
+
+``{"schema": "repro.serve/v1", "op": OP, "id": ID?, "ok": BOOL, ...}``.
+A successful ``specialise`` carries ``served`` (``"warm"`` — answered
+in-parent from the residual cache — or ``"cold"`` — computed by the
+worker pool), ``seconds``, and ``result``: the canonical
+``repro.speccache/v1`` payload, whose ``program`` text is byte-identical
+to what ``mspec specialise`` prints for the same request.
+
+A failure carries ``error``: ``{"code": CODE, "message": ...}`` plus a
+``kind`` mirroring :class:`~repro.pipeline.faults.ModuleFailure` where
+one exists.  Codes → client exit codes:
+
+========================  ======================================  ====
+code                      meaning                                 exit
+========================  ======================================  ====
+``bad_request``           malformed request line / unknown op        3
+``error``                 the specialisation itself raised           3
+``deadline``              per-request deadline exceeded              4
+``crash``                 a worker process died                      5
+``rejected``              admission queue full (backpressure)        8
+``shutting_down``         daemon is draining                         8
+========================  ======================================  ====
+"""
+
+import json
+
+from repro.pipeline.faults import (
+    EXIT_CRASH,
+    EXIT_ERROR,
+    EXIT_TIMEOUT,
+    KIND_CRASH,
+    KIND_ERROR,
+    KIND_TIMEOUT,
+)
+
+__all__ = [
+    "SERVE_SCHEMA",
+    "OPS",
+    "EXIT_REJECTED",
+    "ERR_BAD_REQUEST",
+    "ERR_CRASH",
+    "ERR_DEADLINE",
+    "ERR_ERROR",
+    "ERR_REJECTED",
+    "ERR_SHUTTING_DOWN",
+    "ProtocolError",
+    "decode_line",
+    "encode",
+    "error_code_for_kind",
+    "error_response",
+    "exit_code_for",
+    "ok_response",
+    "parse_request",
+]
+
+SERVE_SCHEMA = "repro.serve/v1"
+
+OPS = ("ping", "health", "metrics", "trace", "specialise", "shutdown")
+
+# The backpressure/drain exit code; 3/4/5 reuse the build pipeline's
+# failure-class codes (see docs/robustness.md and `mspec --help`).
+EXIT_REJECTED = 8
+
+ERR_BAD_REQUEST = "bad_request"
+ERR_REJECTED = "rejected"
+ERR_DEADLINE = "deadline"
+ERR_ERROR = "error"
+ERR_CRASH = "crash"
+ERR_SHUTTING_DOWN = "shutting_down"
+
+_EXIT_BY_CODE = {
+    ERR_BAD_REQUEST: EXIT_ERROR,
+    ERR_ERROR: EXIT_ERROR,
+    ERR_DEADLINE: EXIT_TIMEOUT,
+    ERR_CRASH: EXIT_CRASH,
+    ERR_REJECTED: EXIT_REJECTED,
+    ERR_SHUTTING_DOWN: EXIT_REJECTED,
+}
+
+_CODE_BY_KIND = {
+    KIND_ERROR: ERR_ERROR,
+    KIND_TIMEOUT: ERR_DEADLINE,
+    KIND_CRASH: ERR_CRASH,
+}
+
+
+class ProtocolError(Exception):
+    """A request line the server cannot make sense of."""
+
+
+def encode(doc):
+    """One protocol line: compact JSON + newline, as bytes."""
+    return (json.dumps(doc, sort_keys=True, separators=(",", ":")) + "\n").encode(
+        "utf-8"
+    )
+
+
+def decode_line(line):
+    """Parse one received line into a dict (raises ProtocolError)."""
+    if isinstance(line, bytes):
+        try:
+            line = line.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise ProtocolError("request is not UTF-8: %s" % exc)
+    try:
+        doc = json.loads(line)
+    except ValueError as exc:
+        raise ProtocolError("request is not JSON: %s" % exc)
+    if not isinstance(doc, dict):
+        raise ProtocolError("request must be a JSON object")
+    return doc
+
+
+def _conv_static(v):
+    """JSON static-argument values into object-language values: lists
+    become tuples recursively (same convention as ``--batch`` files —
+    a pair is ``["pair", 1, 2]``)."""
+    if isinstance(v, list):
+        return tuple(_conv_static(x) for x in v)
+    return v
+
+
+def parse_request(line):
+    """Decode and validate one request line; returns the request dict
+    with ``static_args`` values converted.  Raises ProtocolError."""
+    doc = decode_line(line)
+    op = doc.get("op")
+    if op not in OPS:
+        raise ProtocolError(
+            "op must be one of %s, got %r" % ("/".join(OPS), op)
+        )
+    if op == "specialise":
+        goal = doc.get("goal")
+        if not isinstance(goal, str) or not goal:
+            raise ProtocolError("specialise needs a 'goal' function name")
+        static = doc.get("static_args")
+        if static is None:
+            static = {}
+        if not isinstance(static, dict):
+            raise ProtocolError("static_args must be a JSON object")
+        doc["static_args"] = {
+            name: _conv_static(v) for name, v in static.items()
+        }
+        deadline = doc.get("deadline")
+        if deadline is not None and (
+            isinstance(deadline, bool)
+            or not isinstance(deadline, (int, float))
+            or deadline <= 0
+        ):
+            raise ProtocolError("deadline must be a positive number")
+    return doc
+
+
+def ok_response(op, request_id=None, **fields):
+    doc = {"schema": SERVE_SCHEMA, "op": op, "ok": True}
+    if request_id is not None:
+        doc["id"] = request_id
+    doc.update(fields)
+    return doc
+
+
+def error_response(op, code, message, request_id=None, kind=None):
+    doc = {
+        "schema": SERVE_SCHEMA,
+        "op": op,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+    if kind is not None:
+        doc["error"]["kind"] = kind
+    if request_id is not None:
+        doc["id"] = request_id
+    return doc
+
+
+def error_code_for_kind(kind):
+    """The protocol error code for a ModuleFailure kind."""
+    return _CODE_BY_KIND.get(kind, ERR_ERROR)
+
+
+def exit_code_for(response):
+    """The client exit code a response maps to (0 when ok)."""
+    if response.get("ok"):
+        return 0
+    code = (response.get("error") or {}).get("code")
+    return _EXIT_BY_CODE.get(code, EXIT_ERROR)

@@ -604,7 +604,9 @@ class TestNarrowedHandlers:
             validate_payload_bytes(json.dumps(payload).encode())
 
     def test_kill_pool_swallows_dead_worker_errors_only(self):
-        from repro.pipeline.faults import WaveSupervisor
+        # The narrowed handler lives in WorkerPool.kill (the shared
+        # pool-lifecycle seam behind the supervisor and the daemon).
+        from repro.pipeline.pool import WorkerPool
 
         class Proc:
             def __init__(self, exc):
@@ -616,7 +618,7 @@ class TestNarrowedHandlers:
                     raise self.exc
                 self.terminated = True
 
-        class Pool:
+        class Executor:
             def __init__(self, procs):
                 self._processes = dict(enumerate(procs))
                 self.shut_down = False
@@ -624,16 +626,16 @@ class TestNarrowedHandlers:
             def shutdown(self, wait=False, cancel_futures=True):
                 self.shut_down = True
 
-        sup = WaveSupervisor.__new__(WaveSupervisor)
+        pool = WorkerPool(1)
         ok = Proc(None)
-        pool = Pool([Proc(OSError("gone")), ok])
-        sup._pool = pool
-        sup._kill_pool()  # OSError from an already-dead worker: fine
-        assert ok.terminated and pool.shut_down
+        executor = Executor([Proc(OSError("gone")), ok])
+        pool._executor = executor
+        pool.kill()  # OSError from an already-dead worker: fine
+        assert ok.terminated and executor.shut_down
 
-        sup._pool = Pool([Proc(TypeError("bug"))])
+        pool._executor = Executor([Proc(TypeError("bug"))])
         with pytest.raises(TypeError):
-            sup._kill_pool()
+            pool.kill()
 
     def test_residual_cycle_is_structure_error(self):
         from repro.lang.ast import Call, Def, Var

@@ -1,0 +1,192 @@
+"""The reusable worker pool: lifecycle, generation-checked kills, sharing.
+
+:class:`~repro.pipeline.pool.WorkerPool` is the one pool-lifecycle
+object behind the batch driver, the wave supervisor, and the serve
+daemon.  The properties that matter: fork-once (``spawns`` stays 1 in
+the steady state, across any number of supervisor runs), a hard kill
+never tears down another thread's replacement executor, and a borrowed
+pool survives every supervisor that uses it.
+"""
+
+import os
+
+import pytest
+
+import repro
+from repro.api import SpecOptions
+from repro.genext.batch import seed_worker_program, specialise_many
+from repro.pipeline.faults import FaultPolicy, WaveSupervisor
+from repro.pipeline.pool import WorkerPool
+
+POWER = """\
+module Power where
+
+power n x = if n == 1 then x else x * power (n - 1) x
+"""
+
+
+def _square(payload):
+    name, n = payload
+    return n * n
+
+
+# ---------------------------------------------------------------------------
+# Lifecycle basics.
+# ---------------------------------------------------------------------------
+
+
+def test_jobs_must_be_positive():
+    with pytest.raises(ValueError):
+        WorkerPool(0)
+
+
+def test_lazy_spawn_and_counters():
+    pool = WorkerPool(2)
+    assert not pool.alive and pool.spawns == 0
+    first = pool.executor()
+    assert pool.alive and pool.spawns == 1
+    # Idempotent: the same executor comes back, no respawn.
+    assert pool.executor() is first
+    assert pool.spawns == 1
+    pool.shutdown()
+    assert not pool.alive
+
+
+def test_warm_prefers_distinct_workers():
+    pool = WorkerPool(2)
+    try:
+        pids = pool.warm()
+        assert pids  # at least one worker reported in
+        assert os.getpid() not in pids  # real child processes
+        assert pool.spawns == 1
+    finally:
+        pool.shutdown()
+
+
+def test_submit_runs_in_child_process():
+    pool = WorkerPool(1)
+    try:
+        assert pool.submit(_square, ("x", 7)).result(timeout=30) == 49
+    finally:
+        pool.shutdown()
+
+
+def test_kill_respawns_on_next_use():
+    pool = WorkerPool(1)
+    try:
+        pool.warm()
+        pool.kill()
+        assert not pool.alive and pool.kills == 1
+        # Transparent respawn: the pool works again, counting a spawn.
+        assert pool.submit(_square, ("x", 3)).result(timeout=30) == 9
+        assert pool.spawns == 2
+    finally:
+        pool.shutdown()
+
+
+def test_kill_is_generation_checked():
+    pool = WorkerPool(1)
+    try:
+        stale = pool.executor()
+        pool.kill(stale)  # kills: it is the current generation
+        replacement = pool.executor()
+        assert replacement is not stale
+        pool.kill(stale)  # stale: must NOT touch the replacement
+        assert pool.alive and pool.kills == 1
+        pool.kill(replacement)
+        assert not pool.alive and pool.kills == 2
+    finally:
+        pool.shutdown()
+
+
+def test_kill_without_executor_is_a_noop():
+    pool = WorkerPool(1)
+    pool.kill()
+    assert pool.kills == 0
+
+
+# ---------------------------------------------------------------------------
+# Sharing: supervisors borrow, owners shut down.
+# ---------------------------------------------------------------------------
+
+
+def test_supervisor_leaves_borrowed_pool_running():
+    pool = WorkerPool(2)
+    try:
+        supervisor = WaveSupervisor(
+            _square, jobs=2, policy=FaultPolicy(), pool=pool
+        )
+        done, failed = supervisor.run_wave([("a", 2), ("b", 3)])
+        assert done == {"a": 4, "b": 9} and not failed
+        supervisor.shutdown()
+        assert pool.alive  # borrowed: shutdown() must not release it
+        # And the same workers serve the next supervisor: no respawn.
+        again = WaveSupervisor(
+            _square, jobs=2, policy=FaultPolicy(), pool=pool
+        )
+        done, _ = again.run_wave([("c", 4)])
+        again.shutdown()
+        assert done == {"c": 16}
+        assert pool.spawns == 1
+    finally:
+        pool.shutdown()
+
+
+def test_borrowed_pool_is_used_even_for_one_job():
+    # With a resident pool the cold work must go to the workers (the
+    # caller's thread may not be the main thread, where serial SIGALRM
+    # deadlines do not bind), even when there is just one payload.
+    pool = WorkerPool(1)
+    try:
+        supervisor = WaveSupervisor(
+            _worker_pid, jobs=1, policy=FaultPolicy(), pool=pool
+        )
+        done, _ = supervisor.run_wave([("who",)])
+        supervisor.shutdown()
+        assert done["who"] != os.getpid()
+    finally:
+        pool.shutdown()
+
+
+def _worker_pid(payload):
+    return os.getpid()
+
+
+def test_batch_driver_reuses_resident_pool_across_calls(tmp_path):
+    gp = repro.compile_genexts(POWER)
+    seed_worker_program(gp)
+    pool = WorkerPool(2)
+    try:
+        pool.warm()
+        options = SpecOptions(cache_dir=str(tmp_path / "cache"))
+        texts = []
+        for wave in range(3):
+            batch = specialise_many(
+                gp,
+                [("power", {"n": 2}), ("power", {"n": 3})],
+                options.replace(
+                    cache_dir=str(tmp_path / ("cache-%d" % wave))
+                ),
+                pool=pool,
+            )
+            assert batch.ok, batch.render_failures()
+            texts.append(
+                tuple(repro.pretty_program(r.program) for r in batch.results)
+            )
+        # Fork-once across every batch, and identical residuals.
+        assert pool.spawns == 1
+        assert len(set(texts)) == 1
+    finally:
+        pool.shutdown()
+
+
+def test_batch_driver_without_pool_still_owns_its_lifecycle(tmp_path):
+    gp = repro.compile_genexts(POWER)
+    batch = specialise_many(
+        gp,
+        [("power", {"n": 2}), ("power", {"n": 3})],
+        SpecOptions(cache_dir=str(tmp_path / "cache")),
+        jobs=2,
+    )
+    assert batch.ok
+    assert batch.stats["jobs"] == 2
