@@ -52,6 +52,15 @@ Subcommands mirror the paper's workflow:
   (``--bundle-dir``, default ``DIR/.mspec-check``).  ``mspec check
   --replay bundle.json`` re-runs one bundle.  Exit 7 when anything was
   found.
+* ``mspec soak DIR --requests MIX.json [--socket P | --tcp H:P |
+  --spawn] [--count N] [--duration S] [--clients N]`` — the endurance
+  harness (see ``docs/robustness.md``): hammer a live daemon (or one
+  spawned under supervision with ``--spawn``) with a seeded request
+  mix through resilient clients, differentially checking every Nth
+  response against a locally computed reference and interp ground
+  truth; arm a fault plan (``--faults`` / ``MSPEC_FAULTS``) to soak
+  under chaos.  Emits a ``repro.bench.soak/v1`` report (``--report``);
+  exit 7 on any error-budget breach.
 
 Observability (see ``docs/observability.md``): ``build`` and
 ``specialise`` accept ``--trace out.json`` (Chrome trace-event JSON,
@@ -561,7 +570,32 @@ def cmd_serve(args):
         watch_source=not args.no_watch,
         warm_pool=not args.no_warm,
         metrics_path=args.metrics,
+        max_requests_per_worker=args.max_requests_per_worker,
+        max_worker_rss_mb=args.max_worker_rss_mb,
     )
+
+    if args.supervise:
+        from repro.serve.supervise import supervise
+
+        def on_event(event, info):
+            print(
+                "mspec serve[supervise]: %s %s"
+                % (event, " ".join("%s=%s" % kv for kv in sorted(info.items()))),
+                file=sys.stderr,
+            )
+
+        print(
+            "mspec serve: supervising %s at %s (max restarts: %s)"
+            % (
+                args.dir,
+                config.address,
+                "unbounded" if args.max_restarts is None else args.max_restarts,
+            ),
+            file=sys.stderr,
+        )
+        return supervise(
+            config, max_restarts=args.max_restarts, on_event=on_event
+        )
 
     def announce(server, transport):
         import os
@@ -656,6 +690,115 @@ def cmd_client(args):
         }
         json.dump(body, sys.stdout, indent=2, sort_keys=True)
         print()
+    return exit_code
+
+
+def cmd_soak(args):
+    import contextlib
+    import os
+
+    from repro.api import SpecOptions
+    from repro.pipeline.faultinject import PLAN_ENV
+    from repro.soak import SoakConfig, load_request_mix, run_soak
+
+    if args.spawn and (args.socket or args.tcp):
+        raise SystemExit("--spawn starts its own daemon; drop --socket/--tcp")
+    if not args.spawn and (args.socket is None) == (args.tcp is None):
+        raise SystemExit("give exactly one of --socket, --tcp, or --spawn")
+    try:
+        mix = load_request_mix(args.requests)
+    except (OSError, ValueError) as exc:
+        raise SystemExit("mspec soak: %s" % exc)
+    if args.faults:
+        os.environ[PLAN_ENV] = os.path.abspath(args.faults)
+
+    options = SpecOptions(
+        strategy=args.strategy,
+        force_residual=frozenset(args.residual or []),
+    )
+    stack = contextlib.ExitStack()
+    with stack:
+        if args.spawn:
+            from repro.serve import ServeConfig
+            from repro.serve.supervise import supervised_daemon
+
+            serve_config = ServeConfig(
+                dir=args.dir,
+                jobs=args.jobs,
+                options=options,
+                max_requests_per_worker=args.max_requests_per_worker,
+            )
+            stack.enter_context(supervised_daemon(serve_config))
+            socket_path, tcp = serve_config.socket_path, None
+            print(
+                "mspec soak: spawned supervised daemon at %s"
+                % serve_config.address,
+                file=sys.stderr,
+            )
+        else:
+            socket_path = args.socket
+            tcp = _parse_tcp(args.tcp) if args.tcp else None
+
+        config = SoakConfig(
+            dir=args.dir,
+            requests=mix,
+            socket_path=socket_path,
+            tcp=tcp,
+            max_requests=args.count,
+            duration=args.duration,
+            clients=args.clients,
+            check_every=args.check_every,
+            batch_every=args.batch_every,
+            batch_jobs=args.batch_jobs,
+            seed=args.seed,
+            request_timeout=args.request_timeout,
+            retry_attempts=args.retry_attempts,
+            max_client_errors=args.max_client_errors,
+            max_divergences=args.max_divergences,
+            options=options,
+            report_path=args.report,
+        )
+        obs, profiler = _make_obs(args)
+        try:
+            exit_code, report = run_soak(config, obs=obs)
+        finally:
+            _finish_obs(args, obs, profiler)
+
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+        return exit_code
+    requests = report["requests"]
+    checks = report["checks"]
+    print(
+        "mspec soak: %d sent, %d ok (%d warm / %d cold), "
+        "%d retries, %d reconnects, %d client errors, %d skipped"
+        % (
+            requests["sent"], requests["ok"], requests["warm"],
+            requests["cold"], requests["retries"], requests["reconnects"],
+            requests["client_errors"], requests["skipped"],
+        )
+    )
+    if requests["batch"]:
+        print(
+            "mspec soak: %d via batch driver (%d failures)"
+            % (requests["batch"], requests["batch_failures"])
+        )
+    print(
+        "mspec soak: %d differential checks, %d divergences; "
+        "faults planned %d, injected %d; %.1fs"
+        % (
+            checks["performed"], checks["divergences"],
+            report["faults"]["planned"], report["faults"]["injected"],
+            report["seconds"],
+        )
+    )
+    for detail in report.get("details", []):
+        print("  - %s" % json.dumps(detail, sort_keys=True))
+    print(
+        "mspec soak: %s"
+        % ("error budget held" if report["ok"] else "ERROR BUDGET BREACHED")
+    )
     return exit_code
 
 
@@ -949,6 +1092,25 @@ def build_parser():
         help="write the final metrics snapshot to FILE on shutdown "
         "(live metrics are always available via `mspec client metrics`)",
     )
+    p.add_argument(
+        "--max-requests-per-worker", type=int, default=None, metavar="N",
+        help="gracefully recycle the worker pool after jobs*N cold "
+        "requests (leaky workers are retired, not kept)",
+    )
+    p.add_argument(
+        "--max-worker-rss-mb", type=float, default=None, metavar="MB",
+        help="recycle the pool when any worker's resident set exceeds "
+        "MB megabytes (Linux /proc check)",
+    )
+    p.add_argument(
+        "--supervise", action="store_true",
+        help="run the daemon in a supervised child process, restarting "
+        "it with backoff if it crashes (exit 0 stops supervision)",
+    )
+    p.add_argument(
+        "--max-restarts", type=int, default=None, metavar="N",
+        help="give up after N crash restarts (default: restart forever)",
+    )
     p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser(
@@ -982,6 +1144,90 @@ def build_parser():
         help="print the raw repro.serve/v1 response document",
     )
     p.set_defaults(fn=cmd_client)
+
+    p = sub.add_parser(
+        "soak",
+        help="endurance-test a live serve daemon under an armed fault plan",
+    )
+    common(p)
+    p.add_argument(
+        "--requests", required=True, metavar="MIX.json",
+        help="JSON request mix: [{goal, static_args, dyn_inputs?}, ...]",
+    )
+    p.add_argument("--socket", metavar="PATH", help="daemon's unix socket")
+    p.add_argument("--tcp", metavar="HOST:PORT", help="daemon's TCP address")
+    p.add_argument(
+        "--spawn", action="store_true",
+        help="spawn a supervised daemon for the run (and drain it after)",
+    )
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker-pool width for a --spawn'ed daemon (default 1)",
+    )
+    p.add_argument(
+        "--count", type=int, default=200, metavar="N",
+        help="requests to schedule (default 200)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="wall-clock bound; scheduled requests past it are skipped",
+    )
+    p.add_argument(
+        "--clients", type=int, default=2, metavar="N",
+        help="concurrent resilient clients (default 2)",
+    )
+    p.add_argument(
+        "--check-every", type=int, default=5, metavar="N",
+        help="differentially check every Nth response (default 5)",
+    )
+    p.add_argument(
+        "--batch-every", type=int, default=0, metavar="N",
+        help="route every Nth request through the parallel batch driver "
+        "instead of the daemon (default 0 = daemon only)",
+    )
+    p.add_argument(
+        "--batch-jobs", type=int, default=2, metavar="N",
+        help="pool width for the batch-driver lane (default 2)",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0, metavar="S",
+        help="request-schedule seed (default 0)",
+    )
+    p.add_argument(
+        "--request-timeout", type=float, default=30.0, metavar="SECONDS",
+        help="per-request wire deadline (default 30)",
+    )
+    p.add_argument(
+        "--retry-attempts", type=int, default=6, metavar="N",
+        help="total tries per idempotent request (default 6)",
+    )
+    p.add_argument(
+        "--max-client-errors", type=int, default=0, metavar="N",
+        help="error budget: client-visible failures allowed (default 0)",
+    )
+    p.add_argument(
+        "--max-divergences", type=int, default=0, metavar="N",
+        help="error budget: differential divergences allowed (default 0)",
+    )
+    p.add_argument(
+        "--max-requests-per-worker", type=int, default=None, metavar="N",
+        help="worker recycling for a --spawn'ed daemon",
+    )
+    p.add_argument(
+        "--faults", metavar="PLAN.json",
+        help="arm this fault plan (sets MSPEC_FAULTS for the run, "
+        "including a --spawn'ed daemon)",
+    )
+    p.add_argument(
+        "--report", metavar="FILE",
+        help="write the repro.bench.soak/v1 report to FILE",
+    )
+    p.add_argument(
+        "--strategy", choices=("bfs", "dfs"), default="bfs",
+        help="pending-list discipline (must match the daemon's; default bfs)",
+    )
+    observability(p)
+    p.set_defaults(fn=cmd_soak)
 
     p = sub.add_parser("run", help="interpret a program")
     common(p)

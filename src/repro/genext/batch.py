@@ -176,8 +176,13 @@ def _specialise_worker(payload):
     uses, which is what makes the jobs-width byte-identity hold."""
     name, fingerprint, modules, goal, static_args, options = payload
     from repro.genext.engine import specialise
+    from repro.pipeline import faultinject
     from repro.speccache import encode_result
 
+    # Serve-phase chaos hook: a planned kill-worker fault SIGKILLs this
+    # worker mid-request (the parent sees BrokenProcessPool and the
+    # supervisor's degradation path answers off the retry budget).
+    faultinject.fire("serve", goal)
     gp = _worker_program(fingerprint, modules)
     return encode_result(specialise(gp, goal, dict(static_args), options))
 

@@ -23,10 +23,12 @@ from repro.obs.metrics import METRICS_SCHEMA
 
 __all__ = [
     "BENCH_SERVE_SCHEMA",
+    "BENCH_SOAK_SCHEMA",
     "BENCH_SPEC_THROUGHPUT_SCHEMA",
     "REPORT_SCHEMA",
     "WELL_KNOWN_COUNTERS",
     "validate_bench_serve",
+    "validate_bench_soak",
     "validate_bench_spec_throughput",
     "validate_metrics",
     "validate_report",
@@ -39,6 +41,8 @@ REPORT_SCHEMA = "mspec.report/v1"
 BENCH_SPEC_THROUGHPUT_SCHEMA = "repro.bench.spec_throughput/v1"
 
 BENCH_SERVE_SCHEMA = "repro.bench.serve/v1"
+
+BENCH_SOAK_SCHEMA = "repro.bench.soak/v1"
 
 _REPORT_COMMANDS = ("build", "specialise", "fsck", "check")
 
@@ -87,6 +91,22 @@ WELL_KNOWN_COUNTERS = frozenset(
         "serve.failures",
         "serve.relinks",
         "serve.coalesced",
+        # Chaos/resilience accounting (docs/robustness.md): recycles
+        # counts graceful worker-generation retirements, faults_injected
+        # the serve-phase faults actually performed.
+        "serve.recycles",
+        "serve.faults_injected",
+        # The soak harness (`mspec soak`, repro.soak): requests it sent,
+        # how they ended, retries the resilient client performed, and
+        # the differential checks/divergences observed.
+        "soak.requests",
+        "soak.ok",
+        "soak.client_errors",
+        "soak.retries",
+        "soak.rejected",
+        "soak.batch_requests",
+        "soak.checks",
+        "soak.divergences",
     ]
 )
 
@@ -279,6 +299,61 @@ def validate_bench_serve(doc):
     return problems
 
 
+def validate_bench_soak(doc):
+    """Problems with a ``BENCH_soak.json`` document (empty list = ok).
+
+    The document is what ``mspec soak`` (:mod:`repro.soak`) emits: the
+    workload shape, request/outcome tallies, the differential-check
+    verdict, and the error-budget verdict."""
+    if not isinstance(doc, dict):
+        return ["bench document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != BENCH_SOAK_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r"
+            % (BENCH_SOAK_SCHEMA, doc.get("schema"))
+        )
+    if not isinstance(doc.get("cpus"), int) or doc.get("cpus", 0) < 1:
+        problems.append("cpus must be a positive integer")
+    if not isinstance(doc.get("workload"), dict):
+        problems.append("workload must be an object")
+    if not isinstance(doc.get("ok"), bool):
+        problems.append("ok must be a boolean")
+    if (
+        not isinstance(doc.get("seconds"), _NUMBER)
+        or isinstance(doc.get("seconds"), bool)
+        or doc.get("seconds", -1) < 0
+    ):
+        problems.append("seconds must be a non-negative number")
+    for section in ("requests", "checks", "faults"):
+        table = doc.get(section)
+        if not isinstance(table, dict):
+            problems.append("%s must be an object" % section)
+            continue
+        for name, value in table.items():
+            if not isinstance(name, str):
+                problems.append("%s key %r is not a string" % (section, name))
+            if (
+                not isinstance(value, int)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                problems.append(
+                    "%s[%r] must be a non-negative integer" % (section, name)
+                )
+    checks = doc.get("checks")
+    if isinstance(checks, dict):
+        for key in ("performed", "divergences"):
+            if not isinstance(checks.get(key), int):
+                problems.append("checks.%s must be an integer" % key)
+    budget = doc.get("error_budget")
+    if not isinstance(budget, dict):
+        problems.append("error_budget must be an object")
+    elif not isinstance(budget.get("ok"), bool):
+        problems.append("error_budget.ok must be a boolean")
+    return problems
+
+
 def validate_file(path):
     """``(kind, problems)`` for a JSON file; kind inferred from content."""
     try:
@@ -296,6 +371,8 @@ def validate_file(path):
         return "bench", validate_bench_spec_throughput(doc)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_SERVE_SCHEMA:
         return "bench", validate_bench_serve(doc)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_SOAK_SCHEMA:
+        return "bench", validate_bench_soak(doc)
     return "unknown", ["unrecognised document (no known schema marker)"]
 
 

@@ -31,6 +31,28 @@ boundaries* (the victims run inside pool workers).  The mechanism:
     :func:`corrupt`: the artifact bytes are replaced with garbage
     before they reach the cache (what a torn disk write would leave).
 
+* Serve-phase actions (``phase="serve"``) exercise the serving path
+  (:mod:`repro.serve`) the same way; the ``module`` field names the
+  *goal* under attack (``"*"`` matches any goal — wildcards work for
+  build faults too):
+
+  - ``kill-worker``      — ``SIGKILL`` the pool worker mid-request
+    (harsher than ``crash``: no exit handlers run), fired from the
+    specialisation worker via :func:`fire`; outside a pool worker the
+    fault is skipped *without spending budget* (a degraded serial
+    rerun of the killed request must succeed, and the budget must stay
+    armed for real workers);
+  - ``drop-connection``  — the daemon closes the client connection
+    after accepting the request, before answering;
+  - ``stall``            — the daemon sleeps ``seconds`` before
+    writing the response (a wedged handler: the client's wire deadline
+    must fire);
+  - ``corrupt-response`` — the daemon writes a garbage line instead of
+    the real response (a torn write on the wire).
+
+  Transport actions are claimed explicitly by the daemon's handler via
+  :func:`claim_action`; :func:`fire` never spends them.
+
 * :meth:`FaultPlan.seeded` derives victims from a seed with
   ``random.Random(seed)``, so randomised fault campaigns are exactly
   reproducible.
@@ -43,13 +65,21 @@ import json
 import multiprocessing
 import os
 import random
+import signal
 import time
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
 PLAN_ENV = "MSPEC_FAULTS"
 
-ACTIONS = ("raise", "hang", "crash", "corrupt")
+# Actions fire() may claim implicitly inside a job...
+WORKER_ACTIONS = ("raise", "hang", "crash", "kill-worker")
+# ...vs. actions only ever spent through an explicit claim_action()
+# call at the daemon's transport layer (plus "corrupt", spent only
+# through corrupt() at publish time).
+TRANSPORT_ACTIONS = ("drop-connection", "stall", "corrupt-response")
+
+ACTIONS = WORKER_ACTIONS + ("corrupt",) + TRANSPORT_ACTIONS
 
 # Deterministic garbage: invalid JSON, invalid Python source (NUL
 # bytes), invalid marshal data — corrupt for every artifact kind.
@@ -140,19 +170,25 @@ class FaultPlan:
 
     # -- firing --------------------------------------------------------------
 
-    def claim(self, phase, module, action=None, kind=None):
+    def claim(self, phase, module, action=None, kind=None, exclude=()):
         """The first matching fault with budget left, or ``None``.
 
+        A fault whose ``module`` is ``"*"`` matches any victim.
         Claiming spends one unit of the fault's budget atomically in the
         shared ledger, so exactly ``times`` firings happen across all
-        processes no matter how the work is scheduled."""
+        processes no matter how the work is scheduled.  Actions in
+        ``exclude`` are skipped *without* spending budget (e.g.
+        ``kill-worker`` outside a pool worker: the budget must stay
+        available for contexts where the fault is meaningful)."""
         for idx, fault in enumerate(self.faults):
-            if fault.module != module or fault.phase != phase:
+            if fault.module not in ("*", module) or fault.phase != phase:
+                continue
+            if fault.action in exclude:
                 continue
             if action is not None and fault.action != action:
                 continue
-            if action is None and fault.action == "corrupt":
-                continue  # corrupt only fires through corrupt()
+            if action is None and fault.action not in WORKER_ACTIONS:
+                continue  # corrupt/transport actions need explicit claims
             if kind is not None and fault.kind not in (None, kind):
                 continue
             if self._spend(idx, fault):
@@ -171,8 +207,10 @@ class FaultPlan:
         return False
 
 
-# One plan per path, cached: the env var rarely changes inside a build,
-# and workers load it once per process.
+# Plans cached per path, keyed by (mtime_ns, size): a plan file
+# rewritten in place at the same path must be picked up, so every
+# access re-stats the file (one stat per hook firing — cheap next to
+# the parse it avoids).
 _CACHE = {}
 
 
@@ -181,14 +219,20 @@ def active_plan():
     path = os.environ.get(PLAN_ENV)
     if not path:
         return None
-    plan = _CACHE.get(path)
-    if plan is None:
-        try:
-            with open(path) as f:
-                plan = FaultPlan.from_dict(json.load(f))
-        except (OSError, ValueError, KeyError, TypeError):
-            return None
-        _CACHE[path] = plan
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    stamp = (st.st_mtime_ns, st.st_size)
+    cached = _CACHE.get(path)
+    if cached is not None and cached[0] == stamp:
+        return cached[1]
+    try:
+        with open(path) as f:
+            plan = FaultPlan.from_dict(json.load(f))
+    except (OSError, ValueError, KeyError, TypeError):
+        return None
+    _CACHE[path] = (stamp, plan)
     return plan
 
 
@@ -197,7 +241,13 @@ def fire(phase, module):
     plan = active_plan()
     if plan is None:
         return
-    fault = plan.claim(phase, module)
+    # kill-worker only makes sense inside a pool worker; in the parent
+    # (a degraded serial rerun of a killed request, say) it is skipped
+    # without spending budget so the chaos lands where it belongs.
+    in_worker = multiprocessing.parent_process() is not None
+    fault = plan.claim(
+        phase, module, exclude=() if in_worker else ("kill-worker",)
+    )
     if fault is None:
         return
     if fault.action == "raise":
@@ -213,6 +263,24 @@ def fire(phase, module):
         raise FaultInjected(
             "injected crash (in-process; module %s)" % module
         )
+    if fault.action == "kill-worker":
+        if multiprocessing.parent_process() is not None:
+            # Mid-request SIGKILL: no exit handlers, no cleanup — the
+            # parent sees BrokenProcessPool exactly as with a real OOM
+            # kill or operator kill -9.
+            os.kill(os.getpid(), signal.SIGKILL)
+        raise FaultInjected(
+            "injected worker kill (in-process; module %s)" % module
+        )
+
+
+def claim_action(phase, module, action):
+    """Explicitly claim one specific planned action (the serve daemon's
+    transport hooks); returns the :class:`Fault` or ``None``."""
+    plan = active_plan()
+    if plan is None:
+        return None
+    return plan.claim(phase, module, action=action)
 
 
 def corrupt(phase, module, kind, data):

@@ -25,6 +25,16 @@ the lifecycle into one shareable object:
   specialisation daemon (:mod:`repro.serve`) both accept a borrowed
   pool: the supervisor uses it but never shuts it down — the owner
   does, once, at the end of its life.
+* **recycling** — a long-lived pool accumulates whatever its workers
+  leak (memo tables, fragmentation, genuine leaks).  With
+  ``max_requests_per_worker`` set, the executor is retired *gracefully*
+  after ``jobs × max_requests_per_worker`` submitted tasks — running
+  tasks finish on the old workers while a fresh generation forks lazily
+  for new work; with ``max_worker_rss`` (bytes) set,
+  :meth:`maybe_recycle` also retires the generation when any worker's
+  resident set crosses the ceiling (read from ``/proc`` — on platforms
+  without it the check is skipped).  ``recycles`` counts graceful
+  retirements, distinct from ``kills``.
 
 Thread safety: all lifecycle transitions happen under one lock;
 ``ProcessPoolExecutor.submit`` itself is thread-safe, so concurrent
@@ -36,7 +46,18 @@ import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 
-__all__ = ["WorkerPool"]
+__all__ = ["WorkerPool", "worker_rss_bytes"]
+
+
+def worker_rss_bytes(pid):
+    """The resident-set size of ``pid`` in bytes via ``/proc``, or
+    ``None`` where unreadable (non-Linux, vanished process)."""
+    try:
+        with open("/proc/%d/statm" % pid, "rb") as f:
+            fields = f.read().split()
+        return int(fields[1]) * (os.sysconf("SC_PAGE_SIZE") or 4096)
+    except (OSError, IndexError, ValueError):
+        return None
 
 
 def _warm_task(seconds):
@@ -56,14 +77,27 @@ class WorkerPool:
     teardowns (hangs, worker crashes).
     """
 
-    def __init__(self, jobs):
+    def __init__(self, jobs, max_requests_per_worker=None, max_worker_rss=None):
         if jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % jobs)
+        if max_requests_per_worker is not None and max_requests_per_worker < 1:
+            raise ValueError(
+                "max_requests_per_worker must be >= 1, got %d"
+                % max_requests_per_worker
+            )
+        if max_worker_rss is not None and max_worker_rss < 1:
+            raise ValueError(
+                "max_worker_rss must be >= 1 byte, got %d" % max_worker_rss
+            )
         self.jobs = jobs
+        self.max_requests_per_worker = max_requests_per_worker
+        self.max_worker_rss = max_worker_rss
         self._executor = None
         self._lock = threading.Lock()
+        self._tasks_this_generation = 0
         self.spawns = 0
         self.kills = 0
+        self.recycles = 0
 
     def executor(self):
         """The live executor, forking a fresh one if needed."""
@@ -71,17 +105,68 @@ class WorkerPool:
             if self._executor is None:
                 self._executor = ProcessPoolExecutor(max_workers=self.jobs)
                 self.spawns += 1
+                self._tasks_this_generation = 0
             return self._executor
 
     def submit(self, fn, *args):
         """Submit one task (convenience over :meth:`executor`)."""
-        return self.executor().submit(fn, *args)
+        executor = self.executor()
+        self.note_tasks(1)
+        return executor.submit(fn, *args)
+
+    def note_tasks(self, n=1):
+        """Charge ``n`` tasks against the current generation's recycle
+        budget.  Owners that hand the raw executor to someone else (the
+        daemon hands it to a :class:`~repro.pipeline.faults.WaveSupervisor`)
+        call this for work the pool cannot see."""
+        with self._lock:
+            self._tasks_this_generation += n
+
+    def maybe_recycle(self):
+        """Gracefully retire a generation past its budget.
+
+        Returns the reason (``"requests"`` or ``"rss"``) when the
+        executor was retired, else ``None``.  Retirement is *graceful*:
+        running tasks finish on the old workers (shutdown waits on a
+        background thread), while the next :meth:`executor` call forks
+        a fresh generation — so recycling never fails a request, it
+        only bounds how long one worker process lives.
+        """
+        reason = None
+        with self._lock:
+            executor = self._executor
+            if executor is None:
+                return None
+            budget = self.max_requests_per_worker
+            if budget is not None and (
+                self._tasks_this_generation >= budget * self.jobs
+            ):
+                reason = "requests"
+            elif self.max_worker_rss is not None:
+                for process in list(
+                    getattr(executor, "_processes", {}).values()
+                ):
+                    rss = worker_rss_bytes(process.pid)
+                    if rss is not None and rss > self.max_worker_rss:
+                        reason = "rss"
+                        break
+            if reason is None:
+                return None
+            self._executor = None
+            self._tasks_this_generation = 0
+            self.recycles += 1
+        threading.Thread(
+            target=executor.shutdown, kwargs={"wait": True}, daemon=True
+        ).start()
+        return reason
 
     def warm(self, timeout=10.0, sleep=0.05):
         """Pre-fork the workers by running ``jobs`` short sleeps; returns
         the set of worker pids observed.  Call this at daemon startup so
-        the first real request never pays the fork."""
-        futures = [self.submit(_warm_task, sleep) for _ in range(self.jobs)]
+        the first real request never pays the fork.  Warm tasks are not
+        charged against the recycle budget."""
+        executor = self.executor()
+        futures = [executor.submit(_warm_task, sleep) for _ in range(self.jobs)]
         pids = set()
         for future in futures:
             try:

@@ -14,36 +14,181 @@ client each (connections are cheap; the daemon's handler threads are
 :meth:`ServeClient.wait_ready` covers the startup race: it retries the
 connection until the daemon's socket answers a ping, which is how the
 CLI, the benchmark harness, and CI wait for a freshly spawned daemon.
+
+Resilience
+----------
+
+The client owns the *wire* deadline: ``request_timeout`` (or a per-call
+``timeout``) bounds how long one round trip may take, and a wedged
+daemon raises :class:`ServeTimeout` instead of blocking ``readline()``
+forever.  After a timeout the connection is desynchronised (the answer
+may still arrive later), so the socket is dropped and the next request
+reconnects.
+
+Specialise requests are deterministic and the daemon's residual store
+is atomic, so *idempotent* operations (everything except ``shutdown``)
+are safe to retry.  Pass a :class:`RetryPolicy` to opt in: transport
+failures (connection refused/reset, EOF, malformed response, wire
+timeout) and protocol-level ``crash`` responses are retried over a
+fresh connection with capped exponential backoff; ``rejected``
+(backpressure, exit code 8) is retried with jittered backoff but never
+counts against the circuit breaker — a daemon shedding load is healthy,
+not dead.  ``shutting_down`` is returned as-is: the draining daemon
+asked us to go away.
+
+Pass a :class:`CircuitBreaker` to fail fast when the daemon is gone:
+after ``failure_threshold`` consecutive transport failures the breaker
+opens and requests raise :class:`CircuitOpen` immediately (no connect,
+no timeout wait) until ``reset_timeout`` elapses, when one half-open
+probe is allowed through.  By default there is no retry policy and no
+breaker — a bare client fails loudly on the first fault, which is what
+tests and one-shot CLI calls want.
 """
 
+import random
 import socket
 import time
+from dataclasses import dataclass, field
 
 from repro.serve import protocol
 
-__all__ = ["ServeClient", "ServeClientError"]
+__all__ = [
+    "CircuitBreaker",
+    "CircuitOpen",
+    "RetryPolicy",
+    "ServeClient",
+    "ServeClientError",
+    "ServeTimeout",
+]
 
 
 class ServeClientError(Exception):
     """The daemon could not be reached (connection, framing, EOF)."""
 
 
+class ServeTimeout(ServeClientError):
+    """No response within the wire deadline (the daemon may be wedged;
+    the connection is dropped — any late answer would desync framing)."""
+
+
+class CircuitOpen(ServeClientError):
+    """The circuit breaker is open: the daemon has failed repeatedly
+    and the cooldown has not elapsed, so the call fails fast."""
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Capped-exponential-backoff retry schedule for idempotent ops.
+
+    ``attempts`` is the *total* number of tries (first call included).
+    Delay before retry ``n`` (0-based) is
+    ``min(cap, base * 2**n)``, shrunk by up to ``jitter`` of itself at
+    random so a fleet of clients does not retry in lockstep.  ``sleep``
+    and ``rng`` are injectable for deterministic tests.
+    """
+
+    attempts: int = 4
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    jitter: float = 0.5
+    sleep: object = field(default=time.sleep, repr=False)
+    rng: object = field(default=random.random, repr=False)
+
+    def delay(self, attempt):
+        """Seconds to wait before retry number ``attempt`` (0-based)."""
+        base = min(self.backoff_cap, self.backoff_base * (2.0 ** attempt))
+        return base * (1.0 - self.jitter * self.rng())
+
+
+class CircuitBreaker:
+    """A minimal closed/open/half-open breaker over transport health.
+
+    *Closed*: requests flow; consecutive transport failures are
+    counted.  At ``failure_threshold`` the breaker *opens*: every call
+    fails fast with :class:`CircuitOpen` until ``reset_timeout``
+    seconds pass, when the breaker goes *half-open* and admits one
+    probe — success closes it, failure re-opens it for another full
+    cooldown.  Only transport failures trip it; any decoded response
+    (including errors like ``rejected``) proves the daemon alive and
+    closes the breaker.  ``clock`` is injectable for tests.
+    """
+
+    def __init__(self, failure_threshold=5, reset_timeout=30.0,
+                 clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                "failure_threshold must be >= 1, got %d" % failure_threshold
+            )
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self._clock = clock
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = None
+
+    @property
+    def state(self):
+        """``"closed"``, ``"open"`` or ``"half-open"`` (cooldown expiry
+        is evaluated lazily, here)."""
+        if (
+            self._state == "open"
+            and self._clock() - self._opened_at >= self.reset_timeout
+        ):
+            self._state = "half-open"
+        return self._state
+
+    def allow(self):
+        """Whether a request may be attempted right now."""
+        return self.state != "open"
+
+    def record_success(self):
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = None
+
+    def record_failure(self):
+        if self.state == "half-open":
+            self._state = "open"
+            self._opened_at = self._clock()
+            return
+        self._failures += 1
+        if self._failures >= self.failure_threshold:
+            self._state = "open"
+            self._opened_at = self._clock()
+
+
+def _fresh_stats():
+    return {
+        "requests": 0,       # wire round trips attempted
+        "retries": 0,        # extra attempts beyond the first
+        "reconnects": 0,     # fresh sockets opened after the first
+        "timeouts": 0,       # wire deadlines that fired
+        "rejected": 0,       # backpressure responses seen
+        "breaker_fastfail": 0,  # calls refused by an open breaker
+    }
+
+
 class ServeClient:
     """A connected protocol client; close it (or use ``with``)."""
 
-    def __init__(self, sock, address):
+    def __init__(self, sock, address, connect_args=None,
+                 request_timeout=None, retry=None, breaker=None):
         self._sock = sock
-        self._rfile = sock.makefile("rb")
+        self._rfile = sock.makefile("rb") if sock is not None else None
         self.address = address
+        # (socket_path, tcp, timeout) for transparent reconnect; a
+        # client built from a bare socket cannot reconnect.
+        self._connect_args = connect_args
+        self.request_timeout = request_timeout
+        self.retry = retry
+        self.breaker = breaker
+        self.stats = _fresh_stats()
 
     # -- connecting ----------------------------------------------------------
 
-    @classmethod
-    def connect(cls, socket_path=None, tcp=None, timeout=10.0):
-        """One connected client for a unix socket path or a
-        ``(host, port)`` pair (exactly one must be given)."""
-        if (socket_path is None) == (tcp is None):
-            raise ValueError("give exactly one of socket_path or tcp")
+    @staticmethod
+    def _open(socket_path, tcp, timeout):
+        """One connected socket, or :class:`ServeClientError`."""
         try:
             if tcp is not None:
                 sock = socket.create_connection(tcp, timeout=timeout)
@@ -58,18 +203,42 @@ class ServeClient:
                 "cannot connect to daemon at %s: %s"
                 % (socket_path or "%s:%d" % tuple(tcp), exc)
             )
-        return cls(sock, address)
+        return sock, address
 
     @classmethod
-    def wait_ready(cls, socket_path=None, tcp=None, timeout=30.0, interval=0.05):
+    def connect(cls, socket_path=None, tcp=None, timeout=10.0,
+                request_timeout=None, retry=None, breaker=None):
+        """One connected client for a unix socket path or a
+        ``(host, port)`` pair (exactly one must be given).
+
+        ``timeout`` bounds the TCP/unix connect; ``request_timeout``
+        (seconds, or ``None`` for the connect timeout) bounds each
+        round trip on the wire.  ``retry``/``breaker`` arm the
+        resilience layer (off by default)."""
+        if (socket_path is None) == (tcp is None):
+            raise ValueError("give exactly one of socket_path or tcp")
+        sock, address = cls._open(socket_path, tcp, timeout)
+        return cls(
+            sock,
+            address,
+            connect_args=(socket_path, tcp, timeout),
+            request_timeout=request_timeout,
+            retry=retry,
+            breaker=breaker,
+        )
+
+    @classmethod
+    def wait_ready(cls, socket_path=None, tcp=None, timeout=30.0,
+                   interval=0.05, **kwargs):
         """Connect to a daemon that may still be starting: retry until a
         ping answers, up to ``timeout`` seconds, then return the
-        connected client.  Raises :class:`ServeClientError` on expiry."""
+        connected client.  Raises :class:`ServeClientError` on expiry.
+        Extra keyword arguments go to :meth:`connect`."""
         deadline = time.monotonic() + timeout
         last = None
         while time.monotonic() < deadline:
             try:
-                client = cls.connect(socket_path, tcp, timeout=timeout)
+                client = cls.connect(socket_path, tcp, timeout=timeout, **kwargs)
             except ServeClientError as exc:
                 last = exc
             else:
@@ -84,63 +253,161 @@ class ServeClient:
             "daemon did not become ready within %.3gs: %s" % (timeout, last)
         )
 
+    def _mark_broken(self):
+        """Drop the socket: the stream is dead or desynchronised."""
+        rfile, self._rfile = self._rfile, None
+        sock, self._sock = self._sock, None
+        for obj in (rfile, sock):
+            if obj is not None:
+                try:
+                    obj.close()
+                except Exception:
+                    pass
+
+    def _reconnect(self):
+        """Open a fresh connection with the original parameters."""
+        if self._connect_args is None:
+            raise ServeClientError(
+                "connection lost and this client was built from a bare "
+                "socket — no parameters to reconnect with"
+            )
+        self._mark_broken()
+        socket_path, tcp, timeout = self._connect_args
+        self._sock, self.address = self._open(socket_path, tcp, timeout)
+        self._rfile = self._sock.makefile("rb")
+        self.stats["reconnects"] += 1
+
     # -- the wire ------------------------------------------------------------
 
-    def request(self, doc):
-        """One raw request dict in, one response dict out."""
+    def _roundtrip(self, doc, wire_timeout):
+        """One send + one response line over the current connection,
+        reconnecting first if a previous fault dropped it."""
+        if self._sock is None:
+            self._reconnect()
+        self.stats["requests"] += 1
         try:
+            self._sock.settimeout(wire_timeout)
             self._sock.sendall(protocol.encode(doc))
             line = self._rfile.readline()
+        except socket.timeout:
+            # The response may still arrive later; reusing this stream
+            # would pair it with the *next* request. Drop the socket.
+            self._mark_broken()
+            self.stats["timeouts"] += 1
+            raise ServeTimeout(
+                "no response from %s within %.3gs"
+                % (self.address, wire_timeout)
+            )
         except OSError as exc:
+            self._mark_broken()
             raise ServeClientError("daemon connection failed: %s" % exc)
         if not line:
+            self._mark_broken()
             raise ServeClientError(
                 "daemon closed the connection without answering"
             )
         try:
             return protocol.decode_line(line)
         except protocol.ProtocolError as exc:
+            # Garbage on the wire: framing can no longer be trusted.
+            self._mark_broken()
             raise ServeClientError("malformed daemon response: %s" % exc)
+
+    def request(self, doc, timeout=None, idempotent=False):
+        """One raw request dict in, one response dict out.
+
+        ``timeout`` overrides the client's ``request_timeout`` for this
+        call.  With ``idempotent=True`` and an armed :class:`RetryPolicy`,
+        transport faults and retry-safe protocol errors (``crash``,
+        ``rejected``) are retried with backoff over fresh connections;
+        otherwise the first fault propagates."""
+        wire_timeout = timeout if timeout is not None else self.request_timeout
+        retry = self.retry if idempotent else None
+        total = retry.attempts if retry is not None else 1
+        attempt = 0
+        while True:
+            if self.breaker is not None and not self.breaker.allow():
+                self.stats["breaker_fastfail"] += 1
+                raise CircuitOpen(
+                    "circuit breaker is open for %s (cooling down %.3gs)"
+                    % (self.address, self.breaker.reset_timeout)
+                )
+            try:
+                response = self._roundtrip(doc, wire_timeout)
+            except CircuitOpen:
+                raise
+            except ServeClientError as exc:
+                if self.breaker is not None:
+                    self.breaker.record_failure()
+                if attempt + 1 >= total:
+                    raise
+                self.stats["retries"] += 1
+                retry.sleep(retry.delay(attempt))
+                attempt += 1
+                continue
+            # Any decoded response proves the daemon alive.
+            if self.breaker is not None:
+                self.breaker.record_success()
+            code = (
+                None
+                if response.get("ok")
+                else (response.get("error") or {}).get("code")
+            )
+            if code == protocol.ERR_REJECTED:
+                self.stats["rejected"] += 1
+            if (
+                code in (protocol.ERR_REJECTED, protocol.ERR_CRASH)
+                and retry is not None
+                and attempt + 1 < total
+            ):
+                # Backpressure: back off (jittered) and try again — the
+                # daemon is shedding load, not failing. Crash: the
+                # request is deterministic; a replacement pool answers.
+                self.stats["retries"] += 1
+                retry.sleep(retry.delay(attempt))
+                attempt += 1
+                continue
+            return response
 
     # -- the ops -------------------------------------------------------------
 
-    def ping(self):
-        return self.request({"op": "ping"})
+    def ping(self, timeout=None):
+        return self.request({"op": "ping"}, timeout=timeout, idempotent=True)
 
-    def health(self):
-        return self.request({"op": "health"})
+    def health(self, timeout=None):
+        return self.request({"op": "health"}, timeout=timeout, idempotent=True)
 
-    def metrics(self):
-        return self.request({"op": "metrics"})
+    def metrics(self, timeout=None):
+        return self.request({"op": "metrics"}, timeout=timeout, idempotent=True)
 
-    def trace(self):
-        return self.request({"op": "trace"})
+    def trace(self, timeout=None):
+        return self.request({"op": "trace"}, timeout=timeout, idempotent=True)
 
-    def specialise(self, goal, static_args=None, deadline=None, request_id=None):
+    def specialise(self, goal, static_args=None, deadline=None,
+                   request_id=None, timeout=None):
         doc = {"op": "specialise", "goal": goal}
-        if static_args:
+        if static_args is not None:
+            # An explicitly empty dict rides the wire like any other
+            # value — only omission omits the field.
             doc["static_args"] = dict(static_args)
         if deadline is not None:
             doc["deadline"] = deadline
         if request_id is not None:
             doc["id"] = request_id
-        return self.request(doc)
+        return self.request(doc, timeout=timeout, idempotent=True)
 
-    def shutdown(self):
+    def shutdown(self, timeout=None):
         """Ask the daemon to drain and exit; returns its acknowledgement
-        (the daemon answers first, then closes everything)."""
-        return self.request({"op": "shutdown"})
+        (the daemon answers first, then closes everything).  Never
+        retried — a second shutdown could hit a freshly restarted
+        daemon."""
+        return self.request({"op": "shutdown"}, timeout=timeout)
 
     # -- lifecycle -----------------------------------------------------------
 
     def close(self):
-        try:
-            self._rfile.close()
-        finally:
-            try:
-                self._sock.close()
-            except OSError:
-                pass
+        """Idempotent and never-raising: drop the connection if any."""
+        self._mark_broken()
 
     def __enter__(self):
         return self

@@ -69,6 +69,7 @@ from repro.genext.link import link_genexts
 from repro.genext.runtime import SpecError
 from repro.modsys.program import SOURCE_SUFFIX, load_program_dir
 from repro.obs import EventBus, MetricsRegistry, Obs, Tracer
+from repro.pipeline import faultinject
 from repro.pipeline.faults import FaultPolicy, KIND_TIMEOUT
 from repro.pipeline.pool import WorkerPool
 from repro.serve import protocol
@@ -89,6 +90,11 @@ class ServeConfig:
     that.  ``deadline`` is the default per-request budget (a request
     may narrow it, never widen it).  ``watch_source`` enables the
     digest check + controlled re-link on source edits.
+    ``max_requests_per_worker`` / ``max_worker_rss_mb`` arm graceful
+    worker recycling (see :class:`~repro.pipeline.pool.WorkerPool`): a
+    long-lived pool generation is retired after its request budget or
+    when a worker's RSS crosses the ceiling, so leaky workers never
+    degrade the daemon.
     """
 
     dir: str
@@ -106,6 +112,8 @@ class ServeConfig:
     warm_pool: bool = True
     trace_buffer: int = 2048
     metrics_path: Optional[str] = None
+    max_requests_per_worker: Optional[int] = None
+    max_worker_rss_mb: Optional[float] = None
 
     def __post_init__(self):
         if self.jobs < 1:
@@ -203,7 +211,15 @@ class SpecServer:
         # forked workers inherit the linked program.
         self._relink_lock = threading.Lock()
         self.state = self._load()
-        self.pool = WorkerPool(config.jobs)
+        self.pool = WorkerPool(
+            config.jobs,
+            max_requests_per_worker=config.max_requests_per_worker,
+            max_worker_rss=(
+                None
+                if config.max_worker_rss_mb is None
+                else int(config.max_worker_rss_mb * 1024 * 1024)
+            ),
+        )
         if config.warm_pool:
             self.pool.warm()
         self.started = time.time()
@@ -299,6 +315,7 @@ class SpecServer:
             pool_alive=self.pool.alive,
             pool_spawns=self.pool.spawns,
             pool_kills=self.pool.kills,
+            pool_recycles=self.pool.recycles,
             program_digest=self.state.digest,
             fingerprint=self.state.fingerprint,
             draining=self._draining,
@@ -492,6 +509,15 @@ class SpecServer:
                 "specialise", protocol.ERR_ERROR, str(exc), request_id,
                 kind="error",
             )
+        finally:
+            # The supervisor submitted straight to the executor, so
+            # charge the recycle budget here and retire a generation
+            # past it (graceful: in-flight work finishes elsewhere).
+            self.pool.note_tasks(1)
+            reason = self.pool.maybe_recycle()
+            if reason is not None:
+                self.obs.metrics.counter("serve.recycles").inc()
+                self.obs.bus.emit("serve.recycle", reason=reason)
         if batch.ok:
             self.obs.metrics.counter("serve.cold").inc()
             return protocol.ok_response(
@@ -546,26 +572,58 @@ class SpecServer:
 class _Handler(socketserver.StreamRequestHandler):
     def handle(self):
         spec = self.server.spec_server
-        for line in self.rfile:
-            if not line.strip():
-                continue
-            try:
-                doc = protocol.parse_request(line)
-            except protocol.ProtocolError as exc:
-                self.wfile.write(
-                    protocol.encode(
-                        protocol.error_response(
-                            "?", protocol.ERR_BAD_REQUEST, str(exc)
+        try:
+            for line in self.rfile:
+                if not line.strip():
+                    continue
+                try:
+                    doc = protocol.parse_request(line)
+                except protocol.ProtocolError as exc:
+                    self.wfile.write(
+                        protocol.encode(
+                            protocol.error_response(
+                                "?", protocol.ERR_BAD_REQUEST, str(exc)
+                            )
                         )
                     )
-                )
-                continue
-            response = spec.handle_request(doc)
-            self.wfile.write(protocol.encode(response))
+                    continue
+                response = spec.handle_request(doc)
+                if self._transport_fault(spec, doc):
+                    return
+                self.wfile.write(protocol.encode(response))
+                self.wfile.flush()
+                if doc.get("op") == "shutdown":
+                    self.server.initiate_shutdown()
+                    return
+        except OSError:
+            # The client went away mid-conversation (or gave up on an
+            # injected stall) — there is no one left to answer.
+            return
+
+    def _transport_fault(self, spec, doc):
+        """Perform any planned serve-phase transport fault for this
+        request; returns True when the connection must be dropped
+        instead of answered.  The fault ``module`` names the goal under
+        attack (or the op for non-specialise requests); ``"*"`` matches
+        anything."""
+        victim = doc.get("goal") or doc.get("op") or "?"
+        fault = faultinject.claim_action("serve", victim, "drop-connection")
+        if fault is not None:
+            spec.obs.metrics.counter("serve.faults_injected").inc()
+            return True  # close without answering: client sees EOF
+        fault = faultinject.claim_action("serve", victim, "stall")
+        if fault is not None:
+            # A wedged handler: the response is late, not absent — the
+            # client's wire deadline must fire first.
+            spec.obs.metrics.counter("serve.faults_injected").inc()
+            time.sleep(fault.seconds)
+        fault = faultinject.claim_action("serve", victim, "corrupt-response")
+        if fault is not None:
+            spec.obs.metrics.counter("serve.faults_injected").inc()
+            self.wfile.write(faultinject.CORRUPT_BYTES + b"\n")
             self.wfile.flush()
-            if doc.get("op") == "shutdown":
-                self.server.initiate_shutdown()
-                return
+            return True  # framing is now garbage; drop the stream
+        return False
 
 
 class _ServerMixin:

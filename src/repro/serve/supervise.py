@@ -1,0 +1,178 @@
+"""Self-healing daemon supervision: ``mspec serve --supervise``.
+
+A production daemon dies for reasons no in-process machinery can catch
+— the OOM killer, a segfaulting extension, an operator's ``kill -9``.
+:class:`Supervisor` runs the daemon (:func:`~repro.serve.daemon.
+serve_forever`) in a **child process** and restarts it when it exits
+abnormally, with capped exponential backoff so a crash loop never
+busy-spins:
+
+* exit code **0** is a graceful stop (the ``shutdown`` op, SIGTERM
+  drain) — the supervisor stops too;
+* any other exit (nonzero, or negative = killed by signal) is a crash
+  — the supervisor waits ``min(cap, base * 2**n)`` seconds and forks a
+  fresh daemon.  ``max_restarts`` bounds the loop (``None`` = forever).
+
+Crash consistency needs no supervisor-side repair by construction:
+
+* the **residual cache** is content-addressed with atomic
+  (write-to-temp + rename) publishes, so a SIGKILL mid-store leaves
+  either the old state or the new — never a torn entry.  The restarted
+  daemon comes up correct, at worst cold for the interrupted request;
+* the **stale unix socket** a killed daemon leaves behind is reclaimed
+  by :func:`~repro.serve.daemon.make_transport`'s connect-probe (a dead
+  socket is unlinked, a live one is never stolen).
+
+The supervisor forwards SIGTERM/SIGINT to the child so an operator's
+stop drains gracefully through the whole tree.  ``on_event`` receives
+``(event, info)`` tuples (``started`` / ``restarting`` / ``stopped`` /
+``gave_up``) — the CLI logs them, tests assert on them.
+"""
+
+import contextlib
+import multiprocessing
+import os
+import signal
+import threading
+import time
+
+from repro.serve.daemon import serve_forever
+
+__all__ = ["Supervisor", "supervise", "supervised_daemon"]
+
+
+class Supervisor:
+    """Restart-on-crash wrapper around one daemon configuration."""
+
+    def __init__(self, config, max_restarts=None, backoff_base=0.2,
+                 backoff_cap=5.0, sleep=time.sleep, on_event=None):
+        if max_restarts is not None and max_restarts < 0:
+            raise ValueError(
+                "max_restarts must be >= 0, got %d" % max_restarts
+            )
+        self.config = config
+        self.max_restarts = max_restarts
+        self.backoff_base = backoff_base
+        self.backoff_cap = backoff_cap
+        self._sleep = sleep
+        self._on_event = on_event
+        self.process = None      # the live child, for tests/operators
+        self.restarts = 0        # abnormal exits seen so far
+        self._stop = threading.Event()
+
+    def _notify(self, event, **info):
+        if self._on_event is not None:
+            self._on_event(event, info)
+
+    def _spawn(self):
+        process = multiprocessing.Process(
+            target=serve_forever, args=(self.config,), name="mspec-serve"
+        )
+        process.start()
+        self.process = process
+        return process
+
+    def stop(self):
+        """Ask the running daemon (if any) to drain; the supervisor's
+        :meth:`run` then returns instead of restarting."""
+        self._stop.set()
+        process = self.process
+        if process is not None and process.is_alive():
+            process.terminate()  # SIGTERM: the daemon drains gracefully
+
+    def run(self):
+        """Supervise until graceful stop or restart budget exhaustion;
+        returns the exit code to report."""
+        while True:
+            if self._stop.is_set():
+                self._notify("stopped", pid=None, exitcode=None)
+                return 0
+            process = self._spawn()
+            self._notify("started", pid=process.pid, restarts=self.restarts)
+            if self._stop.is_set():
+                # stop() raced our spawn: its terminate() may have hit
+                # the previous (dead) child, so signal this one too.
+                process.terminate()
+            process.join()
+            code = process.exitcode
+            if code == 0 or self._stop.is_set():
+                self._notify("stopped", pid=process.pid, exitcode=code)
+                return 0 if code == 0 else abs(code or 0)
+            self.restarts += 1
+            if (
+                self.max_restarts is not None
+                and self.restarts > self.max_restarts
+            ):
+                self._notify(
+                    "gave_up", exitcode=code, restarts=self.restarts - 1
+                )
+                return abs(code or 1)
+            delay = min(
+                self.backoff_cap,
+                self.backoff_base * (2.0 ** (self.restarts - 1)),
+            )
+            self._notify(
+                "restarting", exitcode=code, restarts=self.restarts,
+                delay=delay,
+            )
+            self._sleep(delay)
+            if self._stop.is_set():
+                self._notify("stopped", pid=None, exitcode=code)
+                return abs(code or 0)
+
+
+@contextlib.contextmanager
+def supervised_daemon(config, **kwargs):
+    """A supervised daemon running in the background for the caller's
+    lifetime (tests, the soak harness's ``--spawn`` mode).  Yields the
+    :class:`Supervisor`; on exit the daemon is drained via SIGTERM and
+    the supervision thread joined."""
+    supervisor = Supervisor(config, **kwargs)
+    thread = threading.Thread(
+        target=supervisor.run, name="mspec-supervise", daemon=True
+    )
+    thread.start()
+    try:
+        yield supervisor
+    finally:
+        supervisor.stop()
+        thread.join(timeout=30.0)
+        process = supervisor.process
+        if process is not None and process.is_alive():  # pragma: no cover
+            os.kill(process.pid, signal.SIGKILL)
+            process.join(5.0)
+
+
+def supervise(config, max_restarts=None, backoff_base=0.2, backoff_cap=5.0,
+              on_event=None):
+    """Run a supervised daemon in the foreground (the CLI entry point).
+
+    SIGTERM/SIGINT stop the whole tree gracefully: the signal is
+    forwarded to the daemon child, which drains and exits 0, and the
+    supervisor follows.  Returns the process exit code.
+    """
+    supervisor = Supervisor(
+        config,
+        max_restarts=max_restarts,
+        backoff_base=backoff_base,
+        backoff_cap=backoff_cap,
+        on_event=on_event,
+    )
+    installed = {}
+    if threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            supervisor.stop()
+
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            installed[signum] = signal.signal(signum, _on_signal)
+    try:
+        return supervisor.run()
+    finally:
+        for signum, old in installed.items():
+            signal.signal(signum, old)
+        process = supervisor.process
+        if process is not None and process.is_alive():  # pragma: no cover
+            process.terminate()
+            process.join(5.0)
+            if process.is_alive():
+                os.kill(process.pid, signal.SIGKILL)

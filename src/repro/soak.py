@@ -1,0 +1,568 @@
+"""`mspec soak`: endurance-test a live daemon under an armed fault plan.
+
+ROADMAP item 4(c): a soak mode combining the serving path, the batch
+driver, fault injection (``MSPEC_FAULTS``), and differential checking
+over a sustained request stream.  :func:`run_soak` hammers a running
+``mspec serve`` daemon with a **seeded request mix** from ``clients``
+concurrent resilient clients (retry policy + circuit breaker armed, so
+injected chaos — killed workers, dropped connections, stalled or
+corrupted responses — must be absorbed, not surfaced), bounded by a
+request count and/or wall-clock duration, and **differentially checks
+every Nth response**:
+
+* the served residual program must be **byte-identical** to a locally
+  computed reference (one in-process ``specialise`` per unique request,
+  memoised — the soak process never trusts the daemon's cache);
+* when the mix supplies ``dyn_inputs``, the decoded residual is *run*
+  on each dynamic vector and the value compared against direct
+  interpretation of the source program — the ground truth.
+
+A slice of the mix (``batch_every``) is routed through the parallel
+batch driver (:func:`~repro.genext.batch.specialise_many`) in-process
+instead, so both serving surfaces soak under the same plan.
+
+The verdict is an **error budget**: at most ``max_client_errors``
+client-visible failures (idempotent requests are retried, so the
+default budget is zero) and at most ``max_divergences`` differential
+divergences (default zero — a single one is a correctness bug).  The
+report is a schema-validated ``repro.bench.soak/v1`` document
+(``BENCH_soak.json``; see :func:`repro.obs.schema.validate_bench_soak`)
+and the run's ``soak.*`` counters land in :mod:`repro.obs`.  Exit code
+7 (``EXIT_CHECK_FAILED``) on budget breach, like ``mspec check``.
+
+Request-mix file format (JSON list)::
+
+    [{"goal": "power", "static_args": {"n": 3}, "dyn_inputs": [[2], [5]]},
+     {"goal": "main", "static_args": {}}]
+
+``static_args`` list values become object-language lists (the
+``--batch`` convention); ``dyn_inputs`` is optional.
+"""
+
+import json
+import os
+import queue
+import random
+import tempfile
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.api import SpecOptions
+from repro.bt.analysis import analyse_program
+from repro.check.report import EXIT_CHECK_FAILED
+from repro.genext.cogen import cogen_program
+from repro.genext.engine import specialise
+from repro.genext.link import link_genexts
+from repro.interp import run_program
+from repro.modsys.program import load_program_dir
+from repro.obs import Obs
+from repro.obs.schema import BENCH_SOAK_SCHEMA
+from repro.pipeline import faultinject
+from repro.serve.client import (
+    CircuitBreaker,
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+)
+from repro.serve.protocol import ERR_REJECTED
+from repro.speccache import canonical_static_args, decode_result, encode_result
+
+__all__ = ["SoakConfig", "load_request_mix", "run_soak"]
+
+SOAK_FUEL = 600_000
+
+
+@dataclass
+class SoakConfig:
+    """Everything one soak run can be told."""
+
+    dir: str
+    requests: list                      # the request mix (see module doc)
+    socket_path: Optional[str] = None
+    tcp: Optional[Tuple[str, int]] = None
+    max_requests: int = 200
+    duration: Optional[float] = None    # wall-clock bound, None = count only
+    clients: int = 2
+    check_every: int = 5                # differential-check every Nth request
+    batch_every: int = 0                # every Nth request via the batch driver
+    batch_jobs: int = 2
+    seed: int = 0
+    request_timeout: float = 30.0
+    connect_timeout: float = 30.0
+    retry_attempts: int = 6
+    max_client_errors: int = 0
+    max_divergences: int = 0
+    options: SpecOptions = field(default_factory=SpecOptions)
+    report_path: Optional[str] = None
+
+    def __post_init__(self):
+        if not self.requests:
+            raise ValueError("the request mix must not be empty")
+        if self.max_requests < 1:
+            raise ValueError(
+                "max_requests must be >= 1, got %d" % self.max_requests
+            )
+        if self.clients < 1:
+            raise ValueError("clients must be >= 1, got %d" % self.clients)
+        if self.check_every < 1:
+            raise ValueError(
+                "check_every must be >= 1, got %d" % self.check_every
+            )
+        if (self.socket_path is None) == (self.tcp is None):
+            raise ValueError("give exactly one of socket_path or tcp")
+
+
+def load_request_mix(path):
+    """The request-mix list from a JSON file, validated."""
+    with open(path) as f:
+        mix = json.load(f)
+    if not isinstance(mix, list) or not mix:
+        raise ValueError("request mix must be a non-empty JSON list")
+    for i, entry in enumerate(mix):
+        if not isinstance(entry, dict) or not isinstance(
+            entry.get("goal"), str
+        ):
+            raise ValueError("request %d needs a 'goal' string" % i)
+        static = entry.get("static_args", {})
+        if not isinstance(static, dict):
+            raise ValueError("request %d: static_args must be an object" % i)
+        dyn = entry.get("dyn_inputs", [])
+        if not isinstance(dyn, list) or not all(
+            isinstance(vec, list) for vec in dyn
+        ):
+            raise ValueError(
+                "request %d: dyn_inputs must be a list of lists" % i
+            )
+    return mix
+
+
+class _Oracle:
+    """Local ground truth: the program linked once in the soak process,
+    reference residuals memoised per unique request, interp values per
+    dynamic vector.  The oracle shares **no state** with the daemon —
+    agreement between the two is the whole point of the check."""
+
+    def __init__(self, directory, options):
+        self.linked = load_program_dir(directory)
+        analysis = analyse_program(
+            self.linked, force_residual=options.force_residual
+        )
+        self.gp = link_genexts(cogen_program(analysis))
+        # Execution knobs only; never a cache_dir — the reference is
+        # always computed, never replayed.
+        self.options = options.replace(cache_dir=None)
+        self._lock = threading.Lock()
+        self._residuals = {}
+        self._values = {}
+
+    @staticmethod
+    def _key(goal, static_args):
+        return (goal, canonical_static_args(static_args))
+
+    def reference_payload(self, goal, static_args):
+        """The canonical ``repro.speccache/v1`` payload this request
+        must produce (memoised)."""
+        key = self._key(goal, static_args)
+        with self._lock:
+            payload = self._residuals.get(key)
+        if payload is not None:
+            return payload
+        result = specialise(self.gp, goal, dict(static_args), self.options)
+        payload = encode_result(result)
+        with self._lock:
+            self._residuals[key] = payload
+        return payload
+
+    def expected_value(self, goal, static_args, vec):
+        """Ground truth: the source program *interpreted* on the full
+        argument list (statics by name, dynamics in order)."""
+        key = (self._key(goal, static_args), tuple(vec))
+        with self._lock:
+            if key in self._values:
+                return self._values[key]
+        _, d = self.linked.find_def(goal)
+        dyn = iter(vec)
+        full = [
+            static_args[p] if p in static_args else next(dyn)
+            for p in d.params
+        ]
+        value = run_program(self.linked, goal, full, fuel=SOAK_FUEL)
+        with self._lock:
+            self._values[key] = value
+        return value
+
+
+def _normalise_mix(mix):
+    """Wire-shaped requests: static list values → tuples (the protocol
+    conversion), dyn vectors → tuples."""
+    def conv(v):
+        if isinstance(v, list):
+            return tuple(conv(x) for x in v)
+        return v
+
+    out = []
+    for entry in mix:
+        out.append(
+            {
+                "goal": entry["goal"],
+                "static_args": {
+                    name: conv(v)
+                    for name, v in (entry.get("static_args") or {}).items()
+                },
+                "dyn_inputs": [
+                    tuple(vec) for vec in entry.get("dyn_inputs") or []
+                ],
+            }
+        )
+    return out
+
+
+class _SoakRun:
+    """Shared mutable state of one soak: tallies under one lock,
+    bounded divergence details for the report."""
+
+    def __init__(self, config, oracle):
+        self.config = config
+        self.oracle = oracle
+        self.lock = threading.Lock()
+        self.tally = {
+            "sent": 0, "ok": 0, "warm": 0, "cold": 0, "rejected_seen": 0,
+            "client_errors": 0, "skipped": 0, "checks": 0, "divergences": 0,
+            "batch": 0, "batch_failures": 0,
+        }
+        self.details = []
+        self.deadline = (
+            None
+            if config.duration is None
+            else time.monotonic() + config.duration
+        )
+
+    def bump(self, key, n=1):
+        with self.lock:
+            self.tally[key] += n
+
+    def note_divergence(self, description, **info):
+        with self.lock:
+            self.tally["divergences"] += 1
+            if len(self.details) < 20:
+                doc = {"what": description}
+                doc.update(info)
+                self.details.append(doc)
+
+    def expired(self):
+        return self.deadline is not None and time.monotonic() > self.deadline
+
+    # -- one daemon request --------------------------------------------------
+
+    def check_response(self, index, request, response):
+        """Differential check of one successful daemon response."""
+        goal = request["goal"]
+        static = request["static_args"]
+        self.bump("checks")
+        payload = response.get("result") or {}
+        try:
+            reference = self.oracle.reference_payload(goal, static)
+        except Exception as exc:
+            self.note_divergence(
+                "reference specialisation failed", index=index, goal=goal,
+                error=str(exc),
+            )
+            return
+        if payload.get("program") != reference["program"]:
+            self.note_divergence(
+                "served residual differs from local reference",
+                index=index, goal=goal, served=response.get("served"),
+            )
+            return
+        for vec in request["dyn_inputs"]:
+            try:
+                expected = self.oracle.expected_value(goal, static, vec)
+                decoded = decode_result(payload)
+                got = decoded.run(*vec, fuel=SOAK_FUEL)
+            except Exception as exc:
+                self.note_divergence(
+                    "residual execution failed", index=index, goal=goal,
+                    dyn=list(vec), error=str(exc),
+                )
+                continue
+            if got != expected:
+                self.note_divergence(
+                    "residual value disagrees with interpreter",
+                    index=index, goal=goal, dyn=list(vec),
+                    expected=expected, got=got,
+                )
+
+    def serve_one(self, client, index, request):
+        self.bump("sent")
+        try:
+            response = client.specialise(
+                request["goal"], request["static_args"]
+            )
+        except ServeClientError as exc:
+            self.bump("client_errors")
+            with self.lock:
+                if len(self.details) < 20:
+                    self.details.append(
+                        {
+                            "what": "client-visible error",
+                            "index": index,
+                            "goal": request["goal"],
+                            "error": str(exc),
+                        }
+                    )
+            return
+        if not response.get("ok"):
+            code = (response.get("error") or {}).get("code")
+            if code == ERR_REJECTED:
+                self.bump("rejected_seen")
+            self.bump("client_errors")
+            with self.lock:
+                if len(self.details) < 20:
+                    self.details.append(
+                        {
+                            "what": "request failed",
+                            "index": index,
+                            "goal": request["goal"],
+                            "code": code,
+                        }
+                    )
+            return
+        self.bump("ok")
+        self.bump("warm" if response.get("served") == "warm" else "cold")
+        if index % self.config.check_every == 0:
+            self.check_response(index, request, response)
+
+
+def _client_worker(run, tasks):
+    """One soak client thread: a resilient connection draining tasks."""
+    config = run.config
+    retry = RetryPolicy(attempts=config.retry_attempts)
+    breaker = CircuitBreaker(failure_threshold=max(4, config.retry_attempts))
+    try:
+        client = ServeClient.wait_ready(
+            socket_path=config.socket_path,
+            tcp=config.tcp,
+            timeout=config.connect_timeout,
+            request_timeout=config.request_timeout,
+            retry=retry,
+            breaker=breaker,
+        )
+    except ServeClientError:
+        # Count everything this thread would have served as failed —
+        # a daemon that never comes up must not look like a clean soak.
+        while True:
+            try:
+                index, request = tasks.get_nowait()
+            except queue.Empty:
+                return None
+            run.bump("sent")
+            run.bump("client_errors")
+    try:
+        while True:
+            try:
+                index, request = tasks.get_nowait()
+            except queue.Empty:
+                break
+            if run.expired():
+                run.bump("skipped")
+                continue
+            run.serve_one(client, index, request)
+        return dict(client.stats)
+    finally:
+        client.close()
+
+
+def _batch_lane(run, requests):
+    """Route a slice of the mix through the parallel batch driver with
+    a private cold cache; byte-compare every result to the oracle."""
+    from repro.genext.batch import specialise_many
+
+    if not requests:
+        return
+    config = run.config
+    run.bump("batch", len(requests))
+    with tempfile.TemporaryDirectory(prefix="mspec-soak-") as tmp:
+        try:
+            batch = specialise_many(
+                run.oracle.gp,
+                [(r["goal"], r["static_args"]) for _, r in requests],
+                config.options.replace(cache_dir=tmp),
+                jobs=config.batch_jobs,
+            )
+        except Exception as exc:
+            run.bump("batch_failures", len(requests))
+            run.note_divergence(
+                "batch driver failed outright", error=str(exc)
+            )
+            return
+    for (index, request), result in zip(requests, batch.results):
+        if result is None:
+            run.bump("batch_failures")
+            continue
+        run.bump("checks")
+        try:
+            reference = run.oracle.reference_payload(
+                request["goal"], request["static_args"]
+            )
+        except Exception as exc:
+            run.note_divergence(
+                "reference specialisation failed", index=index,
+                goal=request["goal"], error=str(exc),
+            )
+            continue
+        if encode_result(result)["program"] != reference["program"]:
+            run.note_divergence(
+                "batch residual differs from local reference",
+                index=index, goal=request["goal"],
+            )
+
+
+def _fault_plan_summary():
+    """What is armed right now, for the report's workload section."""
+    plan = faultinject.active_plan()
+    if plan is None:
+        return {"armed": False, "planned": 0}
+    actions = {}
+    planned = 0
+    for fault in plan.faults:
+        actions[fault.action] = actions.get(fault.action, 0) + fault.times
+        planned += fault.times
+    return {"armed": True, "planned": planned, "actions": actions}
+
+
+def _daemon_fault_tally(config):
+    """Faults the daemon actually performed, read off its live metrics
+    (0 when the daemon is unreachable at tally time)."""
+    try:
+        with ServeClient.connect(
+            config.socket_path, config.tcp, timeout=5.0, request_timeout=10.0
+        ) as client:
+            counters = (
+                client.metrics().get("metrics", {}).get("counters", {})
+            )
+    except ServeClientError:
+        return 0
+    injected = 0
+    for name in ("serve.faults_injected", "faults.crashes"):
+        value = counters.get(name, 0)
+        if isinstance(value, int) and value > 0:
+            injected += value
+    return injected
+
+
+def run_soak(config, obs=None):
+    """One bounded soak against a live daemon; returns
+    ``(exit_code, report)`` and writes ``config.report_path`` if set."""
+    if obs is None:
+        obs = Obs()
+    started = time.perf_counter()
+    oracle = _Oracle(config.dir, config.options)
+    run = _SoakRun(config, oracle)
+    mix = _normalise_mix(config.requests)
+    rng = random.Random(config.seed)
+
+    # The seeded schedule: deterministic for a (mix, seed, count).
+    tasks = queue.Queue()
+    batch_slice = []
+    scheduled = 0
+    for index in range(1, config.max_requests + 1):
+        request = rng.choice(mix)
+        scheduled += 1
+        if config.batch_every and index % config.batch_every == 0:
+            batch_slice.append((index, request))
+        else:
+            tasks.put((index, request))
+
+    client_stats = {"retries": 0, "reconnects": 0, "timeouts": 0}
+
+    def _tracked(run, tasks):
+        stats = _client_worker(run, tasks)
+        if stats:
+            with run.lock:
+                for key in client_stats:
+                    client_stats[key] += stats.get(key, 0)
+
+    threads = [
+        threading.Thread(target=_tracked, args=(run, tasks), daemon=True)
+        for _ in range(config.clients)
+    ]
+    for thread in threads:
+        thread.start()
+    _batch_lane(run, batch_slice)
+    for thread in threads:
+        thread.join()
+
+    elapsed = time.perf_counter() - started
+    tally = run.tally
+    budget_ok = (
+        tally["client_errors"] <= config.max_client_errors
+        and tally["divergences"] <= config.max_divergences
+        and tally["batch_failures"] == 0
+    )
+
+    metrics = obs.metrics
+    metrics.counter("soak.requests").inc(tally["sent"])
+    metrics.counter("soak.ok").inc(tally["ok"])
+    metrics.counter("soak.client_errors").inc(tally["client_errors"])
+    metrics.counter("soak.retries").inc(client_stats["retries"])
+    metrics.counter("soak.rejected").inc(tally["rejected_seen"])
+    metrics.counter("soak.batch_requests").inc(tally["batch"])
+    metrics.counter("soak.checks").inc(tally["checks"])
+    metrics.counter("soak.divergences").inc(tally["divergences"])
+
+    plan_summary = _fault_plan_summary()
+    report = {
+        "schema": BENCH_SOAK_SCHEMA,
+        "cpus": os.cpu_count() or 1,
+        "workload": {
+            "dir": os.path.abspath(config.dir),
+            "mix_size": len(mix),
+            "scheduled": scheduled,
+            "clients": config.clients,
+            "check_every": config.check_every,
+            "batch_every": config.batch_every,
+            "seed": config.seed,
+            "duration_s": config.duration,
+            "request_timeout_s": config.request_timeout,
+            "retry_attempts": config.retry_attempts,
+            "fault_plan": plan_summary,
+        },
+        "requests": {
+            "sent": tally["sent"],
+            "ok": tally["ok"],
+            "warm": tally["warm"],
+            "cold": tally["cold"],
+            "rejected_seen": tally["rejected_seen"],
+            "client_errors": tally["client_errors"],
+            "retries": client_stats["retries"],
+            "reconnects": client_stats["reconnects"],
+            "timeouts": client_stats["timeouts"],
+            "skipped": tally["skipped"],
+            "batch": tally["batch"],
+            "batch_failures": tally["batch_failures"],
+        },
+        "checks": {
+            "performed": tally["checks"],
+            "divergences": tally["divergences"],
+        },
+        "faults": {
+            "planned": plan_summary["planned"],
+            "injected": _daemon_fault_tally(config),
+        },
+        "error_budget": {
+            "max_client_errors": config.max_client_errors,
+            "max_divergences": config.max_divergences,
+            "ok": budget_ok,
+        },
+        "ok": budget_ok,
+        "seconds": elapsed,
+    }
+    if run.details:
+        report["details"] = list(run.details)
+    if config.report_path:
+        with open(config.report_path, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+    return (0 if budget_ok else EXIT_CHECK_FAILED), report

@@ -1,0 +1,427 @@
+"""The resilient serve client: wire deadlines, reconnect + retry,
+backpressure backoff, and the circuit breaker.
+
+Every test drives a real :class:`~repro.serve.client.ServeClient` over
+a real unix socket against a *scripted* fake daemon, so the faults are
+exact: an EOF is a genuine EOF, a timeout is a genuinely silent socket.
+Sleep, jitter and the breaker clock are injected, so nothing here waits
+on wall-clock backoff.
+"""
+
+import json
+import os
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.serve import protocol
+from repro.serve.client import (
+    CircuitBreaker,
+    CircuitOpen,
+    RetryPolicy,
+    ServeClient,
+    ServeClientError,
+    ServeTimeout,
+)
+
+
+class _FakeDaemon:
+    """A scripted unix-socket server.  Each received request line pops
+    the next step from the shared script (default: answer ``ok``):
+
+    - ``("ok",)``              answer a normal ok response;
+    - ``("close",)``           close the connection without answering;
+    - ``("garbage",)``         answer a non-JSON line;
+    - ``("sleep", seconds)``   stall, then answer ok (a wedged handler);
+    - ``("error", code)``      answer a protocol error response.
+
+    Received request docs are recorded for wire-format assertions.
+    """
+
+    def __init__(self, path, script=()):
+        self.path = path
+        self.script = list(script)
+        self.received = []
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._listener = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        self._listener.bind(path)
+        self._listener.listen(8)
+        self._thread = threading.Thread(target=self._accept_loop, daemon=True)
+        self._thread.start()
+
+    def _next_step(self):
+        with self._lock:
+            return self.script.pop(0) if self.script else ("ok",)
+
+    def _accept_loop(self):
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except OSError:
+                return
+            threading.Thread(
+                target=self._serve, args=(conn,), daemon=True
+            ).start()
+
+    def _serve(self, conn):
+        rfile = conn.makefile("rb")
+        try:
+            for line in rfile:
+                doc = json.loads(line)
+                with self._lock:
+                    self.received.append(doc)
+                step = self._next_step()
+                if step[0] == "close":
+                    return
+                if step[0] == "garbage":
+                    conn.sendall(b"certainly not json\n")
+                    continue
+                if step[0] == "sleep":
+                    # Interruptible so stop() never waits out the stall.
+                    if self._stop.wait(step[1]):
+                        return
+                if step[0] == "error":
+                    response = protocol.error_response(
+                        doc.get("op", "?"), step[1], "injected"
+                    )
+                else:
+                    response = protocol.ok_response(
+                        doc.get("op", "?"), doc.get("id")
+                    )
+                conn.sendall(protocol.encode(response))
+        except (OSError, ValueError):
+            return
+        finally:
+            for obj in (rfile, conn):
+                try:
+                    obj.close()
+                except OSError:
+                    pass
+
+    def stop(self):
+        self._stop.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+
+@pytest.fixture
+def fake_daemon(tmp_path):
+    daemons = []
+
+    def make(script=()):
+        path = str(tmp_path / ("fake%d.sock" % len(daemons)))
+        daemon = _FakeDaemon(path, script)
+        daemons.append(daemon)
+        return daemon
+
+    yield make
+    for daemon in daemons:
+        daemon.stop()
+
+
+def _noretry(**overrides):
+    """A retry policy that never sleeps for real and never jitters,
+    recording the delays it would have waited."""
+    slept = []
+    kw = dict(
+        attempts=4, sleep=slept.append, rng=lambda: 0.0, backoff_base=0.05
+    )
+    kw.update(overrides)
+    return RetryPolicy(**kw), slept
+
+
+# ---------------------------------------------------------------------------
+# close(): idempotent and never-raising (satellite).
+# ---------------------------------------------------------------------------
+
+
+def test_close_is_idempotent_and_never_raises(fake_daemon):
+    daemon = fake_daemon()
+    client = ServeClient.connect(socket_path=daemon.path)
+    assert client.ping()["ok"]
+    client.close()
+    client.close()  # second close: no-op, no error
+    assert client._sock is None
+
+    # Close after the *daemon* dropped the connection (half-dead socket).
+    daemon2 = fake_daemon([("close",)])
+    client2 = ServeClient.connect(socket_path=daemon2.path)
+    with pytest.raises(ServeClientError):
+        client2.ping()
+    client2.close()
+    client2.close()
+
+    # Close on a client that never had a socket.
+    ServeClient(None, "nowhere").close()
+
+
+def test_context_manager_closes(fake_daemon):
+    daemon = fake_daemon()
+    with ServeClient.connect(socket_path=daemon.path) as client:
+        assert client.ping()["ok"]
+    assert client._sock is None
+    client.close()  # still fine after __exit__
+
+
+# ---------------------------------------------------------------------------
+# Wire deadlines: a wedged daemon raises ServeTimeout, promptly.
+# ---------------------------------------------------------------------------
+
+
+def test_wedged_daemon_raises_servetimeout_within_deadline(fake_daemon):
+    daemon = fake_daemon([("sleep", 30.0)])
+    client = ServeClient.connect(
+        socket_path=daemon.path, request_timeout=0.3
+    )
+    started = time.monotonic()
+    with pytest.raises(ServeTimeout):
+        client.ping()
+    elapsed = time.monotonic() - started
+    assert elapsed < 5.0  # the deadline fired, not the stall
+    assert client.stats["timeouts"] == 1
+    # The stream is desynchronised: the socket was dropped, and the
+    # next request transparently reconnects.
+    assert client._sock is None
+    assert client.ping()["ok"]
+    assert client.stats["reconnects"] == 1
+    client.close()
+
+
+def test_per_call_timeout_overrides_client_default(fake_daemon):
+    daemon = fake_daemon([("sleep", 30.0)])
+    client = ServeClient.connect(
+        socket_path=daemon.path, request_timeout=60.0
+    )
+    with pytest.raises(ServeTimeout):
+        client.ping(timeout=0.2)
+    client.close()
+
+
+# ---------------------------------------------------------------------------
+# Retry: transparent reconnect with capped exponential backoff.
+# ---------------------------------------------------------------------------
+
+
+def test_eof_retried_over_a_fresh_connection(fake_daemon):
+    daemon = fake_daemon([("close",)])
+    retry, slept = _noretry()
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    assert client.ping()["ok"]
+    assert client.stats["retries"] == 1
+    assert client.stats["reconnects"] == 1
+    assert slept == [pytest.approx(0.05)]  # base * 2**0, no jitter
+    client.close()
+
+
+def test_malformed_response_retried(fake_daemon):
+    daemon = fake_daemon([("garbage",)])
+    retry, _ = _noretry()
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    assert client.ping()["ok"]
+    assert client.stats["retries"] == 1
+    client.close()
+
+
+def test_no_retry_by_default(fake_daemon):
+    daemon = fake_daemon([("close",)])
+    client = ServeClient.connect(socket_path=daemon.path)
+    with pytest.raises(ServeClientError):
+        client.ping()
+    assert client.stats["retries"] == 0
+    client.close()
+
+
+def test_shutdown_is_never_retried(fake_daemon):
+    daemon = fake_daemon([("close",)])
+    retry, slept = _noretry()
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    with pytest.raises(ServeClientError):
+        client.shutdown()
+    assert slept == []
+    client.close()
+
+
+def test_retry_budget_exhausted_raises_the_last_fault(fake_daemon):
+    daemon = fake_daemon([("close",)] * 10)
+    retry, slept = _noretry(attempts=3)
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    with pytest.raises(ServeClientError):
+        client.ping()
+    assert client.stats["requests"] == 3  # total tries, first included
+    assert len(slept) == 2
+    client.close()
+
+
+def test_retry_delay_schedule_caps_and_jitters():
+    policy = RetryPolicy(
+        attempts=8, backoff_base=1.0, backoff_cap=3.0, jitter=0.0
+    )
+    assert [policy.delay(n) for n in range(4)] == [1.0, 2.0, 3.0, 3.0]
+    jittered = RetryPolicy(
+        backoff_base=1.0, backoff_cap=8.0, jitter=0.5, rng=lambda: 1.0
+    )
+    # Full jitter draw shrinks the delay by half, never grows it.
+    assert jittered.delay(1) == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# Backpressure: rejected is retried with backoff, and is *healthy*.
+# ---------------------------------------------------------------------------
+
+
+def test_rejected_backed_off_and_retried_not_a_breaker_failure(fake_daemon):
+    daemon = fake_daemon(
+        [("error", protocol.ERR_REJECTED), ("ok",)]
+    )
+    retry, slept = _noretry(rng=lambda: 1.0)  # full jitter draw
+    breaker = CircuitBreaker(failure_threshold=1)
+    client = ServeClient.connect(
+        socket_path=daemon.path, retry=retry, breaker=breaker
+    )
+    assert client.specialise("power", {"n": 3})["ok"]
+    assert client.stats["rejected"] == 1
+    assert client.stats["retries"] == 1
+    assert slept == [pytest.approx(0.025)]  # jitter shrank the base delay
+    # A daemon shedding load answered: the breaker saw a *success*.
+    assert breaker.state == "closed"
+    client.close()
+
+
+def test_crash_response_retried_when_idempotent(fake_daemon):
+    daemon = fake_daemon([("error", protocol.ERR_CRASH), ("ok",)])
+    retry, _ = _noretry()
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    assert client.specialise("power", {"n": 3})["ok"]
+    assert client.stats["retries"] == 1
+    client.close()
+
+
+def test_shutting_down_returned_as_is(fake_daemon):
+    daemon = fake_daemon([("error", protocol.ERR_SHUTTING_DOWN)])
+    retry, slept = _noretry()
+    client = ServeClient.connect(socket_path=daemon.path, retry=retry)
+    response = client.specialise("power", {"n": 3})
+    assert not response["ok"]
+    assert response["error"]["code"] == protocol.ERR_SHUTTING_DOWN
+    assert slept == []  # the draining daemon asked us to go away
+    client.close()
+
+
+# ---------------------------------------------------------------------------
+# The circuit breaker.
+# ---------------------------------------------------------------------------
+
+
+def test_breaker_state_machine_with_fake_clock():
+    now = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=2, reset_timeout=10.0, clock=lambda: now[0]
+    )
+    assert breaker.state == "closed" and breaker.allow()
+    breaker.record_failure()
+    assert breaker.state == "closed"
+    breaker.record_failure()
+    assert breaker.state == "open" and not breaker.allow()
+    now[0] = 9.9
+    assert breaker.state == "open"
+    now[0] = 10.0
+    assert breaker.state == "half-open" and breaker.allow()
+    # A failed half-open probe re-opens for a *full* fresh cooldown.
+    breaker.record_failure()
+    assert breaker.state == "open"
+    now[0] = 19.9
+    assert breaker.state == "open"
+    now[0] = 20.0
+    assert breaker.state == "half-open"
+    breaker.record_success()
+    assert breaker.state == "closed"
+    breaker.record_failure()  # one failure after reset: still closed
+    assert breaker.state == "closed"
+
+
+def test_breaker_opens_after_transport_failures_and_fails_fast(fake_daemon):
+    daemon = fake_daemon([("close",), ("close",)])
+    now = [0.0]
+    breaker = CircuitBreaker(
+        failure_threshold=2, reset_timeout=10.0, clock=lambda: now[0]
+    )
+    client = ServeClient.connect(socket_path=daemon.path, breaker=breaker)
+    for _ in range(2):
+        with pytest.raises(ServeClientError):
+            client.ping()
+    assert breaker.state == "open"
+    wire_requests = client.stats["requests"]
+    with pytest.raises(CircuitOpen):
+        client.ping()
+    assert client.stats["breaker_fastfail"] == 1
+    assert client.stats["requests"] == wire_requests  # no wire traffic
+    # Cooldown elapses; the half-open probe succeeds and closes it.
+    now[0] = 10.0
+    assert client.ping()["ok"]
+    assert breaker.state == "closed"
+    client.close()
+
+
+def test_breaker_validates_threshold():
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+
+
+# ---------------------------------------------------------------------------
+# Wire format: empty static_args ride the wire; omission omits (satellite).
+# ---------------------------------------------------------------------------
+
+
+def test_empty_static_args_ride_the_wire_like_any_value(fake_daemon):
+    daemon = fake_daemon()
+    client = ServeClient.connect(socket_path=daemon.path)
+    client.specialise("goal", {})
+    client.specialise("goal")
+    client.specialise("goal", {"n": 3})
+    sent = [d for d in daemon.received if d["op"] == "specialise"]
+    assert sent[0]["static_args"] == {}
+    assert "static_args" not in sent[1]
+    assert sent[2]["static_args"] == {"n": 3}
+    client.close()
+
+
+# ---------------------------------------------------------------------------
+# Construction and reconnection plumbing.
+# ---------------------------------------------------------------------------
+
+
+def test_wait_ready_forwards_resilience_kwargs(fake_daemon):
+    daemon = fake_daemon()
+    retry, _ = _noretry()
+    breaker = CircuitBreaker()
+    client = ServeClient.wait_ready(
+        socket_path=daemon.path,
+        request_timeout=1.5,
+        retry=retry,
+        breaker=breaker,
+    )
+    assert client.retry is retry
+    assert client.breaker is breaker
+    assert client.request_timeout == 1.5
+    client.close()
+
+
+def test_bare_socket_client_cannot_reconnect(fake_daemon):
+    daemon = fake_daemon([("close",)])
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.connect(daemon.path)
+    client = ServeClient(sock, "unix://%s" % daemon.path)
+    with pytest.raises(ServeClientError):
+        client.ping()
+    with pytest.raises(ServeClientError, match="bare"):
+        client.ping()  # reconnect impossible: no parameters kept
+    client.close()

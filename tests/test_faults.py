@@ -535,3 +535,94 @@ def test_cli_build_timeout_and_retries_flags(tmp_path, capsys):
     rc = main(["build", src, "--retries", "2", "--timeout", "30"])
     assert rc == 0
     assert "analysed" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# Serve-phase faults and the plan cache.
+# ---------------------------------------------------------------------------
+
+
+def test_plan_rewritten_in_place_is_picked_up(tmp_path):
+    import json
+
+    path = str(tmp_path / "plan.json")
+    plan_a = FaultPlan(
+        faults=(Fault(module="A0", action="raise"),),
+        state_dir=str(tmp_path / "fstate"),
+    )
+    plan_a.install(path)
+    first = faultinject.active_plan()
+    assert first.faults[0].action == "raise"
+    # A second access with an unchanged file hits the cache (identity).
+    assert faultinject.active_plan() is first
+
+    # Rewrite the file in place — no re-install, same path, same env
+    # var.  The (mtime, size) stamp changes, so the cache must miss.
+    plan_b = FaultPlan(
+        faults=(
+            Fault(
+                module="A0", action="hang",
+                message="rewritten plan, longer message",
+            ),
+        ),
+        state_dir=str(tmp_path / "fstate"),
+    )
+    with open(path, "w") as f:
+        json.dump(plan_b.as_dict(), f)
+    assert faultinject.active_plan().faults[0].action == "hang"
+
+
+def test_wildcard_module_matches_any_victim(tmp_path):
+    plan = _install(
+        tmp_path,
+        Fault(module="*", phase="serve", action="drop-connection"),
+    )
+    fault = plan.claim("serve", "anything-at-all", action="drop-connection")
+    assert fault is not None and fault.action == "drop-connection"
+    # times=1: the budget is spent.
+    assert plan.claim("serve", "other", action="drop-connection") is None
+
+
+def test_claim_exclude_skips_without_spending(tmp_path):
+    plan = _install(
+        tmp_path,
+        Fault(module="power", phase="serve", action="kill-worker"),
+    )
+    assert plan.claim("serve", "power", exclude=("kill-worker",)) is None
+    # The budget survived the excluded pass and is claimable later.
+    fault = plan.claim("serve", "power")
+    assert fault is not None and fault.action == "kill-worker"
+
+
+def test_fire_never_spends_transport_actions(tmp_path):
+    plan = _install(
+        tmp_path,
+        Fault(module="*", phase="serve", action="drop-connection"),
+        Fault(module="*", phase="serve", action="stall"),
+        Fault(module="*", phase="serve", action="corrupt-response"),
+    )
+    # An implicit in-job firing must not consume transport budgets.
+    faultinject.fire("serve", "power")
+    for action in faultinject.TRANSPORT_ACTIONS:
+        assert (
+            faultinject.claim_action("serve", "power", action) is not None
+        )
+
+
+def test_fire_kill_worker_in_parent_skips_and_preserves_budget(tmp_path):
+    plan = _install(
+        tmp_path,
+        Fault(module="*", phase="serve", action="kill-worker"),
+    )
+    # This process is not a pool worker: fire() must neither kill us
+    # nor spend the budget meant for a real worker.
+    faultinject.fire("serve", "power")
+    assert plan.claim("serve", "power") is not None
+
+
+def test_action_partition_is_total():
+    assert set(faultinject.ACTIONS) == (
+        set(faultinject.WORKER_ACTIONS)
+        | {"corrupt"}
+        | set(faultinject.TRANSPORT_ACTIONS)
+    )

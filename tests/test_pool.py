@@ -190,3 +190,78 @@ def test_batch_driver_without_pool_still_owns_its_lifecycle(tmp_path):
     )
     assert batch.ok
     assert batch.stats["jobs"] == 2
+
+
+# ---------------------------------------------------------------------------
+# Graceful worker recycling.
+# ---------------------------------------------------------------------------
+
+
+def test_recycling_knobs_validate():
+    with pytest.raises(ValueError):
+        WorkerPool(1, max_requests_per_worker=0)
+    with pytest.raises(ValueError):
+        WorkerPool(1, max_worker_rss=0)
+
+
+def test_maybe_recycle_noop_without_limits_or_executor():
+    pool = WorkerPool(1)
+    assert pool.maybe_recycle() is None  # no executor yet
+    try:
+        pool.executor()
+        pool.note_tasks(1000)
+        assert pool.maybe_recycle() is None  # no limits armed
+        assert pool.recycles == 0
+    finally:
+        pool.shutdown()
+
+
+def test_recycle_by_request_budget():
+    pool = WorkerPool(2, max_requests_per_worker=2)
+    try:
+        first = pool.executor()
+        assert pool.maybe_recycle() is None  # budget not reached
+        for _ in range(4):  # jobs x max_requests_per_worker
+            assert pool.submit(os.getpid).result() > 0
+        assert pool.maybe_recycle() == "requests"
+        assert pool.recycles == 1
+        assert pool.kills == 0  # graceful, not a kill
+        second = pool.executor()
+        assert second is not first
+        assert pool.spawns == 2
+        # The fresh generation starts with a clean budget.
+        assert pool.maybe_recycle() is None
+    finally:
+        pool.shutdown()
+
+
+def test_recycle_by_rss_ceiling():
+    pool = WorkerPool(1, max_worker_rss=1)  # 1 byte: any worker trips it
+    try:
+        assert pool.submit(os.getpid).result() > 0  # force the fork
+        assert pool.maybe_recycle() == "rss"
+        assert pool.recycles == 1
+    finally:
+        pool.shutdown()
+
+
+def test_note_tasks_charges_externally_submitted_work():
+    # The daemon hands the raw executor to a WaveSupervisor, then
+    # charges the budget itself — note_tasks must count like submit.
+    pool = WorkerPool(1, max_requests_per_worker=3)
+    try:
+        executor = pool.executor()
+        for _ in range(3):
+            executor.submit(os.getpid).result()
+            pool.note_tasks(1)
+        assert pool.maybe_recycle() == "requests"
+    finally:
+        pool.shutdown()
+
+
+def test_worker_rss_bytes_reads_proc():
+    from repro.pipeline.pool import worker_rss_bytes
+
+    mine = worker_rss_bytes(os.getpid())
+    assert mine is not None and mine > 1024 * 1024
+    assert worker_rss_bytes(2 ** 30) is None  # no such pid

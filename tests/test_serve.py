@@ -634,3 +634,212 @@ def test_cli_client_argument_validation(tmp_path):
         )
         == 3
     )
+
+
+# ---------------------------------------------------------------------------
+# Chaos: serve-phase fault injection, self-healing, supervision.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(autouse=True)
+def _disarm_fault_plans():
+    """No fault plan leaks into (or out of) any serve test."""
+    from repro.pipeline.faultinject import FaultPlan
+
+    FaultPlan.uninstall()
+    yield
+    FaultPlan.uninstall()
+
+
+def _arm(tmp_path, *planned):
+    from repro.pipeline.faultinject import FaultPlan
+
+    plan = FaultPlan(
+        faults=tuple(planned), state_dir=str(tmp_path / "fault-state")
+    )
+    plan.install(str(tmp_path / "fault-plan.json"))
+    return plan
+
+
+def test_transport_faults_absorbed_by_resilient_client(moddir, tmp_path):
+    from repro.pipeline.faultinject import Fault
+    from repro.serve.client import RetryPolicy
+
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    thread, server, transport = _run_daemon(config)
+    _arm(
+        tmp_path,
+        Fault(module="*", phase="serve", action="drop-connection"),
+        Fault(module="*", phase="serve", action="stall", seconds=2.0),
+        Fault(module="*", phase="serve", action="corrupt-response"),
+    )
+    try:
+        retry = RetryPolicy(attempts=6, backoff_base=0.01, rng=lambda: 0.0)
+        with ServeClient.connect(
+            socket_path=config.socket_path,
+            request_timeout=0.5,
+            retry=retry,
+        ) as client:
+            # One request absorbs all three transport faults: the drop
+            # (EOF), the stall (wire timeout), and the garbage line each
+            # trigger a reconnect + retry, and the fourth try answers.
+            response = client.specialise("power", {"n": 4})
+            assert response["ok"], response
+            assert client.stats["retries"] == 3
+            assert client.stats["reconnects"] == 3
+            assert client.stats["timeouts"] == 1
+        counters = server.obs.metrics.snapshot()["counters"]
+        assert counters["serve.faults_injected"] == 3
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+
+
+def test_kill_worker_mid_request_is_absorbed(moddir, tmp_path):
+    from repro.pipeline.faultinject import Fault
+
+    # Arm before startup: pool workers are forked at daemon start and
+    # inherit the environment (and so the plan) from that moment.
+    _arm(
+        tmp_path,
+        Fault(module="power", phase="serve", action="kill-worker"),
+    )
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=True)
+    thread, server, transport = _run_daemon(config)
+    try:
+        # A *bare* client: the SIGKILL'd worker must be invisible even
+        # without retries — the supervisor's degraded serial rerun
+        # answers (and fire() skips kill-worker outside pool workers
+        # without spending budget, so the rerun cannot re-kill itself).
+        with ServeClient.connect(socket_path=config.socket_path) as client:
+            response = client.specialise("power", {"n": 6})
+            assert response["ok"], response
+            assert response["served"] == "cold"
+        assert server.pool.kills >= 1
+        # The budget sentinel was spent exactly once, by the dead worker.
+        state = tmp_path / "fault-state"
+        assert sorted(p.name for p in state.iterdir()) == ["fault.0.0"]
+        # The daemon is healthy afterwards: warm answers keep flowing.
+        with ServeClient.connect(socket_path=config.socket_path) as client:
+            assert client.specialise("power", {"n": 6})["served"] == "warm"
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+
+
+def test_worker_recycling_over_the_serve_path(moddir):
+    server = _server(moddir, jobs=1, max_requests_per_worker=1)
+    try:
+        for n in (2, 3, 4):
+            response = _specialise(server, "power", {"n": n})
+            assert response["ok"], response
+        # Budget 1 request/worker x 1 job: every cold request after the
+        # first retires a generation gracefully.
+        assert server.pool.recycles >= 2
+        health = server.handle_request({"op": "health"})
+        assert health["pool_recycles"] == server.pool.recycles
+        counters = server.obs.metrics.snapshot()["counters"]
+        assert counters["serve.recycles"] == server.pool.recycles
+        # Recycling is invisible to correctness: warm hits still serve.
+        assert _specialise(server, "power", {"n": 2})["served"] == "warm"
+    finally:
+        server.close()
+
+
+def test_supervisor_restarts_a_sigkilled_daemon(moddir, tmp_path):
+    import signal as signallib
+
+    from repro.serve.supervise import supervised_daemon
+
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    events = []
+    with supervised_daemon(
+        config,
+        backoff_base=0.05,
+        on_event=lambda event, info: events.append((event, info)),
+    ) as supervisor:
+        with ServeClient.wait_ready(socket_path=config.socket_path) as c:
+            first_pid = c.health()["pid"]
+        assert supervisor.process.pid == first_pid
+
+        # kill -9: no drain, no cleanup — the socket file goes stale.
+        os.kill(first_pid, signallib.SIGKILL)
+
+        # The supervisor restarts the daemon; the stale socket is
+        # reclaimed and the next request succeeds against the new pid.
+        with ServeClient.wait_ready(
+            socket_path=config.socket_path, timeout=60
+        ) as c:
+            health = c.health()
+            assert health["pid"] != first_pid
+            assert c.specialise("power", {"n": 3})["ok"]
+        assert supervisor.restarts == 1
+    assert any(event == "restarting" for event, _ in events)
+    assert events[-1][0] == "stopped"
+
+
+def test_supervisor_does_not_restart_a_graceful_exit(moddir):
+    from repro.serve.supervise import supervised_daemon
+
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    events = []
+    with supervised_daemon(
+        config,
+        on_event=lambda event, info: events.append(event),
+    ) as supervisor:
+        with ServeClient.wait_ready(socket_path=config.socket_path) as c:
+            assert c.shutdown()["ok"]
+        process = supervisor.process
+        process.join(60)
+        assert process.exitcode == 0
+        # Give the supervisor loop a moment to observe the exit; a
+        # graceful stop must not spawn a replacement.
+        time.sleep(0.3)
+        assert supervisor.restarts == 0
+    assert "restarting" not in events
+
+
+def test_supervisor_gives_up_past_max_restarts(tmp_path):
+    from repro.serve.supervise import Supervisor
+
+    # A config whose daemon can never come up: the module directory
+    # does not exist, so serve_forever raises and the child exits
+    # nonzero immediately.
+    config = ServeConfig(
+        dir=str(tmp_path / "missing"),
+        socket_path=str(tmp_path / "s.sock"),
+        jobs=1,
+        warm_pool=False,
+    )
+    events = []
+    supervisor = Supervisor(
+        config,
+        max_restarts=2,
+        sleep=lambda s: None,
+        on_event=lambda event, info: events.append(event),
+    )
+    code = supervisor.run()
+    assert code != 0
+    assert supervisor.restarts == 3  # initial + 2 budgeted restarts
+    assert events.count("restarting") == 2
+    assert events[-1] == "gave_up"
+
+
+def test_supervisor_validates_max_restarts(moddir):
+    from repro.serve.supervise import Supervisor
+
+    with pytest.raises(ValueError):
+        Supervisor(ServeConfig(dir=moddir), max_restarts=-1)
+
+
+def test_serve_config_recycling_knobs(moddir):
+    config = ServeConfig(
+        dir=moddir, jobs=2, max_requests_per_worker=100,
+        max_worker_rss_mb=256.0, warm_pool=False,
+    )
+    server = SpecServer(config)
+    try:
+        assert server.pool.max_requests_per_worker == 100
+        assert server.pool.max_worker_rss == 256 * 1024 * 1024
+    finally:
+        server.close()

@@ -1,0 +1,277 @@
+"""The ``mspec soak`` endurance harness: seeded schedules, differential
+checking against a local oracle, error budgets, and the schema-valid
+``repro.bench.soak/v1`` report.
+
+The load-bearing properties: a healthy daemon soaks clean (zero
+divergences, zero client errors, exit 0), a daemon serving *different
+source* than the oracle's is caught as a divergence (exit 7 — the
+harness really checks, it does not just count), and an unreachable
+daemon is an error-budget breach rather than a vacuous pass.
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.check.report import EXIT_CHECK_FAILED
+from repro.obs import Obs
+from repro.obs.schema import BENCH_SOAK_SCHEMA, validate_bench_soak
+from repro.serve import ServeConfig
+from repro.soak import SoakConfig, load_request_mix, run_soak
+from tests.test_serve import _run_daemon, _write_modules
+
+POWER = """\
+module Power where
+
+power n x = if n == 1 then x else x * power (n - 1) x
+
+module Sum where
+import Power
+
+sumpow n x y = power n x + power n y
+"""
+
+# Same interface, different semantics: the soak oracle must catch a
+# daemon serving this when it expected POWER.
+POWER_WRONG = """\
+module Power where
+
+power n x = if n == 1 then x + 1 else x * power (n - 1) x
+
+module Sum where
+import Power
+
+sumpow n x y = power n x + power n y
+"""
+
+MIX = [
+    {"goal": "power", "static_args": {"n": 2}, "dyn_inputs": [[3], [7]]},
+    {"goal": "power", "static_args": {"n": 3}, "dyn_inputs": [[2]]},
+    {"goal": "sumpow", "static_args": {"n": 2}, "dyn_inputs": [[2, 3]]},
+]
+
+
+@pytest.fixture
+def moddir(tmp_path):
+    d = tmp_path / "modules"
+    _write_modules(d, POWER)
+    return str(d)
+
+
+def test_clean_soak_holds_the_error_budget(moddir, tmp_path):
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    thread, server, transport = _run_daemon(config)
+    report_path = str(tmp_path / "BENCH_soak.json")
+    try:
+        soak = SoakConfig(
+            dir=moddir,
+            requests=MIX,
+            socket_path=config.socket_path,
+            max_requests=30,
+            clients=2,
+            check_every=2,
+            batch_every=7,
+            batch_jobs=1,
+            seed=1,
+            request_timeout=30.0,
+            report_path=report_path,
+        )
+        code, report = run_soak(soak, obs=Obs())
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+
+    assert code == 0
+    assert report["ok"] and report["error_budget"]["ok"]
+    assert report["schema"] == BENCH_SOAK_SCHEMA
+    assert validate_bench_soak(report) == []
+    requests = report["requests"]
+    assert requests["sent"] + requests["batch"] == 30
+    assert requests["ok"] == requests["sent"]
+    assert requests["client_errors"] == 0
+    assert requests["batch"] == 4  # every 7th of 30
+    assert requests["batch_failures"] == 0
+    assert report["checks"]["performed"] > 0
+    assert report["checks"]["divergences"] == 0
+    # The committed report is exactly what run_soak wrote.
+    with open(report_path) as f:
+        assert json.load(f) == report
+
+
+def test_soak_catches_a_daemon_serving_different_source(moddir, tmp_path):
+    wrong = tmp_path / "wrong"
+    _write_modules(wrong, POWER_WRONG)
+    config = ServeConfig(dir=str(wrong), jobs=1, warm_pool=False)
+    thread, server, transport = _run_daemon(config)
+    try:
+        soak = SoakConfig(
+            dir=moddir,  # the oracle's truth differs from what is served
+            requests=MIX,
+            socket_path=config.socket_path,
+            max_requests=8,
+            clients=1,
+            check_every=1,
+            seed=3,
+        )
+        code, report = run_soak(soak, obs=Obs())
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+
+    assert code == EXIT_CHECK_FAILED
+    assert not report["ok"]
+    assert report["checks"]["divergences"] > 0
+    assert any(
+        "differs" in d["what"] for d in report["details"]
+    )
+    assert validate_bench_soak(report) == []  # failing reports validate too
+
+
+def test_unreachable_daemon_breaches_the_budget(moddir, tmp_path):
+    soak = SoakConfig(
+        dir=moddir,
+        requests=MIX,
+        socket_path=str(tmp_path / "nothing.sock"),
+        max_requests=5,
+        clients=1,
+        connect_timeout=0.3,
+        retry_attempts=2,
+    )
+    code, report = run_soak(soak, obs=Obs())
+    assert code == EXIT_CHECK_FAILED
+    assert report["requests"]["client_errors"] == 5
+    assert not report["ok"]
+
+
+def test_seeded_schedule_is_deterministic(moddir):
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    thread, server, transport = _run_daemon(config)
+    try:
+        reports = []
+        for _ in range(2):
+            soak = SoakConfig(
+                dir=moddir,
+                requests=MIX,
+                socket_path=config.socket_path,
+                max_requests=12,
+                clients=1,
+                check_every=3,
+                seed=42,
+            )
+            code, report = run_soak(soak, obs=Obs())
+            assert code == 0
+            reports.append(report)
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+    # Same seed, same mix, same count: the same checks run both times.
+    assert (
+        reports[0]["checks"]["performed"]
+        == reports[1]["checks"]["performed"]
+    )
+    assert reports[0]["workload"]["scheduled"] == 12
+
+
+def test_soak_counters_land_in_obs(moddir):
+    config = ServeConfig(dir=moddir, jobs=1, warm_pool=False)
+    thread, server, transport = _run_daemon(config)
+    obs = Obs()
+    try:
+        soak = SoakConfig(
+            dir=moddir,
+            requests=MIX,
+            socket_path=config.socket_path,
+            max_requests=10,
+            clients=1,
+            check_every=2,
+            seed=0,
+        )
+        code, report = run_soak(soak, obs=obs)
+        assert code == 0
+    finally:
+        transport.initiate_shutdown()
+        thread.join(60)
+    counters = obs.metrics.snapshot()["counters"]
+    assert counters["soak.requests"] == report["requests"]["sent"]
+    assert counters["soak.ok"] == report["requests"]["ok"]
+    assert counters["soak.divergences"] == 0
+
+
+# ---------------------------------------------------------------------------
+# Config and mix-file validation.
+# ---------------------------------------------------------------------------
+
+
+def test_load_request_mix_validates(tmp_path):
+    path = tmp_path / "mix.json"
+    path.write_text(json.dumps(MIX))
+    assert load_request_mix(str(path)) == MIX
+
+    for bad, fragment in [
+        ([], "non-empty"),
+        ({"goal": "x"}, "non-empty JSON list"),
+        ([{"static_args": {}}], "goal"),
+        ([{"goal": "f", "static_args": [1]}], "static_args"),
+        ([{"goal": "f", "dyn_inputs": [1]}], "dyn_inputs"),
+    ]:
+        path.write_text(json.dumps(bad))
+        with pytest.raises(ValueError, match=fragment):
+            load_request_mix(str(path))
+
+
+def test_soak_config_validates(moddir):
+    with pytest.raises(ValueError, match="exactly one"):
+        SoakConfig(dir=moddir, requests=MIX)
+    with pytest.raises(ValueError, match="exactly one"):
+        SoakConfig(
+            dir=moddir, requests=MIX, socket_path="/s", tcp=("h", 1)
+        )
+    with pytest.raises(ValueError, match="must not be empty"):
+        SoakConfig(dir=moddir, requests=[], socket_path="/s")
+    with pytest.raises(ValueError, match="max_requests"):
+        SoakConfig(
+            dir=moddir, requests=MIX, socket_path="/s", max_requests=0
+        )
+    with pytest.raises(ValueError, match="check_every"):
+        SoakConfig(
+            dir=moddir, requests=MIX, socket_path="/s", check_every=0
+        )
+
+
+# ---------------------------------------------------------------------------
+# The CLI: mspec soak --spawn runs a supervised daemon for the duration.
+# ---------------------------------------------------------------------------
+
+
+def test_cli_soak_spawn_end_to_end(moddir, tmp_path, capsys):
+    from repro.cli import main
+
+    mix_path = tmp_path / "mix.json"
+    mix_path.write_text(json.dumps(MIX))
+    report_path = tmp_path / "BENCH_soak.json"
+    code = main(
+        [
+            "soak",
+            moddir,
+            "--requests", str(mix_path),
+            "--spawn",
+            "--jobs", "1",
+            "--count", "12",
+            "--clients", "2",
+            "--check-every", "3",
+            "--seed", "7",
+            "--report", str(report_path),
+            "--json",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    report = json.loads(out)
+    assert report["ok"]
+    assert report["schema"] == BENCH_SOAK_SCHEMA
+    assert os.path.exists(str(report_path))
+    # The spawned daemon was torn down with its socket.
+    assert not os.path.exists(
+        os.path.join(moddir, ".mspec-serve.sock")
+    )
