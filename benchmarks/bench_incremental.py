@@ -1,0 +1,261 @@
+"""Definition-level incremental recompilation on a deep import chain.
+
+The workload is :func:`repro.bench.generators.layered_program`: a
+64-module import chain ``M0 <- M1 <- ... <- M63`` with 6 definitions
+per module, of which only ``m{m}_f0`` is referenced across the module
+boundary.  The trajectory:
+
+* **cold** — full analysis of every module into an empty cache;
+* **warm** — a no-op rebuild (every module a cache hit);
+* **def edit** — a body-only edit of one *unreferenced* definition in
+  the root module ``M0``: the def-level engine re-derives exactly that
+  definition, lands on a byte-identical scheme digest (early cutoff),
+  and every dependent module stays cached;
+* **scheme edit** — an edit that *changes* the definition's scheme:
+  ``M0``'s interface text changes, but the direct importer's def-level
+  key reads only the digests of the definitions it actually references,
+  so zero dependent modules are re-analysed;
+* **module-level baseline** — the same body edit rebuilt with
+  ``incremental=False`` (whole-module keys, whole-module re-analysis).
+
+The incremental rebuild's artifacts are compared byte-for-byte against
+a from-scratch build of the edited sources; the emitted
+``BENCH_incremental.json`` (``repro.bench.incremental/v1``,
+schema-checked by ``python -m repro.obs.schema``) refuses to record a
+run where they differ or where the edit demonstrated no cutoff.
+
+Run directly — no pytest machinery:
+
+    PYTHONPATH=src python benchmarks/bench_incremental.py
+
+``MSPEC_BENCH_TINY=1`` shrinks the chain to 8 modules for CI smoke
+runs.
+"""
+
+import json
+import os
+import re
+import shutil
+import sys
+import tempfile
+import time
+
+from repro.api import BuildOptions
+from repro.bench.generators import layered_program
+from repro.obs.schema import (
+    BENCH_INCREMENTAL_SCHEMA,
+    validate_bench_incremental,
+)
+from repro.pipeline import build_dir
+from repro.pipeline.cache import IFACE_KIND
+
+JSON_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_incremental.json"
+)
+
+TINY = os.environ.get("MSPEC_BENCH_TINY") == "1"
+N_MODULES = 8 if TINY else 64
+DEFS = 6
+SEED = 11
+
+
+def _cpus():
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _write_all(src, sources):
+    for name, text in sources.items():
+        with open(os.path.join(src, name + ".mod"), "w") as f:
+            f.write(text)
+
+
+def _timed_build(src, cache, **opts):
+    started = time.perf_counter()
+    result = build_dir(src, BuildOptions(cache_dir=cache, **opts))
+    seconds = time.perf_counter() - started
+    assert result.report.ok, result.report.render()
+    return seconds, result
+
+
+def _pick_unreferenced_def(sources):
+    """A definition of M0 that no other module references: any
+    ``m0_f{i}`` except the one M1's boundary definition calls."""
+    called = set(re.findall(r"\bm0_f\d+\b", sources.get("M1", "")))
+    for i in range(1, DEFS):
+        name = "m0_f%d" % i
+        if name not in called:
+            return name
+    raise AssertionError("every M0 def is referenced by M1")
+
+
+def _edit_def(text, def_name, scheme_change=False):
+    """Rewrite ``def_name``'s body.  The default edit wraps the body in
+    a statically-decided conditional — new bytes, same principal
+    scheme.  ``scheme_change=True`` replaces the recursive loop with
+    the identity on ``x`` instead."""
+    out = []
+    for line in text.splitlines():
+        if line.startswith(def_name + " "):
+            lhs, rhs = line.split(" = ", 1)
+            if scheme_change:
+                line = "%s = x" % lhs
+            else:
+                line = "%s = if 0 == 0 then (%s) else (%s)" % (lhs, rhs, rhs)
+        out.append(line)
+    return "\n".join(out) + "\n"
+
+
+def _artifacts(result):
+    out = {}
+    for m in result.genexts:
+        iface = result.cache.get_text(result.keys[m.name], IFACE_KIND)
+        out[m.name] = (iface, m.source)
+    return out
+
+
+def main():
+    cpus = _cpus()
+    sources = layered_program(N_MODULES, DEFS, seed=SEED)
+    target = _pick_unreferenced_def(sources)
+    body_edit = dict(sources, M0=_edit_def(sources["M0"], target))
+    scheme_edit = dict(
+        sources, M0=_edit_def(sources["M0"], target, scheme_change=True)
+    )
+
+    tmp = tempfile.mkdtemp(prefix="mspec-bench-incr-")
+    try:
+        src = os.path.join(tmp, "src")
+        cache = os.path.join(tmp, "cache")
+        os.makedirs(src)
+        _write_all(src, sources)
+
+        cold_s, cold = _timed_build(src, cache)
+        assert len(cold.analysed) == N_MODULES
+
+        warm_s, warm = _timed_build(src, cache)
+        assert warm.analysed == [] and warm.incremental == []
+        assert len(warm.cached) == N_MODULES
+
+        # Body-only edit of an unreferenced def in the chain's root.
+        _write_all(src, body_edit)
+        edit_s, edited = _timed_build(src, cache)
+        stats = edited.stats.as_dict()
+        assert edited.analysed == [], (
+            "def-level edit fully re-analysed %s" % edited.analysed
+        )
+        assert edited.incremental == ["M0"]
+        assert len(edited.cached) == N_MODULES - 1
+        assert stats["defs_re_derived"] == 1
+        assert stats["defs_reused"] == DEFS - 1
+
+        # Byte identity against a from-scratch build of the same
+        # (edited) sources.
+        scratch_src = os.path.join(tmp, "scratch-src")
+        os.makedirs(scratch_src)
+        _write_all(scratch_src, body_edit)
+        _, scratch = _timed_build(scratch_src, os.path.join(tmp, "scratch"))
+        identical = (
+            edited.keys == scratch.keys
+            and _artifacts(edited) == _artifacts(scratch)
+        )
+
+        # Scheme-changing edit: M0's interface changes, but no importer
+        # references the edited def — zero dependent re-analyses.
+        _write_all(src, scheme_edit)
+        scheme_s, schemed = _timed_build(src, cache)
+        scheme_stats = schemed.stats.as_dict()
+        assert schemed.analysed == [], (
+            "scheme edit re-analysed dependents: %s" % schemed.analysed
+        )
+        assert schemed.incremental == ["M0"]
+        assert scheme_stats["modules_cutoff_skipped"] >= 1
+
+        # Module-level baseline: the same body edit with the def-level
+        # engine off.
+        base_src = os.path.join(tmp, "base-src")
+        base_cache = os.path.join(tmp, "base-cache")
+        os.makedirs(base_src)
+        _write_all(base_src, sources)
+        _timed_build(base_src, base_cache, incremental=False)
+        _write_all(base_src, body_edit)
+        module_s, module_level = _timed_build(
+            base_src, base_cache, incremental=False
+        )
+        assert module_level.analysed == ["M0"]
+        assert module_level.incremental == []
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+    counters = {
+        "defs_reused": stats["defs_reused"],
+        "defs_re_derived": stats["defs_re_derived"],
+        "defs_cut_off": stats["defs_cut_off"],
+        "modules_incremental": stats["n_incremental"],
+        "modules_cutoff_skipped": scheme_stats["modules_cutoff_skipped"],
+        "incremental_fallbacks": stats["incremental_fallbacks"],
+    }
+    results = {
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "def_edit_incremental_s": edit_s,
+        "scheme_edit_incremental_s": scheme_s,
+        "def_edit_module_level_s": module_s,
+        "incremental_vs_cold_speedup": cold_s / edit_s,
+        "def_vs_module_level_speedup": module_s / edit_s,
+    }
+    doc = {
+        "schema": BENCH_INCREMENTAL_SCHEMA,
+        "cpus": cpus,
+        "tiny": TINY,
+        "workload": {
+            "modules": N_MODULES,
+            "defs_per_module": DEFS,
+            "shape": "import chain (layered_program, seed %d)" % SEED,
+            "edited_def": target,
+        },
+        "results": results,
+        "counters": counters,
+        "identical": identical,
+    }
+    problems = validate_bench_incremental(doc)
+    assert not problems, problems
+    with open(JSON_PATH, "w") as f:
+        json.dump(doc, f, indent=1, sort_keys=True)
+        f.write("\n")
+
+    print(
+        "== incremental recompilation (%d-module chain, %d defs/module, "
+        "%d cpus%s) ==" % (N_MODULES, DEFS, cpus, ", tiny" if TINY else "")
+    )
+    rows = [
+        ("cold build", cold_s, 1.0),
+        ("warm no-op rebuild", warm_s, cold_s / warm_s),
+        ("edit %s, def-level" % target, edit_s, cold_s / edit_s),
+        ("edit %s, scheme change" % target, scheme_s, cold_s / scheme_s),
+        ("edit %s, module-level" % target, module_s, cold_s / module_s),
+    ]
+    for label, seconds, speedup in rows:
+        print("%-32s %10.3f ms  %8.2fx" % (label, seconds * 1e3, speedup))
+    print(
+        "defs: %d reused, %d re-derived, %d cut off; byte-identical: %s"
+        % (
+            counters["defs_reused"],
+            counters["defs_re_derived"],
+            counters["defs_cut_off"],
+            identical,
+        )
+    )
+    print("wrote", JSON_PATH)
+
+    assert identical, "incremental artifacts differ from a cold build's"
+    assert counters["defs_cut_off"] >= 1, (
+        "the single-def edit demonstrated no early cutoff"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,13 @@ from dataclasses import dataclass, field, fields, replace
 from typing import Any, Callable, FrozenSet, Optional
 
 from repro.pipeline.faults import FaultPolicy
+from repro.pipeline.report import ModuleRebuild, RebuildReport
 
 __all__ = [
     "BuildOptions",
     "SpecOptions",
+    "ModuleRebuild",
+    "RebuildReport",
     "LegacyOptionsWarning",
     "build_options",
     "spec_options",
@@ -72,6 +75,12 @@ class BuildOptions:
     policy: Optional[FaultPolicy] = None
     trace_path: Optional[str] = None
     metrics_path: Optional[str] = None
+    # Definition-level incremental recompilation: on a module-key miss,
+    # rebuild only the SCCs whose sources or read schemes changed,
+    # against the previous build's per-def record.  False keys builds
+    # at module granularity (whole dep interface digests), the PR-1
+    # behaviour — useful as an A/B baseline and as a hard off switch.
+    incremental: bool = True
 
     def __post_init__(self):
         if self.jobs < 1:

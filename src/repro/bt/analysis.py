@@ -92,11 +92,17 @@ class DefAnalysis:
 @dataclass
 class ModuleAnalysis:
     """The result of analysing one module: its binding-time interface
-    (one scheme per definition) plus the annotated module."""
+    (one scheme per definition) plus the annotated module.
+
+    ``deps`` maps each definition to the function names whose schemes
+    its inference actually read — the paper's "analyse a module without
+    knowing its uses" claim pushed down to definitions, and the edges
+    the incremental engine cuts invalidation along."""
 
     name: str
     schemes: Dict[str, BTScheme]
     annotated: AModule
+    deps: Dict[str, frozenset] = field(default_factory=dict)
 
 
 @dataclass
@@ -119,6 +125,10 @@ class _DefInference:
         self.cond_bts = []
         self.force_residual = force_residual
         self._lam_counter = 0
+        # Names whose schemes this inference actually read (imported or
+        # same-module) — the def-level dependency edges the incremental
+        # engine keys on.
+        self.reads = set()
 
     # -- fresh skeleton constructors (always well-formed) -----------------
 
@@ -249,6 +259,7 @@ class _DefInference:
             scheme = self.env.get(expr.func)
             if scheme is None:
                 self._fail("no binding-time scheme for %r" % expr.func)
+            self.reads.add(expr.func)
             fargs, fres, slot_map = instantiate(scheme, g, self.unifier)
             if len(fargs) != len(expr.args):
                 self._fail(
@@ -474,6 +485,49 @@ def _final_expr(e, final_bt, final_type):
     raise TypeError("not an annotated expression: %r" % (e,))
 
 
+def analyse_scc(by_name, group, env, force_residual=frozenset()):
+    """Fixpoint-analyse one strongly connected component of definitions.
+
+    ``by_name`` maps def names to (resolved) :class:`~repro.lang.ast.Def`
+    nodes; ``group`` lists the SCC's members; ``env`` maps every name
+    visible to the group (imports plus already-analysed same-module
+    defs) to its :class:`BTScheme`.  Recursion inside the group gets
+    polymorphic recursion by Kleene iteration from the most general
+    signature.
+
+    Returns ``(schemes, annotated, reads)`` — three dicts keyed by def
+    name; ``reads`` records which schemes each def's inference actually
+    consulted.  This is the unit of work the incremental engine caches:
+    an SCC whose sources and read schemes are unchanged need never be
+    re-analysed."""
+    assumed = {name: most_general_scheme(by_name[name].arity) for name in group}
+    finalisers = {}
+    reads = {}
+    for _ in range(_MAX_FIXPOINT_ITERATIONS):
+        results = {}
+        for name in group:
+            inf = _DefInference(
+                name, {**env, **assumed}, name in force_residual
+            )
+            try:
+                results[name] = inf.infer_def(by_name[name])
+            except BTUnifyError as e:
+                raise BTAError("in %s: %s" % (name, e))
+            reads[name] = frozenset(inf.reads)
+        new = {name: scheme for name, (scheme, _) in results.items()}
+        finalisers = {name: fin for name, (_, fin) in results.items()}
+        if new == assumed:
+            break
+        assumed = new
+    else:
+        raise BTAError(
+            "binding-time analysis did not converge for %s"
+            % ", ".join(group)
+        )
+    annotated = {name: finalisers[name].finalise() for name in group}
+    return assumed, annotated, reads
+
+
 def analyse_module(module, imported_schemes, force_residual=frozenset()):
     """Analyse one module given its imports' binding-time interfaces.
 
@@ -485,40 +539,22 @@ def analyse_module(module, imported_schemes, force_residual=frozenset()):
     env = dict(imported_schemes)
     schemes = {}
     annotated = {}
+    deps = {}
     by_name = {d.name: d for d in module.defs}
     for group in module_def_sccs(module):
-        assumed = {name: most_general_scheme(by_name[name].arity) for name in group}
-        finalisers = {}
-        for _ in range(_MAX_FIXPOINT_ITERATIONS):
-            results = {}
-            for name in group:
-                inf = _DefInference(
-                    name, {**env, **assumed}, name in force_residual
-                )
-                try:
-                    results[name] = inf.infer_def(by_name[name])
-                except BTUnifyError as e:
-                    raise BTAError("in %s: %s" % (name, e))
-            new = {name: scheme for name, (scheme, _) in results.items()}
-            finalisers = {name: fin for name, (_, fin) in results.items()}
-            if new == assumed:
-                break
-            assumed = new
-        else:
-            raise BTAError(
-                "binding-time analysis did not converge for %s"
-                % ", ".join(group)
-            )
-        for name in group:
-            schemes[name] = assumed[name]
-            env[name] = assumed[name]
-            annotated[name] = finalisers[name].finalise()
+        group_schemes, group_annotated, group_reads = analyse_scc(
+            by_name, group, env, force_residual
+        )
+        schemes.update(group_schemes)
+        env.update(group_schemes)
+        annotated.update(group_annotated)
+        deps.update(group_reads)
     amodule = AModule(
         module.name,
         module.imports,
         tuple(annotated[d.name] for d in module.defs),
     )
-    return ModuleAnalysis(module.name, schemes, amodule)
+    return ModuleAnalysis(module.name, schemes, amodule, deps)
 
 
 def analyse_program(linked, force_residual=frozenset()):

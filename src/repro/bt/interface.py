@@ -12,6 +12,19 @@ so *byte equality of interface files coincides with semantic equality of
 interfaces* — the property the content-addressed invalidation scheme
 rests on.
 
+Format v2 (``repro.bti/v2``) additionally carries a per-definition
+scheme digest table (``"digests"``): the SHA-256 of each exported
+scheme's canonical JSON.  Per-def digests are what lets the build key
+a dependent module on *only the definitions it actually references*
+rather than on the whole interface file — the definition-level early
+cutoff.  v1 files (no digest table) are still read transparently; their
+digests are derived from the parsed schemes on load.
+
+All v1/v2 parsing, verification and digesting lives in
+:class:`InterfaceStore`; the module-level helpers
+(:func:`read_interface`, :func:`interface_from_text`) are thin wrappers
+kept for compatibility.
+
 The :class:`InterfaceManager` implements the separate-analysis workflow
 with **content-digest invalidation**: each module's artifacts are keyed
 by the SHA-256 of its source text plus the digests of its imports'
@@ -26,6 +39,8 @@ import hashlib
 import json
 import os
 import tempfile
+from dataclasses import dataclass
+from typing import Dict, Optional
 
 from repro.bt.analysis import analyse_module
 from repro.bt.bttypes import BTTBase, BTTFun, BTTList, BTTPair, BTTSkel
@@ -33,12 +48,13 @@ from repro.bt.scheme import BTScheme
 
 INTERFACE_SUFFIX = ".bti"
 KEY_SUFFIX = ".bti.key"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+SUPPORTED_FORMATS = (1, 2)
 
 # Bumping this invalidates every cached artifact (interfaces, genext
 # sources, code objects) — do so whenever the analysis or the cogen
 # changes what it produces for the same input.
-CACHE_EPOCH = 1
+CACHE_EPOCH = 2
 
 
 class InterfaceError(Exception):
@@ -103,18 +119,44 @@ def scheme_from_json(j):
         raise InterfaceError("malformed scheme: %s" % e)
 
 
-def interface_text(module_name, schemes):
+_SCHEME_DIGEST_SALT = b"mspec-scheme-digest\x00"
+
+
+def scheme_digest(scheme):
+    """SHA-256 hex digest of one scheme's canonical JSON serialisation.
+
+    Because schemes are canonicalised before serialisation, equal
+    digests mean equal (alpha-equivalent) binding-time schemes — the
+    per-definition analogue of the whole-file digest property."""
+    payload = json.dumps(
+        scheme_to_json(scheme), sort_keys=True, separators=(",", ":")
+    )
+    h = hashlib.sha256(_SCHEME_DIGEST_SALT)
+    h.update(payload.encode("utf-8"))
+    return h.hexdigest()
+
+
+def interface_text(module_name, schemes, format=FORMAT_VERSION):
     """The canonical on-disk serialisation of one interface.
 
-    Deterministic for a given ``(module_name, schemes)``: two analyses
-    that agree on the schemes produce byte-identical files, which is
-    what lets :func:`interface_digest` double as a semantic fingerprint.
+    Deterministic for a given ``(module_name, schemes, format)``: two
+    analyses that agree on the schemes produce byte-identical files,
+    which is what lets :func:`interface_digest` double as a semantic
+    fingerprint.  Format 2 (the default) carries a per-definition
+    scheme digest table; pass ``format=1`` to reproduce the legacy
+    serialisation (used by the canonicality checker on old files).
     """
+    if format not in SUPPORTED_FORMATS:
+        raise InterfaceError("cannot serialise interface format %r" % (format,))
     payload = {
-        "format": FORMAT_VERSION,
+        "format": format,
         "module": module_name,
         "schemes": {name: scheme_to_json(s) for name, s in schemes.items()},
     }
+    if format >= 2:
+        payload["digests"] = {
+            name: scheme_digest(s) for name, s in schemes.items()
+        }
     return json.dumps(payload, indent=1, sort_keys=True) + "\n"
 
 
@@ -146,48 +188,189 @@ def write_interface(path, module_name, schemes):
     return text
 
 
+@dataclass(frozen=True)
+class Interface:
+    """One parsed interface document (either on-disk format).
+
+    ``digests`` is always populated — derived from the parsed schemes —
+    so callers never branch on the format.  ``stored_digests`` is the
+    digest table as present in the file (``None`` for v1 files), kept
+    separate so :meth:`InterfaceStore.verify` can detect skew between
+    the table and the schemes it claims to describe."""
+
+    module: str
+    schemes: Dict[str, BTScheme]
+    digests: Dict[str, str]
+    stored_digests: Optional[Dict[str, str]]
+    format: int
+    text: str
+
+    def digest_of_def(self, name):
+        """The scheme digest of one exported definition, or ``None``."""
+        return self.digests.get(name)
+
+
+class InterfaceStore:
+    """The single place v1/v2 interface documents are parsed, verified
+    and digested.
+
+    The three historical interface-reading entry points — the
+    :func:`read_interface` helper, the ``repro.check.ifaces`` checker,
+    and the pipeline's cache-digest code — all route through this class,
+    so format evolution happens in exactly one file.  An optional
+    ``iface_dir`` makes the name-based conveniences
+    (:meth:`path`, :meth:`digest_of_def`) available."""
+
+    def __init__(self, iface_dir=None):
+        self.iface_dir = iface_dir
+
+    def path(self, module_name):
+        if self.iface_dir is None:
+            raise ValueError("InterfaceStore has no iface_dir")
+        return os.path.join(self.iface_dir, module_name + INTERFACE_SUFFIX)
+
+    def load_text(self, text, origin="<interface>"):
+        """Parse interface text into an :class:`Interface`.
+
+        Raises :class:`InterfaceError` — naming ``origin`` — on corrupt,
+        truncated, or structurally wrong input, never a bare
+        ``json.JSONDecodeError``."""
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError as e:
+            raise InterfaceError("corrupt interface file %s: %s" % (origin, e))
+        if not isinstance(payload, dict):
+            raise InterfaceError(
+                "%s: expected a JSON object, got %s"
+                % (origin, type(payload).__name__)
+            )
+        format = payload.get("format")
+        if format not in SUPPORTED_FORMATS:
+            raise InterfaceError(
+                "%s: unsupported interface format %r" % (origin, format)
+            )
+        module = payload.get("module")
+        schemes_json = payload.get("schemes")
+        if not isinstance(module, str) or not isinstance(schemes_json, dict):
+            raise InterfaceError(
+                "%s: missing or malformed 'module'/'schemes' fields" % origin
+            )
+        try:
+            schemes = {
+                name: scheme_from_json(j) for name, j in schemes_json.items()
+            }
+        except InterfaceError as e:
+            raise InterfaceError("%s: %s" % (origin, e))
+        stored = None
+        if format >= 2:
+            stored = payload.get("digests")
+            if not isinstance(stored, dict) or not all(
+                isinstance(k, str) and isinstance(v, str)
+                for k, v in stored.items()
+            ):
+                raise InterfaceError(
+                    "%s: missing or malformed 'digests' table" % origin
+                )
+        # The authoritative digests are always re-derived from the
+        # schemes: a stale stored table can then never poison a cache
+        # key — it is surfaced as skew by verify() instead.
+        digests = {name: scheme_digest(s) for name, s in schemes.items()}
+        return Interface(
+            module=module,
+            schemes=schemes,
+            digests=digests,
+            stored_digests=stored,
+            format=format,
+            text=text,
+        )
+
+    def load(self, path):
+        """Read and parse one interface file."""
+        try:
+            with open(path) as f:
+                text = f.read()
+        except OSError as e:
+            raise InterfaceError("cannot read %s: %s" % (path, e))
+        return self.load_text(text, origin=path)
+
+    def load_module(self, module_name):
+        """Load ``<iface_dir>/<module_name>.bti``."""
+        return self.load(self.path(module_name))
+
+    def verify(self, iface):
+        """Check a parsed interface's internal consistency.
+
+        Returns a list of ``(rule, def_name, message)`` problems; empty
+        means the document is self-consistent.  The interesting rule is
+        ``def_digest_skew``: a v2 digest table that disagrees with the
+        schemes next to it (a hand edit or a torn merge) — distinct
+        from a corrupt file, because the schemes themselves parsed."""
+        problems = []
+        if iface.stored_digests is None:
+            return problems
+        for name in sorted(set(iface.stored_digests) | set(iface.digests)):
+            stored = iface.stored_digests.get(name)
+            derived = iface.digests.get(name)
+            if stored is None:
+                problems.append(
+                    (
+                        "def_digest_skew",
+                        name,
+                        "digest table has no entry for exported def %r" % name,
+                    )
+                )
+            elif derived is None:
+                problems.append(
+                    (
+                        "def_digest_skew",
+                        name,
+                        "digest table names %r but no such scheme is present"
+                        % name,
+                    )
+                )
+            elif stored != derived:
+                problems.append(
+                    (
+                        "def_digest_skew",
+                        name,
+                        "stale digest for %r: table has %s.., scheme derives %s.."
+                        % (name, stored[:12], derived[:12]),
+                    )
+                )
+        return problems
+
+    def digest_of_def(self, module_name, def_name):
+        """The per-def scheme digest of ``def_name`` as exported by
+        ``module_name``'s on-disk interface, or ``None`` when the
+        interface or the definition is missing."""
+        try:
+            iface = self.load_module(module_name)
+        except InterfaceError:
+            return None
+        return iface.digest_of_def(def_name)
+
+    def file_digest(self, path):
+        """Whole-file digest (see :func:`interface_digest`)."""
+        return interface_digest(path)
+
+
+_STORE = InterfaceStore()
+
+
 def interface_from_text(text, origin="<interface>"):
     """Parse interface text; returns ``(module_name, schemes)``.
 
-    Raises :class:`InterfaceError` — naming ``origin`` — on corrupt,
-    truncated, or structurally wrong input, never a bare
-    ``json.JSONDecodeError``."""
-    try:
-        payload = json.loads(text)
-    except json.JSONDecodeError as e:
-        raise InterfaceError("corrupt interface file %s: %s" % (origin, e))
-    if not isinstance(payload, dict):
-        raise InterfaceError(
-            "%s: expected a JSON object, got %s"
-            % (origin, type(payload).__name__)
-        )
-    if payload.get("format") != FORMAT_VERSION:
-        raise InterfaceError(
-            "%s: unsupported interface format %r" % (origin, payload.get("format"))
-        )
-    module = payload.get("module")
-    schemes_json = payload.get("schemes")
-    if not isinstance(module, str) or not isinstance(schemes_json, dict):
-        raise InterfaceError(
-            "%s: missing or malformed 'module'/'schemes' fields" % origin
-        )
-    try:
-        schemes = {
-            name: scheme_from_json(j) for name, j in schemes_json.items()
-        }
-    except InterfaceError as e:
-        raise InterfaceError("%s: %s" % (origin, e))
-    return module, schemes
+    Compatibility wrapper over :meth:`InterfaceStore.load_text`."""
+    iface = _STORE.load_text(text, origin=origin)
+    return iface.module, iface.schemes
 
 
 def read_interface(path):
-    """Read an interface file; returns ``(module_name, schemes)``."""
-    try:
-        with open(path) as f:
-            text = f.read()
-    except OSError as e:
-        raise InterfaceError("cannot read %s: %s" % (path, e))
-    return interface_from_text(text, origin=path)
+    """Read an interface file; returns ``(module_name, schemes)``.
+
+    Compatibility wrapper over :meth:`InterfaceStore.load`."""
+    iface = _STORE.load(path)
+    return iface.module, iface.schemes
 
 
 # ---------------------------------------------------------------------------
@@ -240,6 +423,44 @@ def module_key(source_bytes, dep_digests, force_residual=frozenset()):
         h.update(b"\x00")
     for dep, digest in sorted(dep_digests):
         h.update(dep.encode("utf-8"))
+        h.update(b"=")
+        h.update((digest or "<missing>").encode("utf-8"))
+        h.update(b"\x00")
+    return h.hexdigest()
+
+
+def module_key_v2(source_bytes, import_names, used_def_digests,
+                  force_residual=frozenset()):
+    """The definition-keyed cache key of one module's artifacts.
+
+    Like :func:`module_key` but keyed on the *per-definition scheme
+    digests of only the imported definitions the module syntactically
+    references* (``used_def_digests``: ``(def_name, digest_hex)``
+    pairs), not on whole dep interface files.  An upstream edit that
+    changes the scheme of a definition this module never mentions —
+    or that changes a body without changing any scheme — leaves this
+    key unchanged, so the module is never re-analysed: early cutoff at
+    definition granularity.
+
+    The import *names* still participate (sorted), so adding or
+    removing an import always invalidates even when the used-def set
+    happens to be unchanged.  A ``None`` digest poisons the key."""
+    h = hashlib.sha256()
+    h.update(_KEY_SALT)
+    h.update(b"epoch=%d fmt=%d defkeyed\x00" % (CACHE_EPOCH, FORMAT_VERSION))
+    h.update(source_bytes)
+    h.update(b"\x00")
+    for name in sorted(force_residual):
+        h.update(b"resid:")
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+    for name in sorted(import_names):
+        h.update(b"import:")
+        h.update(name.encode("utf-8"))
+        h.update(b"\x00")
+    for fn, digest in sorted(used_def_digests):
+        h.update(b"use:")
+        h.update(fn.encode("utf-8"))
         h.update(b"=")
         h.update((digest or "<missing>").encode("utf-8"))
         h.update(b"\x00")

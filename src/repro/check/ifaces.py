@@ -28,8 +28,8 @@ from repro.bt.interface import (
     INTERFACE_SUFFIX,
     InterfaceError,
     InterfaceManager,
+    InterfaceStore,
     interface_text,
-    read_interface,
 )
 from repro.check.report import SEVERITY_WARNING, Finding
 from repro.lang.errors import LangError
@@ -83,6 +83,7 @@ def check_interfaces(src_dir, iface_dir=None, force_residual=frozenset()):
         return [_finding("load", src_dir, str(exc))], 0
 
     manager = InterfaceManager(src_dir, iface_dir)
+    store = InterfaceStore(iface_dir=manager.iface_dir)
     present = [
         name
         for name in linked.topo_order
@@ -111,10 +112,12 @@ def check_interfaces(src_dir, iface_dir=None, force_residual=frozenset()):
             )
             continue
         try:
-            committed_name, committed = read_interface(path)
+            committed_iface = store.load(path)
         except InterfaceError as exc:
             findings.append(_finding("corrupt-interface", where, str(exc)))
             continue
+        committed_name = committed_iface.module
+        committed = committed_iface.schemes
         if committed_name != module_name:
             findings.append(
                 _finding(
@@ -156,9 +159,19 @@ def check_interfaces(src_dir, iface_dir=None, force_residual=frozenset()):
                     )
                 )
 
-        with open(path) as f:
-            on_disk = f.read()
-        if on_disk != interface_text(module_name, committed):
+        # A v2 interface whose stored per-def digest table disagrees
+        # with its own schemes is *stale*, not corrupt: the schemes
+        # still parse and analyse, but importers keyed on the stored
+        # digests saw assumptions the schemes no longer make.
+        digest_skew = store.verify(committed_iface)
+        for rule, fn, msg in digest_skew:
+            findings.append(
+                _finding(rule, "%s:%s" % (where, fn), msg)
+            )
+        canonical = interface_text(
+            module_name, committed, format=committed_iface.format
+        )
+        if not digest_skew and committed_iface.text != canonical:
             findings.append(
                 _finding(
                     "non-canonical",

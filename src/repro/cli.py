@@ -198,6 +198,7 @@ def cmd_build(args):
         retries=args.retries,
         trace_path=args.trace,
         metrics_path=args.metrics,
+        incremental=not args.no_incremental,
     )
     obs, profiler = _make_obs(args)
     try:
@@ -220,6 +221,7 @@ def cmd_build(args):
     if args.json:
         doc = report.as_dict()
         doc["stats"] = result.stats.as_dict()
+        doc["rebuild"] = result.rebuild.as_dict()
         doc["waves"] = [list(w) for w in result.waves]
         if profiler is not None:
             doc["profile"] = profiler.as_dict()
@@ -230,6 +232,7 @@ def cmd_build(args):
             metrics=result.stats.metrics.snapshot(),
         )
     analysed = set(result.analysed)
+    incremental = set(result.incremental)
     failed = {f.module for f in report.failures}
     for wave_idx, wave in enumerate(result.waves):
         for name in wave:
@@ -239,12 +242,15 @@ def cmd_build(args):
                 status = "skipped (downstream of %s)" % report.skipped[name]
             elif name in analysed:
                 status = "analysed"
+            elif name in incremental:
+                status = "incremental"
             else:
                 status = "cached"
             print("%-20s wave %-3d %s" % (name, wave_idx, status))
     if args.stats:
         print()
         print(result.stats.report())
+        print(result.rebuild.render())
     if profiler is not None:
         print(file=sys.stderr)
         print(profiler.report(), file=sys.stderr)
@@ -920,6 +926,11 @@ def build_parser():
         "--retries", type=int, default=0, metavar="N",
         help="retry a failed/hung module up to N times with capped "
         "exponential backoff (default 0)",
+    )
+    p.add_argument(
+        "--no-incremental", action="store_true",
+        help="disable definition-level incremental recompilation; key "
+        "the cache at module granularity (whole dep interfaces)",
     )
     observability(p)
     p.set_defaults(fn=cmd_build)

@@ -49,13 +49,18 @@ from repro.bt.interface import (
     INTERFACE_SUFFIX,
     KEY_SUFFIX,
     InterfaceError,
+    InterfaceStore,
     atomic_write_text,
     digest_text,
-    interface_from_text,
     interface_text,
     module_key,
+    module_key_v2,
 )
-from repro.genext.cogen import GenextModule, cogen_module
+from repro.genext.cogen import (
+    GenextModule,
+    assemble_module,
+    cogen_fragments,
+)
 from repro.genext.link import GenextProgram, load_genext
 from repro.lang.errors import LangError, ValidationError
 from repro.lang.parser import parse_program
@@ -68,6 +73,7 @@ from repro.pipeline import faultinject
 from repro.pipeline.cache import (  # re-exported; the canonical home
     ArtifactCache,
     CODE_KIND,
+    DEFS_KIND,
     GENEXT_KIND,
     IFACE_KIND,
 )
@@ -79,6 +85,14 @@ from repro.pipeline.faults import (
     ModuleFailure,
     WaveSupervisor,
 )
+from repro.pipeline.incremental import (
+    defs_doc_for_analysis,
+    defs_doc_text,
+    parse_defs_doc,
+    try_incremental,
+    used_import_digests,
+)
+from repro.pipeline.report import ModuleRebuild, RebuildReport
 from repro.pipeline.stats import PipelineStats
 
 DEFAULT_CACHE_DIRNAME = ".mspec-cache"
@@ -86,12 +100,13 @@ DEFAULT_CACHE_DIRNAME = ".mspec-cache"
 
 @dataclass(frozen=True)
 class SourceModule:
-    """One scanned source file."""
+    """One scanned source file (plus its parsed, unresolved module)."""
 
     name: str
     path: str
     text: str
     imports: Tuple[str, ...]
+    module: object = field(default=None, compare=False, repr=False)
 
 
 def _analyse_cogen_worker(payload):
@@ -101,7 +116,9 @@ def _analyse_cogen_worker(payload):
     force_residual_tuple[, trace])`` — text in, text out, so the job
     crosses process boundaries carrying nothing but what the paper says
     a separate analysis may see.  Returns ``(name, interface_text,
-    genext_source)``, extended with the job's span events (plain dicts)
+    genext_source, defs_record_text)`` — the defs record is the
+    per-definition build state (``repro.defs/v1``) a later incremental
+    rebuild mines — extended with the job's span events (plain dicts)
     when ``trace`` is set: the worker records its own ``job`` /
     ``analyse`` / ``cogen`` spans on a short-lived local tracer, and the
     parent merges them into the build trace — one timeline across
@@ -111,30 +128,43 @@ def _analyse_cogen_worker(payload):
     name, text, deps, force_residual = payload[:4]
     trace = payload[4] if len(payload) > 4 else False
     tracer = Tracer() if trace else NULL_TRACER
+    store = InterfaceStore()
     with tracer.span("job:%s" % name, cat="job", module=name):
         faultinject.fire("analyse", name)
         with tracer.span("analyse:%s" % name, cat="analyse", module=name):
             module = parse_program(text).modules[0]
             visible = {}
+            visible_digests = {}
             for dep_name, dep_text in deps:
-                iface_name, schemes = interface_from_text(
+                dep_iface = store.load_text(
                     dep_text, origin="<interface of %s>" % dep_name
                 )
-                if iface_name != dep_name:
+                if dep_iface.module != dep_name:
                     raise InterfaceError(
-                        "interface for %s names module %s" % (dep_name, iface_name)
+                        "interface for %s names module %s"
+                        % (dep_name, dep_iface.module)
                     )
-                visible.update(schemes)
+                visible.update(dep_iface.schemes)
+                visible_digests.update(dep_iface.digests)
             arities = {fname: len(s.args) for fname, s in visible.items()}
             resolved = resolve_module(module, arities)
             analysis = analyse_module(resolved, visible, frozenset(force_residual))
         faultinject.fire("cogen", name)
         with tracer.span("cogen:%s" % name, cat="cogen", module=name):
-            genext = cogen_module(analysis)
+            fragments = cogen_fragments(analysis)
+            genext = assemble_module(name, resolved.imports, fragments)
+            defs_doc = defs_doc_for_analysis(
+                resolved,
+                analysis,
+                fragments,
+                visible_digests,
+                frozenset(force_residual),
+            )
     iface = interface_text(name, analysis.schemes)
+    defs_text = defs_doc_text(defs_doc)
     if trace:
-        return name, iface, genext.source, tracer.events
-    return name, iface, genext.source
+        return name, iface, genext.source, defs_text, tracer.events
+    return name, iface, genext.source, defs_text
 
 
 @contextmanager
@@ -164,6 +194,8 @@ class BuildResult:
     cache: Optional[ArtifactCache] = field(repr=False, default=None)
     report: BuildReport = field(default_factory=BuildReport)
     obs: Optional[Obs] = field(repr=False, default=None)
+    incremental: List[str] = field(default_factory=list)
+    rebuild: RebuildReport = field(default_factory=RebuildReport)
 
     def link(self):
         """Compile, execute, and link the generating extensions.
@@ -275,6 +307,7 @@ class BuildEngine:
                 path=path,
                 text=text,
                 imports=tuple(module.imports),
+                module=module,
             )
         return sources, failures
 
@@ -356,7 +389,41 @@ class BuildEngine:
             waves = graph.waves()
         stats.wave_widths = tuple(len(w) for w in waves)
 
-        ifaces = {}  # name -> canonical interface text, this build
+        store = InterfaceStore()
+        # The per-def rebuild path is bypassed while a fault plan is
+        # armed: it runs analyse/cogen in the *parent*, where an
+        # injected crash would kill the build instead of a worker.
+        incremental_on = (
+            self.options.incremental and faultinject.active_plan() is None
+        )
+        prev_refs = self.cache.read_refs()  # module -> last build's key
+        changed = set()  # modules whose interface changed vs. last build
+        rebuilds = {}  # name -> ModuleRebuild
+
+        def prev_iface_digests(name):
+            """Per-def digests of the module's previous build, if any."""
+            prev_key = prev_refs.get(name)
+            if prev_key is None:
+                return None
+            text = self.cache.get_text(prev_key, IFACE_KIND)
+            if text is None:
+                return None
+            try:
+                return store.load_text(text, origin="<previous>").digests
+            except InterfaceError:
+                return None
+
+        def note_interface(name, iface):
+            """Track whether the module's interface moved this build —
+            a hit on a module with a changed dep is a module def-level
+            keying specifically saved (module-level keys would miss)."""
+            prev_key = prev_refs.get(name)
+            if prev_key is not None and prev_key != keys[name]:
+                prev_text = self.cache.get_text(prev_key, IFACE_KIND)
+                if prev_text is not None and prev_text != iface.text:
+                    changed.add(name)
+
+        ifaces = {}  # name -> parsed Interface, this build
         genexts = {}
         keys = {}
         order = []
@@ -373,6 +440,14 @@ class BuildEngine:
         supervisor = WaveSupervisor(
             _analyse_cogen_worker, self.jobs, self.policy, stats, obs=obs
         )
+        def dep_maps(src):
+            """Merged (schemes, per-def digests) of a module's imports."""
+            schemes, digests = {}, {}
+            for dep in src.imports:
+                schemes.update(ifaces[dep].schemes)
+                digests.update(ifaces[dep].digests)
+            return schemes, digests
+
         try:
             for wave_index, wave in enumerate(waves):
                 misses = []
@@ -389,46 +464,80 @@ class BuildEngine:
                                 skipped[name] = root
                                 stats.note_skipped(name)
                                 continue
-                            key = module_key(
-                                src.text.encode("utf-8"),
-                                [
-                                    (dep, digest_text(ifaces[dep]))
-                                    for dep in src.imports
-                                ],
-                                self.force_residual,
-                            )
+                            if self.options.incremental:
+                                # Def-level keying: the key reads only
+                                # the digests of the imported defs the
+                                # module references, so an upstream
+                                # scheme change it never looks at
+                                # cannot miss it.
+                                _, digests = dep_maps(src)
+                                key = module_key_v2(
+                                    src.text.encode("utf-8"),
+                                    src.imports,
+                                    used_import_digests(src.module, digests),
+                                    self.force_residual,
+                                )
+                            else:
+                                key = module_key(
+                                    src.text.encode("utf-8"),
+                                    [
+                                        (dep, digest_text(ifaces[dep].text))
+                                        for dep in src.imports
+                                    ],
+                                    self.force_residual,
+                                )
                             keys[name] = key
                             order.append(name)
-                            iface = self.cache.get_text(key, IFACE_KIND)
+                            iface_text_ = self.cache.get_text(key, IFACE_KIND)
                             genext_source = self.cache.get_text(key, GENEXT_KIND)
-                            hit = False
-                            if iface is not None and genext_source is not None:
+                            iface = None
+                            if iface_text_ is not None and genext_source is not None:
                                 try:
-                                    iface_name, _ = interface_from_text(
-                                        iface,
+                                    parsed = store.load_text(
+                                        iface_text_,
                                         origin=self.cache.path(key, IFACE_KIND),
                                     )
-                                    hit = iface_name == name
+                                    if parsed.module == name:
+                                        iface = parsed
                                 except InterfaceError:
-                                    hit = False  # corrupt entry: rebuild it
-                            if hit:
+                                    iface = None  # corrupt entry: rebuild it
+                            if iface is not None:
                                 ifaces[name] = iface
                                 genexts[name] = GenextModule(
                                     name, src.imports, genext_source
                                 )
+                                note_interface(name, iface)
                                 stats.note_cache_hit(name)
                                 obs.bus.emit("cache.hit", module=name, key=key)
+                                rebuilds[name] = ModuleRebuild(
+                                    module=name,
+                                    action="cached",
+                                    reused=tuple(src.module.def_names()),
+                                )
+                                if any(dep in changed for dep in src.imports):
+                                    # A dep's interface moved but the
+                                    # def-level key still hit: exactly
+                                    # the re-analysis module-level
+                                    # keying would have paid.
+                                    stats.note_cutoff_skip(name)
                             else:
                                 misses.append(name)
                                 stats.note_cache_miss(name)
                                 obs.bus.emit("cache.miss", module=name, key=key)
+                    if misses and incremental_on:
+                        with _stage(stats, tracer, "incremental"):
+                            misses = self._incremental_pass(
+                                misses, sources, ifaces, genexts, keys,
+                                rebuilds, prev_refs, dep_maps,
+                                note_interface, store, stats, obs,
+                            )
                     if misses:
                         payloads = [
                             (
                                 name,
                                 sources[name].text,
                                 tuple(
-                                    (dep, ifaces[dep])
+                                    (dep, ifaces[dep].text)
                                     for dep in sources[name].imports
                                 ),
                                 tuple(sorted(self.force_residual)),
@@ -450,12 +559,13 @@ class BuildEngine:
                                 if name not in results:
                                     continue
                                 res = results[name]
-                                iface, genext_source = res[1], res[2]
-                                if len(res) > 3:
-                                    tracer.add_events(res[3])
+                                iface_text_, genext_source = res[1], res[2]
+                                defs_text = res[3]
+                                if len(res) > 4:
+                                    tracer.add_events(res[4])
                                 data = faultinject.corrupt(
                                     "publish", name, IFACE_KIND,
-                                    iface.encode("utf-8"),
+                                    iface_text_.encode("utf-8"),
                                 )
                                 self.cache.put_bytes(
                                     keys[name], IFACE_KIND, data
@@ -467,11 +577,43 @@ class BuildEngine:
                                 self.cache.put_bytes(
                                     keys[name], GENEXT_KIND, data
                                 )
+                                self.cache.put_text(
+                                    keys[name], DEFS_KIND, defs_text
+                                )
+                                # The worker's text is authoritative;
+                                # the cache copy may have been corrupted
+                                # by an injected fault above.
+                                iface = store.load_text(
+                                    iface_text_,
+                                    origin="<analysis of %s>" % name,
+                                )
                                 ifaces[name] = iface
                                 genexts[name] = GenextModule(
                                     name, sources[name].imports, genext_source
                                 )
+                                note_interface(name, iface)
                                 stats.note_analysed(name)
+                                prev_digests = prev_iface_digests(name)
+                                re_derived = tuple(
+                                    sources[name].module.def_names()
+                                )
+                                cut = tuple(
+                                    n
+                                    for n in re_derived
+                                    if prev_digests is not None
+                                    and prev_digests.get(n)
+                                    == iface.digests.get(n)
+                                )
+                                stats.note_defs(
+                                    re_derived=len(re_derived),
+                                    cut_off=len(cut),
+                                )
+                                rebuilds[name] = ModuleRebuild(
+                                    module=name,
+                                    action="analysed",
+                                    re_derived=re_derived,
+                                    cut_off=cut,
+                                )
                 if failures and not self.policy.keep_going:
                     # Fail fast — but name the whole downstream cone, so
                     # the report reads the same as keep-going's.
@@ -490,7 +632,39 @@ class BuildEngine:
 
         with _stage(stats, tracer, "publish"):
             for name in order:
-                self._publish(name, keys[name], ifaces[name], genexts[name].source)
+                # The .bti.key sidecar speaks the classic vendor
+                # protocol: InterfaceManager recomputes a v1 module_key
+                # from what is on disk, so that is what gets recorded —
+                # regardless of which keying the cache itself used.
+                sidecar_key = module_key(
+                    sources[name].text.encode("utf-8"),
+                    [
+                        (dep, digest_text(ifaces[dep].text))
+                        for dep in sources[name].imports
+                    ],
+                    self.force_residual,
+                )
+                self._publish(
+                    name, sidecar_key, ifaces[name].text, genexts[name].source
+                )
+        if order:
+            # Advance the refs so the *next* build can find this one's
+            # per-def records even after an edit changes every key.
+            refs = self.cache.read_refs()
+            refs.update({name: keys[name] for name in order})
+            self.cache.write_refs(refs)
+
+        for name in sorted(failures):
+            rebuilds[name] = ModuleRebuild(module=name, action="failed")
+        for name in sorted(skipped):
+            rebuilds[name] = ModuleRebuild(module=name, action="skipped")
+        rebuild = RebuildReport(
+            incremental=incremental_on,
+            modules=tuple(
+                rebuilds[name]
+                for name in order + sorted(set(rebuilds) - set(order))
+            ),
+        )
 
         return BuildResult(
             genexts=tuple(genexts[name] for name in order),
@@ -502,7 +676,76 @@ class BuildEngine:
             cache=self.cache,
             report=self._report(failures, skipped, order, stats),
             obs=obs,
+            incremental=list(stats.incremental),
+            rebuild=rebuild,
         )
+
+    def _incremental_pass(self, misses, sources, ifaces, genexts, keys,
+                          rebuilds, prev_refs, dep_maps, note_interface,
+                          store, stats, obs):
+        """Try the per-definition rebuild for each cache miss; returns
+        the misses that still need the worker pool.
+
+        Strictly a fast path: a module with no previous defs record, a
+        structural change, or *any* exception during the attempt drops
+        back to whole-module analysis — the build's output can never
+        depend on this pass, only its cost can."""
+        remaining = []
+        for name in misses:
+            src = sources[name]
+            prev_key = prev_refs.get(name)
+            prev_doc = None
+            if prev_key is not None:
+                prev_text = self.cache.get_text(prev_key, DEFS_KIND)
+                if prev_text is not None:
+                    prev_doc = parse_defs_doc(prev_text)
+            if prev_doc is None:
+                remaining.append(name)  # cold module: not a fallback
+                continue
+            schemes, digests = dep_maps(src)
+            try:
+                inc = try_incremental(
+                    src.module, schemes, digests, prev_doc,
+                    self.force_residual,
+                )
+            except Exception:
+                inc = None
+            if inc is None:
+                stats.note_incremental_fallback(name)
+                remaining.append(name)
+                continue
+            key = keys[name]
+            self.cache.put_text(key, IFACE_KIND, inc.iface_text)
+            self.cache.put_text(key, GENEXT_KIND, inc.genext.source)
+            self.cache.put_text(key, DEFS_KIND, defs_doc_text(inc.defs_doc))
+            iface = store.load_text(
+                inc.iface_text, origin="<incremental %s>" % name
+            )
+            ifaces[name] = iface
+            genexts[name] = inc.genext
+            note_interface(name, iface)
+            stats.note_incremental(name)
+            stats.note_defs(
+                reused=len(inc.reused),
+                re_derived=len(inc.re_derived),
+                cut_off=len(inc.cut_off),
+            )
+            obs.bus.emit(
+                "incremental.module",
+                module=name,
+                key=key,
+                reused=len(inc.reused),
+                re_derived=len(inc.re_derived),
+                cut_off=len(inc.cut_off),
+            )
+            rebuilds[name] = ModuleRebuild(
+                module=name,
+                action="incremental",
+                reused=tuple(inc.reused),
+                re_derived=tuple(inc.re_derived),
+                cut_off=tuple(inc.cut_off),
+            )
+        return remaining
 
     def _report(self, failures, skipped, order, stats):
         return BuildReport(

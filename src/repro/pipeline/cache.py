@@ -20,6 +20,7 @@ eagerly by ``mspec fsck`` (:func:`repro.pipeline.faults.fsck_cache`),
 which moves damaged objects into ``<root>/quarantine``.
 """
 
+import json
 import os
 import sys
 import tempfile
@@ -34,9 +35,14 @@ GENEXT_KIND = "genext.py"
 # hash domain, so the namespaces can never collide, and fsck validates
 # the payloads like any other kind.
 RESID_KIND = "resid.json"
+# Per-definition build records (repro.pipeline.incremental): one JSON
+# document per module build holding each SCC's schemes, dependency
+# reads and cogen fragments, keyed like the module's other artifacts.
+DEFS_KIND = "defs.json"
 
 OBJECTS_DIRNAME = "objects"
 QUARANTINE_DIRNAME = "quarantine"
+REFS_FILENAME = "refs.json"
 
 TMP_PREFIX = ".tmp."
 TMP_SUFFIX = "~"
@@ -117,6 +123,47 @@ class ArtifactCache:
 
     def put_text(self, key, kind, text):
         return self.put_bytes(key, kind, text.encode("utf-8"))
+
+    # -- refs: the one mutable file in the store -------------------------
+
+    def refs_path(self):
+        return os.path.join(self.root, REFS_FILENAME)
+
+    def read_refs(self):
+        """The ``module name -> last successful build key`` map.
+
+        Refs are the store's only mutable state (git-refs-style): they
+        let a rebuild find the *previous* build's immutable artifacts
+        after an edit changed every key.  A missing or corrupt refs
+        file is an empty map — incremental rebuilds then simply fall
+        back to full analysis."""
+        try:
+            with open(self.refs_path()) as f:
+                refs = json.load(f)
+        except (OSError, json.JSONDecodeError):
+            return {}
+        if not isinstance(refs, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in refs.items()
+        ):
+            return {}
+        return refs
+
+    def write_refs(self, refs):
+        """Atomically replace the refs map."""
+        os.makedirs(self.root, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=TMP_PREFIX, suffix=TMP_SUFFIX
+        )
+        try:
+            with os.fdopen(fd, "w") as f:
+                json.dump(refs, f, indent=1, sort_keys=True)
+                f.write("\n")
+            os.replace(tmp, self.refs_path())
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
 
     def objects(self):
         """Yield ``(dirpath, filename)`` for every file under

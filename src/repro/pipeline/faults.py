@@ -51,10 +51,11 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.bt.interface import InterfaceError, interface_from_text
+from repro.bt.interface import InterfaceError, InterfaceStore
 from repro.pipeline.pool import WorkerPool
 from repro.pipeline.cache import (
     CODE_KIND,
+    DEFS_KIND,
     GENEXT_KIND,
     IFACE_KIND,
     QUARANTINE_DIRNAME,
@@ -522,10 +523,28 @@ def _validate_object(kind, data):
     if not data:
         return "empty object"
     if kind == IFACE_KIND:
+        store = InterfaceStore()
         try:
-            interface_from_text(data.decode("utf-8"), origin="<fsck>")
+            iface = store.load_text(data.decode("utf-8"), origin="<fsck>")
         except (InterfaceError, UnicodeDecodeError) as exc:
             return "corrupt interface: %s" % exc
+        findings = store.verify(iface)
+        if findings:
+            # A parseable interface whose stored per-def digest table
+            # disagrees with its schemes: stale, not garbage — the
+            # distinct reason lets tooling tell the two apart.
+            rule, def_name, msg = findings[0]
+            return "iface.%s: %s" % (rule, msg)
+        return None
+    if kind == DEFS_KIND:
+        from repro.pipeline.incremental import parse_defs_doc
+
+        try:
+            text = data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            return "corrupt defs record: %s" % exc
+        if parse_defs_doc(text) is None:
+            return "corrupt defs record: not a %s document" % "repro.defs/v1"
         return None
     if kind == GENEXT_KIND:
         try:

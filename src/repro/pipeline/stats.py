@@ -25,6 +25,12 @@ Metric names (see ``docs/observability.md`` for the full glossary):
 ``modules.analysed``      counter modules analysed+cogen'd this build
 ``modules.failed``        counter modules whose job exhausted retries
 ``modules.skipped``       counter modules inside a failed cone
+``incr.defs_reused``      counter defs reused verbatim from the last build
+``incr.defs_re_derived``  counter defs whose scheme was re-derived
+``incr.defs_cut_off``     counter re-derived defs with unchanged digests
+``incr.modules_incremental`` counter modules rebuilt per-definition
+``incr.modules_skipped``  counter dep-changed modules saved by cutoff
+``incr.fallbacks``        counter incremental attempts degraded to full
 ``faults.retries``        counter re-attempts after error/timeout
 ``faults.timeouts``       counter deadline kills
 ``faults.crashes``        counter broken worker pools
@@ -41,7 +47,7 @@ from contextlib import contextmanager
 from repro.obs.metrics import MetricsRegistry
 
 # Stage names in pipeline order, for stable reporting.
-STAGES = ("scan", "schedule", "cache", "analyse", "publish", "link")
+STAGES = ("scan", "schedule", "cache", "incremental", "analyse", "publish", "link")
 
 _STAGE_PREFIX = "stage."
 
@@ -82,6 +88,7 @@ class PipelineStats:
         self.wave_widths = ()
         self.analysed = []  # cache misses, in publish order
         self.cached = []  # cache hits
+        self.incremental = []  # rebuilt per-definition in the parent
         self.failed = []  # exhausted retries
         self.skipped = []  # in a failed cone
 
@@ -127,6 +134,30 @@ class PipelineStats:
         self.analysed.append(name)
         self.metrics.counter("modules.analysed").inc()
 
+    def note_incremental(self, name):
+        """One module rebuilt per-definition in the parent (no worker)."""
+        self.incremental.append(name)
+        self.metrics.counter("incr.modules_incremental").inc()
+
+    def note_defs(self, reused=0, re_derived=0, cut_off=0):
+        """Per-definition accounting for one module's rebuild."""
+        if reused:
+            self.metrics.counter("incr.defs_reused").inc(reused)
+        if re_derived:
+            self.metrics.counter("incr.defs_re_derived").inc(re_derived)
+        if cut_off:
+            self.metrics.counter("incr.defs_cut_off").inc(cut_off)
+
+    def note_cutoff_skip(self, name):
+        """A cache hit on a module whose deps' interfaces changed this
+        build — i.e. a module that def-level keying specifically saved
+        from re-analysis (module-level keys would have missed)."""
+        self.metrics.counter("incr.modules_skipped").inc()
+
+    def note_incremental_fallback(self, name):
+        """An incremental attempt that degraded to full module analysis."""
+        self.metrics.counter("incr.fallbacks").inc()
+
     def note_failed(self, name):
         self.failed.append(name)
         self.metrics.counter("modules.failed").inc()
@@ -152,14 +183,22 @@ class PipelineStats:
 
     def as_dict(self):
         """A JSON-ready snapshot (machine-readable benchmark record)."""
+        counter = lambda name: self.metrics.counter(name).value
         return {
             "jobs": self.jobs,
             "modules": self.modules,
             "wave_widths": list(self.wave_widths),
             "analysed": list(self.analysed),
             "cached": list(self.cached),
+            "incremental": list(self.incremental),
             "n_analysed": len(self.analysed),
             "n_cached": len(self.cached),
+            "n_incremental": len(self.incremental),
+            "defs_reused": counter("incr.defs_reused"),
+            "defs_re_derived": counter("incr.defs_re_derived"),
+            "defs_cut_off": counter("incr.defs_cut_off"),
+            "modules_cutoff_skipped": counter("incr.modules_skipped"),
+            "incremental_fallbacks": counter("incr.fallbacks"),
             "failed": list(self.failed),
             "skipped": list(self.skipped),
             "retries": self.retries,
@@ -186,6 +225,20 @@ class PipelineStats:
             "artifacts: %d analysed+cogen'd, %d from cache"
             % (len(self.analysed), len(self.cached))
         )
+        counter = lambda name: self.metrics.counter(name).value
+        if self.incremental or counter("incr.defs_cut_off"):
+            lines.append(
+                "incremental: %d module(s) rebuilt per-def "
+                "(%d defs reused / %d re-derived / %d cut off), "
+                "%d dependent module(s) skipped by cutoff"
+                % (
+                    len(self.incremental),
+                    counter("incr.defs_reused"),
+                    counter("incr.defs_re_derived"),
+                    counter("incr.defs_cut_off"),
+                    counter("incr.modules_skipped"),
+                )
+            )
         if self.failed or self.skipped:
             lines.append(
                 "failures: %d failed, %d skipped (downstream cones)"

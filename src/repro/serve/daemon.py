@@ -62,12 +62,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Optional, Tuple
 
-from repro.api import SpecOptions
-from repro.bt.analysis import analyse_program
-from repro.genext.cogen import cogen_program
-from repro.genext.link import link_genexts
+from repro.api import BuildOptions, SpecOptions
 from repro.genext.runtime import SpecError
-from repro.modsys.program import SOURCE_SUFFIX, load_program_dir
+from repro.modsys.program import SOURCE_SUFFIX
 from repro.obs import EventBus, MetricsRegistry, Obs, Tracer
 from repro.pipeline import faultinject
 from repro.pipeline.faults import FaultPolicy, KIND_TIMEOUT
@@ -228,13 +225,25 @@ class SpecServer:
     # -- program lifecycle ---------------------------------------------------
 
     def _load(self):
+        from repro.pipeline.build import build_dir
+
         with self.obs.tracer.span("serve:link", cat="serve"):
-            linked = load_program_dir(self.config.dir)
+            # Digest first: an edit racing the build makes the digest
+            # stale, so the next request relinks again — never the
+            # other way round (a fresh digest over a stale program).
             digest = _source_digest(self.config.dir)
-            analysis = analyse_program(
-                linked, force_residual=self.options.force_residual
+            # Relinks ride the incremental build cache: a watched-source
+            # edit re-derives only its definition cone and reassembles
+            # the rest from the cache's per-def records.
+            result = build_dir(
+                self.config.dir,
+                BuildOptions(
+                    cache_dir=self.config.cache_dir,
+                    force_residual=self.options.force_residual,
+                ),
+                obs=self.obs,
             )
-            gp = link_genexts(cogen_program(analysis))
+            gp = result.link()
         from repro.genext.batch import seed_worker_program
 
         fingerprint = seed_worker_program(gp)

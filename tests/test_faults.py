@@ -332,10 +332,12 @@ def test_corrupt_artifact_quarantined_by_fsck_and_rebuilt(tmp_path):
         os.path.join(cache_dir, QUARANTINE_DIRNAME, names[0])
     )
 
-    # The rebuild re-analyses exactly the damaged module; early cutoff
-    # keeps its importer cached (the recomputed interface is identical).
+    # The rebuild redoes exactly the damaged module (per-definition,
+    # from its intact defs record); early cutoff keeps its importer
+    # cached (the recomputed interface is identical).
     again = build_dir(src, BuildOptions(cache_dir=cache_dir))
-    assert again.analysed == ["B1"]
+    assert again.cached and "B1" not in again.cached
+    assert again.analysed + again.incremental == ["B1"]
     assert again.report.ok
 
 
@@ -349,7 +351,8 @@ def test_corrupt_entry_is_a_miss_even_without_fsck(tmp_path):
     build_dir(src, BuildOptions(cache_dir=cache_dir))
     FaultPlan.uninstall()
     again = build_dir(src, BuildOptions(cache_dir=cache_dir))
-    assert again.analysed == ["B1"]
+    assert "B1" not in again.cached
+    assert again.analysed + again.incremental == ["B1"]
 
 
 def test_fsck_quarantines_every_damaged_object_kind(tmp_path):
@@ -516,10 +519,10 @@ def test_cli_fsck(tmp_path, capsys):
     assert main(["fsck", str(src)]) == 0
     assert "0 quarantined" in capsys.readouterr().out
 
-    # Corrupt the cached interface behind the cache's back; the key is
-    # recorded in the published sidecar.
-    key = (src / "Power.bti.key").read_text().strip()
+    # Corrupt the cached interface behind the cache's back; the build
+    # key is recorded in the cache's refs.
     cache = ArtifactCache(str(src / ".mspec-cache"))
+    key = cache.read_refs()["Power"]
     with open(cache.path(key, IFACE_KIND), "wb") as f:
         f.write(b"\x00torn write")
     rc = main(["fsck", str(src)])

@@ -1,0 +1,463 @@
+"""Definition-level incremental recompilation: early cutoff, byte
+identity against from-scratch builds, v1 interface compatibility, the
+InterfaceStore facade, and the def_digest_skew finding."""
+
+import json
+import os
+import glob
+
+import pytest
+
+from repro import api
+from repro.api import BuildOptions, LegacyOptionsWarning
+from repro.bt.interface import (
+    InterfaceStore,
+    interface_text,
+    read_interface,
+    scheme_digest,
+)
+from repro.bt.scheme import BTScheme
+from repro.check.ifaces import check_interfaces
+from repro.pipeline import ArtifactCache, build_dir, fsck_cache
+from repro.pipeline.cache import DEFS_KIND, IFACE_KIND
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+CORPUS_SEEDS = sorted(glob.glob(os.path.join(CORPUS_DIR, "seed*.json")))
+
+POWER = (
+    "module Power where\n\n"
+    "power n x = if n == 1 then x else x * power (n - 1) x\n"
+)
+
+
+def _write(path, name, text):
+    with open(os.path.join(str(path), name + ".mod"), "w") as f:
+        f.write(text)
+
+
+def _chain(n):
+    """An n-module import chain where each module exports ``m<i>_f0``
+    (called by the next module) and ``m<i>_f1`` (referenced by
+    nobody)."""
+    out = {}
+    for m in range(n):
+        name = "M%d" % m
+        lines = ["module %s where" % name]
+        if m:
+            lines.append("import M%d" % (m - 1))
+        lines.append("")
+        if m:
+            lines.append(
+                "m%d_f0 n x = if n == 0 then x else m%d_f0 (n - 1) (x + 1)"
+                % (m, m - 1)
+            )
+        else:
+            lines.append(
+                "m0_f0 n x = if n == 0 then x else m0_f0 (n - 1) (x + 1)"
+            )
+        lines.append(
+            "m%d_f1 n x = if n == 0 then x else m%d_f1 (n - 1) (x * 2)"
+            % (m, m)
+        )
+        lines.append("")
+        out[name] = "\n".join(lines)
+    return out
+
+
+def _write_all(path, sources):
+    for name, text in sources.items():
+        _write(path, name, text)
+
+
+def _artifacts(result):
+    """``{module: (iface_text, genext_source)}`` for one build."""
+    out = {}
+    for m in result.genexts:
+        iface = result.cache.get_text(result.keys[m.name], IFACE_KIND)
+        out[m.name] = (iface, m.source)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# The chain: cutoff behaviour, fallbacks, and the off switch.
+# ---------------------------------------------------------------------------
+
+
+def test_body_edit_cuts_off_inside_the_module(tmp_path):
+    sources = _chain(8)
+    _write_all(tmp_path, sources)
+    cache = str(tmp_path / "cache")
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    # Change m0_f1's body without changing its scheme (a different
+    # multiplier): the def is re-derived, lands on an identical scheme
+    # digest, and every other def and module is untouched.
+    _write(tmp_path, "M0", sources["M0"].replace("x * 2", "x * 3"))
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    assert result.analysed == []
+    assert result.incremental == ["M0"]
+    assert sorted(result.cached) == sorted("M%d" % i for i in range(1, 8))
+    (entry,) = result.rebuild.by_action("incremental")
+    assert entry.module == "M0"
+    assert entry.reused == ("m0_f0",)
+    assert entry.re_derived == ("m0_f1",)
+    assert entry.cut_off == ("m0_f1",)
+    stats = result.stats.as_dict()
+    assert stats["defs_cut_off"] == 1
+    assert stats["defs_reused"] == 1
+    assert stats["defs_re_derived"] == 1
+
+
+def test_body_edit_output_is_byte_identical_to_cold_build(tmp_path):
+    sources = _chain(8)
+    edited = dict(sources, M0=sources["M0"].replace("x * 2", "x * 3"))
+    warm_dir, cold_dir = tmp_path / "warm", tmp_path / "cold"
+    warm_dir.mkdir(), cold_dir.mkdir()
+    _write_all(warm_dir, sources)
+    build_dir(str(warm_dir), BuildOptions(cache_dir=str(tmp_path / "wc")))
+    _write_all(warm_dir, edited)
+    incr = build_dir(str(warm_dir), BuildOptions(cache_dir=str(tmp_path / "wc")))
+    assert incr.incremental == ["M0"]
+
+    _write_all(cold_dir, edited)
+    cold = build_dir(str(cold_dir), BuildOptions(cache_dir=str(tmp_path / "cc")))
+    assert sorted(cold.analysed) == sorted(sources)
+
+    assert incr.keys == cold.keys
+    assert _artifacts(incr) == _artifacts(cold)
+
+
+def test_scheme_change_skips_every_dependent_module(tmp_path):
+    n = 8
+    sources = _chain(n)
+    _write_all(tmp_path, sources)
+    cache = str(tmp_path / "cache")
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    # Change m0_f1's *scheme* (the recursive loop becomes the identity
+    # on x).  M0's interface changes — but no importer references
+    # m0_f1, so every dependent module's def-level key still hits.
+    _write(
+        tmp_path,
+        "M0",
+        sources["M0"].replace(
+            "m0_f1 n x = if n == 0 then x else m0_f1 (n - 1) (x * 2)",
+            "m0_f1 n x = x",
+        ),
+    )
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    assert result.analysed == [], "no dependent module was fully re-analysed"
+    assert result.incremental == ["M0"]
+    assert sorted(result.cached) == sorted("M%d" % i for i in range(1, n))
+    (entry,) = result.rebuild.by_action("incremental")
+    assert entry.re_derived == ("m0_f1",)
+    assert entry.cut_off == (), "the scheme really changed"
+    # Only the direct importer was ever at risk: M0's interface text
+    # changed, but M1's def-level key ignores the unreferenced def, so
+    # M1 stays cached — and because M1's interface is then unchanged,
+    # M2..M7 never even see a changed dependency.
+    stats = result.stats.as_dict()
+    assert stats["modules_cutoff_skipped"] == 1
+
+
+def test_structural_change_falls_back_to_full_analysis(tmp_path):
+    sources = _chain(4)
+    _write_all(tmp_path, sources)
+    cache = str(tmp_path / "cache")
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    _write(tmp_path, "M0", sources["M0"] + "m0_new n x = x\n")
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    assert result.analysed == ["M0"]
+    assert result.incremental == []
+    assert result.stats.as_dict()["incremental_fallbacks"] == 1
+
+
+def test_incremental_false_keys_at_module_granularity(tmp_path):
+    sources = _chain(4)
+    _write_all(tmp_path, sources)
+    cache = str(tmp_path / "cache")
+    off = BuildOptions(cache_dir=cache, incremental=False)
+    build_dir(str(tmp_path), off)
+    _write(tmp_path, "M0", "-- tweaked\n" + sources["M0"])
+    result = build_dir(str(tmp_path), off)
+    assert result.analysed == ["M0"], "no per-def path with incremental=False"
+    assert result.incremental == []
+    assert result.rebuild.incremental is False
+    # Module-level early cutoff still holds: the interface is
+    # unchanged, so the dependents stay cached.
+    assert sorted(result.cached) == ["M1", "M2", "M3"]
+
+
+def test_rebuild_report_shape(tmp_path):
+    sources = _chain(3)
+    _write_all(tmp_path, sources)
+    cache = str(tmp_path / "cache")
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
+    doc = result.rebuild.as_dict()
+    assert doc["incremental"] is True
+    assert doc["totals"]["analysed"] == 3
+    assert [m["module"] for m in doc["modules"]] == ["M0", "M1", "M2"]
+    for m in doc["modules"]:
+        assert m["action"] == "analysed"
+        assert sorted(m["re_derived"]) == sorted(
+            ["m%s_f0" % m["module"][1:], "m%s_f1" % m["module"][1:]]
+        )
+    assert "rebuild:" in result.rebuild.render()
+
+
+def test_cli_json_carries_the_rebuild_report(tmp_path, capsys):
+    from repro.cli import main
+    from repro.obs.schema import validate_report
+
+    _write(tmp_path, "Power", POWER)
+    assert main(["build", str(tmp_path), "--json"]) == 0
+    doc = json.loads(capsys.readouterr().out)
+    assert validate_report(doc) == []
+    rebuild = doc["report"]["rebuild"]
+    assert rebuild["totals"]["analysed"] == 1
+    assert rebuild["modules"][0]["module"] == "Power"
+    # And the stats view carries the incr.* counters.
+    assert doc["report"]["stats"]["defs_cut_off"] == 0
+
+
+def test_legacy_incremental_kwarg_warns(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    api._reset_legacy_warnings()
+    with pytest.warns(LegacyOptionsWarning, match="build_dir"):
+        result = build_dir(
+            str(tmp_path),
+            cache_dir=str(tmp_path / "cache"),
+            incremental=False,
+        )
+    assert result.rebuild.incremental is False
+
+
+# ---------------------------------------------------------------------------
+# Corpus property: incremental output == from-scratch output, per seed.
+# ---------------------------------------------------------------------------
+
+
+def _split_modules(source):
+    """One corpus program text -> ``[(module_name, module_text)]``."""
+    parts = []
+    current = []
+    for line in source.splitlines():
+        if line.startswith("module ") and current:
+            parts.append(current)
+            current = [line]
+        else:
+            current.append(line)
+    parts.append(current)
+    out = []
+    for lines in parts:
+        header = next(l for l in lines if l.startswith("module "))
+        out.append((header.split()[1], "\n".join(lines).strip("\n") + "\n"))
+    return out
+
+
+def _single_def_edit(text):
+    """Wrap the first definition's body in a static conditional — the
+    body changes, its semantics and (for these programs) its scheme do
+    not."""
+    lines = text.splitlines()
+    for i, line in enumerate(lines):
+        if (
+            " = " in line
+            and not line.startswith(("module ", "import ", "--"))
+            and line.strip()
+        ):
+            lhs, rhs = line.split(" = ", 1)
+            lines[i] = "%s = if 0 == 0 then (%s) else (%s)" % (lhs, rhs, rhs)
+            return "\n".join(lines) + "\n", lhs.split()[0]
+    raise AssertionError("no definition line found")
+
+
+@pytest.mark.parametrize(
+    "seed_path", CORPUS_SEEDS, ids=[os.path.basename(p) for p in CORPUS_SEEDS]
+)
+def test_corpus_single_def_edit_is_byte_identical_to_cold(tmp_path, seed_path):
+    with open(seed_path) as f:
+        doc = json.load(f)
+    assert doc["schema"] == "repro.check.corpus/v1"
+    modules = _split_modules(doc["source"])
+    edited_first, _ = _single_def_edit(modules[0][1])
+    edited = [(modules[0][0], edited_first)] + modules[1:]
+
+    warm_dir, cold_dir = tmp_path / "warm", tmp_path / "cold"
+    warm_dir.mkdir(), cold_dir.mkdir()
+    for name, text in modules:
+        _write(warm_dir, name, text)
+    build_dir(str(warm_dir), BuildOptions(cache_dir=str(tmp_path / "wc")))
+    for name, text in edited:
+        _write(warm_dir, name, text)
+    incr = build_dir(str(warm_dir), BuildOptions(cache_dir=str(tmp_path / "wc")))
+    assert incr.report.ok
+
+    for name, text in edited:
+        _write(cold_dir, name, text)
+    cold = build_dir(str(cold_dir), BuildOptions(cache_dir=str(tmp_path / "cc")))
+
+    assert incr.keys == cold.keys
+    assert _artifacts(incr) == _artifacts(cold)
+
+
+def test_corpus_edit_residuals_agree_with_cold_build(tmp_path):
+    """Differential spot-check (first three seeds): the incrementally
+    rebuilt program and a from-scratch build specialise every corpus
+    goal variant to byte-identical residuals and values."""
+    import repro
+    from repro.api import SpecOptions
+
+    for seed_path in CORPUS_SEEDS[:3]:
+        with open(seed_path) as f:
+            doc = json.load(f)
+        modules = _split_modules(doc["source"])
+        edited_first, _ = _single_def_edit(modules[0][1])
+        edited = [(modules[0][0], edited_first)] + modules[1:]
+        base = tmp_path / os.path.basename(seed_path)
+        warm_dir, cold_dir = base / "warm", base / "cold"
+        os.makedirs(str(warm_dir)), os.makedirs(str(cold_dir))
+        for name, text in modules:
+            _write(warm_dir, name, text)
+        build_dir(str(warm_dir), BuildOptions(cache_dir=str(base / "wc")))
+        for name, text in edited:
+            _write(warm_dir, name, text)
+        incr = build_dir(str(warm_dir), BuildOptions(cache_dir=str(base / "wc")))
+        for name, text in edited:
+            _write(cold_dir, name, text)
+        cold = build_dir(str(cold_dir), BuildOptions(cache_dir=str(base / "cc")))
+        gp_incr, gp_cold = incr.link(), cold.link()
+        for variant, expected_values in zip(doc["static_variants"], doc["values"]):
+            a = repro.specialise(gp_incr, doc["goal"], variant, SpecOptions())
+            b = repro.specialise(gp_cold, doc["goal"], variant, SpecOptions())
+            assert repro.pretty_program(a.program) == repro.pretty_program(
+                b.program
+            )
+            for vec, expected in zip(doc["dyn_inputs"], expected_values):
+                assert a.run(*vec) == expected
+
+
+# ---------------------------------------------------------------------------
+# Interface formats: v1 compatibility, the store facade, digest skew.
+# ---------------------------------------------------------------------------
+
+
+def _power_schemes(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    result = build_dir(
+        str(tmp_path), BuildOptions(cache_dir=str(tmp_path / "cache"))
+    )
+    store = InterfaceStore()
+    iface = store.load_text(
+        result.cache.get_text(result.keys["Power"], IFACE_KIND)
+    )
+    return iface.schemes
+
+
+def test_v1_interface_still_round_trips(tmp_path):
+    schemes = _power_schemes(tmp_path)
+    v1_text = interface_text("Power", schemes, format=1)
+    assert '"format": 1' in v1_text
+    assert "digests" not in v1_text
+    path = str(tmp_path / "Power.bti")
+    with open(path, "w") as f:
+        f.write(v1_text)
+    # The legacy reader and the store agree on a v1 file.
+    name, read_back = read_interface(path)
+    assert name == "Power" and read_back == schemes
+    store = InterfaceStore(iface_dir=str(tmp_path))
+    iface = store.load_module("Power")
+    assert iface.format == 1
+    assert iface.stored_digests is None
+    assert iface.schemes == schemes
+    # Digests are derived even for v1, so def-level callers never
+    # branch on the format.
+    assert iface.digest_of_def("power") == scheme_digest(schemes["power"])
+    assert store.verify(iface) == []
+
+
+def test_store_detects_def_digest_skew(tmp_path):
+    schemes = _power_schemes(tmp_path)
+    payload = json.loads(interface_text("Power", schemes))
+    payload["digests"]["power"] = "0" * 64
+    skewed = json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    store = InterfaceStore()
+    iface = store.load_text(skewed)
+    problems = store.verify(iface)
+    assert [p[0] for p in problems] == ["def_digest_skew"]
+    assert problems[0][1] == "power"
+    # The derived digest (not the stored one) is authoritative.
+    assert iface.digest_of_def("power") == scheme_digest(schemes["power"])
+
+
+def test_check_reports_def_digest_skew(tmp_path):
+    src = tmp_path / "src"
+    src.mkdir()
+    _write(src, "Power", POWER)
+    iface_dir = str(tmp_path / "iface")
+    build_dir(
+        str(src),
+        BuildOptions(cache_dir=str(tmp_path / "cache"), iface_dir=iface_dir),
+    )
+    bti = os.path.join(iface_dir, "Power.bti")
+    with open(bti) as f:
+        payload = json.load(f)
+    payload["digests"]["power"] = "f" * 64
+    with open(bti, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+        f.write("\n")
+    findings, checked = check_interfaces(str(src), iface_dir)
+    assert checked == 1
+    rules = [f.rule for f in findings]
+    assert "def_digest_skew" in rules
+    assert "corrupt-interface" not in rules, "skew is not corruption"
+    assert "non-canonical" not in rules, "skew is the distinct finding"
+
+
+def test_fsck_quarantines_digest_skew_distinctly(tmp_path):
+    _write(tmp_path, "Power", POWER)
+    cache_dir = str(tmp_path / "cache")
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
+    cache = ArtifactCache(cache_dir)
+    key = result.keys["Power"]
+    payload = json.loads(cache.get_text(key, IFACE_KIND))
+    payload["digests"]["power"] = "f" * 64
+    cache.put_text(
+        key, IFACE_KIND, json.dumps(payload, indent=1, sort_keys=True) + "\n"
+    )
+    report = fsck_cache(cache)
+    assert len(report.quarantined) == 1
+    name, reason = report.quarantined[0]
+    assert name == "%s.%s" % (key, IFACE_KIND)
+    assert reason.startswith("iface.def_digest_skew")
+
+
+def test_defs_record_is_published_and_parseable(tmp_path):
+    from repro.pipeline.incremental import parse_defs_doc
+
+    sources = _chain(2)
+    _write_all(tmp_path, sources)
+    result = build_dir(
+        str(tmp_path), BuildOptions(cache_dir=str(tmp_path / "cache"))
+    )
+    for name in sources:
+        text = result.cache.get_text(result.keys[name], DEFS_KIND)
+        doc = parse_defs_doc(text)
+        assert doc is not None
+        assert doc["module"] == name
+        assert doc["def_order"] == ["m%s_f0" % name[1:], "m%s_f1" % name[1:]]
+    refs = result.cache.read_refs()
+    assert refs == result.keys
+
+
+def test_isomorphic_scheme_reuse_survives_missing_refs(tmp_path):
+    """Deleting refs.json only disables the fast path — the rebuild
+    falls back to full analysis and still produces the same bytes."""
+    sources = _chain(3)
+    _write_all(tmp_path, sources)
+    cache_dir = str(tmp_path / "cache")
+    build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
+    os.unlink(ArtifactCache(cache_dir).refs_path())
+    _write(tmp_path, "M0", sources["M0"].replace("x * 2", "x * 3"))
+    result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
+    assert result.analysed == ["M0"], "no refs: whole-module fallback"
+    assert result.incremental == []
+    assert result.report.ok

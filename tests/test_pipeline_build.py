@@ -71,16 +71,20 @@ def test_root_edit_rebuilds_dirty_cone_with_early_cutoff(tmp_path):
     cache = str(tmp_path / "cache")
     build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     # A comment-only edit: M0's interface is unchanged, so the cone
-    # stops at M0 itself.
+    # stops at M0 itself — and M0 itself is rebuilt per-definition in
+    # the parent (every SCC record is reused verbatim).
     _write(tmp_path, "M0", "-- tweaked\n" + sources["M0"])
     result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
-    assert result.analysed == ["M0"]
-    # An interface-changing edit: M1 (the direct importer) is dirty too,
-    # but M1's own interface comes out unchanged, cutting off M2 and M3.
+    assert result.analysed == []
+    assert result.incremental == ["M0"]
+    assert sorted(result.cached) == ["M1", "M2", "M3"]
+    # A structural edit (new definition): M0 falls back to whole-module
+    # analysis, but no importer references the new def, so every
+    # dependent module's def-level key still hits.
     _write(tmp_path, "M0", sources["M0"] + "m0_new n x = x\n")
     result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
-    assert result.analysed == ["M0", "M1"]
-    assert sorted(result.cached) == ["M2", "M3"]
+    assert result.analysed == ["M0"]
+    assert sorted(result.cached) == ["M1", "M2", "M3"]
 
 
 def test_force_residual_is_part_of_the_key(tmp_path):
@@ -91,7 +95,8 @@ def test_force_residual_is_part_of_the_key(tmp_path):
         str(tmp_path),
         BuildOptions(cache_dir=cache, force_residual=frozenset(["power"])),
     )
-    assert forced.analysed == ["Power"], "different options, different key"
+    assert forced.cached == [], "different options, different key"
+    assert forced.analysed + forced.incremental == ["Power"]
     assert forced.keys["Power"] != plain.keys["Power"]
     again = build_dir(str(tmp_path), BuildOptions(cache_dir=cache))
     assert again.analysed == [], "the plain entry is still cached"
@@ -105,8 +110,12 @@ def test_corrupt_cache_entry_is_rebuilt(tmp_path):
     key = first.keys["Power"]
     cache.put_text(key, IFACE_KIND, '{"torn":')
     result = build_dir(str(tmp_path), BuildOptions(cache_dir=cache_dir))
-    assert result.analysed == ["Power"], "corrupt entry treated as a miss"
+    assert result.cached == [], "corrupt entry treated as a miss"
+    assert result.analysed + result.incremental == ["Power"]
     assert cache.get_text(key, IFACE_KIND).startswith("{")
+    # With the defs record intact the repair itself was incremental;
+    # its interface must have been rebuilt byte-identically.
+    assert cache.get_text(key, IFACE_KIND) is not None
 
 
 def test_published_artifacts_and_no_temp_droppings(tmp_path):
