@@ -121,6 +121,13 @@ class SpecOptions:
     without running the specialiser at all.  ``None`` (the default)
     disables it; runs with a ``sink`` are never cached (the caller
     wants the definitions streamed).  See ``docs/performance.md``.
+
+    ``tier_policy`` (a :class:`repro.backend.tiers.TierPolicy`) sets
+    the execution ladder's promotion thresholds for callers that run
+    results through :class:`~repro.backend.tiers.TierLadder` — an
+    execution knob like ``fuel``, so it never enters the residual
+    cache key.  ``None`` leaves ladder users on the default policy and
+    non-ladder paths untouched.
     """
 
     strategy: str = "bfs"
@@ -131,6 +138,7 @@ class SpecOptions:
     monolithic: bool = False
     max_versions: Optional[int] = 10_000
     cache_dir: Optional[str] = None
+    tier_policy: Optional[Any] = None
 
     def __post_init__(self):
         if self.strategy not in ("bfs", "dfs"):
@@ -141,6 +149,16 @@ class SpecOptions:
             object.__setattr__(
                 self, "force_residual", frozenset(self.force_residual or ())
             )
+        if self.tier_policy is not None:
+            # Imported lazily: repro.backend pulls in the genext layer,
+            # which this options facade must stay below.
+            from repro.backend.tiers import TierPolicy
+
+            if not isinstance(self.tier_policy, TierPolicy):
+                raise TypeError(
+                    "tier_policy must be a repro.backend.tiers.TierPolicy, "
+                    "got %r" % (type(self.tier_policy).__name__,)
+                )
 
     def replace(self, **changes):
         return replace(self, **changes)

@@ -11,10 +11,23 @@ as the "native" target:
 * :mod:`repro.backend.rtcg` — run-time code generation: specialise,
   compile the residual program to Python, and hand back a callable, all
   in one step; as the paper notes, in this mode the residual program
-  never needs to be divided into modules.
+  never needs to be divided into modules;
+* :mod:`repro.backend.tiers` — the three-tier execution ladder:
+  hotness-promoted goals climb interpret → residual-interpret →
+  compiled, with the compiled artifact persisted in the speccache
+  store (see docs/performance.md, "Execution tiers").
 """
 
 from repro.backend.pyemit import CompiledProgram, compile_program, emit_python
 from repro.backend.rtcg import generate
+from repro.backend.tiers import TierLadder, TierPolicy, TierRun
 
-__all__ = ["CompiledProgram", "compile_program", "emit_python", "generate"]
+__all__ = [
+    "CompiledProgram",
+    "TierLadder",
+    "TierPolicy",
+    "TierRun",
+    "compile_program",
+    "emit_python",
+    "generate",
+]

@@ -19,9 +19,12 @@ exactly like the persistent residual cache
 goal + canonical static arguments + the semantically relevant
 :class:`~repro.api.SpecOptions` fields.  A hit skips *both* the
 specialisation run and the ``compile()`` — it is one dict probe — and
-counts as ``rtcg.lru_hits`` in the run's metrics registry.  Use
-:func:`configure_lru` / :func:`clear_lru` to size or reset the cache
-(capacity 0 disables memoisation entirely).
+counts as ``rtcg.lru_hits`` in the run's metrics registry.  Inserts
+that push the cache over capacity count ``rtcg.lru_evictions`` and
+every insert refreshes the ``rtcg.lru_len`` gauge, so LRU pressure is
+visible in ``--metrics`` output.  Use :func:`configure_lru` /
+:func:`clear_lru` to size or reset the cache (capacity 0 disables
+memoisation entirely).
 
 The LRU is shared process-wide and the specialisation daemon
 (:mod:`repro.serve`) probes it from concurrent request-handler threads,
@@ -133,10 +136,19 @@ def generate(gp, goal, static_args=None, options=None, obs=None, **legacy):
     compiled = compile_program(result.program, filename="<rtcg:%s>" % goal)
     fn = GeneratedFunction(result, compiled)
     if key is not None:
+        evicted = 0
         with _LRU_LOCK:
             if _LRU_CAPACITY > 0:
                 _LRU[key] = fn
                 _LRU.move_to_end(key)
                 while len(_LRU) > _LRU_CAPACITY:
                     _LRU.popitem(last=False)
+                    evicted += 1
+            length = len(_LRU)
+        # LRU pressure is part of the performance surface: evictions
+        # say the working set outgrew the capacity, the gauge says how
+        # full the cache runs (both in docs/performance.md).
+        if evicted:
+            obs.metrics.counter("rtcg.lru_evictions").inc(evicted)
+        obs.metrics.gauge("rtcg.lru_len").set(length)
     return fn

@@ -1,4 +1,4 @@
-"""Differential testing: four execution ways, one answer.
+"""Differential testing: five execution ways, one answer.
 
 For one :class:`~repro.check.gen.GeneratedCase` the oracle runs the
 program:
@@ -11,7 +11,11 @@ program:
    program must be *byte-identical* to the genext one;
 4. **cache** — specialise twice against a fresh persistent residual
    cache: the warm replay must decode a byte-identical residual without
-   running the specialiser.
+   running the specialiser;
+5. **tiers** — every rung of the execution ladder
+   (:mod:`repro.backend.tiers`) forced in turn: the general
+   interpreter, the residual interpreter, and the emitted + compiled
+   Python must all agree with the ground truth.
 
 On top of that, the goal's alternate static valuations are pushed
 through the parallel batch driver at every requested ``--jobs`` width;
@@ -214,6 +218,40 @@ def run_case(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None):
                                     got=got,
                                 )
                             )
+
+    # -- way 5: the execution ladder ------------------------------------------
+    from repro.backend.tiers import TierLadder
+
+    with tempfile.TemporaryDirectory(prefix="mspec-check-") as tmp:
+        ladder = TierLadder(
+            gp, options=options.replace(cache_dir=tmp), obs=obs,
+            program=linked,
+        )
+        for tier in (0, 1, 2):
+            for vec in case.dyn_inputs:
+                try:
+                    run = ladder.call(
+                        case.goal, dict(case.static_args), vec, tier=tier
+                    )
+                except Exception as exc:
+                    failures.append(
+                        _failure(
+                            "tiers", "run", exc, tier=tier, dyn=list(vec)
+                        )
+                    )
+                    continue
+                if run.value != expected[(0, vec)]:
+                    failures.append(
+                        _failure(
+                            "tiers",
+                            "value",
+                            "tier %d disagrees with interpreter" % tier,
+                            tier=tier,
+                            dyn=list(vec),
+                            expected=expected[(0, vec)],
+                            got=run.value,
+                        )
+                    )
 
     # -- jobs widths through the batch driver --------------------------------
     if jobs_widths:

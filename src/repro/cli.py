@@ -578,6 +578,7 @@ def cmd_serve(args):
         metrics_path=args.metrics,
         max_requests_per_worker=args.max_requests_per_worker,
         max_worker_rss_mb=args.max_worker_rss_mb,
+        tier_hot=args.tier_hot,
     )
 
     if args.supervise:
@@ -629,12 +630,18 @@ def cmd_client(args):
     if (args.socket is None) == (args.tcp is None):
         raise SystemExit("give exactly one of --socket or --tcp")
     tcp = _parse_tcp(args.tcp) if args.tcp else None
-    static = _parse_bindings(args.bindings)
-    if static and args.op != "specialise":
-        raise SystemExit("name=value arguments only apply to specialise")
-    if args.op == "specialise" and not args.goal:
-        raise SystemExit("specialise needs a GOAL function name")
-    if args.op != "specialise" and args.goal:
+    dynamic = []
+    if args.op == "run":
+        # name=value entries are static; bare values are dynamic.
+        static = _parse_bindings([b for b in args.bindings if "=" in b])
+        dynamic = [_parse_value(b) for b in args.bindings if "=" not in b]
+    else:
+        static = _parse_bindings(args.bindings)
+    if static and args.op not in ("specialise", "run"):
+        raise SystemExit("name=value arguments only apply to specialise/run")
+    if args.op in ("specialise", "run") and not args.goal:
+        raise SystemExit("%s needs a GOAL function name" % args.op)
+    if args.op not in ("specialise", "run") and args.goal:
         raise SystemExit("%s takes no GOAL argument" % args.op)
 
     try:
@@ -649,6 +656,10 @@ def cmd_client(args):
         if args.op == "specialise":
             response = client.specialise(
                 args.goal, static, deadline=args.deadline
+            )
+        elif args.op == "run":
+            response = client.run(
+                args.goal, static, dynamic, deadline=args.deadline
             )
         else:
             response = client.request({"op": args.op})
@@ -682,6 +693,19 @@ def cmd_client(args):
                 response.get("seconds", 0.0),
                 result["entry"],
                 ", ".join(result["dynamic_params"]),
+            ),
+            file=sys.stderr,
+        )
+    elif args.op == "run":
+        from repro.serve.protocol import value_from_json
+
+        print(value_from_json(response.get("value")))
+        print(
+            "-- tier %s (%s) in %.6fs"
+            % (
+                response.get("tier"),
+                response.get("origin"),
+                response.get("seconds", 0.0),
             ),
             file=sys.stderr,
         )
@@ -811,7 +835,41 @@ def cmd_soak(args):
 def cmd_run(args):
     linked = load_program_dir(args.dir)
     values = [_parse_value(v) for v in args.values]
-    print(run_program(linked, args.goal, values))
+    static = _parse_bindings(args.static or [])
+
+    if args.backend == "interp":
+        if static:
+            raise SystemExit(
+                "mspec run: --static needs --backend tiers or compiled"
+            )
+        result = None
+        for _ in range(args.repeat):
+            result = run_program(linked, args.goal, values)
+        print(result)
+        return 0
+
+    from repro.api import SpecOptions
+    from repro.backend.tiers import TierLadder, TierPolicy
+
+    options = SpecOptions(
+        force_residual=frozenset(args.residual or []),
+        cache_dir=args.cache_dir,
+        tier_policy=TierPolicy(
+            warm_after=args.tier_warm, hot_after=args.tier_hot
+        ),
+    )
+    analysis = analyse_program(linked, force_residual=options.force_residual)
+    gp = link_genexts(cogen_program(analysis))
+    ladder = TierLadder(gp, options=options, program=linked)
+    forced = 2 if args.backend == "compiled" else None
+    run = None
+    for _ in range(args.repeat):
+        run = ladder.call(args.goal, static, tuple(values), tier=forced)
+    print(run.value)
+    print(
+        "-- tier %d (%s), %d call(s)" % (run.tier, run.origin, args.repeat),
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -1090,6 +1148,12 @@ def build_parser():
         help="pending-list discipline (default bfs)",
     )
     p.add_argument(
+        "--tier-hot", type=int, default=None, metavar="N",
+        help="compile + persist a goal's residual after its N-th request "
+        "(arms the execution ladder for `run` requests and warm-hit "
+        "promotion; default: run requests only, default thresholds)",
+    )
+    p.add_argument(
         "--no-warm", action="store_true",
         help="skip pre-forking the worker pool at startup",
     )
@@ -1131,14 +1195,18 @@ def build_parser():
     p.add_argument(
         "op",
         choices=("ping", "health", "metrics", "trace", "specialise",
-                 "shutdown"),
+                 "run", "shutdown"),
         help="the protocol operation",
     )
     p.add_argument(
         "goal", nargs="?", default=None,
-        help="function to specialise (specialise only)",
+        help="function to specialise or run (specialise/run only)",
     )
-    p.add_argument("bindings", nargs="*", help="static arguments: name=value")
+    p.add_argument(
+        "bindings", nargs="*",
+        help="static arguments: name=value; for run, bare values are "
+        "dynamic arguments",
+    )
     p.add_argument("--socket", metavar="PATH", help="daemon's unix socket")
     p.add_argument("--tcp", metavar="HOST:PORT", help="daemon's TCP address")
     p.add_argument(
@@ -1240,10 +1308,41 @@ def build_parser():
     observability(p)
     p.set_defaults(fn=cmd_soak)
 
-    p = sub.add_parser("run", help="interpret a program")
+    p = sub.add_parser(
+        "run", help="execute a program (interpreted or via the tier ladder)"
+    )
     common(p)
     p.add_argument("goal", help="function to run")
-    p.add_argument("values", nargs="*", help="argument values")
+    p.add_argument("values", nargs="*", help="dynamic argument values")
+    p.add_argument(
+        "--backend", choices=("interp", "tiers", "compiled"),
+        default="interp",
+        help="interp: the general interpreter (default); tiers: the "
+        "hotness-promoted execution ladder; compiled: force tier 2 "
+        "(emit + compile the residual to Python)",
+    )
+    p.add_argument(
+        "--static", action="append", metavar="NAME=VALUE",
+        help="static argument for the tiers/compiled backends "
+        "(repeatable); remaining values are dynamic",
+    )
+    p.add_argument(
+        "--cache-dir", metavar="DIR",
+        help="persistent store for residuals and tier-2 artifacts",
+    )
+    p.add_argument(
+        "--tier-warm", type=int, default=1, metavar="N",
+        help="calls before a goal leaves the general interpreter "
+        "(default 1)",
+    )
+    p.add_argument(
+        "--tier-hot", type=int, default=3, metavar="N",
+        help="calls before a goal is compiled and persisted (default 3)",
+    )
+    p.add_argument(
+        "--repeat", type=int, default=1, metavar="N",
+        help="call the goal N times (exercises tier promotion)",
+    )
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser("show", help="print schemes and annotated modules")

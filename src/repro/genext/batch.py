@@ -263,11 +263,21 @@ def specialise_many(
     cold = []  # keys still needing a specialisation run
     for key in order:
         if cache is not None:
-            payload = cache.get(key, goal=reqs[groups[key][0]].goal)
+            goal = reqs[groups[key][0]].goal
+            payload = cache.get(key, goal=goal)
             if payload is not None:
                 answered[key] = decode_result(
                     payload, obs=obs, fuel=options.fuel
                 )
+                if options.tier_policy is not None:
+                    # A warm hit is a reuse signal: let the execution
+                    # ladder promote hot goals to a compiled artifact.
+                    from repro.backend import tiers
+
+                    tiers.note_warm(
+                        cache, key, goal, options,
+                        obs=obs, result=answered[key],
+                    )
                 continue
         cold.append(key)
 

@@ -22,12 +22,14 @@ import sys
 from repro.obs.metrics import METRICS_SCHEMA
 
 __all__ = [
+    "BENCH_EXEC_TIERS_SCHEMA",
     "BENCH_INCREMENTAL_SCHEMA",
     "BENCH_SERVE_SCHEMA",
     "BENCH_SOAK_SCHEMA",
     "BENCH_SPEC_THROUGHPUT_SCHEMA",
     "REPORT_SCHEMA",
     "WELL_KNOWN_COUNTERS",
+    "validate_bench_exec_tiers",
     "validate_bench_incremental",
     "validate_bench_serve",
     "validate_bench_soak",
@@ -48,6 +50,8 @@ BENCH_SOAK_SCHEMA = "repro.bench.soak/v1"
 
 BENCH_INCREMENTAL_SCHEMA = "repro.bench.incremental/v1"
 
+BENCH_EXEC_TIERS_SCHEMA = "repro.bench.exec_tiers/v1"
+
 _REPORT_COMMANDS = ("build", "specialise", "fsck", "check")
 
 _NUMBER = (int, float)
@@ -65,6 +69,23 @@ WELL_KNOWN_COUNTERS = frozenset(
         "speccache.writes",
         "rtcg.lru_hits",
         "rtcg.lru_misses",
+        "rtcg.lru_evictions",
+        # Warm-hit payload decoding (repro.speccache.decode_result):
+        # memo hits skip the parse/re-link of the residual text.
+        "speccache.decode_hits",
+        "speccache.decode_misses",
+        # The execution ladder (repro.backend.tiers, docs/performance.md
+        # "Execution tiers"): runs per tier, memoised-callable probes,
+        # promotions, and how tier-2 callables were obtained (loaded
+        # marshalled code / recompiled resid.py / emitted from the AST).
+        "tier.t0_runs",
+        "tier.t1_runs",
+        "tier.t2_runs",
+        "tier.memo_hits",
+        "tier.promotions",
+        "tier.code_loads",
+        "tier.source_compiles",
+        "tier.emitted",
         "batch.requests",
         "batch.deduped",
         "batch.failed",
@@ -109,6 +130,9 @@ WELL_KNOWN_COUNTERS = frozenset(
         "serve.failures",
         "serve.relinks",
         "serve.coalesced",
+        # Tiered execution requests (the `run` op): answered by the
+        # daemon's TierLadder, one per request.
+        "serve.runs",
         # Chaos/resilience accounting (docs/robustness.md): recycles
         # counts graceful worker-generation retirements, faults_injected
         # the serve-phase faults actually performed.
@@ -427,6 +451,88 @@ def validate_bench_incremental(doc):
     return problems
 
 
+def validate_bench_exec_tiers(doc):
+    """Problems with a ``BENCH_exec_tiers.json`` document (empty list =
+    ok).  The document is what ``benchmarks/bench_exec_tiers.py``
+    emits: per-tier warm timings on the machine-interpreter workload,
+    the cross-tier value-identity verdict, the tier-2-vs-tier-1
+    speedup (with its >= 10x floor), and the daemon-restart evidence —
+    a previously-hot goal answered from the persisted artifact with
+    zero specialisation runs and zero ``compile()``s from the AST."""
+    if not isinstance(doc, dict):
+        return ["bench document must be a JSON object"]
+    problems = []
+    if doc.get("schema") != BENCH_EXEC_TIERS_SCHEMA:
+        problems.append(
+            "schema must be %r, got %r"
+            % (BENCH_EXEC_TIERS_SCHEMA, doc.get("schema"))
+        )
+    if not isinstance(doc.get("cpus"), int) or doc.get("cpus", 0) < 1:
+        problems.append("cpus must be a positive integer")
+    if not isinstance(doc.get("workload"), dict):
+        problems.append("workload must be an object")
+    if doc.get("identical") is not True:
+        problems.append(
+            "identical must be true (all three tiers must produce "
+            "byte-identical values)"
+        )
+    results = doc.get("results")
+    if not isinstance(results, dict) or not results:
+        problems.append("results must be a non-empty object")
+    else:
+        for name, value in results.items():
+            if not isinstance(name, str):
+                problems.append("results key %r is not a string" % (name,))
+            if (
+                not isinstance(value, _NUMBER)
+                or isinstance(value, bool)
+                or value < 0
+            ):
+                problems.append(
+                    "results[%r] must be a non-negative number" % (name,)
+                )
+        speedup = results.get("tier2_vs_tier1_speedup", 0)
+        if not isinstance(speedup, _NUMBER) or speedup < 10:
+            problems.append(
+                "results.tier2_vs_tier1_speedup must be >= 10 (compiled "
+                "execution must beat interpreting the residual 10x)"
+            )
+    restart = doc.get("restart")
+    if not isinstance(restart, dict):
+        problems.append("restart must be an object")
+    else:
+        if restart.get("served_from_artifact") is not True:
+            problems.append(
+                "restart.served_from_artifact must be true (the cold "
+                "daemon must answer at tier 2 from the persisted "
+                "artifact)"
+            )
+        for name in ("code_loads", "specialisations", "emitted"):
+            value = restart.get(name)
+            if not isinstance(value, int) or isinstance(value, bool) or (
+                value < 0
+            ):
+                problems.append(
+                    "restart.%s must be a non-negative integer" % name
+                )
+        if restart.get("code_loads", 0) < 1:
+            problems.append(
+                "restart.code_loads must be >= 1 (the artifact's "
+                "marshalled code object must actually be loaded)"
+            )
+        if restart.get("specialisations", 1) != 0:
+            problems.append(
+                "restart.specialisations must be 0 (no re-specialising "
+                "after the restart)"
+            )
+        if restart.get("emitted", 1) != 0:
+            problems.append(
+                "restart.emitted must be 0 (no re-compile() from the "
+                "AST after the restart)"
+            )
+    return problems
+
+
 def validate_file(path):
     """``(kind, problems)`` for a JSON file; kind inferred from content."""
     try:
@@ -448,6 +554,8 @@ def validate_file(path):
         return "bench", validate_bench_soak(doc)
     if isinstance(doc, dict) and doc.get("schema") == BENCH_INCREMENTAL_SCHEMA:
         return "bench", validate_bench_incremental(doc)
+    if isinstance(doc, dict) and doc.get("schema") == BENCH_EXEC_TIERS_SCHEMA:
+        return "bench", validate_bench_exec_tiers(doc)
     return "unknown", ["unrecognised document (no known schema marker)"]
 
 

@@ -35,6 +35,12 @@ GENEXT_KIND = "genext.py"
 # hash domain, so the namespaces can never collide, and fsck validates
 # the payloads like any other kind.
 RESID_KIND = "resid.json"
+# The residual program emitted as a real Python module
+# (repro.backend.tiers): the durable tier-2 format, stored next to the
+# resid.json payload under the same residual cache key.  The matching
+# marshalled code object lives under CODE_KIND (cache-tag keyed, so a
+# different interpreter recompiles from this source instead).
+RESID_PY_KIND = "resid.py"
 # Per-definition build records (repro.pipeline.incremental): one JSON
 # document per module build holding each SCC's schemes, dependency
 # reads and cogen fragments, keyed like the module's other artifacts.

@@ -60,6 +60,7 @@ from repro.pipeline.cache import (
     IFACE_KIND,
     QUARANTINE_DIRNAME,
     RESID_KIND,
+    RESID_PY_KIND,
     TMP_PREFIX,
     TMP_SUFFIX,
 )
@@ -481,16 +482,25 @@ class WaveSupervisor:
 
 @dataclass
 class FsckReport:
-    """What an :func:`fsck_cache` pass found."""
+    """What an :func:`fsck_cache` pass found.
+
+    ``quarantined`` is damage (torn, unparseable, wrong-named);
+    ``stale`` is a *distinct* finding kind — artifacts that are intact
+    but that no loader on this interpreter would use (a tier-2 code
+    object with another build's cache tag, an emitted ``resid.py``
+    missing its header).  Both move to the quarantine directory (a
+    stale object is dead weight either way and regenerates on demand),
+    but tooling can tell rot from drift."""
 
     scanned: int = 0
     quarantined: List[Tuple[str, str]] = field(default_factory=list)
+    stale: List[Tuple[str, str]] = field(default_factory=list)
     removed_tmp: List[str] = field(default_factory=list)
     foreign: List[str] = field(default_factory=list)  # other interpreters
 
     @property
     def ok(self):
-        return not self.quarantined
+        return not self.quarantined and not self.stale
 
     @property
     def exit_code(self):
@@ -500,6 +510,7 @@ class FsckReport:
         return {
             "scanned": self.scanned,
             "quarantined": [list(q) for q in self.quarantined],
+            "stale": [list(q) for q in self.stale],
             "removed_tmp": list(self.removed_tmp),
             "foreign": list(self.foreign),
             "exit_code": self.exit_code,
@@ -507,11 +518,19 @@ class FsckReport:
 
     def render(self):
         lines = [
-            "fsck: %d object(s) scanned, %d quarantined, %d temp file(s) removed"
-            % (self.scanned, len(self.quarantined), len(self.removed_tmp))
+            "fsck: %d object(s) scanned, %d quarantined, %d stale, "
+            "%d temp file(s) removed"
+            % (
+                self.scanned,
+                len(self.quarantined),
+                len(self.stale),
+                len(self.removed_tmp),
+            )
         ]
         for name, reason in self.quarantined:
             lines.append("  quarantined %s: %s" % (name, reason))
+        for name, reason in self.stale:
+            lines.append("  stale %s: %s" % (name, reason))
         for name in self.foreign:
             lines.append("  skipped %s: foreign interpreter tag" % name)
         return "\n".join(lines)
@@ -519,22 +538,23 @@ class FsckReport:
 
 def _validate_object(kind, data):
     """``None`` if ``data`` is a well-formed artifact of ``kind``, else
-    the reason it is not."""
+    a ``(category, reason)`` pair — ``"corrupt"`` for damage,
+    ``"stale"`` for intact-but-unusable (see :class:`FsckReport`)."""
     if not data:
-        return "empty object"
+        return ("corrupt", "empty object")
     if kind == IFACE_KIND:
         store = InterfaceStore()
         try:
             iface = store.load_text(data.decode("utf-8"), origin="<fsck>")
         except (InterfaceError, UnicodeDecodeError) as exc:
-            return "corrupt interface: %s" % exc
+            return ("corrupt", "corrupt interface: %s" % exc)
         findings = store.verify(iface)
         if findings:
             # A parseable interface whose stored per-def digest table
             # disagrees with its schemes: stale, not garbage — the
             # distinct reason lets tooling tell the two apart.
             rule, def_name, msg = findings[0]
-            return "iface.%s: %s" % (rule, msg)
+            return ("stale", "iface.%s: %s" % (rule, msg))
         return None
     if kind == DEFS_KIND:
         from repro.pipeline.incremental import parse_defs_doc
@@ -542,30 +562,51 @@ def _validate_object(kind, data):
         try:
             text = data.decode("utf-8")
         except UnicodeDecodeError as exc:
-            return "corrupt defs record: %s" % exc
+            return ("corrupt", "corrupt defs record: %s" % exc)
         if parse_defs_doc(text) is None:
-            return "corrupt defs record: not a %s document" % "repro.defs/v1"
+            return (
+                "corrupt",
+                "corrupt defs record: not a %s document" % "repro.defs/v1",
+            )
         return None
     if kind == GENEXT_KIND:
         try:
             compile(data.decode("utf-8"), "<fsck>", "exec")
         except (SyntaxError, ValueError, UnicodeDecodeError) as exc:
-            return "corrupt genext source: %s" % exc
+            return ("corrupt", "corrupt genext source: %s" % exc)
         return None
     if kind == CODE_KIND:
-        try:
-            marshal.loads(data)
-        except (EOFError, ValueError, TypeError) as exc:
-            return "corrupt code object: %s" % exc
+        # Tier-2 code artifacts (repro.backend.tiers): unmarshallable
+        # is corruption; a record this interpreter would silently skip
+        # (wrong schema, wrong cache tag) is stale.
+        from repro.backend.tiers import validate_code_bytes
+
+        problem = validate_code_bytes(data)
+        if problem is not None:
+            category, reason = problem
+            label = (
+                "corrupt code object"
+                if category == "corrupt"
+                else "stale code artifact"
+            )
+            return (category, "%s: %s" % (label, reason))
+        return None
+    if kind == RESID_PY_KIND:
+        from repro.backend.tiers import validate_source_bytes
+
+        problem = validate_source_bytes(data)
+        if problem is not None:
+            category, reason = problem
+            return (category, "emitted residual source: %s" % reason)
         return None
     if kind == RESID_KIND:
         from repro.speccache import validate_payload_bytes
 
         reason = validate_payload_bytes(data)
         if reason is not None:
-            return "corrupt residual payload: %s" % reason
+            return ("corrupt", "corrupt residual payload: %s" % reason)
         return None
-    return "unknown artifact kind %r" % kind
+    return ("corrupt", "unknown artifact kind %r" % kind)
 
 
 def fsck_cache(cache):
@@ -577,10 +618,16 @@ def fsck_cache(cache):
     * the file name must be ``<64-hex-key>.<kind>`` and live in the
       ``<key[:2]>`` fan-out directory;
     * the payload must be well-formed for its kind (interfaces parse,
-      genext sources compile, code objects unmarshal, nothing empty).
+      genext and emitted residual sources compile, code objects
+      unmarshal, nothing empty).
 
-    Code objects of *other* interpreters cannot be validated here and
-    are reported as foreign, untouched.  Damaged objects move to
+    Intact artifacts no loader on this interpreter would use — a
+    tier-2 code record with a foreign cache tag, an emitted
+    ``resid.py`` without its header — are quarantined too but reported
+    under the distinct ``stale`` finding kind (they regenerate on
+    demand; see :class:`FsckReport`).  Code objects of *other*
+    interpreters cannot be validated here and are reported as foreign,
+    untouched.  Damaged objects move to
     ``<root>/quarantine/<filename>`` (same-filesystem rename), so
     nothing is destroyed — a false positive can be inspected and put
     back by hand.  Returns an :class:`FsckReport`.
@@ -588,10 +635,13 @@ def fsck_cache(cache):
     report = FsckReport()
     quarantine_dir = os.path.join(cache.root, QUARANTINE_DIRNAME)
 
-    def quarantine(path, filename, reason):
+    def quarantine(path, filename, reason, category="corrupt"):
         os.makedirs(quarantine_dir, exist_ok=True)
         os.replace(path, os.path.join(quarantine_dir, filename))
-        report.quarantined.append((filename, reason))
+        findings = (
+            report.stale if category == "stale" else report.quarantined
+        )
+        findings.append((filename, reason))
 
     for dirpath, filename in cache.objects():
         path = os.path.join(dirpath, filename)
@@ -623,7 +673,8 @@ def fsck_cache(cache):
         except OSError as exc:
             quarantine(path, filename, "unreadable: %s" % exc)
             continue
-        reason = _validate_object(kind, data)
-        if reason is not None:
-            quarantine(path, filename, reason)
+        problem = _validate_object(kind, data)
+        if problem is not None:
+            category, reason = problem
+            quarantine(path, filename, reason, category)
     return report

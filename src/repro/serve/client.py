@@ -396,6 +396,25 @@ class ServeClient:
             doc["id"] = request_id
         return self.request(doc, timeout=timeout, idempotent=True)
 
+    def run(self, goal, static_args=None, dynamic_args=None, deadline=None,
+            request_id=None, timeout=None):
+        """Execute ``goal`` through the daemon's tiered ladder; the
+        response carries ``value`` (tuples as JSON arrays — see
+        :func:`repro.serve.protocol.value_from_json`), ``tier`` and
+        ``origin``.  Idempotent, so the retry layer applies."""
+        doc = {"op": "run", "goal": goal}
+        if static_args is not None:
+            doc["static_args"] = dict(static_args)
+        if dynamic_args is not None:
+            doc["dynamic_args"] = [
+                protocol.value_to_json(v) for v in dynamic_args
+            ]
+        if deadline is not None:
+            doc["deadline"] = deadline
+        if request_id is not None:
+            doc["id"] = request_id
+        return self.request(doc, timeout=timeout, idempotent=True)
+
     def shutdown(self, timeout=None):
         """Ask the daemon to drain and exit; returns its acknowledgement
         (the daemon answers first, then closes everything).  Never

@@ -92,6 +92,13 @@ class ServeConfig:
     long-lived pool generation is retired after its request budget or
     when a worker's RSS crosses the ceiling, so leaky workers never
     degrade the daemon.
+
+    ``tier_hot`` (``mspec serve --tier-hot N``) arms the execution
+    ladder for ``run`` requests and warm-hit promotion: a goal's N-th
+    request compiles + persists its residual
+    (:mod:`repro.backend.tiers`).  ``None`` leaves ``run`` on the
+    default :class:`~repro.backend.tiers.TierPolicy` and skips warm-hit
+    promotion; an explicit ``options.tier_policy`` wins.
     """
 
     dir: str
@@ -111,10 +118,15 @@ class ServeConfig:
     metrics_path: Optional[str] = None
     max_requests_per_worker: Optional[int] = None
     max_worker_rss_mb: Optional[float] = None
+    tier_hot: Optional[int] = None
 
     def __post_init__(self):
         if self.jobs < 1:
             raise ValueError("jobs must be >= 1, got %d" % self.jobs)
+        if self.tier_hot is not None and self.tier_hot < 1:
+            raise ValueError(
+                "tier_hot must be >= 1, got %d" % self.tier_hot
+            )
         if self.socket_path is None and self.tcp is None:
             self.socket_path = os.path.join(self.dir, DEFAULT_SOCKET_NAME)
         if self.cache_dir is None:
@@ -140,14 +152,19 @@ class ServeConfig:
 class _ProgramState:
     """One immutable generation of the served program.  Swapped
     atomically on re-link; a request reads ``server.state`` once and
-    works against a consistent (gp, fingerprint, digest) triple."""
+    works against a consistent (gp, fingerprint, digest, ladder)
+    tuple.  ``ladder`` is the generation's
+    :class:`~repro.backend.tiers.TierLadder` (the ``run`` op's
+    executor; its persisted artifacts are keyed by the generation's
+    fingerprint, so a relink naturally re-promotes)."""
 
-    __slots__ = ("gp", "fingerprint", "digest", "loaded_at")
+    __slots__ = ("gp", "fingerprint", "digest", "ladder", "loaded_at")
 
-    def __init__(self, gp, fingerprint, digest):
+    def __init__(self, gp, fingerprint, digest, ladder=None):
         self.gp = gp
         self.fingerprint = fingerprint
         self.digest = digest
+        self.ladder = ladder
         self.loaded_at = time.time()
 
 
@@ -185,6 +202,12 @@ class SpecServer:
             )
         self.obs = obs
         self.options = config.options.replace(cache_dir=config.cache_dir)
+        if config.tier_hot is not None and self.options.tier_policy is None:
+            from repro.backend.tiers import TierPolicy
+
+            self.options = self.options.replace(
+                tier_policy=TierPolicy(hot_after=config.tier_hot)
+            )
         self.cache = SpecCache(
             config.cache_dir, metrics=obs.metrics, bus=obs.bus
         )
@@ -244,10 +267,19 @@ class SpecServer:
                 obs=self.obs,
             )
             gp = result.link()
+        from repro.backend.tiers import TierLadder
         from repro.genext.batch import seed_worker_program
+        from repro.modsys.program import load_program_dir
 
         fingerprint = seed_worker_program(gp)
-        return _ProgramState(gp, fingerprint, digest)
+        ladder = TierLadder(
+            gp,
+            options=self.options,
+            obs=self.obs,
+            program=load_program_dir(self.config.dir),
+            store=self.cache.store,
+        )
+        return _ProgramState(gp, fingerprint, digest, ladder)
 
     def current_state(self):
         """The program generation to serve this request from, re-linking
@@ -294,6 +326,8 @@ class SpecServer:
                 )
             if op == "specialise":
                 return self._handle_specialise(doc)
+            if op == "run":
+                return self._handle_run(doc)
             return protocol.error_response(
                 op or "?", protocol.ERR_BAD_REQUEST,
                 "unknown op %r" % (op,), request_id,
@@ -345,14 +379,14 @@ class SpecServer:
 
     # -- the specialise path -------------------------------------------------
 
-    def _admit(self, deadline_at):
+    def _admit(self, deadline_at, op="specialise"):
         """Take one inflight slot, queueing within bounds.  Returns the
         seconds spent queued, or a response dict when refused."""
         metrics = self.obs.metrics
         with self._adm:
             if self._draining:
                 return protocol.error_response(
-                    "specialise", protocol.ERR_SHUTTING_DOWN,
+                    op, protocol.ERR_SHUTTING_DOWN,
                     "daemon is draining",
                 )
             if self.inflight >= self.config.max_inflight:
@@ -363,7 +397,7 @@ class SpecServer:
                         inflight=self.inflight,
                     )
                     return protocol.error_response(
-                        "specialise", protocol.ERR_REJECTED,
+                        op, protocol.ERR_REJECTED,
                         "admission queue full (%d inflight, %d queued)"
                         % (self.inflight, self.queued),
                     )
@@ -381,7 +415,7 @@ class SpecServer:
                             if timeout <= 0:
                                 metrics.counter("serve.deadline_kills").inc()
                                 return protocol.error_response(
-                                    "specialise", protocol.ERR_DEADLINE,
+                                    op, protocol.ERR_DEADLINE,
                                     "deadline expired while queued",
                                     kind="timeout",
                                 )
@@ -390,7 +424,7 @@ class SpecServer:
                     self.queued -= 1
                 if self._draining:
                     return protocol.error_response(
-                        "specialise", protocol.ERR_SHUTTING_DOWN,
+                        op, protocol.ERR_SHUTTING_DOWN,
                         "daemon is draining",
                     )
                 waited = time.perf_counter() - started
@@ -435,6 +469,53 @@ class SpecServer:
         finally:
             self._release()
 
+    def _handle_run(self, doc):
+        """Execute a goal through the tiered ladder (see
+        :mod:`repro.backend.tiers`): hot goals are answered by the
+        persisted compiled residual, cold ones interpreted."""
+        request_id = doc.get("id")
+        goal = doc["goal"]
+        static_args = doc.get("static_args") or {}
+        dynamic_args = tuple(doc.get("dynamic_args") or ())
+        deadline = doc.get("deadline")
+        if deadline is None:
+            deadline = self.config.deadline
+        elif self.config.deadline is not None:
+            deadline = min(deadline, self.config.deadline)
+        started = time.perf_counter()
+        deadline_at = None if deadline is None else started + deadline
+
+        metrics = self.obs.metrics
+        metrics.counter("serve.requests").inc()
+        admitted = self._admit(deadline_at, op="run")
+        if isinstance(admitted, dict):  # refused: rejected/draining/expired
+            admitted["id"] = request_id
+            return admitted
+        try:
+            state = self.current_state()
+            with self.obs.tracer.span("serve:run", cat="serve", goal=goal):
+                try:
+                    run = state.ladder.call(goal, static_args, dynamic_args)
+                except Exception as exc:
+                    metrics.counter("serve.failures").inc()
+                    return protocol.error_response(
+                        "run", protocol.ERR_ERROR,
+                        "%s: %s" % (type(exc).__name__, exc), request_id,
+                    )
+            metrics.counter("serve.runs").inc()
+            response = protocol.ok_response(
+                "run",
+                request_id,
+                value=protocol.value_to_json(run.value),
+                tier=run.tier,
+                origin=run.origin,
+            )
+            response["seconds"] = time.perf_counter() - started
+            metrics.timer("serve.request").add(response["seconds"])
+            return response
+        finally:
+            self._release()
+
     def _answer(self, goal, static_args, deadline_at, request_id):
         state = self.current_state()
         try:
@@ -452,6 +533,13 @@ class SpecServer:
         payload = self.cache.get(key, goal=goal)
         if payload is not None:
             self.obs.metrics.counter("serve.warm").inc()
+            if self.options.tier_policy is not None:
+                from repro.backend import tiers
+
+                tiers.note_warm(
+                    self.cache, key, goal, self.options,
+                    obs=self.obs, payload=payload,
+                )
             return protocol.ok_response(
                 "specialise", request_id, served="warm", result=payload
             )

@@ -21,6 +21,11 @@ Requests
   object; lists become object-language lists, so a pair is
   ``["pair", 1, 2]``), optional ``deadline`` (seconds, caps queue wait
   plus run time).
+* ``run``         — *execute* ``goal`` through the daemon's tiered
+  ladder (:mod:`repro.backend.tiers`): ``goal``, ``static_args`` (as
+  for ``specialise``), ``dynamic_args`` (JSON array, same value
+  conventions), optional ``deadline``.  Hot goals are answered by a
+  persisted compiled residual — one dict probe + one native call.
 * ``shutdown``    — graceful drain: in-flight requests finish, new ones
   are refused, then the daemon exits 0.
 
@@ -35,6 +40,12 @@ in-parent from the residual cache — or ``"cold"`` — computed by the
 worker pool), ``seconds``, and ``result``: the canonical
 ``repro.speccache/v1`` payload, whose ``program`` text is byte-identical
 to what ``mspec specialise`` prints for the same request.
+
+A successful ``run`` carries ``value`` (the object-language result;
+tuples encode as JSON arrays — :func:`value_from_json` restores them),
+``tier`` (0/1/2), ``origin`` (how the tier-2 callable was obtained:
+``memo``/``code``/``source``/``emitted``, or ``interp``/``residual``
+for the lower rungs), and ``seconds``.
 
 A failure carries ``error``: ``{"code": CODE, "message": ...}`` plus a
 ``kind`` mirroring :class:`~repro.pipeline.faults.ModuleFailure` where
@@ -81,11 +92,13 @@ __all__ = [
     "exit_code_for",
     "ok_response",
     "parse_request",
+    "value_from_json",
+    "value_to_json",
 ]
 
 SERVE_SCHEMA = "repro.serve/v1"
 
-OPS = ("ping", "health", "metrics", "trace", "specialise", "shutdown")
+OPS = ("ping", "health", "metrics", "trace", "specialise", "run", "shutdown")
 
 # The backpressure/drain exit code; 3/4/5 reuse the build pipeline's
 # failure-class codes (see docs/robustness.md and `mspec --help`).
@@ -150,19 +163,34 @@ def _conv_static(v):
     return v
 
 
+def value_to_json(v):
+    """An object-language value as JSON (tuples become arrays)."""
+    if isinstance(v, tuple):
+        return [value_to_json(x) for x in v]
+    return v
+
+
+def value_from_json(v):
+    """The inverse of :func:`value_to_json` (arrays become tuples)."""
+    if isinstance(v, list):
+        return tuple(value_from_json(x) for x in v)
+    return v
+
+
 def parse_request(line):
     """Decode and validate one request line; returns the request dict
-    with ``static_args`` values converted.  Raises ProtocolError."""
+    with ``static_args``/``dynamic_args`` values converted.  Raises
+    ProtocolError."""
     doc = decode_line(line)
     op = doc.get("op")
     if op not in OPS:
         raise ProtocolError(
             "op must be one of %s, got %r" % ("/".join(OPS), op)
         )
-    if op == "specialise":
+    if op in ("specialise", "run"):
         goal = doc.get("goal")
         if not isinstance(goal, str) or not goal:
-            raise ProtocolError("specialise needs a 'goal' function name")
+            raise ProtocolError("%s needs a 'goal' function name" % op)
         static = doc.get("static_args")
         if static is None:
             static = {}
@@ -178,6 +206,13 @@ def parse_request(line):
             or deadline <= 0
         ):
             raise ProtocolError("deadline must be a positive number")
+    if op == "run":
+        dynamic = doc.get("dynamic_args")
+        if dynamic is None:
+            dynamic = []
+        if not isinstance(dynamic, list):
+            raise ProtocolError("dynamic_args must be a JSON array")
+        doc["dynamic_args"] = [_conv_static(v) for v in dynamic]
     return doc
 
 

@@ -54,6 +54,8 @@ also emits a ``speccache.hit`` / ``speccache.miss`` event on the bus.
 
 import hashlib
 import json
+import threading
+from collections import OrderedDict
 
 from repro.bt.interface import CACHE_EPOCH
 from repro.lang.errors import LangError
@@ -66,6 +68,7 @@ __all__ = [
     "SPECCACHE_SCHEMA",
     "SpecCache",
     "canonical_static_args",
+    "clear_decode_memo",
     "decode_result",
     "encode_result",
     "residual_cache_key",
@@ -144,18 +147,60 @@ def encode_result(result):
     }
 
 
+# Decoding a payload parses and re-links the pretty-printed residual —
+# cheap next to a specialisation run, but the daemon's warm path and
+# the batch driver's dedup decode the *same* payload over and over.
+# The parse/link pair is therefore memoised per process, keyed by the
+# program text's digest, in a bounded LRU; the AST and the linked view
+# are immutable after construction, so sharing them across results is
+# safe (one SpecialisationResult already serves every dedup index in
+# the batch driver).  Hits/misses land in the caller's registry as
+# ``speccache.decode_hits`` / ``speccache.decode_misses``.
+_DECODE_CAPACITY = 256
+_DECODE_MEMO = OrderedDict()  # sha256(program) -> (program, linked)
+_DECODE_LOCK = threading.Lock()
+
+
+def clear_decode_memo():
+    """Drop every memoised parse (test isolation)."""
+    with _DECODE_LOCK:
+        _DECODE_MEMO.clear()
+
+
+def _decode_program(text):
+    digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+    with _DECODE_LOCK:
+        hit = _DECODE_MEMO.get(digest)
+        if hit is not None:
+            _DECODE_MEMO.move_to_end(digest)
+    if hit is not None:
+        return hit + (True,)
+    program = parse_program(text)
+    linked = link_program(program)
+    with _DECODE_LOCK:
+        _DECODE_MEMO[digest] = (program, linked)
+        _DECODE_MEMO.move_to_end(digest)
+        while len(_DECODE_MEMO) > _DECODE_CAPACITY:
+            _DECODE_MEMO.popitem(last=False)
+    return program, linked, False
+
+
 def decode_result(payload, obs=None, fuel=None):
     """Rebuild a :class:`~repro.genext.engine.SpecialisationResult` from
     a payload: parse the pretty-printed residual program and re-link it
-    (both cheap next to a specialisation run).  ``fuel`` is the caller's
-    interpretation budget — an execution knob, not part of the cached
-    identity."""
+    (memoised per process — a repeated warm hit is one digest plus two
+    dict probes).  ``fuel`` is the caller's interpretation budget — an
+    execution knob, not part of the cached identity."""
     from repro.genext.engine import SpecialisationResult
 
-    program = parse_program(payload["program"])
+    program, linked, hit = _decode_program(payload["program"])
+    if obs is not None:
+        obs.metrics.counter(
+            "speccache.decode_hits" if hit else "speccache.decode_misses"
+        ).inc()
     result = SpecialisationResult(
         program=program,
-        linked=link_program(program),
+        linked=linked,
         entry=payload["entry"],
         dynamic_params=tuple(payload["dynamic_params"]),
         stats=dict(payload["stats"]),

@@ -222,6 +222,17 @@ go a b = if xor a true then (if b then 1 else 2) else 3
 
 
 @pytest.fixture(autouse=True)
+def _fresh_tier_state():
+    """Process-wide execution-ladder state (hotness counters, compiled
+    memo, decode memo) never leaks between tests."""
+    from repro.backend.tiers import clear_tiers
+    from repro.speccache import clear_decode_memo
+
+    clear_tiers()
+    clear_decode_memo()
+
+
+@pytest.fixture(autouse=True)
 def _strict_event_bus(monkeypatch):
     """Run every in-process EventBus in strict mode: a subscriber that
     raises fails the test instead of being counted and suppressed.

@@ -76,6 +76,51 @@ def test_keyword_and_prime_names_mangle():
     assert c.call("f", 1) == 2
 
 
+def test_underscore_leading_names_mangle():
+    c = compiled("module M where\n\n_f _x = _x + _helper _x\n_helper y = y * 2\n")
+    assert c.call("_f", 3) == 9
+
+
+def test_colliding_mangles_stay_distinct():
+    """``class'`` and ``class_q`` both naively mangle to ``class_q``;
+    ``for`` and ``for_v`` both to ``for_v``.  The per-program mangle
+    table must keep every pair apart and runnable."""
+    c = compiled(
+        "module M where\n\n"
+        "go x = class' x + class_q x + for x + for_v x\n"
+        "class' x = x * 2\n"
+        "class_q x = x * 3\n"
+        "for x = x * 5\n"
+        "for_v x = x * 7\n"
+    )
+    assert c.call("go", 1) == 17
+    assert c.call("class'", 4) == 8
+    assert c.call("class_q", 4) == 12
+    assert c.call("for", 4) == 20
+    assert c.call("for_v", 4) == 28
+
+
+def test_mangle_table_is_injective_and_deterministic():
+    from repro.backend.pyemit import mangle_table
+
+    lp = load_program(
+        "module M where\n\n"
+        "go x = class' x + class_q x + for x + for_v x + _x x\n"
+        "class' x = x\nclass_q x = x\nfor x = x\nfor_v x = x\n_x x = x\n"
+    )
+    table = mangle_table(lp.program)
+    assert len(set(table.values())) == len(table)
+    assert table == mangle_table(lp.program)
+    # Collision-free names keep their historical base mangling; the
+    # sorted-first owner of a colliding base keeps it, later owners get
+    # a _vN suffix.
+    assert table["go"] == "go"
+    assert table["class'"] == "class_q"
+    assert table["class_q"] == "class_q_v2"
+    assert table["for"] == "for_v"
+    assert table["for_v"] == "for_v_v2"
+
+
 def test_cross_module_programs_compile_into_one_unit():
     c = compiled(
         "module A where\n\ninc x = x + 1\n"

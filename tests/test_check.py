@@ -151,6 +151,33 @@ def test_corpus_is_complete():
     assert len(CORPUS_FILES) == 25
 
 
+def _case_from_corpus(doc):
+    from repro.check.gen import GeneratedCase
+
+    return GeneratedCase(
+        seed=doc["seed"],
+        source=doc["source"],
+        goal=doc["goal"],
+        static_args=dict(doc["static_args"]),
+        static_variants=tuple(dict(v) for v in doc["static_variants"]),
+        dyn_inputs=tuple(tuple(v) for v in doc["dyn_inputs"]),
+        params=tuple(doc["params"]),
+    )
+
+
+@pytest.mark.parametrize(
+    "corpus_file", CORPUS_FILES, ids=[os.path.basename(p) for p in CORPUS_FILES]
+)
+def test_corpus_agrees_across_tiers_and_widths(corpus_file):
+    """Every pinned seed runs byte-identically through all five
+    differential ways — including each rung of the execution ladder
+    (interp / residual / compiled Python) — at --jobs widths 1 and 4."""
+    with open(corpus_file) as f:
+        doc = json.load(f)
+    failures = run_case(_case_from_corpus(doc), jobs_widths=(1, 4))
+    assert failures == [], failures
+
+
 # ---------------------------------------------------------------------------
 # Differential oracle
 # ---------------------------------------------------------------------------

@@ -424,10 +424,15 @@ def test_fsck_quarantines_digest_skew_distinctly(tmp_path):
         key, IFACE_KIND, json.dumps(payload, indent=1, sort_keys=True) + "\n"
     )
     report = fsck_cache(cache)
-    assert len(report.quarantined) == 1
-    name, reason = report.quarantined[0]
+    # Intact but self-inconsistent: the distinct *stale* finding kind,
+    # not generic corruption (it still moves to quarantine/ and still
+    # fails the scan).
+    assert not report.quarantined
+    assert len(report.stale) == 1
+    name, reason = report.stale[0]
     assert name == "%s.%s" % (key, IFACE_KIND)
     assert reason.startswith("iface.def_digest_skew")
+    assert not report.ok
 
 
 def test_defs_record_is_published_and_parseable(tmp_path):
