@@ -88,6 +88,10 @@ def compile_genexts(source, options=None, **legacy):
     options = spec_options("compile_genexts", options, legacy)
     linked = source if isinstance(source, LinkedProgram) else load_program(source)
     analysis = analyse_program(
-        linked, force_residual=options.force_residual
+        linked,
+        force_residual=options.force_residual,
+        division=options.division,
+        unfolding=options.unfolding,
+        max_bt_versions=options.max_bt_versions,
     )
     return link_genexts(cogen_program(analysis))

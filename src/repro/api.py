@@ -114,7 +114,11 @@ class SpecOptions:
     bounds the specialisation run's wall clock; ``max_versions`` bounds
     its polyvariance.  ``force_residual`` is consumed by the analysis
     front ends (:func:`repro.compile_genexts`,
-    :func:`repro.specialiser.mix_specialise`).
+    :func:`repro.specialiser.mix_specialise`), as are the analysis
+    strategies ``division`` (``"mono"``/``"poly"``, with
+    ``max_bt_versions`` capping the per-definition binding-time
+    versions) and ``unfolding`` (``"lub"``/``"size-change"``) — see
+    ``docs/analyses.md``.
 
     ``cache_dir`` enables the persistent residual cache
     (:mod:`repro.speccache`): a repeated request is answered from disk
@@ -139,11 +143,34 @@ class SpecOptions:
     max_versions: Optional[int] = 10_000
     cache_dir: Optional[str] = None
     tier_policy: Optional[Any] = None
+    # Analysis strategies (docs/analyses.md).  ``division="poly"``
+    # clones definitions into per-pattern binding-time versions
+    # (bounded by ``max_bt_versions``); ``unfolding="size-change"``
+    # unfolds provably decreasing recursion instead of residualising
+    # it.  The defaults reproduce the paper's behaviour exactly.
+    division: str = "mono"
+    unfolding: str = "lub"
+    max_bt_versions: int = 8
 
     def __post_init__(self):
         if self.strategy not in ("bfs", "dfs"):
             raise ValueError(
                 "strategy must be 'bfs' or 'dfs', got %r" % (self.strategy,)
+            )
+        if self.division not in ("mono", "poly"):
+            raise ValueError(
+                "division must be 'mono' or 'poly', got %r"
+                % (self.division,)
+            )
+        if self.unfolding not in ("lub", "size-change"):
+            raise ValueError(
+                "unfolding must be 'lub' or 'size-change', got %r"
+                % (self.unfolding,)
+            )
+        if self.max_bt_versions < 0:
+            raise ValueError(
+                "max_bt_versions must be >= 0, got %d"
+                % (self.max_bt_versions,)
             )
         if not isinstance(self.force_residual, frozenset):
             object.__setattr__(

@@ -357,27 +357,45 @@ def load_compiled(store, key, obs=None, self_heal=True):
     """Load the persisted tier-2 callable for ``key``, or ``None``.
 
     Probes the marshalled code object first (no parsing, no
-    compiling); on a cache-tag or marshal mismatch silently falls back
-    to recompiling ``resid.py`` — re-publishing a fresh code artifact
-    for this interpreter unless ``self_heal`` is off — and on any
-    further damage returns ``None`` (the caller drops to tier 1)."""
+    compiling); on a cache-tag or marshal mismatch falls back to
+    recompiling ``resid.py`` — re-publishing a fresh code artifact for
+    this interpreter unless ``self_heal`` is off — and on any further
+    damage returns ``None`` (the caller drops to tier 1).  The
+    fallback is accounted, not silent: each unusable code artifact
+    bumps ``tier.code_decode_miss`` and emits a
+    ``tier.code_decode_miss`` event naming the key and reason."""
     data = store.get_bytes(key, CODE_KIND)
     if data is not None:
         record = _unpack_code(data)
+        namespace = None
         if record is not None:
             try:
                 namespace = _exec_namespace(record["code"])
             except Exception:
                 namespace = None
-            if namespace is not None:
-                _count(obs, "tier.code_loads")
-                return TierFunction(
-                    record.get("entry", ""),
-                    record["entry_py"],
-                    record["dynamic_params"],
-                    namespace,
-                    origin="code",
-                )
+        if namespace is not None:
+            _count(obs, "tier.code_loads")
+            return TierFunction(
+                record.get("entry", ""),
+                record["entry_py"],
+                record["dynamic_params"],
+                namespace,
+                origin="code",
+            )
+        # A code artifact existed but could not be used.  Expected
+        # across interpreter upgrades (stale cache tag), a bug when it
+        # happens on the interpreter that wrote the artifact — so the
+        # miss is counted and announced, never silent.
+        _count(obs, "tier.code_decode_miss")
+        if obs is not None:
+            obs.bus.emit(
+                "tier.code_decode_miss",
+                key=key,
+                reason=(
+                    "exec failed" if record is not None
+                    else (validate_code_bytes(data) or ("stale", "?"))[1]
+                ),
+            )
     text = store.get_text(key, RESID_PY_KIND)
     if text is None:
         return None

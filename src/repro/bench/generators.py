@@ -69,6 +69,96 @@ def machine_interpreter_source():
     return MACHINE_INTERPRETER
 
 
+GUARDED_LOOKUP = """\
+module Lookup where
+
+lookup xs i = if null xs then 0 else (if i == 0 then head xs else lookup (tail xs) (i - 1))
+"""
+
+
+def guarded_lookup_source():
+    """A guarded list lookup: the flagship size-change workload.
+
+    With ``xs`` static and ``i`` dynamic the Similix lub rule
+    residualises the whole loop (``i == 0`` is dynamic), but the
+    ``tail xs`` argument strictly decreases, so size-change unfolding
+    turns the residual into a closed chain of conditionals over the
+    static table — no residual recursion at all."""
+    return GUARDED_LOOKUP
+
+
+def memory_lookup_program(n_cells, seed=0):
+    """E5-family scenario: a machine's static memory consulted at a
+    dynamic address.  ``read`` is a guarded lookup over a static
+    ``n_cells``-element memory; ``main`` reads one dynamic address (one
+    call site — unfolding never duplicates the chain).  Returns
+    ``(source, goal, static_args, dyn_params)``."""
+    rng = random.Random(seed)
+    source = (
+        "module Memory where\n"
+        "\n"
+        "read xs i = if null xs then 0 else "
+        "(if i == 0 then head xs else read (tail xs) (i - 1))\n"
+        "\n"
+        "main m a = read m a\n"
+    )
+    mem = tuple(rng.randint(0, 99) for _ in range(n_cells))
+    return source, "main", {"m": mem}, ("a",)
+
+
+def library_lookup_program(n_tables, n_cells, seed=0):
+    """E6-family scenario: a library of static lookup tables, a client
+    consulting each at one dynamic index.  Returns
+    ``(source, goal, static_args, dyn_params)`` — every ``t{k}`` table
+    parameter is static, the index ``i`` dynamic."""
+    rng = random.Random(seed)
+    lines = ["module Tables where", ""]
+    lines.append(
+        "get xs i = if null xs then 0 else "
+        "(if i == 0 then head xs else get (tail xs) (i - 1))"
+    )
+    lines.append("")
+    lines.append("module Client where")
+    lines.append("import Tables")
+    lines.append("")
+    params = " ".join("t%d" % k for k in range(n_tables))
+    calls = " + ".join("get t%d i" % k for k in range(n_tables))
+    lines.append("client %s i = %s" % (params, calls))
+    lines.append("")
+    static_args = {
+        "t%d" % k: tuple(rng.randint(0, 99) for _ in range(n_cells))
+        for k in range(n_tables)
+    }
+    return "\n".join(lines), "client", static_args, ("i",)
+
+
+def dual_pattern_program(n_funcs, seed=0):
+    """E4-family scenario for polyvariant division: each library loop is
+    called at two ground binding-time patterns — ``(S, D)`` (static
+    count, dynamic seed, recursion unfolds) and ``(D, D)`` (fully
+    dynamic, recursion residualises) — so a monovariant division must
+    lub the two while ``division="poly"`` clones per-pattern generating
+    extensions.  Returns ``(source, goal, static_args, dyn_params)``."""
+    rng = random.Random(seed)
+    lines = ["module Lib where", ""]
+    for k in range(n_funcs):
+        lines.append(
+            "g%d n x = if n == 0 then x else g%d (n - 1) (x + %d)"
+            % (k, k, rng.randint(1, 9))
+        )
+    lines.append("")
+    lines.append("module Client where")
+    lines.append("import Lib")
+    lines.append("")
+    calls = " + ".join(
+        "g%d %d d + g%d d d" % (k, rng.randint(2, 5), k)
+        for k in range(n_funcs)
+    )
+    lines.append("client d = %s" % calls)
+    lines.append("")
+    return "\n".join(lines), "client", {}, ("d",)
+
+
 def random_machine_program(length, seed=0):
     """A random machine program of ``length`` instructions ending in a
     halt-friendly suffix (jump targets stay forward to guarantee

@@ -19,6 +19,22 @@ The unfold/residualise annotation of a definition is the lub of the
 binding times of all conditionals in its body, and flows into the top of
 the result type (a residualised function yields a dynamic result) — the
 paper's conservative Similix-style strategy.
+
+Two optional strategy upgrades (``repro.api.SpecOptions``) sit on top:
+
+* ``unfolding="size-change"`` replaces the Similix unfold rule for the
+  recursive components where :mod:`repro.bt.sizechange` proves that
+  unfolding quasi-terminates: the unfold flag becomes the lub of the
+  *proof's required parameters* instead of the body's conditionals, so
+  a provably decreasing loop over a static structure unfolds even under
+  dynamic control.
+* ``division="poly"`` adds a polyvariant binding-time division: each
+  definition is additionally cloned into per-pattern *binding-time
+  versions* (:class:`BTVersion`) — one per consistent ground valuation
+  of its scheme's inputs, capped by ``max_bt_versions`` — with every
+  annotation pre-evaluated.  The base symbolic definition remains the
+  single source of truth; versions are derived views the cogen compiles
+  into constant-propagated generating extensions.
 """
 
 from dataclasses import dataclass, field
@@ -51,10 +67,33 @@ from repro.bt.bttypes import (
     map_bts,
 )
 from repro.bt.graph import ConstraintGraph
-from repro.bt.scheme import BTScheme, Canonicaliser, input_name, instantiate
+from repro.bt.scheme import (
+    BTScheme,
+    Canonicaliser,
+    ground_patterns,
+    input_name,
+    instantiate,
+    pattern_str,
+)
+from repro.bt.sizechange import sct_unfold_params
 from repro.types.infer import module_def_sccs
 
 _MAX_FIXPOINT_ITERATIONS = 50
+
+DIVISIONS = ("mono", "poly")
+UNFOLDINGS = ("lub", "size-change")
+DEFAULT_MAX_BT_VERSIONS = 8
+
+
+def _check_strategies(division, unfolding):
+    if division not in DIVISIONS:
+        raise ValueError(
+            "division must be one of %r, got %r" % (DIVISIONS, division)
+        )
+    if unfolding not in UNFOLDINGS:
+        raise ValueError(
+            "unfolding must be one of %r, got %r" % (UNFOLDINGS, unfolding)
+        )
 
 _ARITH = ("+", "-", "*", "div", "mod")
 _CMP = ("==", "<", "<=")
@@ -89,6 +128,73 @@ class DefAnalysis:
     annotated: ADef
 
 
+@dataclass(frozen=True)
+class BTVersion:
+    """One binding-time version of a definition (polyvariant division).
+
+    ``pattern`` is a ground valuation of the base definition's
+    binding-time parameters (aligned with ``adef.bt_params``);
+    ``unfold`` is the base unfold annotation evaluated under it.  The
+    version's annotated body is derivable on demand via
+    :func:`ground_adef` — versions carry no duplicated syntax."""
+
+    base: str
+    index: int
+    pattern: Tuple[btmod.BT, ...]
+    unfold: btmod.BT
+
+    @property
+    def name(self):
+        return "%s__btv%d" % (self.base, self.index)
+
+    @property
+    def pattern_str(self):
+        return pattern_str(self.pattern)
+
+    def env(self, bt_params):
+        return dict(zip(bt_params, self.pattern))
+
+
+def ground_versions(adef, scheme, cap):
+    """The binding-time versions of one analysed definition: one per
+    consistent ground pattern of its scheme, capped at ``cap``.  A
+    definition with fewer than two patterns gets none (a single version
+    would duplicate the base for no dispatch win)."""
+    patterns = ground_patterns(scheme, cap)
+    if len(patterns) < 2:
+        return ()
+    versions = []
+    for i, pattern in enumerate(patterns):
+        env = dict(zip(adef.bt_params, pattern))
+        versions.append(
+            BTVersion(
+                base=adef.name,
+                index=i,
+                pattern=pattern,
+                unfold=btmod.evaluate(adef.unfold, env),
+            )
+        )
+    return tuple(versions)
+
+
+def ground_adef(adef, env):
+    """``adef`` with every symbolic annotation evaluated under ``env``
+    (a ground valuation of its binding-time parameters) — the
+    materialised form of one :class:`BTVersion`, used by the lint's
+    per-version well-annotatedness pass."""
+    final_bt = lambda b: btmod.evaluate(b, env)
+    final_type = lambda t: map_bts(t, final_bt)
+    return ADef(
+        name=adef.name,
+        bt_params=adef.bt_params,
+        params=adef.params,
+        body=_final_expr(adef.body, final_bt, final_type),
+        unfold=final_bt(adef.unfold),
+        param_types=tuple(final_type(t) for t in adef.param_types),
+        res_type=final_type(adef.res_type),
+    )
+
+
 @dataclass
 class ModuleAnalysis:
     """The result of analysing one module: its binding-time interface
@@ -103,6 +209,9 @@ class ModuleAnalysis:
     schemes: Dict[str, BTScheme]
     annotated: AModule
     deps: Dict[str, frozenset] = field(default_factory=dict)
+    # Polyvariant division only: def name -> its binding-time versions
+    # (empty under the default monovariant division).
+    versions: Dict[str, Tuple[BTVersion, ...]] = field(default_factory=dict)
 
 
 @dataclass
@@ -117,13 +226,16 @@ class ProgramAnalysis:
 class _DefInference:
     """One inference pass over one definition."""
 
-    def __init__(self, def_name, env, force_residual):
+    def __init__(self, def_name, env, force_residual, sct_params=None):
         self.def_name = def_name
         self.env = env  # function name -> BTScheme
         self.graph = ConstraintGraph()
         self.unifier = BTUnifier(self.graph)
         self.cond_bts = []
         self.force_residual = force_residual
+        # Size-change unfolding: parameters whose binding times gate the
+        # unfold flag instead of the body's conditionals (None = Similix).
+        self.sct_params = sct_params
         self._lam_counter = 0
         # Names whose schemes this inference actually read (imported or
         # same-module) — the def-level dependency edges the incremental
@@ -361,13 +473,27 @@ class _DefInference:
         locals_ = dict(zip(d.params, param_types))
         res_type, abody = self.infer_expr(d.body, locals_)
         unfold_var = self.graph.fresh()
-        previous = self.graph.set_context(
-            "the definition is residualised if any conditional in its "
-            "body is dynamic (the Similix rule)"
-        )
-        for c in self.cond_bts:
-            self.graph.edge(c, unfold_var)
-        self.graph.set_context(previous)
+        if self.sct_params is not None:
+            # Size-change termination is proved: unfolding is gated only
+            # by the staticness of the decreasing parameters, not by the
+            # body's conditionals.
+            previous = self.graph.set_context(
+                "unfolding is safe while the size-change proof's "
+                "decreasing parameters stay static"
+            )
+            index_of = {p: i for i, p in enumerate(d.params)}
+            for p in self.sct_params:
+                t = self.unifier.resolve(param_types[index_of[p]])
+                self.graph.edge(t.bt, unfold_var)
+            self.graph.set_context(previous)
+        else:
+            previous = self.graph.set_context(
+                "the definition is residualised if any conditional in its "
+                "body is dynamic (the Similix rule)"
+            )
+            for c in self.cond_bts:
+                self.graph.edge(c, unfold_var)
+            self.graph.set_context(previous)
         if self.force_residual:
             self.graph.force_dynamic(unfold_var)
         # A residualised function delivers a dynamic result.
@@ -485,7 +611,8 @@ def _final_expr(e, final_bt, final_type):
     raise TypeError("not an annotated expression: %r" % (e,))
 
 
-def analyse_scc(by_name, group, env, force_residual=frozenset()):
+def analyse_scc(by_name, group, env, force_residual=frozenset(),
+                unfolding="lub"):
     """Fixpoint-analyse one strongly connected component of definitions.
 
     ``by_name`` maps def names to (resolved) :class:`~repro.lang.ast.Def`
@@ -499,7 +626,16 @@ def analyse_scc(by_name, group, env, force_residual=frozenset()):
     name; ``reads`` records which schemes each def's inference actually
     consulted.  This is the unit of work the incremental engine caches:
     an SCC whose sources and read schemes are unchanged need never be
-    re-analysed."""
+    re-analysed.
+
+    With ``unfolding="size-change"`` the component is first put through
+    :func:`~repro.bt.sizechange.sct_unfold_params`; a successful proof
+    swaps the Similix unfold rule for the proof's parameter gates.  The
+    proof is purely syntactic, so it is computed once, outside the
+    Kleene iteration."""
+    sct = None
+    if unfolding == "size-change":
+        sct = sct_unfold_params(by_name, group)
     assumed = {name: most_general_scheme(by_name[name].arity) for name in group}
     finalisers = {}
     reads = {}
@@ -507,7 +643,8 @@ def analyse_scc(by_name, group, env, force_residual=frozenset()):
         results = {}
         for name in group:
             inf = _DefInference(
-                name, {**env, **assumed}, name in force_residual
+                name, {**env, **assumed}, name in force_residual,
+                sct_params=None if sct is None else sct.get(name),
             )
             try:
                 results[name] = inf.infer_def(by_name[name])
@@ -528,14 +665,19 @@ def analyse_scc(by_name, group, env, force_residual=frozenset()):
     return assumed, annotated, reads
 
 
-def analyse_module(module, imported_schemes, force_residual=frozenset()):
+def analyse_module(module, imported_schemes, force_residual=frozenset(),
+                   division="mono", unfolding="lub",
+                   max_bt_versions=DEFAULT_MAX_BT_VERSIONS):
     """Analyse one module given its imports' binding-time interfaces.
 
     ``imported_schemes`` maps function names to :class:`BTScheme`;
     ``force_residual`` names definitions to annotate non-unfoldable
     regardless of their conditionals (the paper hand-annotates its
-    Sec. 5 examples this way).
+    Sec. 5 examples this way).  ``division``/``unfolding`` pick the
+    analysis strategies (see the module docstring); the defaults
+    reproduce the paper's behaviour exactly.
     """
+    _check_strategies(division, unfolding)
     env = dict(imported_schemes)
     schemes = {}
     annotated = {}
@@ -543,7 +685,7 @@ def analyse_module(module, imported_schemes, force_residual=frozenset()):
     by_name = {d.name: d for d in module.defs}
     for group in module_def_sccs(module):
         group_schemes, group_annotated, group_reads = analyse_scc(
-            by_name, group, env, force_residual
+            by_name, group, env, force_residual, unfolding=unfolding
         )
         schemes.update(group_schemes)
         env.update(group_schemes)
@@ -554,10 +696,22 @@ def analyse_module(module, imported_schemes, force_residual=frozenset()):
         module.imports,
         tuple(annotated[d.name] for d in module.defs),
     )
-    return ModuleAnalysis(module.name, schemes, amodule, deps)
+    versions = {}
+    if division == "poly":
+        for d in module.defs:
+            vs = ground_versions(
+                annotated[d.name], schemes[d.name], max_bt_versions
+            )
+            if vs:
+                versions[d.name] = vs
+    return ModuleAnalysis(
+        module.name, schemes, amodule, deps, versions=versions
+    )
 
 
-def analyse_program(linked, force_residual=frozenset()):
+def analyse_program(linked, force_residual=frozenset(), division="mono",
+                    unfolding="lub",
+                    max_bt_versions=DEFAULT_MAX_BT_VERSIONS):
     """Analyse every module of ``linked`` in topological order.
 
     This mirrors the paper's workflow: each module is analysed once,
@@ -575,7 +729,11 @@ def analyse_program(linked, force_residual=frozenset()):
             # Re-exported names from transitive imports are not visible;
             # the language's import relation is non-transitive, matching
             # the source-level name resolution.
-        analysis = analyse_module(module, visible, force_residual)
+        analysis = analyse_module(
+            module, visible, force_residual,
+            division=division, unfolding=unfolding,
+            max_bt_versions=max_bt_versions,
+        )
         results[module_name] = analysis
     for m in linked.program.modules:
         analyses.append(results[m.name])

@@ -1,0 +1,341 @@
+"""Size-change termination for the unfolding strategy.
+
+The Similix rule residualises a definition as soon as *any* conditional
+in its body can be dynamic — even when the recursion itself is driven by
+a static argument that provably shrinks on every call.  Following
+Lee–Jones–Ben-Amram's size-change termination (SCT) principle, as
+applied to offline partial evaluation by Leuschel–Tamarit–Vidal, this
+module proves *quasi-termination of unfolding* for a strongly connected
+component of definitions: if every infinite in-SCC call sequence would
+force an infinitely descending chain of natural-number or list values,
+no infinite call sequence exists — so the specialiser may unfold the
+component's calls whenever the measured arguments are static, dynamic
+conditionals notwithstanding.
+
+Size-change graphs
+------------------
+
+For every syntactic in-SCC call ``f(e1, ..., en)`` inside ``g`` we build
+one *size-change graph* ``g -> f`` whose arcs over-approximate how the
+callee's parameters relate to the caller's:
+
+* ``Var(p)``                        — arc ``p ->= q`` (equal, never grows);
+* ``tail e`` with ``e`` bounded by ``p``   — arc ``p -> q`` (strict: ``tail``
+  of a list is shorter, and errors — aborting specialisation — on the
+  empty list, so the call never happens with an equal value);
+* ``e - k`` (``k >= 1``) with ``e`` bounded by ``p`` — arc ``p ->= q``
+  (natural subtraction saturates at 0, so it never grows), upgraded to
+  strict when a dominating guard proves ``p >= 1`` (the else-branch of
+  ``p == 0``, the then-branch of ``0 < p``, ...).  The guard is on the
+  arc's own source parameter, so whenever the arc is *used* (the source
+  is static) the guard's conditional is static too and the guarded
+  branch is the only one the specialiser evaluates.
+
+Calls under a lambda get an *empty* graph (the closure may be applied
+in contexts we cannot bound), which soundly defeats any proof passing
+through them.
+
+The classic criterion then applies: close the graph set under
+composition; the component terminates iff every idempotent self-graph
+``G = G;G`` carries a strict self-arc ``p -> p``.
+
+Required parameters
+-------------------
+
+A proof is only usable if the arcs' source/target parameters are static
+at specialisation time (size of a dynamic value is unknown).  For a
+one-definition component we search for the *smallest* parameter subset
+whose restricted arcs still prove termination — so ``lookup xs i``
+needs only the static table ``xs``, not the dynamic index ``i``.  The
+result maps each definition to the tuple of parameter names (in
+declaration order) whose binding times must flow into the unfold flag.
+"""
+
+from itertools import combinations
+
+from repro.lang.ast import App, Call, If, Lam, Lit, Prim, Var
+
+__all__ = ["sct_unfold_params"]
+
+# Closure-size cap: a component whose composition closure exceeds this
+# many distinct graphs gives up (conservatively, no proof) rather than
+# grind; real programs stay far below it.
+_MAX_GRAPHS = 2048
+# Minimal-subset search cap: with more candidate parameters than this,
+# only the full participant set is tried.
+_MAX_SEARCH_PARAMS = 8
+
+
+def _branch_facts(cond, params):
+    """``(then_facts, else_facts)``: parameters in ``params`` proved
+    ``>= 1`` inside each branch by a literal-vs-parameter comparison."""
+    then_facts, else_facts = set(), set()
+    if not isinstance(cond, Prim) or len(cond.args) != 2:
+        return then_facts, else_facts
+    a, b = cond.args
+
+    def nat(e):
+        return (
+            e.value
+            if isinstance(e, Lit)
+            and isinstance(e.value, int)
+            and not isinstance(e.value, bool)
+            else None
+        )
+
+    def param(e):
+        return e.name if isinstance(e, Var) and e.name in params else None
+
+    if cond.op == "==":
+        # p == 0: the else-branch has p >= 1.
+        if param(a) is not None and nat(b) == 0:
+            else_facts.add(a.name)
+        elif nat(a) == 0 and param(b) is not None:
+            else_facts.add(b.name)
+    elif cond.op == "<":
+        # k < p (k >= 0): the then-branch has p >= k + 1 >= 1.
+        if nat(a) is not None and param(b) is not None:
+            then_facts.add(b.name)
+        # p < 1: the else-branch has p >= 1.
+        elif param(a) is not None and nat(b) == 1:
+            else_facts.add(a.name)
+    elif cond.op == "<=":
+        # k <= p (k >= 1): the then-branch has p >= 1.
+        if nat(a) is not None and nat(a) >= 1 and param(b) is not None:
+            then_facts.add(b.name)
+        # p <= 0: the else-branch has p >= 1.
+        elif param(a) is not None and nat(b) == 0:
+            else_facts.add(a.name)
+    return then_facts, else_facts
+
+
+def _arc_source(e, facts, params):
+    """``(source_param, strict)`` for an argument expression whose value
+    is bounded by one caller parameter, or ``None``.
+
+    Soundness is per *measure*: list length for ``tail`` chains, the
+    natural number itself for monus.  Both only shrink, so chaining
+    them keeps the bound."""
+    if isinstance(e, Var):
+        if e.name in params:
+            return (e.name, False)
+        return None
+    if isinstance(e, Prim) and e.op == "tail" and len(e.args) == 1:
+        inner = _arc_source(e.args[0], facts, params)
+        if inner is None:
+            return None
+        # tail errors on [], so any call it feeds sees a strictly
+        # shorter list than its operand.
+        return (inner[0], True)
+    if isinstance(e, Prim) and e.op == "-" and len(e.args) == 2:
+        left, right = e.args
+        k = (
+            right.value
+            if isinstance(right, Lit)
+            and isinstance(right.value, int)
+            and not isinstance(right.value, bool)
+            else None
+        )
+        if k is None or k < 1:
+            return None
+        inner = _arc_source(left, facts, params)
+        if inner is None:
+            return None
+        source, strict = inner
+        if strict:
+            return (source, True)
+        # Monus never grows; it strictly shrinks only when the value is
+        # known positive — which a dominating guard on the parameter
+        # itself can prove.
+        if isinstance(left, Var) and left.name in facts:
+            return (source, True)
+        return (source, False)
+    return None
+
+
+def _collect_calls(d, group):
+    """Every in-SCC call in ``d``'s body, with the guard facts that
+    dominate it and whether it sits under a lambda."""
+    calls = []
+    params = frozenset(d.params)
+
+    def walk(e, facts, under_lam, shadowed):
+        if isinstance(e, (Lit, Var)):
+            return
+        if isinstance(e, Call):
+            for a in e.args:
+                walk(a, facts, under_lam, shadowed)
+            if e.func in group:
+                calls.append((e.func, e.args, facts, under_lam, shadowed))
+            return
+        if isinstance(e, If):
+            walk(e.cond, facts, under_lam, shadowed)
+            visible = params - shadowed
+            then_facts, else_facts = _branch_facts(e.cond, visible)
+            walk(e.then_branch, facts | then_facts, under_lam, shadowed)
+            walk(e.else_branch, facts | else_facts, under_lam, shadowed)
+            return
+        if isinstance(e, Prim):
+            for a in e.args:
+                walk(a, facts, under_lam, shadowed)
+            return
+        if isinstance(e, Lam):
+            walk(e.body, facts, True, shadowed | {e.var})
+            return
+        if isinstance(e, App):
+            walk(e.fun, facts, under_lam, shadowed)
+            walk(e.arg, facts, under_lam, shadowed)
+            return
+        raise TypeError("not an expression: %r" % (e,))
+
+    walk(d.body, frozenset(), False, frozenset())
+    return calls
+
+
+def _call_graphs(by_name, group):
+    """One size-change graph per syntactic in-SCC call, as
+    ``(caller, callee, frozenset((src, dst, strict)))`` triples."""
+    graphs = []
+    members = frozenset(group)
+    for name in group:
+        d = by_name[name]
+        for callee, args, facts, under_lam, shadowed in _collect_calls(
+            d, members
+        ):
+            arcs = {}
+            if not under_lam:
+                visible = frozenset(d.params) - shadowed
+                callee_params = by_name[callee].params
+                for arg, q in zip(args, callee_params):
+                    found = _arc_source(arg, facts, visible)
+                    if found is None:
+                        continue
+                    src, strict = found
+                    key = (src, q)
+                    arcs[key] = arcs.get(key, False) or strict
+            graphs.append(
+                (
+                    name,
+                    callee,
+                    frozenset(
+                        (src, dst, strict)
+                        for (src, dst), strict in arcs.items()
+                    ),
+                )
+            )
+    return graphs
+
+
+def _compose(g, h):
+    """``g ; h`` — the size-change graph of doing ``g`` then ``h``."""
+    arcs = {}
+    by_src = {}
+    for (src, dst, strict) in h[2]:
+        by_src.setdefault(src, []).append((dst, strict))
+    for (src, mid, s1) in g[2]:
+        for (dst, s2) in by_src.get(mid, ()):
+            key = (src, dst)
+            arcs[key] = arcs.get(key, False) or s1 or s2
+    return (
+        g[0],
+        h[1],
+        frozenset((src, dst, s) for (src, dst), s in arcs.items()),
+    )
+
+
+def _terminates(graphs):
+    """The classic SCT criterion over ``graphs``: close under
+    composition and require a strict self-arc on every idempotent
+    self-graph.  ``None``-ish (False) when the closure explodes."""
+    closure = set(graphs)
+    frontier = list(graphs)
+    while frontier:
+        if len(closure) > _MAX_GRAPHS:
+            return False
+        new = []
+        for g in frontier:
+            for h in list(closure):
+                if g[1] == h[0]:
+                    gh = _compose(g, h)
+                    if gh not in closure:
+                        closure.add(gh)
+                        new.append(gh)
+                if h[1] == g[0]:
+                    hg = _compose(h, g)
+                    if hg not in closure:
+                        closure.add(hg)
+                        new.append(hg)
+        frontier = new
+    for g in closure:
+        if g[0] != g[1]:
+            continue
+        if _compose(g, g)[2] != g[2]:
+            continue
+        if not any(src == dst and strict for (src, dst, strict) in g[2]):
+            return False
+    return True
+
+
+def _restrict(graphs, allowed):
+    """Graphs with every arc endpoint outside ``allowed`` dropped."""
+    return [
+        (
+            caller,
+            callee,
+            frozenset(
+                (src, dst, strict)
+                for (src, dst, strict) in arcs
+                if src in allowed[caller] and dst in allowed[callee]
+            ),
+        )
+        for (caller, callee, arcs) in graphs
+    ]
+
+
+def _participants(by_name, group, graphs):
+    """Per definition, the parameters appearing as an arc endpoint, in
+    declaration order."""
+    used = {name: set() for name in group}
+    for (caller, callee, arcs) in graphs:
+        for (src, dst, _strict) in arcs:
+            used[caller].add(src)
+            used[callee].add(dst)
+    return {
+        name: tuple(p for p in by_name[name].params if p in used[name])
+        for name in group
+    }
+
+
+def sct_unfold_params(by_name, group):
+    """Try to prove that unfolding the SCC ``group`` terminates.
+
+    ``by_name`` maps definition names to resolved
+    :class:`~repro.lang.ast.Def` nodes; ``group`` lists the component's
+    members.  Returns ``{def_name: (param, ...)}`` — the parameters
+    whose binding times must gate unfolding — or ``None`` when no proof
+    exists (including the non-recursive case, where the Similix rule is
+    already exact)."""
+    graphs = _call_graphs(by_name, group)
+    if not graphs:
+        return None  # not recursive: nothing to prove
+    participants = _participants(by_name, group, graphs)
+    full = _restrict(graphs, {n: frozenset(ps) for n, ps in participants.items()})
+    if not _terminates(full):
+        return None
+    if len(group) == 1:
+        # Minimal-subset search: smallest (then leftmost) parameter set
+        # whose restricted arcs still prove termination, so dynamic
+        # parameters with incidental arcs never gate unfolding.
+        name = group[0]
+        candidates = participants[name]
+        if 0 < len(candidates) <= _MAX_SEARCH_PARAMS:
+            for size in range(1, len(candidates)):
+                for subset in combinations(candidates, size):
+                    restricted = _restrict(
+                        graphs, {name: frozenset(subset)}
+                    )
+                    if _terminates(restricted):
+                        return {name: subset}
+    return {
+        name: params for name, params in participants.items()
+    }

@@ -15,7 +15,13 @@ program:
 5. **tiers** — every rung of the execution ladder
    (:mod:`repro.backend.tiers`) forced in turn: the general
    interpreter, the residual interpreter, and the emitted + compiled
-   Python must all agree with the ground truth.
+   Python must all agree with the ground truth;
+6. **strategies** — the non-default analysis-strategy matrix
+   (``docs/analyses.md``): ``division="poly"`` must produce a residual
+   *byte-identical* to the monovariant one (versions are a cogen
+   artefact, not a semantics change), and ``unfolding="size-change"``
+   residuals — genext and mix, which must again agree byte-for-byte —
+   must produce the interpreter's values.
 
 On top of that, the goal's alternate static valuations are pushed
 through the parallel batch driver at every requested ``--jobs`` width;
@@ -47,6 +53,14 @@ from repro.types import infer_program
 DIFF_FUEL = 600_000
 DEFAULT_SPEC_TIMEOUT = 30.0
 
+# The non-default corners of the analysis-strategy space, differentially
+# checked by way 6.  (mono, lub) is every other way's baseline.
+STRATEGY_MATRIX = (
+    ("poly", "lub"),
+    ("mono", "size-change"),
+    ("poly", "size-change"),
+)
+
 
 def _failure(way, kind, message, **details):
     doc = {"way": way, "kind": kind, "message": str(message)}
@@ -58,7 +72,8 @@ def _run_residual(result, vec, fuel=DIFF_FUEL):
     return result.run(*vec, fuel=fuel)
 
 
-def run_case(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None):
+def run_case(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None,
+             strategy_matrix=True):
     """Run every way and cross-check; returns a list of failure records
     (empty = the case agrees everywhere)."""
     timeout = DEFAULT_SPEC_TIMEOUT if timeout is None else timeout
@@ -253,6 +268,14 @@ def run_case(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None):
                         )
                     )
 
+    # -- way 6: the analysis-strategy matrix ----------------------------------
+    if strategy_matrix:
+        failures.extend(
+            _check_strategy_matrix(
+                case, linked, genext_text, expected, options, obs
+            )
+        )
+
     # -- jobs widths through the batch driver --------------------------------
     if jobs_widths:
         failures.extend(
@@ -260,6 +283,89 @@ def run_case(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None):
                 case, gp, genext_text, expected, jobs_widths, options, obs
             )
         )
+    return failures
+
+
+def _check_strategy_matrix(case, linked, genext_text, expected, options, obs):
+    """Differentially check the non-default analysis strategies.
+
+    Polyvariant division is a compilation-artefact change, so its
+    residual must be byte-identical to the baseline's.  Size-change
+    unfolding legitimately changes the residual, so it is value-checked
+    against the interpreter instead — and the genext and mix paths,
+    which share the strategy, must still agree byte-for-byte."""
+    from repro import compile_genexts
+
+    failures = []
+    for division, unfolding in STRATEGY_MATRIX:
+        way = "strategy[%s,%s]" % (division, unfolding)
+        sopts = options.replace(division=division, unfolding=unfolding)
+        try:
+            sgp = compile_genexts(linked, sopts)
+            result = specialise(
+                sgp, case.goal, dict(case.static_args), sopts, obs=obs
+            )
+            text = pretty_program(result.program)
+        except Exception as exc:
+            failures.append(_failure(way, "specialise", exc))
+            continue
+        if unfolding == "lub" and text != genext_text:
+            failures.append(
+                _failure(
+                    way,
+                    "bytes",
+                    "polyvariant division changed the residual program",
+                    baseline=genext_text,
+                    got=text,
+                )
+            )
+            continue
+        for vec in case.dyn_inputs:
+            try:
+                got = _run_residual(result, vec)
+            except Exception as exc:
+                failures.append(
+                    _failure(way, "run", exc, variant=0, dyn=list(vec))
+                )
+                continue
+            if got != expected[(0, vec)]:
+                failures.append(
+                    _failure(
+                        way,
+                        "value",
+                        "strategy residual disagrees with interpreter",
+                        variant=0,
+                        dyn=list(vec),
+                        expected=expected[(0, vec)],
+                        got=got,
+                    )
+                )
+        if division == "mono" and unfolding != "lub":
+            try:
+                mix_result = mix_specialise(
+                    case.source,
+                    case.goal,
+                    dict(case.static_args),
+                    sopts,
+                    obs=obs,
+                )
+                mix_text = pretty_program(mix_result.program)
+            except Exception as exc:
+                failures.append(
+                    _failure(way, "specialise", exc, baseline="mix")
+                )
+                continue
+            if mix_text != text:
+                failures.append(
+                    _failure(
+                        way,
+                        "bytes",
+                        "mix residual differs from genext residual "
+                        "under %s unfolding" % unfolding,
+                        genext=text,
+                        mix=mix_text,
+                    )
+                )
     return failures
 
 

@@ -62,11 +62,14 @@ def run_check(
     timeout=None,
     minimise=True,
     obs=None,
+    strategy_matrix=True,
 ):
     """Run all three passes over ``src_dir``; returns a
     :class:`CheckReport`.  ``fuzz`` bounds the generated-program count
     (0 disables the differential pass); ``jobs_widths`` are the batch
-    pool widths whose residuals must agree byte-for-byte."""
+    pool widths whose residuals must agree byte-for-byte;
+    ``strategy_matrix`` additionally lints and differentially checks the
+    non-default analysis strategies (``docs/analyses.md``)."""
     from repro.obs import Obs
 
     obs = obs if obs is not None else Obs()
@@ -91,6 +94,16 @@ def run_check(
                 linked = None
             if linked is not None:
                 findings = lint_linked(linked, force_residual)
+                if strategy_matrix:
+                    # The polyvariant division adds per-version lint;
+                    # size-change swaps the unfold rule for proof-based
+                    # checks.  Same source, stricter coverage.
+                    findings = findings + lint_linked(
+                        linked,
+                        force_residual,
+                        division="poly",
+                        unfolding="size-change",
+                    )
                 report.extend(findings)
                 metrics.counter("check.lint_findings").inc(len(findings))
                 report.count("check.lint_findings", len(findings))
@@ -121,6 +134,7 @@ def run_check(
                     jobs_widths=jobs_widths,
                     timeout=timeout,
                     obs=obs,
+                    strategy_matrix=strategy_matrix,
                 )
             metrics.counter("check.programs").inc()
             report.count("check.programs")

@@ -17,6 +17,14 @@ findings instead of raising on the first problem:
 * ``static-position`` — no dynamic value flows into a static position
   uncoerced (the full well-annotatedness discipline, run per
   definition so one bad definition cannot mask another).
+
+The pass is strategy-aware (``docs/analyses.md``): under
+``unfolding="size-change"`` the ``unfold-lub`` rule is skipped (the
+strategy's whole point is annotating below the lub) and the
+well-annotatedness re-check drops unfold domination; under
+``division="poly"`` every ground binding-time *version* of a definition
+is additionally re-checked, so a bug in version grounding cannot hide
+behind a well-annotated generic definition.
 """
 
 from repro.anno.ast import ACoerce, AIf, walk_aexpr
@@ -26,7 +34,7 @@ from repro.anno.check import (
     bt_leq,
     coercion_violation,
 )
-from repro.bt.analysis import analyse_program
+from repro.bt.analysis import analyse_program, ground_adef
 from repro.bt.bt import S, bt_lub
 from repro.check.report import Finding
 
@@ -41,10 +49,11 @@ def _finding(rule, where, message, **details):
     )
 
 
-def lint_def(module_name, d, defs, force_residual=frozenset()):
+def lint_def(module_name, d, defs, force_residual=frozenset(),
+             unfolding="lub", where=None):
     """Findings for one annotated definition."""
     findings = []
-    where = "%s.%s" % (module_name, d.name)
+    where = where or "%s.%s" % (module_name, d.name)
 
     # Rule 1: every coercion is upward.
     for node in walk_aexpr(d.body):
@@ -56,44 +65,79 @@ def lint_def(module_name, d, defs, force_residual=frozenset()):
                 )
 
     # Rule 2: unfold flag = lub of the body's conditional binding times.
-    conds = [n.bt for n in walk_aexpr(d.body) if isinstance(n, AIf)]
-    lub = bt_lub(*conds) if conds else S
-    if not bt_leq(lub, d.unfold):
-        findings.append(
-            _finding(
-                "unfold-lub",
-                where,
-                "unfold annotation %s does not dominate the lub %s of "
-                "the body's conditionals" % (d.unfold, lub),
-                unfold=str(d.unfold),
-                lub=str(lub),
+    # Only meaningful under the Similix lub rule: size-change unfolding
+    # annotates below the lub by design.
+    if unfolding == "lub":
+        conds = [n.bt for n in walk_aexpr(d.body) if isinstance(n, AIf)]
+        lub = bt_lub(*conds) if conds else S
+        if not bt_leq(lub, d.unfold):
+            findings.append(
+                _finding(
+                    "unfold-lub",
+                    where,
+                    "unfold annotation %s does not dominate the lub %s of "
+                    "the body's conditionals" % (d.unfold, lub),
+                    unfold=str(d.unfold),
+                    lub=str(lub),
+                )
             )
-        )
-    elif d.name not in force_residual and d.unfold != lub:
-        findings.append(
-            _finding(
-                "unfold-lub",
-                where,
-                "unfold annotation %s is not the lub %s of the body's "
-                "conditional binding times (not the least solution)"
-                % (d.unfold, lub),
-                unfold=str(d.unfold),
-                lub=str(lub),
+        elif d.name not in force_residual and d.unfold != lub:
+            findings.append(
+                _finding(
+                    "unfold-lub",
+                    where,
+                    "unfold annotation %s is not the lub %s of the body's "
+                    "conditional binding times (not the least solution)"
+                    % (d.unfold, lub),
+                    unfold=str(d.unfold),
+                    lub=str(lub),
+                )
             )
-        )
 
     # Rule 3: nothing dynamic reaches a static position uncoerced —
     # the full per-definition well-annotatedness re-check.
     checker = _Checker(defs)
     checker.where = where
     try:
-        checker.check_def(d)
+        checker.check_def(d, unfold_dominates=(unfolding == "lub"))
     except AnnotationError as exc:
         findings.append(_finding("static-position", where, str(exc)))
     return findings
 
 
-def lint_aprogram(aprogram, force_residual=frozenset()):
+def lint_versions(analysis, force_residual=frozenset(), unfolding="lub"):
+    """Findings over every ground binding-time version of a polyvariant
+    analysis: each version's grounded definition must itself be
+    well-annotated (the generic definition passing does not imply the
+    grounded ones do — grounding evaluates every symbolic binding time,
+    which is exactly where a bad pattern would surface)."""
+    findings = []
+    defs = {}
+    for m in analysis.modules:
+        for d in m.annotated.defs:
+            defs[d.name] = d
+    for m in analysis.modules:
+        amodule = m.annotated
+        by_name = {d.name: d for d in amodule.defs}
+        for name, versions in sorted(m.versions.items()):
+            d = by_name[name]
+            for v in versions:
+                grounded = ground_adef(d, v.env(d.bt_params))
+                where = "%s.%s[%s]" % (amodule.name, name, v.pattern_str)
+                findings.extend(
+                    lint_def(
+                        amodule.name,
+                        grounded,
+                        defs,
+                        force_residual,
+                        unfolding=unfolding,
+                        where=where,
+                    )
+                )
+    return findings
+
+
+def lint_aprogram(aprogram, force_residual=frozenset(), unfolding="lub"):
     """Findings over a whole annotated program."""
     defs = {}
     for m in aprogram.modules:
@@ -102,11 +146,28 @@ def lint_aprogram(aprogram, force_residual=frozenset()):
     findings = []
     for m in aprogram.modules:
         for d in m.defs:
-            findings.extend(lint_def(m.name, d, defs, force_residual))
+            findings.extend(
+                lint_def(m.name, d, defs, force_residual, unfolding=unfolding)
+            )
     return findings
 
 
-def lint_linked(linked, force_residual=frozenset()):
-    """Analyse a linked program, then lint the annotation."""
-    analysis = analyse_program(linked, force_residual=force_residual)
-    return lint_aprogram(analysis.annotated, force_residual)
+def lint_linked(linked, force_residual=frozenset(), division="mono",
+                unfolding="lub", max_bt_versions=8):
+    """Analyse a linked program, then lint the annotation (and, under
+    ``division="poly"``, every ground binding-time version)."""
+    analysis = analyse_program(
+        linked,
+        force_residual=force_residual,
+        division=division,
+        unfolding=unfolding,
+        max_bt_versions=max_bt_versions,
+    )
+    findings = lint_aprogram(
+        analysis.annotated, force_residual, unfolding=unfolding
+    )
+    if division == "poly":
+        findings.extend(
+            lint_versions(analysis, force_residual, unfolding=unfolding)
+        )
+    return findings

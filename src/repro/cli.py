@@ -532,6 +532,7 @@ def cmd_check(args):
             timeout=args.timeout,
             minimise=not args.no_minimise,
             obs=obs,
+            strategy_matrix=not args.no_strategy_matrix,
         )
     finally:
         _finish_obs(args, obs, profiler)
@@ -1095,6 +1096,11 @@ def build_parser():
     p.add_argument(
         "--no-minimise", action="store_true",
         help="skip minimising divergent programs before bundling",
+    )
+    p.add_argument(
+        "--no-strategy-matrix", action="store_true",
+        help="skip the non-default analysis strategies (polyvariant "
+        "division, size-change unfolding) in lint and fuzzing",
     )
     observability(p)
     p.set_defaults(fn=cmd_check)

@@ -97,6 +97,14 @@ from repro.pipeline.stats import PipelineStats
 
 DEFAULT_CACHE_DIRNAME = ".mspec-cache"
 
+# When True, an exception inside the incremental fast path propagates
+# instead of silently degrading to whole-module analysis.  Production
+# keeps the fallback (the build's *output* never depends on the fast
+# path); the test suite flips this on (tests/conftest.py) so a fast-path
+# bug fails loudly there instead of hiding as a perf regression —
+# the same treatment EventBus handler errors got.
+STRICT_INCREMENTAL = False
+
 
 @dataclass(frozen=True)
 class SourceModule:
@@ -253,6 +261,10 @@ class BuildEngine:
         self.out_dir = options.out_dir
         self.policy = options.fault_policy()
         self.obs = obs if obs is not None else Obs()
+        # First-failure-per-module memory for incremental.error events:
+        # a module that keeps failing across rebuilds logs once, not
+        # once per build.
+        self._incremental_errors_seen = set()
 
     # -- scanning -----------------------------------------------------------
 
@@ -689,7 +701,10 @@ class BuildEngine:
         Strictly a fast path: a module with no previous defs record, a
         structural change, or *any* exception during the attempt drops
         back to whole-module analysis — the build's output can never
-        depend on this pass, only its cost can."""
+        depend on this pass, only its cost can.  Exceptions are not
+        silent, though: each one counts as ``incr.fallback_errors`` and
+        the first per module is emitted as an ``incremental.error``
+        event; under :data:`STRICT_INCREMENTAL` they propagate."""
         remaining = []
         for name in misses:
             src = sources[name]
@@ -708,7 +723,17 @@ class BuildEngine:
                     src.module, schemes, digests, prev_doc,
                     self.force_residual,
                 )
-            except Exception:
+            except Exception as exc:
+                if STRICT_INCREMENTAL:
+                    raise
+                stats.note_incremental_error(name)
+                if name not in self._incremental_errors_seen:
+                    self._incremental_errors_seen.add(name)
+                    obs.bus.emit(
+                        "incremental.error",
+                        module=name,
+                        error="%s: %s" % (type(exc).__name__, exc),
+                    )
                 inc = None
             if inc is None:
                 stats.note_incremental_fallback(name)

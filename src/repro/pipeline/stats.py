@@ -31,6 +31,7 @@ Metric names (see ``docs/observability.md`` for the full glossary):
 ``incr.modules_incremental`` counter modules rebuilt per-definition
 ``incr.modules_skipped``  counter dep-changed modules saved by cutoff
 ``incr.fallbacks``        counter incremental attempts degraded to full
+``incr.fallback_errors``  counter fallbacks caused by a raised exception
 ``faults.retries``        counter re-attempts after error/timeout
 ``faults.timeouts``       counter deadline kills
 ``faults.crashes``        counter broken worker pools
@@ -158,6 +159,12 @@ class PipelineStats:
         """An incremental attempt that degraded to full module analysis."""
         self.metrics.counter("incr.fallbacks").inc()
 
+    def note_incremental_error(self, name):
+        """An incremental attempt that degraded because it *raised* —
+        a fast-path bug being papered over, as opposed to a structural
+        change legitimately outside the fast path's scope."""
+        self.metrics.counter("incr.fallback_errors").inc()
+
     def note_failed(self, name):
         self.failed.append(name)
         self.metrics.counter("modules.failed").inc()
@@ -199,6 +206,7 @@ class PipelineStats:
             "defs_cut_off": counter("incr.defs_cut_off"),
             "modules_cutoff_skipped": counter("incr.modules_skipped"),
             "incremental_fallbacks": counter("incr.fallbacks"),
+            "incremental_fallback_errors": counter("incr.fallback_errors"),
             "failed": list(self.failed),
             "skipped": list(self.skipped),
             "retries": self.retries,

@@ -158,14 +158,21 @@ class _ProgramState:
     executor; its persisted artifacts are keyed by the generation's
     fingerprint, so a relink naturally re-promotes)."""
 
-    __slots__ = ("gp", "fingerprint", "digest", "ladder", "loaded_at")
+    __slots__ = (
+        "gp", "fingerprint", "digest", "ladder", "loaded_at",
+        "loaded_at_wall",
+    )
 
     def __init__(self, gp, fingerprint, digest, ladder=None):
         self.gp = gp
         self.fingerprint = fingerprint
         self.digest = digest
         self.ladder = ladder
-        self.loaded_at = time.time()
+        # Monotonic for age arithmetic — wall clocks jump under NTP
+        # steps and DST, and a negative "age" has broken real daemons.
+        # The wall timestamp exists only to be displayed.
+        self.loaded_at = time.monotonic()
+        self.loaded_at_wall = time.time()
 
 
 def _source_digest(directory):
@@ -242,7 +249,10 @@ class SpecServer:
         )
         if config.warm_pool:
             self.pool.warm()
-        self.started = time.time()
+        # Same split as _ProgramState: uptime_s must come from the
+        # monotonic clock, not wall-clock subtraction.
+        self.started = time.monotonic()
+        self.started_wall = time.time()
         self.obs.metrics.gauge("serve.jobs").set(config.jobs)
 
     # -- program lifecycle ---------------------------------------------------
@@ -349,7 +359,10 @@ class SpecServer:
             "health",
             request_id,
             pid=os.getpid(),
-            uptime_s=time.time() - self.started,
+            uptime_s=time.monotonic() - self.started,
+            started_at=self.started_wall,
+            program_loaded_at=self.state.loaded_at_wall,
+            program_age_s=time.monotonic() - self.state.loaded_at,
             inflight=inflight,
             queued=queued,
             max_inflight=self.config.max_inflight,

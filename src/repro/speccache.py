@@ -124,6 +124,18 @@ def residual_cache_key(fingerprint, goal, static_args, options):
             else b"%d" % options.max_versions,
         )
     )
+    # Analysis strategies change the residual program (unfolding) or at
+    # least the compiled artefacts (division), so they key the cache.
+    # Appended conditionally so every pre-existing key stays valid.
+    if options.division != "mono" or options.unfolding != "lub":
+        h.update(
+            b"\x00analysis=division:%s;unfolding:%s;max_bt_versions:%d"
+            % (
+                options.division.encode("utf-8"),
+                options.unfolding.encode("utf-8"),
+                options.max_bt_versions,
+            )
+        )
     return h.hexdigest()
 
 

@@ -113,10 +113,18 @@ class MixProgram:
     # -- front end ----------------------------------------------------------
 
     @classmethod
-    def from_source(cls, source, force_residual=frozenset()):
+    def from_source(cls, source, force_residual=frozenset(),
+                    unfolding="lub"):
         """Parse, link, and analyse a whole program — the cost a
         specialiser pays on every run and a generating extension pays
-        never.  Records the front-end time in ``front_end_seconds``."""
+        never.  Records the front-end time in ``front_end_seconds``.
+
+        ``unfolding`` picks the unfold-annotation strategy (see
+        :mod:`repro.bt.analysis`); it changes the residual program, so
+        it enters the fingerprint.  The binding-time *division* does
+        not: versions are a generating-extension compilation artefact
+        with no interpretive counterpart, and the residual is identical
+        either way."""
         from repro.bt.analysis import analyse_program
         from repro.modsys.program import load_program
 
@@ -124,7 +132,9 @@ class MixProgram:
 
         started = time.perf_counter()
         linked = load_program(source)
-        analysis = analyse_program(linked, force_residual=force_residual)
+        analysis = analyse_program(
+            linked, force_residual=force_residual, unfolding=unfolding
+        )
         mp = cls(analysis, linked.graph)
         mp.front_end_seconds = time.perf_counter() - started
         h = hashlib.sha256(b"mspec-mix-fingerprint\x00")
@@ -132,6 +142,9 @@ class MixProgram:
         for name in sorted(force_residual):
             h.update(b"\x00resid:")
             h.update(name.encode("utf-8"))
+        if unfolding != "lub":
+            h.update(b"\x00unfolding:")
+            h.update(unfolding.encode("utf-8"))
         mp._fingerprint = h.hexdigest()
         return mp
 
@@ -256,7 +269,9 @@ def mix_specialise(source, goal, static_args=None, options=None, obs=None,
 
     options = spec_options("mix_specialise", options, legacy)
     mp = MixProgram.from_source(
-        source, force_residual=options.force_residual
+        source,
+        force_residual=options.force_residual,
+        unfolding=options.unfolding,
     )
     return engine_specialise(
         mp, goal, static_args=static_args, options=options, obs=obs

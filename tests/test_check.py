@@ -288,7 +288,7 @@ class TestLint:
         monkeypatch.setattr(
             driver_mod,
             "lint_linked",
-            lambda linked, force_residual: [
+            lambda linked, force_residual, **strategies: [
                 Finding(
                     check_pass="lint",
                     rule="coercion-upward",
@@ -429,7 +429,8 @@ class TestBundles:
         case = generate_case(13)
         full_defs = case.source.count("=")
 
-        def planted(reduced, jobs_widths=(), check_cache=True, timeout=None, obs=None):
+        def planted(reduced, jobs_widths=(), check_cache=True, timeout=None, obs=None,
+                    strategy_matrix=True):
             return [{"way": "genext", "kind": "value", "message": "planted"}]
 
         monkeypatch.setattr(diff_mod, "run_case", planted)
@@ -460,7 +461,8 @@ class TestDriverAndCli:
     ):
         import repro.check.driver as driver_mod
 
-        def planted(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None):
+        def planted(case, jobs_widths=(1,), check_cache=True, timeout=None, obs=None,
+                    strategy_matrix=True):
             return [{"way": "mix", "kind": "bytes", "message": "planted"}]
 
         monkeypatch.setattr(driver_mod, "run_case", planted)

@@ -1,0 +1,158 @@
+"""Size-change termination analysis (repro.bt.sizechange) and the
+``unfolding="size-change"`` strategy end to end."""
+
+import pytest
+
+import repro
+from repro.api import SpecOptions
+from repro.bench.generators import (
+    guarded_lookup_source,
+    machine_interpreter_source,
+    power_source,
+)
+from repro.bt.sizechange import sct_unfold_params
+from repro.genext.engine import specialise
+from repro.interp import run_program
+from repro.lang.pretty import pretty_program
+from repro.modsys.program import load_program
+
+
+def _defs(source):
+    linked = load_program(source)
+    out = {}
+    for m in linked.program.modules:
+        for d in m.defs:
+            out[d.name] = d
+    return out
+
+
+def _spec(source, goal, static, unfolding):
+    opts = SpecOptions(unfolding=unfolding)
+    gp = repro.compile_genexts(source, opts)
+    res = specialise(gp, goal, static, options=opts)
+    return res, pretty_program(res.program)
+
+
+# ---------------------------------------------------------------------------
+# The analysis itself.
+# ---------------------------------------------------------------------------
+
+
+class TestSctProofs:
+    def test_guarded_counter_proved_on_counter_only(self):
+        src = """\
+module M where
+
+count n acc = if n == 0 then acc else count (n - 1) (acc + 1)
+"""
+        proof = sct_unfold_params(_defs(src), ["count"])
+        assert proof == {"count": ("n",)}
+
+    def test_unguarded_monus_no_proof(self):
+        # n - 1 saturates at 0 under natural subtraction, and no guard
+        # proves n >= 1 at the call, so the arc is never strict.
+        src = """\
+module M where
+
+spin n = if n == 99 then 0 else spin (n - 1)
+"""
+        assert sct_unfold_params(_defs(src), ["spin"]) is None
+
+    def test_tail_is_strict_without_guard_facts(self):
+        # tail errors on nil, so the recursive call always sees a
+        # strictly shorter list — even under a dynamic conditional.
+        src = """\
+module M where
+
+walk xs d = if d == 7 then 0 else walk (tail xs) d
+"""
+        proof = sct_unfold_params(_defs(src), ["walk"])
+        assert proof == {"walk": ("xs",)}
+
+    def test_guarded_lookup_needs_only_the_list(self):
+        proof = sct_unfold_params(_defs(guarded_lookup_source()), ["lookup"])
+        assert proof == {"lookup": ("xs",)}
+
+    def test_machine_step_has_no_proof(self):
+        # step recurses on pc + 1: no parameter decreases, so the
+        # conservative answer is the right one.
+        defs = _defs(machine_interpreter_source())
+        assert sct_unfold_params(defs, ["step"]) is None
+
+    def test_call_under_lambda_defeats_the_proof(self):
+        src = """\
+module M where
+
+apply f x = f @ x
+tricky n = if n == 5 then 0 else apply (\\y -> tricky (n - 1)) 1
+"""
+        assert sct_unfold_params(_defs(src), ["tricky"]) is None
+
+    def test_non_recursive_group_has_nothing_to_prove(self):
+        src = """\
+module M where
+
+double x = x + x
+"""
+        assert sct_unfold_params(_defs(src), ["double"]) is None
+
+    def test_mutual_recursion_on_shared_descent(self):
+        src = """\
+module M where
+
+even n = if n == 0 then 1 else odd (n - 1)
+odd n = if n == 0 then 0 else even (n - 1)
+"""
+        proof = sct_unfold_params(_defs(src), ["even", "odd"])
+        assert proof == {"even": ("n",), "odd": ("n",)}
+
+    def test_growing_argument_no_proof(self):
+        src = """\
+module M where
+
+grow n = if n == 3 then 0 else grow (n + 1)
+"""
+        assert sct_unfold_params(_defs(src), ["grow"]) is None
+
+
+# ---------------------------------------------------------------------------
+# The strategy end to end.
+# ---------------------------------------------------------------------------
+
+
+class TestSizeChangeStrategy:
+    def test_lookup_residual_shrinks_and_agrees(self):
+        src = guarded_lookup_source()
+        table = (10, 20, 30)
+        linked = load_program(src)
+        lub_res, lub_text = _spec(src, "lookup", {"xs": table}, "lub")
+        sc_res, sc_text = _spec(src, "lookup", {"xs": table}, "size-change")
+        # The lub rule residualises the loop; size-change unfolds it
+        # into a closed chain of conditionals.
+        assert len(sc_text) < len(lub_text)
+        assert "lookup" not in sc_text.split("=", 1)[1]
+        for i in (0, 1, 2, 5):
+            expected = run_program(linked, "lookup", [table, i])
+            assert lub_res.run(i) == expected
+            assert sc_res.run(i) == expected
+
+    def test_power_is_byte_identical_under_size_change(self):
+        # power's recursion is already unfolded by the lub rule (its
+        # conditional is static); size-change must change nothing.
+        src = power_source()
+        _, lub_text = _spec(src, "power", {"n": 5}, "lub")
+        _, sc_text = _spec(src, "power", {"n": 5}, "size-change")
+        assert sc_text == lub_text
+
+    def test_machine_interpreter_unchanged_under_size_change(self):
+        # step has no size-change proof, so the strategy degrades to
+        # the lub rule on the paper's interpreter.
+        src = machine_interpreter_source()
+        prog = (("pair", 0, 10), ("pair", 1, 3))
+        _, lub_text = _spec(src, "run", {"prog": prog}, "lub")
+        _, sc_text = _spec(src, "run", {"prog": prog}, "size-change")
+        assert sc_text == lub_text
+
+    def test_invalid_unfolding_rejected(self):
+        with pytest.raises(ValueError):
+            SpecOptions(unfolding="eager")

@@ -192,6 +192,9 @@ class TestLadder:
         assert "tier.emitted" not in c
         assert "tier.source_compiles" not in c
         assert "spec.requests" not in c  # the specialiser never ran
+        # The healthy artifact decoded first try: a decode miss here
+        # would mean the restart silently repaired its own artifact.
+        assert c.get("tier.code_decode_miss", 0) == 0
 
     def test_wrong_cache_tag_falls_back_to_source_and_self_heals(
         self, gp, tmp_path
